@@ -1,0 +1,12 @@
+//! Figure 10: duplicate eliminations / duplicate updates / group-bys for
+//! the TPC-W queries, per schema.
+
+fn main() {
+    let (_g, w, results) = colorist_bench::tpcw_suite();
+    colorist_bench::print_query_matrix(
+        "Figure 10 — dup eliminations + dup updates + group-bys per TPC-W query",
+        &w,
+        &results,
+        |run| run.metrics.dup_group_metric().to_string(),
+    );
+}

@@ -1,0 +1,12 @@
+//! Figure 11: query processing time for the TPC-W queries, per schema.
+//! (Same data as Table 1's bottom half, presented as the chart series.)
+
+fn main() {
+    let (_g, w, results) = colorist_bench::tpcw_suite();
+    colorist_bench::print_query_matrix(
+        "Figure 11 — TPC-W query processing time (µs)",
+        &w,
+        &results,
+        |run| run.metrics.elapsed.as_micros().to_string(),
+    );
+}

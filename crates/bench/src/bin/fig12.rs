@@ -1,0 +1,11 @@
+//! Figure 12: geometric mean of structural joins over each diagram's
+//! workload, for the ER collection (ER1–ER10, Derby, TPC-W) × 6 schemas.
+
+fn main() {
+    let suites = colorist_bench::collection_suites();
+    colorist_bench::print_geo_matrix(
+        "Figure 12 — geometric mean of structural joins (ER collection)",
+        &suites,
+        |run| run.metrics.structural_joins,
+    );
+}

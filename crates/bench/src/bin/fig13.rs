@@ -1,0 +1,11 @@
+//! Figure 13: geometric mean of value joins / color crossings over each
+//! diagram's workload — the decisive metric of §6.2.
+
+fn main() {
+    let suites = colorist_bench::collection_suites();
+    colorist_bench::print_geo_matrix(
+        "Figure 13 — geometric mean of value joins + color crossings (ER collection)",
+        &suites,
+        |run| run.metrics.value_joins_plus_crossings(),
+    );
+}

@@ -1,0 +1,11 @@
+//! Figure 14: geometric mean of duplicate eliminations / duplicate updates
+//! / group-bys over each diagram's workload.
+
+fn main() {
+    let suites = colorist_bench::collection_suites();
+    colorist_bench::print_geo_matrix(
+        "Figure 14 — geometric mean of dup eliminations + dup updates + group-bys (ER collection)",
+        &suites,
+        |run| run.metrics.dup_group_metric(),
+    );
+}

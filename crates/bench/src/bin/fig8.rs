@@ -1,0 +1,11 @@
+//! Figure 8: number of structural joins for the TPC-W queries, per schema.
+
+fn main() {
+    let (_g, w, results) = colorist_bench::tpcw_suite();
+    colorist_bench::print_query_matrix(
+        "Figure 8 — structural joins per TPC-W query",
+        &w,
+        &results,
+        |run| run.metrics.structural_joins.to_string(),
+    );
+}

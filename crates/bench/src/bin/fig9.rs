@@ -1,0 +1,17 @@
+//! Figure 9: number of value joins / color crossings for the TPC-W
+//! queries, per schema — the metric query time tracks most closely (§6.1).
+
+fn main() {
+    let (_g, w, results) = colorist_bench::tpcw_suite();
+    colorist_bench::print_query_matrix(
+        "Figure 9 — value joins + color crossings per TPC-W query",
+        &w,
+        &results,
+        |run| {
+            format!(
+                "{}+{}",
+                run.metrics.value_joins, run.metrics.color_crossings
+            )
+        },
+    );
+}

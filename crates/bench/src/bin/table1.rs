@@ -1,0 +1,53 @@
+//! Table 1: TPC-W data statistics and query processing time for the seven
+//! schemas (DEEP, AF, SHALLOW, EN, MCMR, DR, UNDR).
+
+fn main() {
+    let (_g, w, results) = colorist_bench::tpcw_suite();
+
+    println!(
+        "Table 1 — TPC-W data statistics and query processing time (scale: {} customers, seed {})",
+        colorist_bench::scale(),
+        colorist_bench::seed()
+    );
+    println!();
+    let row = |label: &str, f: &dyn Fn(&colorist_workload::SuiteResult) -> String| {
+        print!("{label:<22}");
+        for r in &results {
+            print!("{:>16}", f(r));
+        }
+        println!();
+    };
+    print!("{:<22}", "");
+    for r in &results {
+        print!("{:>16}", r.strategy.label());
+    }
+    println!();
+    row("Num. Elements", &|r| r.stats.elements.to_string());
+    row("Num. Attributes", &|r| r.stats.attributes.to_string());
+    row("Num. Content Nodes", &|r| r.stats.content_nodes.to_string());
+    row("Data MBytes", &|r| format!("{:.2}", r.stats.data_mbytes()));
+    row("Num. Colors", &|r| r.colors.to_string());
+    println!();
+
+    println!("{:<6}{:>12}  time per schema (µs); duplicates in parentheses", "query", "results");
+    print!("{:<6}{:>12}", "", "");
+    for r in &results {
+        print!("{:>16}", r.strategy.label());
+    }
+    println!();
+    for name in w.reported() {
+        let logical = results[0].run(name).expect("ran").logical;
+        print!("{:<6}{:>12}", name, logical);
+        for r in &results {
+            let run = r.run(name).expect("ran");
+            let dup = run.physical.saturating_sub(run.logical);
+            let cell = if dup > 0 {
+                format!("{}({})", run.metrics.elapsed.as_micros(), run.physical)
+            } else {
+                format!("{}", run.metrics.elapsed.as_micros())
+            };
+            print!("{:>16}", cell);
+        }
+        println!();
+    }
+}

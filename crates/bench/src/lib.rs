@@ -1,0 +1,122 @@
+//! # colorist-bench — the benchmark harness
+//!
+//! One binary per table/figure of the paper's evaluation (§6):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — storage statistics and query processing time for the 7 TPC-W schemas |
+//! | `fig8` | Figure 8 — structural joins per TPC-W query |
+//! | `fig9` | Figure 9 — value joins + color crossings per TPC-W query |
+//! | `fig10` | Figure 10 — duplicate eliminations / duplicate updates / group-bys |
+//! | `fig11` | Figure 11 — query processing time |
+//! | `fig12`–`fig14` | Figures 12–14 — geometric means of the three metrics over the ER collection |
+//! | `collection_summary` | §6.2's prose numbers: 66-schema sweep, color counts, query counts |
+//!
+//! Scale is controlled by `COLORIST_SCALE` (default 300 TPC-W customers /
+//! 120 instances per collection entity) and `COLORIST_SEED` (default 42).
+//! Absolute sizes are far below the paper's 2.6M-element database — this is
+//! an in-memory reproduction — but every reported *shape* (who wins, by
+//! what rough factor, where the crossovers are) is scale-stable; see
+//! EXPERIMENTS.md.
+//!
+//! The `benches/` directory holds Criterion micro-benchmarks for the
+//! primitives underlying those tables: structural vs value joins, the
+//! design algorithms, materialization, query evaluation, and updates.
+
+use colorist_core::Strategy;
+use colorist_datagen::ScaleProfile;
+use colorist_er::{catalog, ErGraph};
+use colorist_workload::{derby, suite, tpcw, xmark, SuiteResult, Workload};
+
+/// TPC-W customers at scale 1.
+pub fn scale() -> u32 {
+    std::env::var("COLORIST_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(300)
+}
+
+/// Deterministic data seed.
+pub fn seed() -> u64 {
+    std::env::var("COLORIST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// Run the TPC-W workload on all seven schemas.
+pub fn tpcw_suite() -> (ErGraph, Workload, Vec<SuiteResult>) {
+    let g = ErGraph::from_diagram(&catalog::tpcw()).expect("tpcw builds");
+    let w = tpcw::workload(&g);
+    let profile = ScaleProfile::tpcw(&g, scale());
+    let results =
+        suite::run_suite(&g, &Strategy::ALL, &w, &profile, seed()).expect("tpcw suite runs");
+    (g, w, results)
+}
+
+/// Run the appropriate workload on every diagram of the collection
+/// (Figures 12–14: six strategies, UNDR excluded).
+pub fn collection_suites() -> Vec<(String, Workload, Vec<SuiteResult>)> {
+    let base = (scale() / 2).max(30);
+    catalog::COLLECTION
+        .iter()
+        .map(|&name| {
+            let g = ErGraph::from_diagram(&catalog::by_name(name).expect("catalog name"))
+                .expect("diagram builds");
+            let w = match name {
+                "tpcw" => tpcw::workload(&g),
+                "derby" => derby::workload(&g),
+                _ => xmark::workload(&g),
+            };
+            let profile = match name {
+                "tpcw" => ScaleProfile::tpcw(&g, base),
+                _ => ScaleProfile::uniform(&g, base),
+            };
+            let results = suite::run_suite(&g, &Strategy::COLLECTION, &w, &profile, seed())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            (name.to_string(), w, results)
+        })
+        .collect()
+}
+
+/// Print a query × strategy matrix of some metric.
+pub fn print_query_matrix(
+    title: &str,
+    workload: &Workload,
+    results: &[SuiteResult],
+    cell: impl Fn(&colorist_workload::QueryRun) -> String,
+) {
+    println!("{title}");
+    print!("{:<6}", "query");
+    for r in results {
+        print!("{:>9}", r.strategy.label());
+    }
+    println!();
+    for name in workload.reported() {
+        print!("{:<6}", name);
+        for r in results {
+            let run = r.run(name).expect("query ran");
+            print!("{:>9}", cell(run));
+        }
+        println!();
+    }
+}
+
+/// Print a diagram × strategy matrix of shifted-geometric-mean metrics over
+/// the reported queries (Figures 12–14).
+pub fn print_geo_matrix(
+    title: &str,
+    suites: &[(String, Workload, Vec<SuiteResult>)],
+    metric: impl Fn(&colorist_workload::QueryRun) -> u64,
+) {
+    println!("{title}");
+    print!("{:<8}", "diagram");
+    for r in &suites[0].2 {
+        print!("{:>9}", r.strategy.label());
+    }
+    println!();
+    for (name, w, results) in suites {
+        print!("{:<8}", name);
+        for r in results {
+            let m = suite::geo_mean(
+                w.reported().iter().map(|q| metric(r.run(q).expect("query ran"))),
+            );
+            print!("{:>9.2}", m);
+        }
+        println!();
+    }
+}

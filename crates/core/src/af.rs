@@ -1,0 +1,136 @@
+//! The **AF** ("anomaly-free") translation (Figure 3): a single-color schema
+//! that is node normal and captures as many associations structurally as one
+//! color allows, value-encoding the rest.
+//!
+//! Implementation: run exactly one color of Algorithm MC (which greedily
+//! builds a maximal forest of correctly-oriented edges, adding extra roots
+//! while any fit), then
+//!
+//! * place every still-unplaced node as an additional root (entity under the
+//!   document root), and
+//! * encode every uncolored ER edge as an id/idref link.
+//!
+//! On TPC-W this reproduces Figure 3: the
+//! `country → in → address → has → customer → make → order` spine with
+//! `order_line`, `billing`, `shipping`, `associate` under `order`, the
+//! `author → write → item` tree beside it, and idrefs exactly where the
+//! figure draws value edges (`item_idref`, `bill_address_idref`,
+//! `ship_address_idref`).
+
+use crate::mc::{McPolicy, McRun};
+use colorist_er::ErGraph;
+use colorist_mct::{ColorId, MctSchema, SchemaError};
+
+/// Build the AF schema of an ER graph.
+pub fn af(graph: &ErGraph) -> Result<MctSchema, SchemaError> {
+    af_with_policy(graph, McPolicy::natural(graph))
+}
+
+/// AF under an explicit MC traversal policy (used by tests to explore
+/// alternative single-color designs).
+pub fn af_with_policy(graph: &ErGraph, policy: McPolicy) -> Result<MctSchema, SchemaError> {
+    let mut run = McRun::new(graph, policy, "AF");
+    let color = run.run_one_color();
+    let (mut builder, edge_colored, placed) = run.into_parts();
+    let color = color.unwrap_or_else(|| builder.add_color());
+    debug_assert_eq!(color, ColorId(0));
+
+    for n in graph.node_ids() {
+        if !placed[n.idx()] {
+            builder.add_root(color, n);
+        }
+    }
+    for e in graph.edge_ids() {
+        if !edge_colored[e.idx()] {
+            builder.add_idref(graph, e);
+        }
+    }
+    builder.finish(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use colorist_er::{catalog, EligibleAssociations};
+
+    #[test]
+    fn af_is_nn_en_single_color() {
+        for name in catalog::COLLECTION {
+            let g = ErGraph::from_diagram(&catalog::by_name(name).unwrap()).unwrap();
+            let s = af(&g).unwrap();
+            let elig = EligibleAssociations::enumerate(&g, 2);
+            let p = properties::check(&s, &g, &elig);
+            assert!(p.node_normal, "{name}");
+            assert!(p.edge_normal, "{name}");
+            assert_eq!(p.colors, 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn af_reproduces_figure_3_on_tpcw() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let s = af(&g).unwrap();
+
+        // The figure's spine: country -> in -> address -> has -> customer ->
+        // make -> order, everything in one color.
+        let node = |n: &str| g.node_by_name(n).unwrap();
+        let place =
+            |n: &str| *s.placements_of(node(n)).first().unwrap_or_else(|| panic!("{n} placed"));
+        for (child, parent) in [
+            ("in", "country"),
+            ("address", "in"),
+            ("has", "address"),
+            ("customer", "has"),
+            ("make", "customer"),
+            ("order", "make"),
+            ("order_line", "order"),
+            ("billing", "order"),
+            ("shipping", "order"),
+            ("associate", "order"),
+            ("credit_card_transaction", "associate"),
+            ("write", "author"),
+            ("item", "write"),
+        ] {
+            let (p, _) = s.placement(place(child)).parent.unwrap_or_else(|| {
+                panic!("{child} should not be a root:\n{}", s.render(&g))
+            });
+            assert_eq!(s.placement(p).node, node(parent), "{child} under {parent}");
+        }
+
+        // Exactly the figure's idrefs.
+        let mut attrs: Vec<&str> = s.idrefs().iter().map(|l| l.attr.as_str()).collect();
+        attrs.sort_unstable();
+        assert_eq!(attrs, vec!["bill_address_idref", "item_idref", "ship_address_idref"]);
+    }
+
+    #[test]
+    fn af_equals_full_ar_when_theorem_4_1_feasible() {
+        // on a feasible graph AF captures every edge structurally
+        let mut d = colorist_er::ErDiagram::new("chain");
+        for n in ["a", "b", "c"] {
+            d.add_entity(n, vec![colorist_er::Attribute::key("id")]).unwrap();
+        }
+        d.add_rel_1m("r1", "a", "b").unwrap();
+        d.add_rel_1m("r2", "b", "c").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        assert!(crate::feasibility::single_color_feasibility(&g).feasible());
+        let s = af(&g).unwrap();
+        let elig = EligibleAssociations::enumerate_default(&g);
+        let p = properties::check(&s, &g, &elig);
+        assert!(p.association_recoverable, "Theorem 4.1 'if' direction");
+        assert!(s.idrefs().is_empty());
+    }
+
+    #[test]
+    fn af_never_ar_when_theorem_4_1_infeasible() {
+        // the 'only if' direction, checked over the catalog: every catalog
+        // diagram is infeasible, and indeed AF always leaves idrefs.
+        for name in catalog::COLLECTION {
+            let g = ErGraph::from_diagram(&catalog::by_name(name).unwrap()).unwrap();
+            assert!(!crate::feasibility::single_color_feasibility(&g).feasible(), "{name}");
+            let s = af(&g).unwrap();
+            assert!(!s.idrefs().is_empty(), "{name}: infeasible => some idref needed");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Mapping ER constraints onto the generated schema (§4.2).
+//!
+//! Three constraint families appear in the ER diagram:
+//!
+//! * **key constraints** — orthogonal to the translation: they only
+//!   contribute keys to element types (carried on `is_key` attributes);
+//! * **cardinality constraints** — bound the number of child elements of a
+//!   given type per parent element;
+//! * **participation constraints** — a *total* participation from parent to
+//!   child becomes a minimum-occurrence of 1; a missing participation
+//!   constraint between a node and its schema parent means the node may
+//!   occur without the parent, which XML accommodates with heterogeneous
+//!   instances (we model it as the placement also admitting parentless
+//!   instances at the color root — see `min_occurs_at_root`).
+
+use colorist_er::ErGraph;
+use colorist_mct::{MctSchema, PlacementId};
+
+/// Min/max number of child elements of a placement's type under one parent
+/// element. `max == None` means unbounded (`*`/`+` in a DTD).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occurs {
+    /// Minimum occurrences per parent element.
+    pub min: u32,
+    /// Maximum occurrences per parent element (`None` = unbounded).
+    pub max: Option<u32>,
+}
+
+impl Occurs {
+    /// DTD-style rendering: `1`, `?`, `+`, or `*`.
+    pub fn dtd(&self) -> &'static str {
+        match (self.min, self.max) {
+            (0, Some(1)) => "?",
+            (_, Some(1)) => "1",
+            (0, None) => "*",
+            _ => "+",
+        }
+    }
+}
+
+/// Occurrence bounds of a placement under its parent element.
+///
+/// * Root placements: `0..*` — instances of heterogeneous documents.
+/// * A participant element under its relationship element: exactly one
+///   (every binary relationship instance involves exactly one instance per
+///   endpoint).
+/// * A relationship element under a participant element: bounded by the
+///   participant's cardinality, with minimum 1 iff participation is total.
+pub fn occurs(schema: &MctSchema, graph: &ErGraph, p: PlacementId) -> Occurs {
+    let placement = schema.placement(p);
+    let Some((parent, edge)) = placement.parent else {
+        return Occurs { min: 0, max: None };
+    };
+    let e = graph.edge(edge);
+    let parent_node = schema.placement(parent).node;
+    if e.rel == parent_node {
+        // participant nested under its relationship element: exactly one
+        Occurs { min: 1, max: Some(1) }
+    } else {
+        // relationship nested under a participant
+        let min = match e.participation {
+            colorist_er::Participation::Total => 1,
+            colorist_er::Participation::Partial => 0,
+        };
+        let max = match e.cardinality {
+            colorist_er::Cardinality::One => Some(1),
+            colorist_er::Cardinality::Many => None,
+        };
+        Occurs { min, max }
+    }
+}
+
+/// Whether instances of this placement's type may occur *without* the
+/// parent (§4.2's heterogeneous-instance case): true when the ER diagram
+/// has no total-participation constraint binding the child to the path
+/// above it.
+pub fn may_occur_rootless(schema: &MctSchema, graph: &ErGraph, p: PlacementId) -> bool {
+    let placement = schema.placement(p);
+    let Some((parent, edge)) = placement.parent else {
+        return true;
+    };
+    let e = graph.edge(edge);
+    let parent_node = schema.placement(parent).node;
+    if e.rel == parent_node {
+        // a relationship instance always has its participant: never rootless
+        false
+    } else {
+        // a relationship under a participant exists only with it
+        // (relationship instances are existence-dependent on participants);
+        // participants are rootless when their own participation is partial,
+        // which is a property of the *child-of-relationship* edges above.
+        e.participation == colorist_er::Participation::Partial
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorist_er::{catalog, EligibleAssociations};
+
+    #[test]
+    fn occurs_follow_cardinality_and_participation() {
+        let d = catalog::tpcw();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        let elig = EligibleAssociations::enumerate(&g, 1);
+        let _ = &elig;
+        let schema = crate::strategy::design(&g, crate::Strategy::Af).unwrap();
+
+        for p in schema.placement_ids() {
+            let o = occurs(&schema, &g, p);
+            let pl = schema.placement(p);
+            match pl.parent {
+                None => {
+                    assert_eq!(o, Occurs { min: 0, max: None });
+                    assert_eq!(o.dtd(), "*");
+                }
+                Some((parent, edge)) => {
+                    let e = g.edge(edge);
+                    if e.rel == schema.placement(parent).node {
+                        assert_eq!(o, Occurs { min: 1, max: Some(1) });
+                        assert_eq!(o.dtd(), "1");
+                    } else {
+                        // relationship under participant
+                        match e.cardinality {
+                            colorist_er::Cardinality::One => assert_eq!(o.max, Some(1)),
+                            colorist_er::Cardinality::Many => assert_eq!(o.max, None),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_participation_sets_min_one() {
+        // in TPC-W, `in` binds address totally to country: the `in` rel
+        // element under `country`... no: total participation is on the
+        // address endpoint. Check via the `make` rel: order's participation
+        // in make is total, customer's partial.
+        let d = catalog::tpcw();
+        let make = d.relationship("make").unwrap();
+        assert_eq!(make.endpoints[1].participation, colorist_er::Participation::Total);
+        assert_eq!(make.endpoints[0].participation, colorist_er::Participation::Partial);
+    }
+}

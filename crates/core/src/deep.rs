@@ -1,0 +1,311 @@
+//! The **DEEP** translation (Figure 4): a single-color schema that captures
+//! every association structurally — in both directions — at the cost of
+//! extreme data redundancy.
+//!
+//! The paper presents DEEP as a schema *graph* traversed from the root,
+//! "permitting multiple occurrences of elements". We materialize the
+//! traversal: starting from a root chosen per connected component, unfold
+//! along **every** incident ER edge regardless of its §4.1 orientation.
+//! Traversing an edge against its functional direction is exactly what
+//! duplicates data (an `item` element under every `order_line` that refers
+//! to it; an `address` under every order's `billing`), and is also what
+//! makes queries like `//customer//item` single ancestor–descendant steps.
+//!
+//! Cycle rule: when the unfolding reaches a node type already on the current
+//! root path, it places it as a *leaf* (the element with its attributes,
+//! no further expansion). This realizes the edge while terminating the
+//! recursion — e.g. TPC-W's `order → billing → address(leaf)`, the paper's
+//! "redundancy in the representation of various types of address, country,
+//! item, and author elements".
+//!
+//! The root of each connected component is the entity with the greatest
+//! eccentricity in the mixed graph (ties broken by id) — on TPC-W this
+//! selects `country`, reproducing Figure 4's
+//! `country → address → customer → order → …` spine. Associations that a
+//! single unfolding leaves without a complete descending chain are still
+//! answered exactly (the query compiler falls back to parent-child link
+//! joins), just not with a single `//` step.
+
+use colorist_er::{ErGraph, NodeId, NodeKind};
+use colorist_mct::{MctSchema, MctSchemaBuilder, PlacementId, SchemaError};
+
+/// Default bound on generated placements; dense diagrams can have
+/// exponentially many root-to-leaf unfoldings.
+pub const DEFAULT_MAX_PLACEMENTS: usize = 100_000;
+
+/// Build the DEEP schema with the default placement bound.
+pub fn deep(graph: &ErGraph) -> Result<MctSchema, SchemaError> {
+    deep_bounded(graph, DEFAULT_MAX_PLACEMENTS)
+}
+
+/// Build the DEEP schema, stopping expansion (placing leaves) once
+/// `max_placements` is reached; a repair pass afterwards guarantees every ER
+/// edge is still realized at least once.
+pub fn deep_bounded(graph: &ErGraph, max_placements: usize) -> Result<MctSchema, SchemaError> {
+    let mut b = MctSchemaBuilder::new(&graph.name, "DEEP");
+    let color = b.add_color();
+
+    let mut edge_realized = vec![false; graph.edge_count()];
+    let mut first_placement: Vec<Option<PlacementId>> = vec![None; graph.node_count()];
+
+    for root in component_roots(graph) {
+        let p = b.add_root(color, root);
+        first_placement[root.idx()].get_or_insert(p);
+        let mut on_path = vec![false; graph.node_count()];
+        on_path[root.idx()] = true;
+        unfold(
+            graph,
+            &mut b,
+            root,
+            p,
+            &mut on_path,
+            &mut edge_realized,
+            &mut first_placement,
+            max_placements,
+        );
+    }
+
+    // Repair pass (placement cap only): realize any dropped edge as a leaf
+    // under the first placement of one endpoint, creating a root for the
+    // other endpoint if the cap starved it of placements entirely.
+    for e in graph.edge_ids() {
+        if edge_realized[e.idx()] {
+            continue;
+        }
+        let edge = graph.edge(e);
+        let (parent, child) = match (
+            first_placement[edge.rel.idx()],
+            first_placement[edge.participant.idx()],
+        ) {
+            (Some(p), _) => (p, edge.participant),
+            (None, Some(p)) => (p, edge.rel),
+            (None, None) => {
+                let p = b.add_root(color, edge.rel);
+                first_placement[edge.rel.idx()] = Some(p);
+                (p, edge.participant)
+            }
+        };
+        let p = b.add_child(parent, e, child);
+        first_placement[child.idx()].get_or_insert(p);
+        edge_realized[e.idx()] = true;
+    }
+    // Nodes starved of every placement by the cap become extra roots.
+    for n in graph.node_ids() {
+        if first_placement[n.idx()].is_none() {
+            first_placement[n.idx()] = Some(b.add_root(color, n));
+        }
+    }
+
+    b.finish(graph)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn unfold(
+    graph: &ErGraph,
+    b: &mut MctSchemaBuilder,
+    n: NodeId,
+    pn: PlacementId,
+    on_path: &mut [bool],
+    edge_realized: &mut [bool],
+    first_placement: &mut [Option<PlacementId>],
+    max_placements: usize,
+) {
+    // deterministic order: ascending edge id
+    let mut incident: Vec<_> = graph.incident(n).to_vec();
+    incident.sort_by_key(|&(e, _)| e);
+    // skip the edge we arrived by
+    let arrived = b.placements()[pn.idx()].parent.map(|(_, e)| e);
+    for (e, m) in incident {
+        if Some(e) == arrived {
+            continue;
+        }
+        if b.placements().len() >= max_placements {
+            // cap: realize the edge as a leaf if not yet realized anywhere,
+            // otherwise drop it here (repair pass backstops).
+            if !edge_realized[e.idx()] {
+                let p = b.add_child(pn, e, m);
+                first_placement[m.idx()].get_or_insert(p);
+                edge_realized[e.idx()] = true;
+            }
+            continue;
+        }
+        let pm = b.add_child(pn, e, m);
+        first_placement[m.idx()].get_or_insert(pm);
+        edge_realized[e.idx()] = true;
+        if !on_path[m.idx()] {
+            on_path[m.idx()] = true;
+            unfold(graph, b, m, pm, on_path, edge_realized, first_placement, max_placements);
+            on_path[m.idx()] = false;
+        }
+        // else: leaf placement (cycle cut)
+    }
+}
+
+/// One root per connected component of the mixed graph: the entity node of
+/// maximal eccentricity (ties: lowest id); falls back to any node for
+/// entity-free components (impossible for validated diagrams).
+fn component_roots(graph: &ErGraph) -> Vec<NodeId> {
+    let n = graph.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for start in graph.node_ids() {
+        if comp[start.idx()] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start.idx()] = count;
+        while let Some(u) = stack.pop() {
+            for &(_, v) in graph.incident(u) {
+                if comp[v.idx()] == usize::MAX {
+                    comp[v.idx()] = count;
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+
+    let mut roots: Vec<Option<(usize, NodeId)>> = vec![None; count]; // (ecc, node), max
+    for u in graph.node_ids() {
+        if graph.node(u).kind != NodeKind::Entity {
+            continue;
+        }
+        let ecc = eccentricity(graph, u);
+        let slot = &mut roots[comp[u.idx()]];
+        let better = match *slot {
+            None => true,
+            Some((best, node)) => ecc > best || (ecc == best && u < node),
+        };
+        if better {
+            *slot = Some((ecc, u));
+        }
+    }
+    for u in graph.node_ids() {
+        let c = comp[u.idx()];
+        if roots[c].is_none() {
+            roots[c] = Some((0, u));
+        }
+    }
+    roots.into_iter().map(|r| r.expect("component root").1).collect()
+}
+
+/// BFS eccentricity in the mixed graph (edges traversed freely).
+fn eccentricity(graph: &ErGraph, from: NodeId) -> usize {
+    let mut dist = vec![usize::MAX; graph.node_count()];
+    dist[from.idx()] = 0;
+    let mut queue = std::collections::VecDeque::from([from]);
+    let mut max = 0;
+    while let Some(u) = queue.pop_front() {
+        for &(_, v) in graph.incident(u) {
+            if dist[v.idx()] == usize::MAX {
+                dist[v.idx()] = dist[u.idx()] + 1;
+                max = max.max(dist[v.idx()]);
+                queue.push_back(v);
+            }
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use colorist_er::{catalog, EligibleAssociations};
+
+    #[test]
+    fn deep_is_en_ar_but_not_nn_on_tpcw() {
+        // §3.2: "the XML schema in Figure 4 is in edge normal form (since it
+        // has only one color), but not in node normal form".
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let s = deep(&g).unwrap();
+        let elig = EligibleAssociations::enumerate_default(&g);
+        let p = properties::check(&s, &g, &elig);
+        assert!(!p.node_normal);
+        assert!(p.edge_normal);
+        assert!(p.association_recoverable);
+        assert_eq!(p.colors, 1);
+        assert!(s.idrefs().is_empty());
+        // the single unfolding makes the workload-relevant chains of
+        // Figure 4 descending paths:
+        let direct = |src: &str, dst: &str| {
+            let s_id = g.node_by_name(src).unwrap();
+            let d_id = g.node_by_name(dst).unwrap();
+            elig.between(s_id, d_id)
+                .iter()
+                .any(|a| properties::is_directly_recoverable(&s, a))
+        };
+        for (x, y) in [
+            ("country", "order"),
+            ("country", "customer"),
+            ("customer", "order"),
+            ("address", "order"),
+        ] {
+            assert!(direct(x, y), "{x}..{y} must be direct in DEEP");
+        }
+    }
+
+    #[test]
+    fn tpcw_root_is_country_like_figure_4() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let s = deep(&g).unwrap();
+        let roots = s.roots(colorist_mct::ColorId(0));
+        assert_eq!(roots.len(), 1);
+        assert_eq!(s.placement(roots[0]).node, g.node_by_name("country").unwrap());
+    }
+
+    #[test]
+    fn cycle_cut_places_leaves() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let s = deep(&g).unwrap();
+        // some address placement under billing must be a leaf (address is on
+        // the path country -> ... -> order -> billing)
+        let address = g.node_by_name("address").unwrap();
+        let billing = g.node_by_name("billing").unwrap();
+        let leaf = s.placements_of(address).iter().copied().find(|&p| {
+            s.placement(p)
+                .parent
+                .is_some_and(|(parent, _)| s.placement(parent).node == billing)
+        });
+        let leaf = leaf.expect("address leaf under billing");
+        assert!(s.children(leaf).is_empty(), "cycle cut must not expand");
+    }
+
+    #[test]
+    fn whole_catalog_within_bounds() {
+        for name in catalog::COLLECTION {
+            let g = ErGraph::from_diagram(&catalog::by_name(name).unwrap()).unwrap();
+            let s = deep(&g).unwrap();
+            let elig = EligibleAssociations::enumerate(&g, 2);
+            let p = properties::check(&s, &g, &elig);
+            assert!(p.edge_normal && p.association_recoverable, "{name}");
+            assert!(
+                s.placements().len() < DEFAULT_MAX_PLACEMENTS,
+                "{name}: {} placements",
+                s.placements().len()
+            );
+        }
+    }
+
+    #[test]
+    fn tight_cap_still_realizes_every_edge() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let s = deep_bounded(&g, 8).unwrap();
+        let elig = EligibleAssociations::enumerate(&g, 1);
+        let p = properties::check(&s, &g, &elig);
+        assert!(p.association_recoverable, "repair pass must keep AR");
+    }
+
+    #[test]
+    fn multi_component_graphs_get_one_root_each() {
+        let mut d = colorist_er::ErDiagram::new("two");
+        for n in ["a", "b", "x", "y"] {
+            d.add_entity(n, vec![colorist_er::Attribute::key("id")]).unwrap();
+        }
+        d.add_rel_1m("r1", "a", "b").unwrap();
+        d.add_rel_1m("r2", "x", "y").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        let s = deep(&g).unwrap();
+        assert_eq!(s.roots(colorist_mct::ColorId(0)).len(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Schema export: render an MCT schema as one DTD-like grammar per color.
+//!
+//! "Informally, a multi-colored XML schema is a set of XML schemas, one for
+//! each color, along with possible inter-color integrity constraints"
+//! (§2.3) — this module prints exactly that view: per color, an element
+//! declaration per placement with the §4.2 occurrence bounds from
+//! [`crate::constraints`], attribute declarations (keys, idrefs), and the
+//! ICIC list at the end.
+
+use crate::constraints::occurs;
+use colorist_er::{Domain, ErGraph};
+use colorist_mct::{color_name, MctSchema, PlacementId};
+use std::fmt::Write as _;
+
+/// Render the per-color DTD-like grammars of a schema.
+pub fn export_dtd(schema: &MctSchema, graph: &ErGraph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "<!-- MCT schema for `{}` [{}] -->", schema.diagram, schema.strategy);
+    for c in schema.colors() {
+        let _ = writeln!(s, "\n<!-- color: {} -->", color_name(c).to_uppercase());
+        // document root content: the color's roots, all optional/repeated
+        let roots: Vec<String> = schema
+            .roots(c)
+            .iter()
+            .map(|&r| format!("{}*", graph.node(schema.placement(r).node).name))
+            .collect();
+        let _ = writeln!(s, "<!ELEMENT root ({})>", join_or_empty(&roots));
+        for &r in schema.roots(c) {
+            emit_element(schema, graph, r, &mut s);
+        }
+    }
+    if !schema.icics().is_empty() {
+        let _ = writeln!(s, "\n<!-- inter-color integrity constraints -->");
+        for icic in schema.icics() {
+            let e = graph.edge(icic.edge);
+            let colors: Vec<String> = icic.colors.iter().map(|&c| color_name(c)).collect();
+            let _ = writeln!(
+                s,
+                "<!-- ICIC: {}--{} present in all of {{{}}} or none -->",
+                graph.node(e.rel).name,
+                graph.node(e.participant).name,
+                colors.join(", ")
+            );
+        }
+    }
+    for l in schema.idrefs() {
+        let e = graph.edge(l.edge);
+        let _ = writeln!(
+            s,
+            "<!-- idref: {} @{} refers to {} @id -->",
+            graph.node(e.rel).name,
+            l.attr,
+            graph.node(e.participant).name
+        );
+    }
+    s
+}
+
+fn emit_element(schema: &MctSchema, graph: &ErGraph, p: PlacementId, s: &mut String) {
+    let node = graph.node(schema.placement(p).node);
+    let children: Vec<String> = schema
+        .children(p)
+        .iter()
+        .map(|&c| {
+            let o = occurs(schema, graph, c);
+            format!("{}{}", graph.node(schema.placement(c).node).name, suffix(o.dtd()))
+        })
+        .collect();
+    let _ = writeln!(s, "<!ELEMENT {} ({})>", node.name, join_or_empty(&children));
+    // attributes: implicit id, declared attributes (a declared key named
+    // `id` is subsumed by the implicit one), idrefs
+    let mut attrs = vec!["id ID #REQUIRED".to_string()];
+    for a in &node.attributes {
+        if a.name == "id" {
+            continue;
+        }
+        let ty = match a.domain {
+            Domain::Text | Domain::Date => "CDATA",
+            _ => "NMTOKEN",
+        };
+        attrs.push(format!("{} {} {}", a.name, ty, if a.is_key { "#REQUIRED" } else { "#IMPLIED" }));
+    }
+    for l in schema.idrefs() {
+        if graph.edge(l.edge).rel == schema.placement(p).node {
+            attrs.push(format!("{} IDREF #IMPLIED", l.attr));
+        }
+    }
+    let _ = writeln!(s, "<!ATTLIST {} {}>", node.name, attrs.join(" "));
+    for &c in schema.children(p) {
+        emit_element(schema, graph, c, s);
+    }
+}
+
+fn suffix(dtd: &str) -> &str {
+    match dtd {
+        "1" => "",
+        other => other,
+    }
+}
+
+fn join_or_empty(parts: &[String]) -> String {
+    if parts.is_empty() {
+        // rendered without the usual parentheses by the callers' format
+        // strings, so supply our own content model keyword
+        "#PCDATA".to_string()
+    } else {
+        parts.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{design, Strategy};
+    use colorist_er::catalog;
+
+    #[test]
+    fn af_dtd_shows_figure_3_structure() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let schema = design(&g, Strategy::Af).unwrap();
+        let dtd = export_dtd(&schema, &g);
+        assert!(dtd.contains("<!ELEMENT country (in*)>"), "{dtd}");
+        assert!(dtd.contains("bill_address_idref IDREF"), "{dtd}");
+        // order totally participates in make: the child is `order`, exactly 1
+        assert!(dtd.contains("<!ELEMENT make (order)>"), "{dtd}");
+    }
+
+    #[test]
+    fn dr_dtd_lists_colors_and_icics() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let schema = design(&g, Strategy::Dr).unwrap();
+        let dtd = export_dtd(&schema, &g);
+        for color in ["BLUE", "RED", "PURPLE", "ORANGE", "GREEN"] {
+            assert!(dtd.contains(&format!("<!-- color: {color} -->")), "{dtd}");
+        }
+        assert!(dtd.contains("ICIC:"), "{dtd}");
+        assert!(!dtd.contains("idref:"), "DR has no idrefs");
+    }
+
+    #[test]
+    fn every_strategy_exports() {
+        let g = ErGraph::from_diagram(&catalog::er5()).unwrap();
+        for s in Strategy::ALL {
+            let schema = design(&g, s).unwrap();
+            let dtd = export_dtd(&schema, &g);
+            assert!(dtd.contains("<!ELEMENT"), "{s}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Theorem 4.1: when can a *single-color* XML schema achieve both node
+//! normal form and association recoverability?
+//!
+//! > Let `G` be an arbitrary ER graph. `G` can be translated into an
+//! > equivalent single-color XML schema satisfying both AR and NN iff
+//! > (i) `G` is a forest; (ii) `G` contains no many-many or k-ary (k ≥ 3)
+//! > relationship types; and (iii) no entity type is on the "many" side of
+//! > more than one one-many relationship type.
+//!
+//! (k-ary types are already excluded by the *simplified* precondition of
+//! [`colorist_er::ErGraph`]; the checker reports them through the
+//! simplification layer instead.)
+//!
+//! The checker is decoupled from the constructive algorithms so tests can
+//! confirm both directions of the theorem: when [`Feasibility::feasible`]
+//! holds, the AF translation achieves NN + AR with one color; when it does
+//! not, no single-color schema produced by any strategy does.
+
+use colorist_er::{ErGraph, NodeId};
+
+/// The outcome of the Theorem 4.1 test, with per-condition diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feasibility {
+    /// Condition (i): the underlying undirected ER graph is a forest.
+    pub is_forest: bool,
+    /// Condition (ii) violations: many-many relationship type names.
+    pub many_many: Vec<String>,
+    /// Condition (iii) violations: entity/relationship types on the many
+    /// side of more than one one-many relationship type.
+    pub overloaded_many_side: Vec<String>,
+}
+
+impl Feasibility {
+    /// Whether a single-color XML schema with NN + AR exists.
+    pub fn feasible(&self) -> bool {
+        self.is_forest && self.many_many.is_empty() && self.overloaded_many_side.is_empty()
+    }
+
+    /// Human-readable explanation of why single-color NN + AR fails (empty
+    /// when feasible).
+    pub fn explain(&self) -> String {
+        let mut parts = Vec::new();
+        if !self.is_forest {
+            parts.push("the ER graph is not a forest".to_string());
+        }
+        if !self.many_many.is_empty() {
+            parts.push(format!("many-many relationship(s): {}", self.many_many.join(", ")));
+        }
+        if !self.overloaded_many_side.is_empty() {
+            parts.push(format!(
+                "on the many side of several one-many relationships: {}",
+                self.overloaded_many_side.join(", ")
+            ));
+        }
+        parts.join("; ")
+    }
+}
+
+/// Run the Theorem 4.1 test on an ER graph.
+pub fn single_color_feasibility(graph: &ErGraph) -> Feasibility {
+    let many_many = graph
+        .many_many_relationships()
+        .into_iter()
+        .map(|n| graph.node(n).name.clone())
+        .collect();
+    let overloaded_many_side = graph
+        .many_side_counts()
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c > 1)
+        .map(|(i, _)| graph.node(NodeId(i as u32)).name.clone())
+        .collect();
+    Feasibility { is_forest: graph.is_forest(), many_many, overloaded_many_side }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorist_er::catalog;
+    use colorist_er::{Attribute, ErDiagram};
+
+    #[test]
+    fn chain_of_one_many_is_feasible() {
+        let mut d = ErDiagram::new("t");
+        for n in ["a", "b", "c"] {
+            d.add_entity(n, vec![Attribute::key("id")]).unwrap();
+        }
+        d.add_rel_1m("r1", "a", "b").unwrap();
+        d.add_rel_1m("r2", "b", "c").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        let f = single_color_feasibility(&g);
+        assert!(f.feasible(), "{}", f.explain());
+    }
+
+    #[test]
+    fn tpcw_is_infeasible_for_the_reasons_the_paper_gives() {
+        // §5.1: "the many-many relationship type order_line between order and
+        // item, and the fact that order is on the many side of multiple
+        // one-many relationship types, billing, shipping, make".
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let f = single_color_feasibility(&g);
+        assert!(!f.feasible());
+        assert_eq!(f.many_many, vec!["order_line".to_string()]);
+        assert!(f.overloaded_many_side.contains(&"order".to_string()));
+        assert!(f.explain().contains("order_line"));
+    }
+
+    #[test]
+    fn many_many_alone_is_infeasible() {
+        let mut d = ErDiagram::new("t");
+        d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+        d.add_entity("b", vec![Attribute::key("id")]).unwrap();
+        d.add_rel_mn("r", "a", "b").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        let f = single_color_feasibility(&g);
+        assert!(!f.feasible());
+        assert!(f.is_forest);
+        assert_eq!(f.many_many, vec!["r".to_string()]);
+    }
+
+    #[test]
+    fn double_many_side_alone_is_infeasible() {
+        let g = ErGraph::from_diagram(&catalog::toy_mcmr()).unwrap();
+        let f = single_color_feasibility(&g);
+        assert!(!f.feasible());
+        assert!(f.many_many.is_empty());
+        assert_eq!(f.overloaded_many_side, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn cycle_alone_is_infeasible() {
+        let mut d = ErDiagram::new("t");
+        for n in ["a", "b", "c"] {
+            d.add_entity(n, vec![Attribute::key("id")]).unwrap();
+        }
+        // triangle of 1:1s: forest fails, nothing else does
+        d.add_rel_11("r1", "a", "b").unwrap();
+        d.add_rel_11("r2", "b", "c").unwrap();
+        d.add_rel_11("r3", "c", "a").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        let f = single_color_feasibility(&g);
+        assert!(!f.feasible());
+        assert!(!f.is_forest);
+        assert!(f.many_many.is_empty());
+        assert!(f.overloaded_many_side.is_empty());
+    }
+
+    #[test]
+    fn toy_dumc_is_infeasible_only_by_cycle() {
+        // a->b, a->c, b-c(1:1): underlying graph has a cycle.
+        let g = ErGraph::from_diagram(&catalog::toy_dumc()).unwrap();
+        let f = single_color_feasibility(&g);
+        assert!(!f.is_forest);
+        assert!(!f.feasible());
+    }
+}

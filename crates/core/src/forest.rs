@@ -1,0 +1,279 @@
+//! Internal mutable per-color forest used by the MCMR, DUMC, and UNDR
+//! strategies.
+//!
+//! An [`MctSchema`] is immutable once built; the post-pass strategies start
+//! from an Algorithm-MC (or DUMC) output, copy each color into a [`Forest`],
+//! graft additional edges/placements onto it, and re-emit the result through
+//! [`colorist_mct::MctSchemaBuilder`].
+
+use colorist_er::{Association, EdgeId, ErGraph, NodeId};
+use colorist_mct::{ColorId, MctSchema, MctSchemaBuilder, PlacementId};
+
+/// One node occurrence in a mutable forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occ {
+    /// The ER node type.
+    pub node: NodeId,
+    /// Parent occurrence index and realizing ER edge; `None` for roots.
+    pub parent: Option<(usize, EdgeId)>,
+}
+
+/// A mutable forest over ER node occurrences (one color under construction).
+#[derive(Debug, Clone, Default)]
+pub struct Forest {
+    occs: Vec<Occ>,
+    by_node: Vec<Vec<usize>>,
+}
+
+impl Forest {
+    /// An empty forest over a graph with `node_count` ER nodes.
+    pub fn new(node_count: usize) -> Self {
+        Forest { occs: Vec::new(), by_node: vec![Vec::new(); node_count] }
+    }
+
+    /// Copy one color of a schema.
+    pub fn from_schema(schema: &MctSchema, color: ColorId, node_count: usize) -> Self {
+        let mut f = Forest::new(node_count);
+        // map schema placement -> occurrence index
+        let mut map = vec![usize::MAX; schema.placements().len()];
+        for &root in schema.roots(color) {
+            let mut stack = vec![root];
+            while let Some(p) = stack.pop() {
+                let pl = schema.placement(p);
+                let parent = pl.parent.map(|(pp, e)| (map[pp.idx()], e));
+                map[p.idx()] = f.push(Occ { node: pl.node, parent });
+                // reverse so the LIFO pop preserves sibling order
+                stack.extend(schema.children(p).iter().rev().copied());
+            }
+        }
+        f
+    }
+
+    fn push(&mut self, occ: Occ) -> usize {
+        let i = self.occs.len();
+        self.by_node[occ.node.idx()].push(i);
+        self.occs.push(occ);
+        i
+    }
+
+    /// All occurrences.
+    pub fn occs(&self) -> &[Occ] {
+        &self.occs
+    }
+
+    /// Occurrence indexes of an ER node type.
+    pub fn of(&self, node: NodeId) -> &[usize] {
+        &self.by_node[node.idx()]
+    }
+
+    /// Whether `node` occurs at all.
+    pub fn contains(&self, node: NodeId) -> bool {
+        !self.by_node[node.idx()].is_empty()
+    }
+
+    /// Add a root occurrence.
+    pub fn add_root(&mut self, node: NodeId) -> usize {
+        self.push(Occ { node, parent: None })
+    }
+
+    /// Add a child occurrence under `parent` realizing `edge`.
+    pub fn add_child(&mut self, parent: usize, edge: EdgeId, node: NodeId) -> usize {
+        debug_assert!(parent < self.occs.len());
+        self.push(Occ { node, parent: Some((parent, edge)) })
+    }
+
+    /// Reparent a root under `new_parent`. Panics if `occ` is not a root or
+    /// if the attachment would create a cycle.
+    pub fn attach_root(&mut self, occ: usize, new_parent: usize, edge: EdgeId) {
+        assert!(self.occs[occ].parent.is_none(), "occurrence is not a root");
+        assert!(!self.is_ancestor(occ, new_parent), "attachment would create a cycle");
+        self.occs[occ].parent = Some((new_parent, edge));
+    }
+
+    /// Whether `anc` is an ancestor of (or equal to) `desc`.
+    pub fn is_ancestor(&self, anc: usize, desc: usize) -> bool {
+        let mut cur = desc;
+        loop {
+            if cur == anc {
+                return true;
+            }
+            match self.occs[cur].parent {
+                Some((p, _)) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Whether an ER edge is realized by some occurrence edge.
+    pub fn realizes(&self, edge: EdgeId) -> bool {
+        self.occs.iter().any(|o| o.parent.is_some_and(|(_, e)| e == edge))
+    }
+
+    /// Whether the association's exact path descends within this forest.
+    pub fn covers(&self, assoc: &Association) -> bool {
+        'outer: for &t in self.of(assoc.target) {
+            let mut cur = t;
+            for (i, &edge) in assoc.path.iter().rev().enumerate() {
+                match self.occs[cur].parent {
+                    Some((p, via)) if via == edge => {
+                        let expect = assoc.nodes[assoc.nodes.len() - 2 - i];
+                        if self.occs[p].node != expect {
+                            continue 'outer;
+                        }
+                        cur = p;
+                    }
+                    _ => continue 'outer,
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// The MCMR growth step (§5.2: "adding as many edges as possible to each
+    /// colored tree"): repeatedly, for every occurrence `n`, try to realize
+    /// each yet-unrealized (in this forest) ER edge traversable from
+    /// `n.node`, either by adding the far node (if absent — keeps NN) or by
+    /// reparenting it (if it is a root and no cycle arises). Runs to
+    /// fixpoint; deterministic (occurrence order, then edge id).
+    pub fn extend_maximal(&mut self, graph: &ErGraph) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let mut i = 0;
+            while i < self.occs.len() {
+                let n = self.occs[i].node;
+                let mut incident: Vec<_> = graph.incident(n).to_vec();
+                incident.sort_by_key(|&(e, _)| e);
+                for (e, m) in incident {
+                    if !graph.traversable_from(e, n) || self.realized_here(i, e) {
+                        continue;
+                    }
+                    match self.unique_or_none(m) {
+                        None if !self.contains(m) => {
+                            self.add_child(i, e, m);
+                            changed = true;
+                        }
+                        Some(occ_m)
+                            if self.occs[occ_m].parent.is_none()
+                                && !self.is_ancestor(occ_m, i) =>
+                        {
+                            self.attach_root(occ_m, i, e);
+                            changed = true;
+                        }
+                        _ => {}
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// Whether `edge` is already realized *in this forest* (anywhere).
+    fn realized_here(&self, _at: usize, edge: EdgeId) -> bool {
+        self.realizes(edge)
+    }
+
+    fn unique_or_none(&self, node: NodeId) -> Option<usize> {
+        self.by_node[node.idx()].first().copied()
+    }
+
+    /// Emit this forest as one color of the builder (topological order).
+    pub fn emit(&self, b: &mut MctSchemaBuilder, color: ColorId) -> Vec<PlacementId> {
+        let mut ids = vec![PlacementId(u32::MAX); self.occs.len()];
+        // children lists
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.occs.len()];
+        let mut roots = Vec::new();
+        for (i, o) in self.occs.iter().enumerate() {
+            match o.parent {
+                Some((p, _)) => children[p].push(i),
+                None => roots.push(i),
+            }
+        }
+        for r in roots {
+            let mut stack = vec![r];
+            while let Some(i) = stack.pop() {
+                let o = &self.occs[i];
+                ids[i] = match o.parent {
+                    None => b.add_root(color, o.node),
+                    Some((p, e)) => b.add_child(ids[p], e, o.node),
+                };
+                stack.extend(children[i].iter().rev().copied());
+            }
+        }
+        debug_assert!(ids.iter().all(|p| p.0 != u32::MAX), "forest contains a cycle");
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mc;
+    use colorist_er::{catalog, EligibleAssociations, ErGraph};
+
+    #[test]
+    fn round_trip_through_schema() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let s = mc::mc(&g).unwrap();
+        let mut b = MctSchemaBuilder::new(&g.name, "RT");
+        for c in s.colors() {
+            let f = Forest::from_schema(&s, c, g.node_count());
+            let c2 = b.add_color();
+            f.emit(&mut b, c2);
+        }
+        let s2 = b.finish(&g).unwrap();
+        assert_eq!(s.render(&g).replace("[EN]", "[RT]"), s2.render(&g));
+    }
+
+    #[test]
+    fn extend_maximal_covers_toy_mcmr() {
+        // after extension, *both* colors of the toy graph must contain
+        // b -> r3 -> d, so both (a,d) and (c,d) become direct.
+        let g = ErGraph::from_diagram(&catalog::toy_mcmr()).unwrap();
+        let s = mc::mc(&g).unwrap();
+        let elig = EligibleAssociations::enumerate_default(&g);
+        let mut uncovered = 0;
+        for c in s.colors() {
+            let mut f = Forest::from_schema(&s, c, g.node_count());
+            f.extend_maximal(&g);
+            for a in elig.iter() {
+                if !f.covers(a) {
+                    uncovered += 1;
+                }
+            }
+        }
+        // Every eligible association is covered by at least one extended
+        // color. (a,d) in one, (c,d) in the other.
+        let a = g.node_by_name("a").unwrap();
+        let d = g.node_by_name("d").unwrap();
+        let mut covered_ad = false;
+        for c in s.colors() {
+            let mut f = Forest::from_schema(&s, c, g.node_count());
+            f.extend_maximal(&g);
+            covered_ad |= elig.between(a, d).iter().all(|x| f.covers(x));
+        }
+        assert!(covered_ad);
+        let _ = uncovered;
+    }
+
+    #[test]
+    fn attach_root_cycle_guard() {
+        let g = ErGraph::from_diagram(&catalog::toy_mcmr()).unwrap();
+        let a = g.node_by_name("a").unwrap();
+        let r1 = g.node_by_name("r1").unwrap();
+        let e = g
+            .edge_ids()
+            .find(|&e| g.edge(e).rel == r1 && g.edge(e).participant == a)
+            .unwrap();
+        let mut f = Forest::new(g.node_count());
+        let pa = f.add_root(a);
+        let pr = f.add_child(pa, e, r1);
+        assert!(f.is_ancestor(pa, pr));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut f2 = f.clone();
+            f2.attach_root(pa, pr, e);
+        }));
+        assert!(result.is_err(), "cycle attachment must panic");
+    }
+}

@@ -1,0 +1,41 @@
+//! # colorist-core — the paper's contribution: ER → MCT schema design
+//!
+//! This crate implements the design methodology of *Making Designer Schemas
+//! with Colors* (ICDE 2006): algorithms that translate an ER diagram into
+//! XML or MCT schemas satisfying chosen combinations of the four desirable
+//! properties (§3):
+//!
+//! | property | meaning | formalizes |
+//! |---|---|---|
+//! | **NN** (node normal form) | no node type appears twice in any color | update-anomaly avoidance within a color |
+//! | **EN** (edge normal form) | no ER edge realized in more than one color (zero ICICs) | update-anomaly avoidance across colors |
+//! | **AR** (association recoverability) | every ER association recoverable by structural navigation — no value joins | query expressibility/efficiency |
+//! | **DR** (direct recoverability) | every *eligible* association is one parent-child / ancestor-descendant step in a single color | aggressive AR |
+//!
+//! Strategies ([`Strategy`]): the three single-color translations of §4
+//! (`DEEP`, `SHALLOW`, `AF`), Algorithm MC of Figure 7 (`EN`), Algorithm
+//! DUMC (`DR`), the MCMR heuristic (`MCMR`), and the un-normalized `UNDR`
+//! variant of §6. [`properties::check`] verifies any schema against all four
+//! properties, and [`feasibility`] decides Theorem 4.1 (when a *single
+//! color* suffices for NN + AR).
+
+pub mod af;
+pub mod constraints;
+pub mod deep;
+pub mod dumc;
+pub mod export;
+pub mod feasibility;
+mod forest;
+pub mod mc;
+pub mod mcmr;
+pub mod properties;
+pub mod report;
+pub mod shallow;
+pub mod strategy;
+pub mod undr;
+
+pub use export::export_dtd;
+pub use feasibility::{single_color_feasibility, Feasibility};
+pub use properties::{check, Properties};
+pub use report::design_report;
+pub use strategy::{design, design_all, Strategy};

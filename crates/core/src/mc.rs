@@ -1,0 +1,477 @@
+//! **Algorithm MC** (Figure 7): translate a simplified ER graph into an MCT
+//! schema satisfying node normal form, edge normal form, and association
+//! recoverability (Theorem 5.1).
+//!
+//! Sketch, following the paper's five steps:
+//!
+//! 1. Orient edges from the "one" side to the "many" side (done once by
+//!    [`colorist_er::ErGraph`]); 1:1 edges stay undirected and are oriented
+//!    as traversed.
+//! 2. Pick an unprocessed node from a **source SCC** — an SCC with no
+//!    incoming directed edge from another SCC — and open a new color with it
+//!    as the *current start node*. We compute SCCs over the subgraph of
+//!    *uncolored* edges: on the full static graph the source condition can
+//!    deadlock once the original sources are exhausted while stray 1:1 edges
+//!    remain (e.g. the second §5.2 toy graph), whereas on the residual graph
+//!    every remaining edge eventually belongs to a source component.
+//! 3. Depth-first traverse colorable edges in the correct direction, adding
+//!    every traversed node/edge to the current color. An edge is *colorable*
+//!    if it is uncolored and its far end either lacks the current color or
+//!    is a current root other than the start node (in which case the two
+//!    trees merge). We additionally refuse a merge that would attach a root
+//!    above its own descendant — a cycle the paper's prose glosses over.
+//! 4. While possible, add further roots (from source SCCs, with at least one
+//!    colorable incident edge) to the *same* color and keep traversing.
+//! 5. Repeat from step 2 with a fresh color until every edge is colored.
+//!
+//! Each node appears at most once per color (NN), each edge in exactly one
+//! color (EN), and every edge somewhere (AR).
+//!
+//! The traversal order is controlled by an [`McPolicy`] so that Algorithm
+//! DUMC can take the "disjoint union over MC runs" of §5.2 by re-running MC
+//! under different priority permutations.
+
+use colorist_er::{EdgeId, ErGraph, NodeId};
+use colorist_mct::{ColorId, MctSchema, MctSchemaBuilder, PlacementId, SchemaError};
+use std::collections::HashMap;
+
+/// Tie-breaking priorities for Algorithm MC: lower rank = preferred.
+#[derive(Debug, Clone)]
+pub struct McPolicy {
+    /// Rank per node id, used when choosing start nodes / extra roots.
+    pub node_rank: Vec<u32>,
+    /// Rank per edge id, used to order DFS edge traversal.
+    pub edge_rank: Vec<u32>,
+}
+
+impl McPolicy {
+    /// Declaration order (the deterministic default).
+    pub fn natural(graph: &ErGraph) -> Self {
+        McPolicy {
+            node_rank: (0..graph.node_count() as u32).collect(),
+            edge_rank: (0..graph.edge_count() as u32).collect(),
+        }
+    }
+
+    /// A seeded permutation of the natural policy (splitmix64-based
+    /// Fisher–Yates; no external RNG so `colorist-core` stays
+    /// dependency-free). Seed 0 reproduces the natural order.
+    pub fn seeded(graph: &ErGraph, seed: u64) -> Self {
+        if seed == 0 {
+            return Self::natural(graph);
+        }
+        let mut policy = Self::natural(graph);
+        let mut state = seed;
+        shuffle(&mut policy.node_rank, &mut state);
+        shuffle(&mut policy.edge_rank, &mut state);
+        policy
+    }
+
+    /// A policy that prefers starting from `root` (rank 0) and otherwise
+    /// follows the given seed. Used by DUMC to seed trees at association
+    /// sources.
+    pub fn rooted(graph: &ErGraph, root: NodeId, seed: u64) -> Self {
+        let mut p = Self::seeded(graph, seed);
+        for r in p.node_rank.iter_mut() {
+            *r += 1;
+        }
+        p.node_rank[root.idx()] = 0;
+        p
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn shuffle(ranks: &mut [u32], state: &mut u64) {
+    for i in (1..ranks.len()).rev() {
+        let j = (splitmix(state) % (i as u64 + 1)) as usize;
+        ranks.swap(i, j);
+    }
+}
+
+/// Run Algorithm MC with the natural policy; the paper's `EN` strategy.
+pub fn mc(graph: &ErGraph) -> Result<MctSchema, SchemaError> {
+    McRun::new(graph, McPolicy::natural(graph), "EN").run()
+}
+
+/// Run Algorithm MC with an explicit policy and strategy label.
+pub fn mc_with_policy(
+    graph: &ErGraph,
+    policy: McPolicy,
+    strategy: &str,
+) -> Result<MctSchema, SchemaError> {
+    McRun::new(graph, policy, strategy).run()
+}
+
+/// In-progress MC state. Exposed so the AF translation can run exactly one
+/// color and value-encode the rest.
+pub struct McRun<'g> {
+    graph: &'g ErGraph,
+    policy: McPolicy,
+    builder: MctSchemaBuilder,
+    edge_colored: Vec<bool>,
+    placed_anywhere: Vec<bool>,
+}
+
+impl<'g> McRun<'g> {
+    /// Start a run over `graph`.
+    pub fn new(graph: &'g ErGraph, policy: McPolicy, strategy: &str) -> Self {
+        McRun {
+            graph,
+            policy,
+            builder: MctSchemaBuilder::new(&graph.name, strategy),
+            edge_colored: vec![false; graph.edge_count()],
+            placed_anywhere: vec![false; graph.node_count()],
+        }
+    }
+
+    /// Whether the node still needs work: unplaced, or has an uncolored edge
+    /// traversable from it.
+    fn unfinished(&self, n: NodeId) -> bool {
+        !self.placed_anywhere[n.idx()]
+            || self
+                .graph
+                .incident(n)
+                .iter()
+                .any(|&(e, _)| !self.edge_colored[e.idx()] && self.graph.traversable_from(e, n))
+    }
+
+    /// Whether any edge remains uncolored.
+    pub fn has_uncolored_edges(&self) -> bool {
+        self.edge_colored.iter().any(|&c| !c)
+    }
+
+    /// Per-node flags: in a source SCC of the uncolored subgraph.
+    fn source_flags(&self) -> Vec<bool> {
+        let alive = |e: EdgeId| !self.edge_colored[e.idx()];
+        let sccs = self.graph.sccs_masked(alive);
+        self.graph.in_source_scc_masked(&sccs, alive)
+    }
+
+    /// Incident edges of `n` in policy order.
+    fn edges_of(&self, n: NodeId) -> Vec<(EdgeId, NodeId)> {
+        let mut v: Vec<(EdgeId, NodeId)> = self.graph.incident(n).to_vec();
+        v.sort_by_key(|&(e, _)| self.policy.edge_rank[e.idx()]);
+        v
+    }
+
+    /// Candidate start nodes in policy order.
+    fn candidates(&self, exclude_in_color: &HashMap<NodeId, PlacementId>) -> Vec<NodeId> {
+        let sources = self.source_flags();
+        let mut v: Vec<NodeId> = self
+            .graph
+            .node_ids()
+            .filter(|&n| {
+                sources[n.idx()] && self.unfinished(n) && !exclude_in_color.contains_key(&n)
+            })
+            .collect();
+        v.sort_by_key(|&n| self.policy.node_rank[n.idx()]);
+        v
+    }
+
+    /// Whether `anc` is an ancestor of (or equal to) `desc` among the
+    /// builder's placements.
+    fn placement_is_ancestor(&self, anc: PlacementId, desc: PlacementId) -> bool {
+        let mut cur = desc;
+        loop {
+            if cur == anc {
+                return true;
+            }
+            match self.builder.placements()[cur.idx()].parent {
+                Some((p, _)) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Steps 2–4: open one new color, grow it to fixpoint. Returns the color
+    /// id, or `None` if no progress is possible.
+    pub fn run_one_color(&mut self) -> Option<ColorId> {
+        // Step 2: pick the start node.
+        let in_color: HashMap<NodeId, PlacementId> = HashMap::new();
+        let start = *self.candidates(&in_color).first()?;
+
+        let color = self.builder.add_color();
+        let mut in_color = in_color;
+        let mut roots: Vec<NodeId> = vec![start];
+        let p = self.builder.add_root(color, start);
+        in_color.insert(start, p);
+        self.placed_anywhere[start.idx()] = true;
+
+        loop {
+            // Step 3 (to fixpoint): grow the current forest.
+            self.grow_to_fixpoint(start, color, &mut in_color, &mut roots);
+
+            // Step 4: another root in the same color?
+            let next_root = self
+                .candidates(&in_color)
+                .into_iter()
+                .find(|&n| self.has_colorable_edge(n, start, &in_color, &roots));
+            match next_root {
+                Some(n) => {
+                    let p = self.builder.add_root(color, n);
+                    in_color.insert(n, p);
+                    self.placed_anywhere[n.idx()] = true;
+                    roots.push(n);
+                }
+                None => break,
+            }
+        }
+        Some(color)
+    }
+
+    fn has_colorable_edge(
+        &self,
+        n: NodeId,
+        start: NodeId,
+        in_color: &HashMap<NodeId, PlacementId>,
+        roots: &[NodeId],
+    ) -> bool {
+        self.graph.incident(n).iter().any(|&(e, m)| {
+            self.colorable(e, n, m, start, in_color, roots).is_some()
+        })
+    }
+
+    /// The colorability test of step 3. Returns the merge target placement
+    /// if the edge reaches a mergeable current root, `Some(None)` for a
+    /// plain extension... encoded as: `None` = not colorable;
+    /// `Some(existing)` where `existing` is `Some(placement)` when the far
+    /// end is already placed (root merge) or `None` when it is new.
+    #[allow(clippy::option_option)]
+    fn colorable(
+        &self,
+        e: EdgeId,
+        n: NodeId,
+        m: NodeId,
+        start: NodeId,
+        in_color: &HashMap<NodeId, PlacementId>,
+        roots: &[NodeId],
+    ) -> Option<Option<PlacementId>> {
+        if self.edge_colored[e.idx()] || !self.graph.traversable_from(e, n) {
+            return None;
+        }
+        match in_color.get(&m) {
+            None => Some(None),
+            Some(&pm) => {
+                // far end already in current color: mergeable only if it is
+                // a current root, not the start, and not an ancestor of n
+                // (cycle guard). When probing from a candidate root, n has
+                // no placement yet and cannot be below anything.
+                let below = in_color
+                    .get(&n)
+                    .is_some_and(|&pn| self.placement_is_ancestor(pm, pn));
+                if m != start && roots.contains(&m) && !below {
+                    Some(Some(pm))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Depth-first growth from every node currently in the color until no
+    /// colorable edge remains (covers opportunities opened by merges).
+    fn grow_to_fixpoint(
+        &mut self,
+        start: NodeId,
+        _color: ColorId,
+        in_color: &mut HashMap<NodeId, PlacementId>,
+        roots: &mut Vec<NodeId>,
+    ) {
+        // worklist DFS; nodes may be revisited after merges
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // snapshot: iterate placements in insertion order for determinism
+            let members: Vec<NodeId> = {
+                let mut v: Vec<(PlacementId, NodeId)> =
+                    in_color.iter().map(|(&n, &p)| (p, n)).collect();
+                v.sort_by_key(|&(p, _)| p);
+                v.into_iter().map(|(_, n)| n).collect()
+            };
+            for n in members {
+                if self.grow_from(n, start, in_color, roots) {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    /// Recursive DFS from `n`; returns whether anything was colored.
+    fn grow_from(
+        &mut self,
+        n: NodeId,
+        start: NodeId,
+        in_color: &mut HashMap<NodeId, PlacementId>,
+        roots: &mut Vec<NodeId>,
+    ) -> bool {
+        let mut any = false;
+        for (e, m) in self.edges_of(n) {
+            match self.colorable(e, n, m, start, in_color, roots) {
+                None => continue,
+                Some(existing) => {
+                    let pn = in_color[&n];
+                    self.edge_colored[e.idx()] = true;
+                    any = true;
+                    match existing {
+                        Some(pm) => {
+                            // merge: attach root m's tree under n
+                            self.builder
+                                .attach_root(pm, pn, e)
+                                .expect("merge target verified as root");
+                            roots.retain(|&r| r != m);
+                        }
+                        None => {
+                            let pm = self.builder.add_child(pn, e, m);
+                            in_color.insert(m, pm);
+                            self.placed_anywhere[m.idx()] = true;
+                            self.grow_from(m, start, in_color, roots);
+                        }
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    /// Finish the run: exhaust colors (step 5), then place any never-placed
+    /// isolated nodes as extra roots of the first color (frugality; the
+    /// letter of the paper would give each its own color).
+    pub fn run(mut self) -> Result<MctSchema, SchemaError> {
+        while self.run_one_color().is_some() {}
+        debug_assert!(!self.has_uncolored_edges(), "MC left uncolored edges");
+        self.place_stragglers();
+        self.builder.finish(self.graph)
+    }
+
+    /// Place unplaced isolated nodes as roots of color 0.
+    fn place_stragglers(&mut self) {
+        let unplaced: Vec<NodeId> = self
+            .graph
+            .node_ids()
+            .filter(|&n| !self.placed_anywhere[n.idx()])
+            .collect();
+        if unplaced.is_empty() {
+            return;
+        }
+        let color = if self.builder.color_count() == 0 {
+            self.builder.add_color()
+        } else {
+            ColorId(0)
+        };
+        for n in unplaced {
+            self.builder.add_root(color, n);
+            self.placed_anywhere[n.idx()] = true;
+        }
+    }
+
+    /// Hand the partially-built schema to a custom finisher (used by AF).
+    pub fn into_parts(self) -> (MctSchemaBuilder, Vec<bool>, Vec<bool>) {
+        (self.builder, self.edge_colored, self.placed_anywhere)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use colorist_er::{catalog, EligibleAssociations};
+
+    fn check_invariants(graph: &ErGraph, schema: &MctSchema) {
+        let elig = EligibleAssociations::enumerate_default(graph);
+        let p = properties::check(schema, graph, &elig);
+        assert!(p.node_normal, "MC output must be NN for {}", graph.name);
+        assert!(p.edge_normal, "MC output must be EN for {}", graph.name);
+        assert!(p.association_recoverable, "MC output must be AR for {}", graph.name);
+        assert!(schema.idrefs().is_empty());
+    }
+
+    #[test]
+    fn theorem_5_1_on_the_whole_catalog() {
+        for name in catalog::COLLECTION {
+            let g = ErGraph::from_diagram(&catalog::by_name(name).unwrap()).unwrap();
+            let s = mc(&g).unwrap();
+            check_invariants(&g, &s);
+        }
+    }
+
+    #[test]
+    fn tpcw_needs_exactly_two_colors() {
+        // §6: "EN and MCMR, which have only 2 colors" — Algorithm MC covers
+        // TPC-W with two colors.
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let s = mc(&g).unwrap();
+        assert_eq!(s.color_count(), 2, "\n{}", s.render(&g));
+    }
+
+    #[test]
+    fn toy_mcmr_needs_two_colors_and_misses_one_association() {
+        let g = ErGraph::from_diagram(&catalog::toy_mcmr()).unwrap();
+        let s = mc(&g).unwrap();
+        assert_eq!(s.color_count(), 2, "\n{}", s.render(&g));
+        let elig = EligibleAssociations::enumerate_default(&g);
+        let p = properties::check(&s, &g, &elig);
+        assert!(!p.direct_recoverable);
+        // exactly one of (a,d) / (c,d) is not direct (plus sub-path variants
+        // through the relationship nodes)
+        let missing = properties::uncovered_associations(&s, &elig);
+        let a = g.node_by_name("a").unwrap();
+        let c = g.node_by_name("c").unwrap();
+        let d = g.node_by_name("d").unwrap();
+        let ad = missing.iter().any(|x| x.source == a && x.target == d);
+        let cd = missing.iter().any(|x| x.source == c && x.target == d);
+        assert!(ad ^ cd, "exactly one of a..d / c..d must be uncovered");
+    }
+
+    #[test]
+    fn toy_dumc_missing_reverse_one_one() {
+        let g = ErGraph::from_diagram(&catalog::toy_dumc()).unwrap();
+        let s = mc(&g).unwrap();
+        check_invariants(&g, &s);
+        let elig = EligibleAssociations::enumerate_default(&g);
+        let p = properties::check(&s, &g, &elig);
+        assert!(!p.direct_recoverable, "the 1:1 b--c association cannot be direct both ways");
+    }
+
+    #[test]
+    fn seeded_policies_all_preserve_theorem_5_1() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        for seed in 1..=8u64 {
+            let s = mc_with_policy(&g, McPolicy::seeded(&g, seed), "EN").unwrap();
+            check_invariants(&g, &s);
+        }
+    }
+
+    #[test]
+    fn rooted_policy_starts_at_requested_root_when_reasonable() {
+        let g = ErGraph::from_diagram(&catalog::toy_mcmr()).unwrap();
+        let c = g.node_by_name("c").unwrap();
+        let s = mc_with_policy(&g, McPolicy::rooted(&g, c, 1), "EN").unwrap();
+        // first color must be rooted at c
+        let r0 = s.roots(ColorId(0))[0];
+        assert_eq!(s.placement(r0).node, c);
+    }
+
+    #[test]
+    fn policy_seed_zero_is_natural() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let a = McPolicy::natural(&g);
+        let b = McPolicy::seeded(&g, 0);
+        assert_eq!(a.node_rank, b.node_rank);
+        assert_eq!(a.edge_rank, b.edge_rank);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = ErGraph::from_diagram(&catalog::derby()).unwrap();
+        let s1 = mc(&g).unwrap();
+        let s2 = mc(&g).unwrap();
+        assert_eq!(s1.render(&g), s2.render(&g));
+    }
+}

@@ -1,0 +1,105 @@
+//! The **MCMR** heuristic (§5.2): *minimal color, maximal recoverable*.
+//!
+//! Start from the MCT schema produced by Algorithm MC (which is locally
+//! color-minimal) and add as many edges as possible to each colored tree,
+//! thereby giving up edge normal form in exchange for direct
+//! recoverability. The color count never grows, node normal form is
+//! preserved (a grown color never repeats a node type), and the extra edge
+//! realizations become ICICs.
+//!
+//! MCMR is the paper's recommended default: on their evaluation it matches
+//! DR's query metrics with fewer colors and less storage. It does *not*
+//! always achieve complete direct recoverability — the second §5.2 toy graph
+//! is the counterexample, reproduced in the tests.
+
+use crate::forest::Forest;
+use crate::mc;
+use colorist_er::ErGraph;
+use colorist_mct::{MctSchema, MctSchemaBuilder, SchemaError};
+
+/// Build the MCMR schema: Algorithm MC, then maximal edge growth per color.
+pub fn mcmr(graph: &ErGraph) -> Result<MctSchema, SchemaError> {
+    let base = mc::mc(graph)?;
+    grow(graph, &base, "MCMR")
+}
+
+/// Grow every color of `base` to a maximal functional forest.
+pub(crate) fn grow(
+    graph: &ErGraph,
+    base: &MctSchema,
+    strategy: &str,
+) -> Result<MctSchema, SchemaError> {
+    let mut b = MctSchemaBuilder::new(&graph.name, strategy);
+    for color in base.colors() {
+        let mut f = Forest::from_schema(base, color, graph.node_count());
+        f.extend_maximal(graph);
+        let c = b.add_color();
+        f.emit(&mut b, c);
+    }
+    b.finish(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use colorist_er::{catalog, EligibleAssociations};
+
+    #[test]
+    fn mcmr_keeps_mc_color_count_and_nn_ar() {
+        for name in catalog::COLLECTION {
+            let g = ErGraph::from_diagram(&catalog::by_name(name).unwrap()).unwrap();
+            let base = mc::mc(&g).unwrap();
+            let s = mcmr(&g).unwrap();
+            assert_eq!(s.color_count(), base.color_count(), "{name}: color minimality");
+            let elig = EligibleAssociations::enumerate(&g, 3);
+            let p = properties::check(&s, &g, &elig);
+            assert!(p.node_normal, "{name}");
+            assert!(p.association_recoverable, "{name}");
+        }
+    }
+
+    #[test]
+    fn mcmr_fixes_the_first_toy_graph() {
+        // MC leaves one of (a,d)/(c,d) indirect; MCMR covers both by
+        // realizing b->r3->d in both colors (giving up EN).
+        let g = ErGraph::from_diagram(&catalog::toy_mcmr()).unwrap();
+        let elig = EligibleAssociations::enumerate_default(&g);
+        let base = mc::mc(&g).unwrap();
+        assert!(!properties::check(&base, &g, &elig).direct_recoverable);
+        let s = mcmr(&g).unwrap();
+        let p = properties::check(&s, &g, &elig);
+        assert!(p.direct_recoverable, "\n{}", s.render(&g));
+        assert!(!p.edge_normal, "DR here costs EN");
+        assert!(p.node_normal);
+        assert_eq!(p.colors, 2);
+    }
+
+    #[test]
+    fn mcmr_cannot_fix_the_second_toy_graph() {
+        // §5.2: "an MCT schema needs to have two colors to support complete
+        // direct recoverability on this ER graph, which cannot be obtained
+        // by any MCMR-style approach."
+        let g = ErGraph::from_diagram(&catalog::toy_dumc()).unwrap();
+        let elig = EligibleAssociations::enumerate_default(&g);
+        let s = mcmr(&g).unwrap();
+        let p = properties::check(&s, &g, &elig);
+        assert!(!p.direct_recoverable, "\n{}", s.render(&g));
+        // the uncovered association involves the 1:1 b--c pair
+        let missing = properties::uncovered_associations(&s, &elig);
+        assert!(!missing.is_empty());
+    }
+
+    #[test]
+    fn mcmr_icics_nonempty_when_it_actually_grew() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let s = mcmr(&g).unwrap();
+        assert!(!s.icics().is_empty(), "TPC-W growth must duplicate some edge");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = ErGraph::from_diagram(&catalog::derby()).unwrap();
+        assert_eq!(mcmr(&g).unwrap().render(&g), mcmr(&g).unwrap().render(&g));
+    }
+}

@@ -1,0 +1,282 @@
+//! Checkers for the four desirable schema properties (§3).
+//!
+//! These are *verifiers*, independent of the construction algorithms: every
+//! strategy's output is validated against them in tests (including property
+//! tests over random ER graphs), which is how Theorems 5.1 and 5.2 are
+//! checked mechanically.
+
+use colorist_er::{Association, EligibleAssociations, ErGraph};
+use colorist_mct::MctSchema;
+
+/// The verified property profile of a schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Properties {
+    /// Node normal form: no ER node has two placements in one color.
+    pub node_normal: bool,
+    /// Edge normal form: no ER edge realized in more than one color
+    /// (equivalently, the schema has no ICICs).
+    pub edge_normal: bool,
+    /// Association recoverability: every ER edge realized structurally in at
+    /// least one color (no idref-only edges).
+    pub association_recoverable: bool,
+    /// Direct recoverability: every eligible association is a descending
+    /// placement path in a single color.
+    pub direct_recoverable: bool,
+    /// Number of colors (color frugality metric).
+    pub colors: usize,
+    /// Number of inter-color integrity constraints.
+    pub icics: usize,
+}
+
+impl Properties {
+    /// Render like the paper's property shorthand, e.g. `NN+EN+AR, 2 colors`.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        if self.node_normal {
+            parts.push("NN");
+        }
+        if self.edge_normal {
+            parts.push("EN");
+        }
+        if self.association_recoverable {
+            parts.push("AR");
+        }
+        if self.direct_recoverable {
+            parts.push("DR");
+        }
+        format!(
+            "{} ({} color{}, {} ICIC{})",
+            if parts.is_empty() { "-".to_string() } else { parts.join("+") },
+            self.colors,
+            if self.colors == 1 { "" } else { "s" },
+            self.icics,
+            if self.icics == 1 { "" } else { "s" },
+        )
+    }
+}
+
+/// Check all four properties of `schema` against its ER graph and the
+/// enumerated eligible associations.
+pub fn check(schema: &MctSchema, graph: &ErGraph, eligible: &EligibleAssociations) -> Properties {
+    Properties {
+        node_normal: is_node_normal(schema, graph),
+        edge_normal: is_edge_normal(schema),
+        association_recoverable: is_association_recoverable(schema, graph),
+        direct_recoverable: is_direct_recoverable(schema, eligible),
+        colors: schema.color_count(),
+        icics: schema.icics().len(),
+    }
+}
+
+/// NN (§3.2): within every color, every ER node type has at most one
+/// placement. (The per-color forests are trees by construction of
+/// [`MctSchema`], so repeated placements are the only way instances could be
+/// represented more than once per color.)
+pub fn is_node_normal(schema: &MctSchema, graph: &ErGraph) -> bool {
+    for n in graph.node_ids() {
+        let mut seen = vec![false; schema.color_count()];
+        for &p in schema.placements_of(n) {
+            let c = schema.placement(p).color.idx();
+            if seen[c] {
+                return false;
+            }
+            seen[c] = true;
+        }
+    }
+    true
+}
+
+/// EN (§3.2): no ER edge (binary association) realized in more than one
+/// color; equivalently, the derived ICIC set is empty.
+pub fn is_edge_normal(schema: &MctSchema) -> bool {
+    schema.icics().is_empty()
+}
+
+/// AR (§3.1): every ER edge realized structurally somewhere, so arbitrary
+/// association graphs can be traversed with (multi-colored) XPath without
+/// value-based comparisons.
+pub fn is_association_recoverable(schema: &MctSchema, graph: &ErGraph) -> bool {
+    graph.edge_ids().all(|e| !schema.edge_realizations(e).is_empty())
+}
+
+/// DR (§3.1): every eligible association is directly recoverable.
+pub fn is_direct_recoverable(schema: &MctSchema, eligible: &EligibleAssociations) -> bool {
+    eligible.iter().all(|a| is_directly_recoverable(schema, a))
+}
+
+/// Whether one eligible association is realized as a descending placement
+/// path in some single color — i.e. retrievable with a single parent-child
+/// (length-1 path) or ancestor-descendant axis step, along its exact ER
+/// path so that exactly the associated pairs are retrieved.
+pub fn is_directly_recoverable(schema: &MctSchema, assoc: &Association) -> bool {
+    // Walk up from every placement of the target; the chain of realizing
+    // edges must equal the association's path reversed, ending at source.
+    'outer: for &p in schema.placements_of(assoc.target) {
+        let mut cur = p;
+        for (i, &edge) in assoc.path.iter().rev().enumerate() {
+            match schema.placement(cur).parent {
+                Some((parent, via)) if via == edge => {
+                    // interior nodes must match too (a path is a node/edge
+                    // alternation; edges determine nodes here, but be safe)
+                    let expect = assoc.nodes[assoc.nodes.len() - 2 - i];
+                    if schema.placement(parent).node != expect {
+                        continue 'outer;
+                    }
+                    cur = parent;
+                }
+                _ => continue 'outer,
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// The associations that are *not* directly recoverable (diagnostics for
+/// reports and the MCMR/DUMC algorithms).
+pub fn uncovered_associations<'a>(
+    schema: &MctSchema,
+    eligible: &'a EligibleAssociations,
+) -> Vec<&'a Association> {
+    eligible.iter().filter(|a| !is_directly_recoverable(schema, a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorist_er::{Attribute, EdgeId, ErDiagram};
+    use colorist_mct::MctSchemaBuilder;
+
+    fn small() -> (ErGraph, EligibleAssociations) {
+        let mut d = ErDiagram::new("t");
+        d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+        d.add_entity("b", vec![Attribute::key("id")]).unwrap();
+        d.add_rel_1m("r", "a", "b").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        let e = EligibleAssociations::enumerate_default(&g);
+        (g, e)
+    }
+
+    fn edge(g: &ErGraph, rel: &str, part: &str) -> EdgeId {
+        let rel = g.node_by_name(rel).unwrap();
+        let part = g.node_by_name(part).unwrap();
+        g.edge_ids().find(|&e| g.edge(e).rel == rel && g.edge(e).participant == part).unwrap()
+    }
+
+    #[test]
+    fn linear_schema_has_all_properties() {
+        let (g, elig) = small();
+        let mut b = MctSchemaBuilder::new("t", "TEST");
+        let c = b.add_color();
+        let pa = b.add_root(c, g.node_by_name("a").unwrap());
+        let pr = b.add_child(pa, edge(&g, "r", "a"), g.node_by_name("r").unwrap());
+        b.add_child(pr, edge(&g, "r", "b"), g.node_by_name("b").unwrap());
+        let s = b.finish(&g).unwrap();
+        let p = check(&s, &g, &elig);
+        assert!(p.node_normal);
+        assert!(p.edge_normal);
+        assert!(p.association_recoverable);
+        // the only eligible association, a..b via r, descends in the color
+        assert!(p.direct_recoverable);
+        assert!(uncovered_associations(&s, &elig).is_empty());
+        assert_eq!(p.summary(), "NN+EN+AR+DR (1 color, 0 ICICs)");
+    }
+
+    #[test]
+    fn idref_schema_not_association_recoverable() {
+        let (g, elig) = small();
+        let mut b = MctSchemaBuilder::new("t", "TEST");
+        let c = b.add_color();
+        let pa = b.add_root(c, g.node_by_name("a").unwrap());
+        b.add_child(pa, edge(&g, "r", "a"), g.node_by_name("r").unwrap());
+        b.add_root(c, g.node_by_name("b").unwrap());
+        b.add_idref(&g, edge(&g, "r", "b"));
+        let s = b.finish(&g).unwrap();
+        let p = check(&s, &g, &elig);
+        assert!(p.node_normal);
+        assert!(p.edge_normal);
+        assert!(!p.association_recoverable);
+        assert!(!p.direct_recoverable);
+    }
+
+    #[test]
+    fn duplicate_placement_in_color_breaks_nn() {
+        let (g, elig) = small();
+        let mut b = MctSchemaBuilder::new("t", "TEST");
+        let c = b.add_color();
+        let a = g.node_by_name("a").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let bb = g.node_by_name("b").unwrap();
+        let pa = b.add_root(c, a);
+        let pr = b.add_child(pa, edge(&g, "r", "a"), r);
+        b.add_child(pr, edge(&g, "r", "b"), bb);
+        // duplicate b as a second root in the same color
+        b.add_root(c, bb);
+        let s = b.finish(&g).unwrap();
+        let p = check(&s, &g, &elig);
+        assert!(!p.node_normal);
+        assert!(p.edge_normal);
+    }
+
+    #[test]
+    fn redundant_edge_breaks_en() {
+        let (g, elig) = small();
+        let mut b = MctSchemaBuilder::new("t", "TEST");
+        let c1 = b.add_color();
+        let c2 = b.add_color();
+        let a = g.node_by_name("a").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let bb = g.node_by_name("b").unwrap();
+        let pa = b.add_root(c1, a);
+        let pr = b.add_child(pa, edge(&g, "r", "a"), r);
+        b.add_child(pr, edge(&g, "r", "b"), bb);
+        let pb = b.add_root(c2, bb);
+        b.add_child(pb, edge(&g, "r", "b"), r);
+        let s = b.finish(&g).unwrap();
+        let p = check(&s, &g, &elig);
+        assert!(p.node_normal);
+        assert!(!p.edge_normal);
+        assert_eq!(p.icics, 1);
+        // now (b, r) is direct in color 2; all eligible associations covered
+        assert!(p.direct_recoverable);
+        assert!(p.association_recoverable);
+    }
+
+    #[test]
+    fn direct_recoverability_requires_matching_path() {
+        // two parallel 1:m rels a--b; schema realizes only r1 structurally
+        // twice, r2 by idref: the a..b-via-r2 association must NOT count as
+        // direct even though a is an ancestor of b.
+        let mut d = ErDiagram::new("t");
+        d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+        d.add_entity("b", vec![Attribute::key("id")]).unwrap();
+        d.add_rel_1m("r1", "a", "b").unwrap();
+        d.add_rel_1m("r2", "a", "b").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        let elig = EligibleAssociations::enumerate_default(&g);
+        let mut bld = MctSchemaBuilder::new("t", "TEST");
+        let c = bld.add_color();
+        let a = g.node_by_name("a").unwrap();
+        let r1 = g.node_by_name("r1").unwrap();
+        let r2 = g.node_by_name("r2").unwrap();
+        let bb = g.node_by_name("b").unwrap();
+        let pa = bld.add_root(c, a);
+        let pr1 = bld.add_child(pa, edge(&g, "r1", "a"), r1);
+        bld.add_child(pr1, edge(&g, "r1", "b"), bb);
+        let _pr2 = bld.add_child(pa, edge(&g, "r2", "a"), r2);
+        bld.add_idref(&g, edge(&g, "r2", "b"));
+        let s = bld.finish(&g).unwrap();
+        let via_r2 = elig
+            .between(a, bb)
+            .into_iter()
+            .find(|assoc| assoc.label(&g) == "r2")
+            .unwrap();
+        assert!(!is_directly_recoverable(&s, via_r2));
+        let via_r1 = elig
+            .between(a, bb)
+            .into_iter()
+            .find(|assoc| assoc.label(&g) == "r1")
+            .unwrap();
+        assert!(is_directly_recoverable(&s, via_r1));
+    }
+}

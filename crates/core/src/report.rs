@@ -1,0 +1,77 @@
+//! A textual design report for a diagram: schema family, property matrix,
+//! color counts — the "which strategy should I use" summary an end user of
+//! the methodology reads.
+
+use crate::properties;
+use crate::strategy::{design, Strategy};
+use crate::feasibility::single_color_feasibility;
+use colorist_er::{EligibleAssociations, ErGraph};
+use std::fmt::Write as _;
+
+/// Render a full design report for an ER graph: the Theorem 4.1 verdict,
+/// then one row per strategy with the verified property profile.
+pub fn design_report(graph: &ErGraph) -> String {
+    let mut out = String::new();
+    let elig = EligibleAssociations::enumerate_default(graph);
+    let feas = single_color_feasibility(graph);
+    let _ = writeln!(
+        out,
+        "diagram `{}`: {} nodes, {} edges, {} eligible associations",
+        graph.name,
+        graph.node_count(),
+        graph.edge_count(),
+        elig.len()
+    );
+    if feas.feasible() {
+        let _ = writeln!(out, "single-color NN+AR: feasible (Theorem 4.1)");
+    } else {
+        let _ = writeln!(out, "single-color NN+AR: infeasible — {}", feas.explain());
+    }
+    let _ = writeln!(
+        out,
+        "{:<8} {:>6} {:>6} {:>10} {:>5} {:>5} {:>5} {:>5}",
+        "strategy", "colors", "icics", "placements", "NN", "EN", "AR", "DR"
+    );
+    for s in Strategy::ALL {
+        match design(graph, s) {
+            Ok(schema) => {
+                let p = properties::check(&schema, graph, &elig);
+                let b = |x: bool| if x { "yes" } else { "-" };
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:>6} {:>6} {:>10} {:>5} {:>5} {:>5} {:>5}",
+                    s.label(),
+                    p.colors,
+                    p.icics,
+                    schema.placements().len(),
+                    b(p.node_normal),
+                    b(p.edge_normal),
+                    b(p.association_recoverable),
+                    b(p.direct_recoverable),
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{:<8} failed: {e}", s.label());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorist_er::catalog;
+
+    #[test]
+    fn tpcw_report_shows_paper_matrix() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let r = design_report(&g);
+        assert!(r.contains("infeasible"), "{r}");
+        assert!(r.contains("order_line"), "{r}");
+        for s in Strategy::ALL {
+            assert!(r.contains(s.label()), "{r}");
+        }
+        assert!(!r.contains("failed"), "{r}");
+    }
+}

@@ -1,0 +1,157 @@
+//! The **SHALLOW** translation (Figure 2): the "straightforward" single-color
+//! XML schema.
+//!
+//! Entity types become children of the schema root; each relationship type
+//! becomes a child of one of its participating entity types; every remaining
+//! association is captured through id/idref attribute values. The result is
+//! node normal (no update anomalies) but not association recoverable —
+//! queries like Q1 need multiple value-based joins, which is exactly the
+//! poor-performance corner of the design space.
+
+use colorist_er::{Cardinality, ErGraph, NodeKind};
+use colorist_mct::{MctSchema, MctSchemaBuilder, SchemaError};
+
+/// Build the SHALLOW schema of an ER graph.
+///
+/// The parent of each relationship type is chosen deterministically: the
+/// first endpoint with [`Cardinality::One`] participation (so a parent has
+/// at most one child of each relationship type — `make` under `order`,
+/// `billing` under `order`, `in` under `address`), falling back to the
+/// first endpoint for M:N relationships. The other endpoint becomes an
+/// idref. On TPC-W this reproduces Figure 2's idrefs exactly:
+/// `customer_idref`, `bill_address_idref`, `ship_address_idref`,
+/// `country_idref`, `address_idref`, `author_idref`, `item_idref`, and
+/// `credit_card_transaction_idref`.
+pub fn shallow(graph: &ErGraph) -> Result<MctSchema, SchemaError> {
+    let mut b = MctSchemaBuilder::new(&graph.name, "SHALLOW");
+    let color = b.add_color();
+
+    // place every entity (and nothing else) at the root, remembering ids
+    let mut placement = vec![None; graph.node_count()];
+    for n in graph.node_ids() {
+        if graph.node(n).kind == NodeKind::Entity {
+            placement[n.idx()] = Some(b.add_root(color, n));
+        }
+    }
+
+    // relationship nodes in dependency order: a higher-order relationship
+    // must be placed after the relationship it participates in has a
+    // placement (its structural parent may itself be a relationship).
+    let mut rels: Vec<_> = graph.relationship_nodes().collect();
+    let mut guard = 0usize;
+    while !rels.is_empty() {
+        guard += 1;
+        assert!(guard <= graph.node_count() + 1, "higher-order cycle (validated earlier)");
+        rels.retain(|&r| {
+            let incident = graph.incident(r);
+            // edges from r to its participants, in endpoint order
+            let mut participant_edges: Vec<_> = incident
+                .iter()
+                .filter(|&&(e, _)| graph.edge(e).rel == r)
+                .copied()
+                .collect();
+            participant_edges.sort_by_key(|&(e, _)| graph.edge(e).endpoint);
+
+            // parent choice: first One endpoint, else first endpoint
+            let (parent_edge, parent_node) = participant_edges
+                .iter()
+                .copied()
+                .find(|&(e, _)| graph.edge(e).cardinality == Cardinality::One)
+                .unwrap_or(participant_edges[0]);
+            let Some(parent_placement) = placement[parent_node.idx()] else {
+                return true; // parent not placed yet: retry next round
+            };
+            let pr = b.add_child(parent_placement, parent_edge, r);
+            placement[r.idx()] = Some(pr);
+            for (e, _) in participant_edges {
+                if e != parent_edge {
+                    b.add_idref(graph, e);
+                }
+            }
+            false
+        });
+    }
+
+    b.finish(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use colorist_er::{catalog, EligibleAssociations, ErGraph};
+
+    #[test]
+    fn shallow_is_nn_en_but_not_ar() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let s = shallow(&g).unwrap();
+        let elig = EligibleAssociations::enumerate_default(&g);
+        let p = properties::check(&s, &g, &elig);
+        assert!(p.node_normal);
+        assert!(p.edge_normal, "single color is trivially EN");
+        assert!(!p.association_recoverable);
+        assert!(!p.direct_recoverable);
+        assert_eq!(p.colors, 1);
+    }
+
+    #[test]
+    fn one_idref_per_relationship() {
+        // every binary relationship nests under one endpoint and idrefs the
+        // other: #idrefs == #relationships
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let s = shallow(&g).unwrap();
+        assert_eq!(s.idrefs().len(), 8);
+        let mut attrs: Vec<&str> = s.idrefs().iter().map(|l| l.attr.as_str()).collect();
+        attrs.sort_unstable();
+        // exactly Figure 2's idref attributes
+        assert_eq!(
+            attrs,
+            vec![
+                "address_idref",
+                "author_idref",
+                "bill_address_idref",
+                "country_idref",
+                "credit_card_transaction_idref",
+                "customer_idref",
+                "item_idref",
+                "ship_address_idref",
+            ]
+        );
+    }
+
+    #[test]
+    fn depth_is_at_most_two_for_first_order_diagrams() {
+        for name in ["tpcw", "er1", "er5", "er9"] {
+            let g = ErGraph::from_diagram(&catalog::by_name(name).unwrap()).unwrap();
+            let s = shallow(&g).unwrap();
+            for p in s.placement_ids() {
+                assert!(s.depth(p) <= 1, "{name}: shallow schema must be flat");
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_whole_catalog() {
+        for name in catalog::COLLECTION {
+            let g = ErGraph::from_diagram(&catalog::by_name(name).unwrap()).unwrap();
+            let s = shallow(&g).unwrap();
+            let elig = EligibleAssociations::enumerate(&g, 2);
+            let p = properties::check(&s, &g, &elig);
+            assert!(p.node_normal && p.edge_normal, "{name}");
+        }
+    }
+
+    #[test]
+    fn recursive_relationship_nests_under_one_endpoint() {
+        let g = ErGraph::from_diagram(&catalog::er6()).unwrap();
+        let s = shallow(&g).unwrap();
+        let sup = g.node_by_name("supervises").unwrap();
+        let p = s.placements_of(sup)[0];
+        let (parent, edge) = s.placement(p).parent.unwrap();
+        assert_eq!(s.placement(parent).node, g.node_by_name("employee").unwrap());
+        // the sub endpoint is the One side (each employee has one boss)
+        assert_eq!(g.edge(edge).role.as_deref(), Some("sub"));
+        // the boss endpoint became boss_idref
+        assert!(s.idrefs().iter().any(|l| l.attr == "boss_idref"));
+    }
+}

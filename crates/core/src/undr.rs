@@ -1,0 +1,212 @@
+//! The **UNDR** strategy (§6): *un-normalized direct recoverable*.
+//!
+//! A multi-colored schema in which direct recoverability **without color
+//! crossings** has been selectively increased at the cost of node
+//! normalization. Starting from the DR (DUMC) schema, every color is
+//! enriched with duplicate subtrees: wherever an occurrence could reach an
+//! association along a functional edge that its own color realizes only
+//! elsewhere, the far node (and its functional subtree, up to a graft-depth
+//! bound) is duplicated in place.
+//!
+//! The effect on TPC-W is the paper's: a single color ends up holding, say,
+//! `order` together with *both* its `billing → address → country` and
+//! `shipping → address → country` chains, so queries such as Q12 ("orders
+//! whose billing and shipping addresses are both in …") evaluate in one
+//! color with zero crossings — while updates to duplicated elements (U3)
+//! become very expensive, and storage grows substantially (Table 1: UNDR
+//! sits between the normalized schemas and DEEP).
+
+use crate::dumc;
+use crate::forest::Forest;
+use colorist_er::{EligibleAssociations, ErGraph, NodeId};
+use colorist_mct::{MctSchema, MctSchemaBuilder, SchemaError};
+
+/// Default bound on the depth of grafted duplicate subtrees. Two levels
+/// below a relationship reach `billing → address → in` from an `order`;
+/// the completion loop grafts the missing participant itself one level
+/// deeper, so `country` sits four below `order`.
+pub const DEFAULT_GRAFT_DEPTH: usize = 2;
+
+/// Build the UNDR schema with the default graft depth.
+pub fn undr(graph: &ErGraph) -> Result<MctSchema, SchemaError> {
+    undr_with(graph, DEFAULT_GRAFT_DEPTH)
+}
+
+/// Build the UNDR schema with an explicit graft-depth bound (0 reproduces
+/// DR exactly, larger values duplicate more aggressively).
+pub fn undr_with(graph: &ErGraph, graft_depth: usize) -> Result<MctSchema, SchemaError> {
+    let eligible = EligibleAssociations::enumerate_default(graph);
+    let base = dumc::dumc_with(graph, &eligible)?;
+
+    let mut b = MctSchemaBuilder::new(&graph.name, "UNDR");
+    // each (relationship, missing side) is completed in exactly one color —
+    // one zero-crossing home per association, not a blanket unfolding.
+    let mut done: std::collections::HashSet<(colorist_er::NodeId, colorist_er::EdgeId)> =
+        std::collections::HashSet::new();
+    for color in base.colors() {
+        let mut f = Forest::from_schema(&base, color, graph.node_count());
+        let originals = f.occs().len();
+        for i in 0..originals {
+            if graft_depth == 0 {
+                break;
+            }
+            // selectivity: only structurally-placed relationship elements
+            // are completed in place (their missing side is the hop a query
+            // would otherwise cross colors for).
+            let n = f.occs()[i].node;
+            if graph.node(n).kind != colorist_er::NodeKind::Relationship {
+                continue;
+            }
+            // completing a many-many relationship buys nothing: the pair it
+            // connects is not an eligible association, so the copies would
+            // never make anything directly recoverable.
+            let many_many = graph
+                .incident(n)
+                .iter()
+                .filter(|&&(e, _)| graph.edge(e).rel == n)
+                .all(|&(e, _)| graph.edge(e).cardinality == colorist_er::Cardinality::Many);
+            if many_many {
+                continue;
+            }
+            let path = path_nodes(&f, i);
+            let mut incident: Vec<_> = graph.incident(n).to_vec();
+            incident.sort_by_key(|&(e, _)| e);
+            for (e, m) in incident {
+                let local = f.occs().iter().any(|o| o.parent == Some((i, e)));
+                let arrival = f.occs()[i].parent.map(|(_, x)| x) == Some(e);
+                if local || arrival || path.contains(&m) || !done.insert((n, e)) {
+                    continue;
+                }
+                let child = f.add_child(i, e, m);
+                graft(graph, &mut f, child, graft_depth);
+            }
+        }
+        let c = b.add_color();
+        f.emit(&mut b, c);
+    }
+    b.finish(graph)
+}
+
+/// Duplicate, under occurrence `i`, adjacent nodes the color does not give
+/// it locally. The *selectivity* rule: only follow edges with multiplicity
+/// one from the graft point — a relationship completes its missing
+/// participant, and a participant continues into a relationship it joins at
+/// most once. Each grafted placement then stores one copy per base
+/// instance (an `address` copy under each order's `billing`), never a
+/// fan-out of copies, which keeps UNDR's redundancy strictly below DEEP's
+/// while making chains like `order → billing → address → in → country`
+/// single-color. Duplicates expand recursively down to `depth` levels,
+/// cutting on node types already on the path to the root.
+fn graft(graph: &ErGraph, f: &mut Forest, i: usize, depth: usize) {
+    if depth == 0 {
+        return;
+    }
+    let n = f.occs()[i].node;
+    let arrival = f.occs()[i].parent.map(|(_, e)| e);
+    let path = path_nodes(f, i);
+    let mut incident: Vec<_> = graph.incident(n).to_vec();
+    incident.sort_by_key(|&(e, _)| e);
+    for (e, m) in incident {
+        if Some(e) == arrival {
+            continue;
+        }
+        // multiplicity-one rule: n is the relationship of e, or joins e at
+        // most once.
+        let edge = graph.edge(e);
+        let linear = edge.rel == n
+            || (edge.participant == n && edge.cardinality == colorist_er::Cardinality::One);
+        if !linear {
+            continue;
+        }
+        // already realized right here?
+        let has_local_child = f.occs().iter().any(|o| o.parent == Some((i, e)));
+        if has_local_child || path.contains(&m) {
+            continue;
+        }
+        let child = f.add_child(i, e, m);
+        graft(graph, f, child, depth - 1);
+    }
+}
+
+/// Node types on the path from `i` to its root (inclusive).
+fn path_nodes(f: &Forest, i: usize) -> Vec<NodeId> {
+    let mut v = Vec::new();
+    let mut cur = i;
+    loop {
+        v.push(f.occs()[cur].node);
+        match f.occs()[cur].parent {
+            Some((p, _)) => cur = p,
+            None => return v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use colorist_er::catalog;
+
+    #[test]
+    fn undr_keeps_ar_dr_loses_nn() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let elig = EligibleAssociations::enumerate_default(&g);
+        let s = undr(&g).unwrap();
+        let p = properties::check(&s, &g, &elig);
+        assert!(!p.node_normal, "duplication is the point");
+        assert!(p.association_recoverable);
+        assert!(p.direct_recoverable, "superset of the DR schema");
+    }
+
+    #[test]
+    fn graft_depth_zero_is_dr() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let dr = dumc::dumc(&g).unwrap();
+        let s = undr_with(&g, 0).unwrap();
+        assert_eq!(s.placements().len(), dr.placements().len());
+        let elig = EligibleAssociations::enumerate_default(&g);
+        assert!(properties::check(&s, &g, &elig).node_normal);
+    }
+
+    #[test]
+    fn some_color_holds_billing_and_shipping_chains_together() {
+        // the Q12 structure: one color in which some `order` placement has
+        // both billing//address and shipping//address strictly below it.
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let s = undr(&g).unwrap();
+        let order = g.node_by_name("order").unwrap();
+        let billing = g.node_by_name("billing").unwrap();
+        let shipping = g.node_by_name("shipping").unwrap();
+        let address = g.node_by_name("address").unwrap();
+        let ok = s.placements_of(order).iter().any(|&po| {
+            let has_chain = |rel| {
+                s.placements_of(address).iter().any(|&pa| {
+                    let Some((pr, _)) = s.placement(pa).parent else { return false };
+                    s.placement(pr).node == rel
+                        && s.is_ancestor(po, pr)
+                        && s.placement(pr).color == s.placement(po).color
+                })
+            };
+            has_chain(billing) && has_chain(shipping)
+        });
+        assert!(ok, "\n{}", s.render(&g));
+    }
+
+    #[test]
+    fn storage_sits_between_dr_and_deep() {
+        // Table 1 shape: placement-count proxy for storage.
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let dr = dumc::dumc(&g).unwrap();
+        let un = undr(&g).unwrap();
+        assert!(un.placements().len() > dr.placements().len());
+    }
+
+    #[test]
+    fn whole_catalog_builds() {
+        for name in catalog::COLLECTION {
+            let g = ErGraph::from_diagram(&catalog::by_name(name).unwrap()).unwrap();
+            let s = undr(&g).unwrap();
+            assert!(s.placements().len() < 100_000, "{name}");
+        }
+    }
+}

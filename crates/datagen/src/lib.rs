@@ -1,0 +1,28 @@
+//! # colorist-datagen — canonical ER instances and schema materialization
+//!
+//! The paper generates one XML file per schema with ToXgene, "orchestrated
+//! to contain equivalent content to produce equivalent query results". We
+//! guarantee the equivalence by construction instead:
+//!
+//! 1. [`profile`] — a [`ScaleProfile`] fixes the instance count of every
+//!    entity and relationship type (with a TPC-W-shaped preset);
+//! 2. [`canonical`] — a seeded generator produces one **canonical
+//!    instance**: attribute values for every logical instance and
+//!    participant links for every relationship instance, respecting
+//!    cardinality and participation constraints;
+//! 3. [`mod@materialize`] — the same canonical instance is materialized into a
+//!    [`colorist_store::Database`] under *each* schema; node-normalized
+//!    schemas store each logical instance once, un-normalized schemas store
+//!    physical copies wherever their placements demand them.
+//!
+//! Any query answer, expressed over logical instances, is therefore
+//! identical across the seven schemas of a diagram — which the integration
+//! tests verify query-by-query.
+
+pub mod canonical;
+pub mod materialize;
+pub mod profile;
+
+pub use canonical::{generate, CanonicalInstance};
+pub use materialize::materialize;
+pub use profile::ScaleProfile;

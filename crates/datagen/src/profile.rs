@@ -1,0 +1,174 @@
+//! Scale profiles: how many instances of each entity and relationship type
+//! a canonical instance contains.
+
+use colorist_er::{Cardinality, ErGraph, NodeId, Participation};
+
+/// Instance counts per ER node (indexable by [`NodeId`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleProfile {
+    counts: Vec<u32>,
+}
+
+impl ScaleProfile {
+    /// Count for a node.
+    pub fn count(&self, n: NodeId) -> u32 {
+        self.counts[n.idx()]
+    }
+
+    /// All counts.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Total logical instances.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Build from explicit per-entity counts (`(name, count)` pairs; missing
+    /// entities get `default_entities`), deriving relationship counts from
+    /// the cardinality/participation constraints:
+    ///
+    /// * an endpoint with [`Cardinality::One`] caps the relationship at that
+    ///   participant's count (each participant instance joins at most once),
+    ///   and [`Participation::Total`] on such an endpoint *pins* it there
+    ///   (every instance joins);
+    /// * otherwise (pure M:N) the relationship gets `mn_fanout ×` the larger
+    ///   participant count.
+    ///
+    /// Higher-order relationships are handled by resolving relationship
+    /// counts in dependency order (guaranteed acyclic by validation).
+    pub fn with_entities(
+        graph: &ErGraph,
+        entities: &[(&str, u32)],
+        default_entities: u32,
+        mn_fanout: u32,
+    ) -> Self {
+        let mut counts = vec![0u32; graph.node_count()];
+        for n in graph.entity_nodes() {
+            let name = &graph.node(n).name;
+            counts[n.idx()] = entities
+                .iter()
+                .find(|(en, _)| en == name)
+                .map(|&(_, c)| c)
+                .unwrap_or(default_entities)
+                .max(1);
+        }
+        // resolve relationships whose participants are all resolved
+        let mut todo: Vec<NodeId> = graph.relationship_nodes().collect();
+        while !todo.is_empty() {
+            let before = todo.len();
+            todo.retain(|&r| {
+                let incident = graph.incident(r);
+                let participant_counts: Vec<(u32, Cardinality, Participation)> = incident
+                    .iter()
+                    .filter(|&&(e, _)| graph.edge(e).rel == r)
+                    .map(|&(e, p)| (counts[p.idx()], graph.edge(e).cardinality, graph.edge(e).participation))
+                    .collect();
+                if participant_counts.iter().any(|&(c, _, _)| c == 0) {
+                    return true; // dependency not resolved yet
+                }
+                let mut n = u32::MAX;
+                let mut pinned = None;
+                let mut any_one = false;
+                for &(c, card, part) in &participant_counts {
+                    if card == Cardinality::One {
+                        any_one = true;
+                        n = n.min(c);
+                        if part == Participation::Total {
+                            pinned = Some(match pinned {
+                                None => c,
+                                Some(p) => c.min(p),
+                            });
+                        }
+                    }
+                }
+                let max_part = participant_counts.iter().map(|&(c, _, _)| c).max().unwrap_or(1);
+                counts[r.idx()] = match (pinned, any_one) {
+                    // a total One-endpoint pins the count, but never above
+                    // another One-endpoint's cap (injectivity wins)
+                    (Some(p), _) => p.min(n).max(1),
+                    (None, true) => (n * 4 / 5).max(1),
+                    (None, false) => max_part.saturating_mul(mn_fanout).max(1),
+                };
+                false
+            });
+            assert!(todo.len() < before, "unresolvable relationship counts (cycle?)");
+        }
+        ScaleProfile { counts }
+    }
+
+    /// Uniform profile: every entity gets `entity_base` instances, M:N
+    /// relationships fan out 3×.
+    pub fn uniform(graph: &ErGraph, entity_base: u32) -> Self {
+        Self::with_entities(graph, &[], entity_base, 3)
+    }
+
+    /// A TPC-W-shaped profile parameterized by the number of customers:
+    /// 92 countries, 1 address per customer plus extras, ~0.9 orders per
+    /// customer, ~3 order lines per order, a fixed-ish item pool, items/4
+    /// authors. Falls back to [`ScaleProfile::uniform`] ratios for node
+    /// names it does not recognize, so it can be applied to any diagram.
+    pub fn tpcw(graph: &ErGraph, customers: u32) -> Self {
+        let c = customers.max(4);
+        let items = (c / 2).clamp(16, 10_000);
+        let entities = [
+            ("customer", c),
+            ("address", c + c / 4),
+            ("country", 92.min(c)),
+            ("order", c * 9 / 10),
+            ("item", items),
+            ("author", (items / 4).max(1)),
+            ("credit_card_transaction", c * 9 / 10),
+        ];
+        Self::with_entities(graph, &entities, c, 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorist_er::{catalog, ErGraph};
+
+    #[test]
+    fn tpcw_profile_respects_constraints() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let p = ScaleProfile::tpcw(&g, 1000);
+        let n = |s: &str| p.count(g.node_by_name(s).unwrap());
+        assert_eq!(n("customer"), 1000);
+        assert_eq!(n("country"), 92);
+        // make pinned to orders (total participation of order)
+        assert_eq!(n("make"), n("order"));
+        // every customer has an address (total on has/customer side)
+        assert_eq!(n("has"), n("customer"));
+        // order_line is m:n: fanout times max participant
+        assert_eq!(n("order_line"), n("order") * 3);
+        // 1:1 associate is bounded by both sides
+        assert!(n("associate") <= n("order"));
+        assert!(p.total() > 6000);
+    }
+
+    #[test]
+    fn uniform_profile_covers_whole_catalog() {
+        for name in catalog::COLLECTION {
+            let g = ErGraph::from_diagram(&catalog::by_name(name).unwrap()).unwrap();
+            let p = ScaleProfile::uniform(&g, 100);
+            for n in g.node_ids() {
+                assert!(p.count(n) >= 1, "{name}: {}", g.node(n).name);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_order_relationships_resolve() {
+        let mut d = colorist_er::ErDiagram::new("h");
+        d.add_entity("a", vec![colorist_er::Attribute::key("id")]).unwrap();
+        d.add_entity("b", vec![colorist_er::Attribute::key("id")]).unwrap();
+        d.add_rel_1m("r", "a", "b").unwrap();
+        // meta treats r as an entity
+        d.add_rel_1m("meta", "b", "r").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        let p = ScaleProfile::uniform(&g, 50);
+        assert!(p.count(g.node_by_name("meta").unwrap()) >= 1);
+    }
+}

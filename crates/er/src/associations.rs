@@ -1,0 +1,319 @@
+//! Associations (§3.1) and the enumeration of **eligible** associations.
+//!
+//! A pair of entity/relationship types is *associated* if there is a path
+//! between them in the ER graph; an association graph is any connected
+//! subgraph of the transitive closure of the ER graph, with edges labelled by
+//! the ER paths they stand for (Figure 6).
+//!
+//! **Eligible** associations — the ones direct recoverability (DR) applies to
+//! — are binary and 1:1 or 1:M (§3.1): a concrete simple path from `source`
+//! to `target` in which every edge is traversed in its functional direction
+//! (directed edges forward, undirected 1:1 edges either way). Following such
+//! a path from `source`, each `target` instance is associated with at most
+//! one `source` instance, so `source` can be an ancestor of `target` in a
+//! colored tree without duplicating anything.
+//!
+//! M:N pairs can arise from a single many-many relationship or from a
+//! *composition* of one-many paths pointing in opposite directions; they are
+//! not eligible (capturing them structurally forces node redundancy, §3.1).
+//!
+//! Eligible associations run between **entity** endpoints (the nodes of the
+//! paper's association graphs, Figure 6, are entity types; relationship
+//! nodes appear only inside edge labels). Interior nodes of the path may be
+//! relationships — indeed the immediate neighbors of the endpoints always
+//! are. Pairs with a relationship endpoint are excluded: a query binds
+//! entities, and no MC-style traversal can root a tree at a node that is
+//! never in a source SCC.
+
+use crate::graph::{EdgeId, ErGraph, NodeId, NodeKind};
+
+/// Multiplicity class of an eligible association.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssociationKind {
+    /// Every edge on the path is 1:1 — the association is one-one and can be
+    /// made direct in either direction.
+    OneOne,
+    /// At least one edge is traversed one→many — one `source` relates to many
+    /// `target`s; direct recoverability requires `source` above `target`.
+    OneMany,
+}
+
+/// One eligible association: a concrete functional simple path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Association {
+    /// The "one" end.
+    pub source: NodeId,
+    /// The "many" (or other "one") end.
+    pub target: NodeId,
+    /// Nodes along the path, `source` first, `target` last.
+    pub nodes: Vec<NodeId>,
+    /// Edges along the path (`nodes.len() - 1` of them).
+    pub path: Vec<EdgeId>,
+    /// 1:1 or 1:M.
+    pub kind: AssociationKind,
+}
+
+impl Association {
+    /// The paper's dotted label for an association edge: the names of the
+    /// interior nodes of the ER path (e.g. `has.address.in` for
+    /// customer–country in TPC-W, Figure 6).
+    pub fn label(&self, graph: &ErGraph) -> String {
+        if self.nodes.len() <= 2 {
+            return String::new();
+        }
+        self.nodes[1..self.nodes.len() - 1]
+            .iter()
+            .map(|&n| graph.node(n).name.as_str())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+
+    /// Number of ER edges on the path.
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Whether the association is a single ER edge.
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+}
+
+/// All eligible associations of an ER graph, up to a path-length bound.
+///
+/// The bound exists because dense graphs have exponentially many simple
+/// paths; the diagrams the paper evaluates (10–30 nodes, sparse) stay tiny.
+/// The default bound of [`EligibleAssociations::DEFAULT_MAX_LEN`] exceeds the
+/// diameter of every catalog diagram.
+#[derive(Debug, Clone)]
+pub struct EligibleAssociations {
+    all: Vec<Association>,
+}
+
+impl EligibleAssociations {
+    /// Default bound on ER-path length.
+    pub const DEFAULT_MAX_LEN: usize = 16;
+
+    /// Enumerate every eligible association with a path of at most `max_len`
+    /// ER edges (`max_len ≥ 1`).
+    pub fn enumerate(graph: &ErGraph, max_len: usize) -> Self {
+        let mut all = Vec::new();
+        for source in graph.entity_nodes() {
+            let mut on_path = vec![false; graph.node_count()];
+            on_path[source.idx()] = true;
+            let mut nodes = vec![source];
+            let mut edges: Vec<EdgeId> = Vec::new();
+            dfs(graph, source, max_len, &mut on_path, &mut nodes, &mut edges, &mut all);
+        }
+        // Deterministic order: by source, then target, then path length/ids.
+        all.sort_by(|a, b| {
+            (a.source, a.target, a.path.len(), &a.path).cmp(&(
+                b.source,
+                b.target,
+                b.path.len(),
+                &b.path,
+            ))
+        });
+        EligibleAssociations { all }
+    }
+
+    /// Enumerate with the default length bound.
+    pub fn enumerate_default(graph: &ErGraph) -> Self {
+        Self::enumerate(graph, Self::DEFAULT_MAX_LEN)
+    }
+
+    /// All eligible associations.
+    pub fn iter(&self) -> impl Iterator<Item = &Association> {
+        self.all.iter()
+    }
+
+    /// Number of eligible associations (distinct paths, not just pairs).
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether there are none (single-node graphs).
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// All associations from `source` to `target`.
+    pub fn between(&self, source: NodeId, target: NodeId) -> Vec<&Association> {
+        self.all.iter().filter(|a| a.source == source && a.target == target).collect()
+    }
+
+    /// Distinct (source, target) pairs.
+    pub fn pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut v: Vec<(NodeId, NodeId)> = self.all.iter().map(|a| (a.source, a.target)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+fn dfs(
+    graph: &ErGraph,
+    at: NodeId,
+    remaining: usize,
+    on_path: &mut [bool],
+    nodes: &mut Vec<NodeId>,
+    edges: &mut Vec<EdgeId>,
+    out: &mut Vec<Association>,
+) {
+    if remaining == 0 {
+        return;
+    }
+    for &(e, next) in graph.incident(at) {
+        if on_path[next.idx()] || !graph.traversable_from(e, at) {
+            continue;
+        }
+        on_path[next.idx()] = true;
+        nodes.push(next);
+        edges.push(e);
+        // only entity endpoints yield eligible associations; the DFS still
+        // continues through relationship nodes.
+        if graph.node(next).kind == NodeKind::Entity {
+            let kind = if edges
+                .iter()
+                .all(|&e| matches!(graph.orientation(e), crate::graph::Orientation::Undirected))
+            {
+                AssociationKind::OneOne
+            } else {
+                AssociationKind::OneMany
+            };
+            out.push(Association {
+                source: nodes[0],
+                target: next,
+                nodes: nodes.clone(),
+                path: edges.clone(),
+                kind,
+            });
+        }
+        dfs(graph, next, remaining - 1, on_path, nodes, edges, out);
+        edges.pop();
+        nodes.pop();
+        on_path[next.idx()] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Attribute, ErDiagram};
+
+    fn graph(build: impl FnOnce(&mut ErDiagram)) -> ErGraph {
+        let mut d = ErDiagram::new("t");
+        build(&mut d);
+        ErGraph::from_diagram(&d).unwrap()
+    }
+
+    #[test]
+    fn single_one_many_relationship_yields_expected_paths() {
+        let g = graph(|d| {
+            d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+            d.add_entity("b", vec![Attribute::key("id")]).unwrap();
+            d.add_rel_1m("r", "a", "b").unwrap();
+        });
+        let assoc = EligibleAssociations::enumerate_default(&g);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        // Entity-to-entity functional paths only: a..b via r.
+        assert_eq!(assoc.between(a, b).len(), 1);
+        assert_eq!(assoc.between(b, a).len(), 0); // b to a is not functional
+        // relationship endpoints are not eligible associations
+        assert_eq!(assoc.between(a, r).len(), 0);
+        assert_eq!(assoc.between(b, r).len(), 0);
+        let ab = &assoc.between(a, b)[0];
+        assert_eq!(ab.kind, AssociationKind::OneMany);
+        assert_eq!(ab.label(&g), "r");
+        assert_eq!(assoc.len(), 1);
+    }
+
+    #[test]
+    fn many_many_pair_not_eligible() {
+        let g = graph(|d| {
+            d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+            d.add_entity("b", vec![Attribute::key("id")]).unwrap();
+            d.add_rel_mn("r", "a", "b").unwrap();
+        });
+        let assoc = EligibleAssociations::enumerate_default(&g);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        // a..b is not eligible: a composition of one-many paths in opposite
+        // directions is many-many. Nothing else has entity endpoints.
+        assert!(assoc.between(a, b).is_empty());
+        assert!(assoc.between(b, a).is_empty());
+        assert!(assoc.is_empty());
+    }
+
+    #[test]
+    fn composition_through_shared_many_side_is_blocked() {
+        // a -r1-> b <-r2- c : a..c would need to traverse r2 wrong way.
+        let g = graph(|d| {
+            for n in ["a", "b", "c"] {
+                d.add_entity(n, vec![Attribute::key("id")]).unwrap();
+            }
+            d.add_rel_1m("r1", "a", "b").unwrap();
+            d.add_rel_1m("r2", "c", "b").unwrap();
+        });
+        let assoc = EligibleAssociations::enumerate_default(&g);
+        let a = g.node_by_name("a").unwrap();
+        let c = g.node_by_name("c").unwrap();
+        assert!(assoc.between(a, c).is_empty());
+        assert!(assoc.between(c, a).is_empty());
+    }
+
+    #[test]
+    fn one_one_chain_is_eligible_both_ways() {
+        let g = graph(|d| {
+            d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+            d.add_entity("b", vec![Attribute::key("id")]).unwrap();
+            d.add_rel_11("r", "a", "b").unwrap();
+        });
+        let assoc = EligibleAssociations::enumerate_default(&g);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        assert_eq!(assoc.between(a, b).len(), 1);
+        assert_eq!(assoc.between(b, a).len(), 1);
+        assert_eq!(assoc.between(a, b)[0].kind, AssociationKind::OneOne);
+    }
+
+    #[test]
+    fn multiple_distinct_paths_are_distinct_associations() {
+        // two parallel relationships a 1:m b via r1 and r2
+        let g = graph(|d| {
+            d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+            d.add_entity("b", vec![Attribute::key("id")]).unwrap();
+            d.add_rel_1m("r1", "a", "b").unwrap();
+            d.add_rel_1m("r2", "a", "b").unwrap();
+        });
+        let assoc = EligibleAssociations::enumerate_default(&g);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let paths = assoc.between(a, b);
+        assert_eq!(paths.len(), 2);
+        let labels: Vec<String> = paths.iter().map(|p| p.label(&g)).collect();
+        assert!(labels.contains(&"r1".to_string()));
+        assert!(labels.contains(&"r2".to_string()));
+    }
+
+    #[test]
+    fn length_bound_respected() {
+        let g = graph(|d| {
+            for n in ["a", "b", "c"] {
+                d.add_entity(n, vec![Attribute::key("id")]).unwrap();
+            }
+            d.add_rel_1m("r1", "a", "b").unwrap();
+            d.add_rel_1m("r2", "b", "c").unwrap();
+        });
+        let short = EligibleAssociations::enumerate(&g, 1);
+        assert!(short.iter().all(|a| a.len() == 1));
+        let full = EligibleAssociations::enumerate_default(&g);
+        let a = g.node_by_name("a").unwrap();
+        let c = g.node_by_name("c").unwrap();
+        assert_eq!(full.between(a, c).len(), 1);
+        assert_eq!(full.between(a, c)[0].label(&g), "r1.b.r2");
+        assert!(short.between(a, c).is_empty());
+    }
+}

@@ -1,0 +1,458 @@
+//! The ER diagram collection used by the paper's evaluation (§6).
+//!
+//! * [`tpcw`] — the TPC-W benchmark diagram of Figure 1. Attributes are
+//!   suppressed in the paper ("can be readily imagined"); ours mirror the
+//!   TPC-W relational schema. One modeling note: Figure 1 draws both an
+//!   `order_line` and an `occur_in` node, but the prose (§4.1, §5.1) twice
+//!   describes `order_line` as *"the many-many relationship type between
+//!   order and item"*; we follow the prose, absorbing `occur_in` into the
+//!   M:N `order_line` node. The ER-graph shape that drives every result —
+//!   `order → order_line ← item`, and `order` on the many side of `make`,
+//!   `billing` and `shipping` — is preserved. `has` runs 1:M from `address`
+//!   to `customer` (TPC-W's `C_ADDR_ID`: one address per customer), which is
+//!   what lets Figure 3 nest `customer` under `address` without duplication.
+//! * [`derby`] — the paper uses a real-world schema from the 1985 "Database
+//!   Derby" contest, which is not available; this is a comparable real-world
+//!   style manufacturing-company diagram with the same size class and a
+//!   matching 20-query workload (8 updates) in `colorist-workload`.
+//! * [`er1`]–[`er10`] — ten textbook/CASE-tool style diagrams, 10–30 ER-graph
+//!   nodes, mixing cardinalities, cycles, M:N relationships, 1:1
+//!   relationships, and a recursive relationship; the paper's own collection
+//!   (from its offline web supplement) is reconstructed in spirit.
+//! * [`toy_mcmr`] / [`toy_dumc`] — the two §5.2 toy graphs used to separate
+//!   EN from DR and MCMR from DUMC; used heavily by tests.
+
+use crate::model::ErDiagram;
+use crate::parse::parse_diagram;
+
+/// Parse one of the built-in DSL sources. Panics on malformed built-ins
+/// (covered by tests).
+fn must(src: &str) -> ErDiagram {
+    parse_diagram(src).expect("built-in catalog diagram must parse")
+}
+
+/// TPC-W (Figure 1): 7 entity types, 8 relationship types, 15 ER-graph nodes.
+pub fn tpcw() -> ErDiagram {
+    must(
+        "diagram tpcw\n\
+         entity customer { id* uname fname lname email phone discount:float }\n\
+         entity address { id* street1 street2 city state zip }\n\
+         entity country { id* name currency exchange:float }\n\
+         entity order { id* date:date subtotal:float tax:float total:float status }\n\
+         entity item { id* title cost:float pub_date:date subject }\n\
+         entity author { id* fname lname bio }\n\
+         entity credit_card_transaction { id* cc_type cc_number expiry:date auth_id amount:float }\n\
+         rel write 1:m author -- item\n\
+         rel order_line m:n order -- item { qty:int discount:float comments }\n\
+         rel make 1:m customer -- order!\n\
+         rel has 1:m address -- customer!\n\
+         rel in 1:m country -- address!\n\
+         rel billing 1:m address@bill_address -- order!\n\
+         rel shipping 1:m address@ship_address -- order!\n\
+         rel associate 1:1 order -- credit_card_transaction\n",
+    )
+}
+
+/// A Database-Derby-like real-world diagram: manufacturing company,
+/// 10 entities + 11 relationships = 21 ER-graph nodes.
+pub fn derby() -> ErDiagram {
+    must(
+        "diagram derby\n\
+         entity department { id* name budget:float floor:int }\n\
+         entity employee { id* name title salary:float hired:date }\n\
+         entity dependent { id* name birth:date relation }\n\
+         entity project { id* name deadline:date priority:int }\n\
+         entity supplier { id* name city rating:int }\n\
+         entity part { id* name color weight:float price:float }\n\
+         entity warehouse { id* city capacity:int }\n\
+         entity firm { id* name industry }\n\
+         entity purchase { id* date:date total:float }\n\
+         entity invoice { id* issued:date amount:float paid }\n\
+         rel works_in 1:m department -- employee!\n\
+         rel manages 1:1 employee -- department\n\
+         rel has_dependent 1:m employee -- dependent!\n\
+         rel assigned_to m:n employee -- project { hours:int }\n\
+         rel controls 1:m department -- project\n\
+         rel supplies m:n supplier -- part { lead_days:int }\n\
+         rel stocked_in m:n part -- warehouse { qty:int }\n\
+         rel places 1:m firm -- purchase!\n\
+         rel includes m:n purchase -- part { qty:int }\n\
+         rel billed_by 1:1 purchase -- invoice\n\
+         rel ships_from 1:m warehouse -- purchase\n",
+    )
+}
+
+/// ER1: university registration. 7 entities + 8 relationships = 15 nodes.
+pub fn er1() -> ErDiagram {
+    must(
+        "diagram er1_university\n\
+         entity student { id* name year:int gpa:float }\n\
+         entity course { id* title credits:int }\n\
+         entity section { id* term room }\n\
+         entity instructor { id* name rank }\n\
+         entity dept { id* name building }\n\
+         entity textbook { id* title isbn }\n\
+         entity club { id* name kind }\n\
+         rel enrolls m:n student -- section { grade }\n\
+         rel offers 1:m dept -- course!\n\
+         rel has_section 1:m course -- section!\n\
+         rel teaches 1:m instructor -- section\n\
+         rel member_of 1:m dept -- instructor\n\
+         rel uses m:n section -- textbook\n\
+         rel advises 1:m instructor -- student\n\
+         rel joins m:n student -- club\n",
+    )
+}
+
+/// ER2: hospital. 8 entities + 8 relationships = 16 nodes.
+pub fn er2() -> ErDiagram {
+    must(
+        "diagram er2_hospital\n\
+         entity patient { id* name born:date blood }\n\
+         entity doctor { id* name specialty }\n\
+         entity nurse { id* name grade }\n\
+         entity ward { id* name beds:int }\n\
+         entity admission { id* on:date reason }\n\
+         entity treatment { id* kind started:date }\n\
+         entity medication { id* name dose }\n\
+         entity unit { id* name }\n\
+         rel admitted 1:m patient -- admission!\n\
+         rel in_ward 1:m ward -- admission\n\
+         rel attends 1:m doctor -- admission\n\
+         rel doc_in 1:m unit -- doctor!\n\
+         rel staffed_by 1:m ward -- nurse\n\
+         rel prescribes 1:m admission -- treatment!\n\
+         rel uses_med m:n treatment -- medication\n\
+         rel heads 1:1 doctor -- unit\n",
+    )
+}
+
+/// ER3: library. 8 entities + 8 relationships = 16 nodes.
+pub fn er3() -> ErDiagram {
+    must(
+        "diagram er3_library\n\
+         entity book { id* title year:int }\n\
+         entity copy { id* shelf condition }\n\
+         entity member { id* name joined:date }\n\
+         entity loan { id* out:date due:date }\n\
+         entity writer { id* name }\n\
+         entity publisher { id* name city }\n\
+         entity branch { id* name district }\n\
+         entity reservation { id* made:date }\n\
+         rel wrote m:n writer -- book\n\
+         rel published_by 1:m publisher -- book\n\
+         rel has_copy 1:m book -- copy!\n\
+         rel held_at 1:m branch -- copy!\n\
+         rel borrows 1:m member -- loan!\n\
+         rel loan_of 1:m copy -- loan!\n\
+         rel reserves 1:m member -- reservation!\n\
+         rel reserved 1:m book -- reservation!\n",
+    )
+}
+
+/// ER4: airline. 8 entities + 9 relationships = 17 nodes.
+pub fn er4() -> ErDiagram {
+    must(
+        "diagram er4_airline\n\
+         entity airport { id* code city }\n\
+         entity flight { id* number days }\n\
+         entity leg { id* on:date status }\n\
+         entity airplane { id* tail }\n\
+         entity plane_type { id* model seats:int }\n\
+         entity pilot { id* name hours:int }\n\
+         entity passenger { id* name tier }\n\
+         entity booking { id* made:date fare:float }\n\
+         rel departs 1:m airport@from -- flight\n\
+         rel arrives 1:m airport@to -- flight\n\
+         rel instance_of 1:m flight -- leg!\n\
+         rel flown_by 1:m airplane -- leg\n\
+         rel of_type 1:m plane_type -- airplane!\n\
+         rel certified m:n pilot -- plane_type\n\
+         rel crews m:n pilot -- leg\n\
+         rel books 1:m passenger -- booking!\n\
+         rel for_leg 1:m leg -- booking!\n",
+    )
+}
+
+/// ER5: bank, with a 1:1 `manages` and several cycles.
+/// 7 entities + 9 relationships = 16 nodes.
+pub fn er5() -> ErDiagram {
+    must(
+        "diagram er5_bank\n\
+         entity bank_branch { id* name city assets:float }\n\
+         entity account { id* opened:date balance:float kind }\n\
+         entity client { id* name street }\n\
+         entity bank_loan { id* amount:float rate:float }\n\
+         entity movement { id* on:date delta:float }\n\
+         entity teller { id* name desk:int }\n\
+         entity card { id* number expiry:date }\n\
+         rel holds m:n client -- account\n\
+         rel at_branch 1:m bank_branch -- account!\n\
+         rel loan_at 1:m bank_branch -- bank_loan!\n\
+         rel borrows m:n client -- bank_loan\n\
+         rel acct_movement 1:m account -- movement!\n\
+         rel issued_on 1:m account -- card!\n\
+         rel card_owner 1:m client -- card!\n\
+         rel works_at 1:m bank_branch -- teller!\n\
+         rel manages 1:1 teller -- bank_branch\n",
+    )
+}
+
+/// ER6: the Elmasri–Navathe COMPANY diagram, the smallest of the collection,
+/// with a recursive `supervises`. 4 entities + 6 relationships = 10 nodes.
+pub fn er6() -> ErDiagram {
+    must(
+        "diagram er6_company\n\
+         entity employee { id* name salary:float born:date }\n\
+         entity department { id* name located }\n\
+         entity project { id* name site }\n\
+         entity dependent { id* name relation }\n\
+         rel works_for 1:m department -- employee!\n\
+         rel manages 1:1 employee -- department\n\
+         rel controls 1:m department -- project!\n\
+         rel works_on m:n employee -- project { hours:float }\n\
+         rel supervises 1:m employee@boss -- employee@sub\n\
+         rel dependents_of 1:m employee -- dependent!\n",
+    )
+}
+
+/// ER7: streaming service. 10 entities + 9 relationships = 19 nodes.
+pub fn er7() -> ErDiagram {
+    must(
+        "diagram er7_streaming\n\
+         entity user { id* email since:date }\n\
+         entity profile { id* name kid }\n\
+         entity movie { id* title year:int }\n\
+         entity series { id* title seasons:int }\n\
+         entity episode { id* title length:int }\n\
+         entity genre { id* name }\n\
+         entity actor { id* name }\n\
+         entity rating { id* stars:int text }\n\
+         entity subscription { id* since:date }\n\
+         entity plan { id* name price:float }\n\
+         rel has_profile 1:m user -- profile!\n\
+         rel subscribes 1:1 user -- subscription\n\
+         rel of_plan 1:m plan -- subscription!\n\
+         rel watches m:n profile -- episode { at:date }\n\
+         rel episode_of 1:m series -- episode!\n\
+         rel categorized m:n movie -- genre\n\
+         rel acts_in m:n actor -- movie\n\
+         rel rates 1:m profile -- rating!\n\
+         rel rating_of 1:m movie -- rating!\n",
+    )
+}
+
+/// ER8: online auction (XMark-flavored). 7 entities + 9 relationships
+/// = 16 nodes.
+pub fn er8() -> ErDiagram {
+    must(
+        "diagram er8_auction\n\
+         entity person { id* name email }\n\
+         entity lot { id* name reserve:float }\n\
+         entity category { id* name }\n\
+         entity open_auction { id* current:float ends:date }\n\
+         entity closed_auction { id* price:float closed:date }\n\
+         entity bid { id* amount:float at:date }\n\
+         entity region { id* name }\n\
+         rel from_region 1:m region -- lot!\n\
+         rel in_category m:n lot -- category\n\
+         rel sells 1:m person -- open_auction!\n\
+         rel auction_of 1:1 lot -- open_auction\n\
+         rel bids_on 1:m open_auction -- bid!\n\
+         rel bidder 1:m person -- bid!\n\
+         rel buyer 1:m person -- closed_auction!\n\
+         rel closed_of 1:1 lot -- closed_auction\n\
+         rel watches m:n person -- open_auction\n",
+    )
+}
+
+/// ER9: marketplace, the largest of the collection.
+/// 12 entities + 13 relationships = 25 nodes.
+pub fn er9() -> ErDiagram {
+    must(
+        "diagram er9_marketplace\n\
+         entity seller { id* name rating:float }\n\
+         entity store { id* name opened:date }\n\
+         entity product { id* title price:float }\n\
+         entity variant { id* sku color size }\n\
+         entity warehouse { id* city }\n\
+         entity shopper { id* name email }\n\
+         entity order { id* placed:date total:float }\n\
+         entity shipment { id* shipped:date carrier }\n\
+         entity payment { id* method amount:float }\n\
+         entity review { id* stars:int body }\n\
+         entity coupon { id* code percent:int }\n\
+         entity category { id* name }\n\
+         rel owns 1:m seller -- store!\n\
+         rel lists 1:m store -- product!\n\
+         rel has_variant 1:m product -- variant!\n\
+         rel stocked m:n variant -- warehouse { qty:int }\n\
+         rel categorize m:n product -- category\n\
+         rel places 1:m shopper -- order!\n\
+         rel line m:n order -- variant { qty:int }\n\
+         rel ships_via 1:m order -- shipment!\n\
+         rel from_wh 1:m warehouse -- shipment\n\
+         rel paid_by 1:1 order -- payment\n\
+         rel writes 1:m shopper -- review!\n\
+         rel about 1:m product -- review!\n\
+         rel issues 1:m store -- coupon!\n\
+         rel redeems 1:m coupon -- order\n",
+    )
+}
+
+/// ER10: conference, with a deep 1:M chain
+/// (`conference → track → session → paper`) that exercises the
+/// ancestor–descendant collapsing the paper discusses for this diagram
+/// (SHALLOW splits single `//` steps into joins). 8 entities +
+/// 8 relationships = 16 nodes.
+pub fn er10() -> ErDiagram {
+    must(
+        "diagram er10_conference\n\
+         entity conference { id* name year:int city }\n\
+         entity track { id* name }\n\
+         entity session { id* slot room }\n\
+         entity paper { id* title pages:int }\n\
+         entity person { id* name }\n\
+         entity affiliation { id* name country }\n\
+         entity review { id* score:int text }\n\
+         entity keyword { id* word }\n\
+         rel has_track 1:m conference -- track!\n\
+         rel has_session 1:m track -- session!\n\
+         rel scheduled 1:m session -- paper\n\
+         rel authored m:n person -- paper\n\
+         rel affiliated 1:m affiliation -- person\n\
+         rel review_of 1:m paper -- review!\n\
+         rel written_by 1:m person -- review!\n\
+         rel tagged m:n paper -- keyword\n",
+    )
+}
+
+/// §5.2 first toy graph: entities `a, b, c, d`; `r1` (a 1:m b),
+/// `r2` (c 1:m b), `r3` (b 1:m d). Algorithm MC needs two colors and —
+/// whichever tree gets `r3` — either the (a,d) or the (c,d) eligible
+/// association is not directly recoverable. MCMR fixes it by duplicating
+/// the `b→r3→d` edges into both colors.
+pub fn toy_mcmr() -> ErDiagram {
+    must(
+        "diagram toy_mcmr\n\
+         entity a { id* }\nentity b { id* }\nentity c { id* }\nentity d { id* }\n\
+         rel r1 1:m a -- b\n\
+         rel r2 1:m c -- b\n\
+         rel r3 1:m b -- d\n",
+    )
+}
+
+/// §5.2 second toy graph: `r1` (a 1:m b), `r2` (a 1:m c), `r3` (b 1:1 c).
+/// MC covers it in one (or one-plus-a-stub) color, but complete direct
+/// recoverability of the 1:1 `b–c` association in *both* directions needs a
+/// second full tree that no MCMR-style edge addition can produce.
+pub fn toy_dumc() -> ErDiagram {
+    must(
+        "diagram toy_dumc\n\
+         entity a { id* }\nentity b { id* }\nentity c { id* }\n\
+         rel r1 1:m a -- b\n\
+         rel r2 1:m a -- c\n\
+         rel r3 1:1 b -- c\n",
+    )
+}
+
+/// Names of the evaluation collection, in the order of Figures 12–14:
+/// ER1..ER10, Derby, TPC-W.
+pub const COLLECTION: [&str; 12] = [
+    "er1", "er2", "er3", "er4", "er5", "er6", "er7", "er8", "er9", "er10", "derby", "tpcw",
+];
+
+/// Fetch a catalog diagram by collection name.
+pub fn by_name(name: &str) -> Option<ErDiagram> {
+    Some(match name {
+        "tpcw" => tpcw(),
+        "derby" => derby(),
+        "er1" => er1(),
+        "er2" => er2(),
+        "er3" => er3(),
+        "er4" => er4(),
+        "er5" => er5(),
+        "er6" => er6(),
+        "er7" => er7(),
+        "er8" => er8(),
+        "er9" => er9(),
+        "er10" => er10(),
+        "toy_mcmr" => toy_mcmr(),
+        "toy_dumc" => toy_dumc(),
+        _ => return None,
+    })
+}
+
+/// The full evaluation collection as diagrams.
+pub fn collection() -> Vec<ErDiagram> {
+    COLLECTION.iter().map(|n| by_name(n).expect("collection name")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ErGraph;
+
+    #[test]
+    fn all_catalog_diagrams_parse_validate_and_build_graphs() {
+        for name in COLLECTION.iter().chain(["toy_mcmr", "toy_dumc"].iter()) {
+            let d = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(d.is_simplified(), "{name} must be simplified");
+            let g = ErGraph::from_diagram(&d).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(g.node_count() >= 6, "{name} too small");
+        }
+    }
+
+    #[test]
+    fn collection_sizes_match_paper_range() {
+        // Paper §6.2: diagrams range 10-30 (entity + relationship) nodes.
+        for name in COLLECTION {
+            let d = by_name(name).unwrap();
+            let n = d.node_count();
+            assert!((10..=30).contains(&n), "{name} has {n} nodes, outside 10..=30");
+        }
+    }
+
+    #[test]
+    fn tpcw_matches_figure_1_structure() {
+        let d = tpcw();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        assert_eq!(d.entities.len(), 7);
+        assert_eq!(d.relationships.len(), 8);
+        // order_line is the many-many relationship between order and item (§5.1)
+        assert!(d.relationship("order_line").unwrap().is_many_many());
+        // order is on the many side of make, billing, shipping (§5.1)
+        let order = g.node_by_name("order").unwrap();
+        assert_eq!(g.many_side_counts()[order.idx()], 3);
+        // associate is 1:1
+        assert!(d.relationship("associate").unwrap().is_one_one());
+        // not translatable to single-color XML with NN+AR: has an M:N
+        assert!(!g.many_many_relationships().is_empty());
+    }
+
+    #[test]
+    fn er6_recursive_relationship_builds() {
+        let g = ErGraph::from_diagram(&er6()).unwrap();
+        let emp = g.node_by_name("employee").unwrap();
+        let sup = g.node_by_name("supervises").unwrap();
+        // two distinct edges between employee and supervises
+        let n = g.incident(emp).iter().filter(|&&(_, o)| o == sup).count();
+        assert_eq!(n, 2);
+        let eps: Vec<usize> = g
+            .incident(sup)
+            .iter()
+            .map(|&(e, _)| g.edge(e).endpoint)
+            .collect();
+        assert_eq!(eps.len(), 2);
+        assert_ne!(eps[0], eps[1]);
+    }
+
+    #[test]
+    fn toy_graphs_shape() {
+        let g = ErGraph::from_diagram(&toy_mcmr()).unwrap();
+        let b = g.node_by_name("b").unwrap();
+        assert_eq!(g.many_side_counts()[b.idx()], 2);
+        let g = ErGraph::from_diagram(&toy_dumc()).unwrap();
+        assert!(g.many_many_relationships().is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type shared by the ER crate.
+
+use std::fmt;
+
+/// Errors produced while building, parsing, or transforming ER diagrams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErError {
+    /// A name (entity, relationship, or attribute) was declared twice.
+    DuplicateName(String),
+    /// A relationship endpoint referenced a participant that does not exist.
+    UnknownParticipant { relationship: String, participant: String },
+    /// A relationship was declared with fewer than two participants.
+    TooFewParticipants(String),
+    /// The diagram is not *simplified* (binary relationships, atomic
+    /// attributes) and the caller required it to be.
+    NotSimplified(String),
+    /// A parse error in the diagram DSL, with a 1-based line number.
+    Parse { line: usize, message: String },
+    /// Higher-order relationship participation forms a cycle (ill-founded).
+    IllFoundedHierarchy(String),
+}
+
+impl fmt::Display for ErError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            ErError::UnknownParticipant { relationship, participant } => {
+                write!(f, "relationship `{relationship}` references unknown participant `{participant}`")
+            }
+            ErError::TooFewParticipants(r) => {
+                write!(f, "relationship `{r}` needs at least two participants")
+            }
+            ErError::NotSimplified(why) => write!(f, "diagram is not simplified: {why}"),
+            ErError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            ErError::IllFoundedHierarchy(r) => {
+                write!(f, "higher-order relationship `{r}` participates in itself (directly or transitively)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ErError {}

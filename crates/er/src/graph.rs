@@ -1,0 +1,652 @@
+//! The **ER graph** view of a simplified diagram (§2.1) and the edge
+//! orientation preprocessing of §4.1.
+//!
+//! The ER graph has one node per entity type *and* per relationship type, and
+//! an edge between a relationship node and each of its participants. Edge
+//! labels carry the participant's cardinality and participation.
+//!
+//! Orientation rule (§4.1): if an entity of type `E` can participate in
+//! *multiple* relationship instances of type `R` ([`Cardinality::Many`]), the
+//! edge is oriented `E → R` — from the "one" side to the "many" side: each
+//! `R`-instance has exactly one `E`-instance, so nesting `R` under `E` never
+//! duplicates `R`. Edges with [`Cardinality::One`] participation remain
+//! undirected (1:1; either nesting direction is duplication-free).
+
+use crate::error::ErError;
+use crate::model::{Attribute, Cardinality, ErDiagram, Participation};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Index of a node in an [`ErGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Index of an edge in an [`ErGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The edge index as a `usize`.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Whether an ER graph node stems from an entity or a relationship type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Entity type.
+    Entity,
+    /// Relationship type.
+    Relationship,
+}
+
+/// A node of the ER graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErNode {
+    /// Type name (unique across the graph).
+    pub name: String,
+    /// Entity or relationship.
+    pub kind: NodeKind,
+    /// Attributes carried over from the diagram.
+    pub attributes: Vec<Attribute>,
+}
+
+/// An edge of the ER graph: the adjacency between a relationship node and one
+/// of its participants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErEdge {
+    /// The relationship node.
+    pub rel: NodeId,
+    /// The participant node (entity, or a lower-order relationship).
+    pub participant: NodeId,
+    /// Index of this endpoint within the relationship's endpoint list
+    /// (0 = left, 1 = right). Distinguishes the two edges of a recursive
+    /// relationship whose endpoints are the same type.
+    pub endpoint: usize,
+    /// How many `rel` instances one participant instance can join.
+    pub cardinality: Cardinality,
+    /// Whether every participant instance must join.
+    pub participation: Participation,
+    /// Optional role label.
+    pub role: Option<String>,
+}
+
+/// The orientation of an ER graph edge after §4.1 preprocessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Must be traversed `from → to` (one side to many side).
+    Directed {
+        /// Parent end ("one" side).
+        from: NodeId,
+        /// Child end ("many" side).
+        to: NodeId,
+    },
+    /// 1:1 adjacency; may be oriented either way by a traversal.
+    Undirected,
+}
+
+/// The ER graph of a simplified diagram, with precomputed orientations,
+/// adjacency lists, and strongly connected components of the mixed graph.
+#[derive(Debug, Clone)]
+pub struct ErGraph {
+    /// Diagram name.
+    pub name: String,
+    nodes: Vec<ErNode>,
+    edges: Vec<ErEdge>,
+    orientations: Vec<Orientation>,
+    /// adjacency: for each node, (edge, other endpoint)
+    adj: Vec<Vec<(EdgeId, NodeId)>>,
+    /// SCC id per node (condensation of the mixed graph, where undirected
+    /// edges connect both ways).
+    scc_of: Vec<usize>,
+    scc_count: usize,
+    name_index: BTreeMap<String, NodeId>,
+}
+
+impl ErGraph {
+    /// Build the ER graph of a diagram. The diagram must validate and be
+    /// simplified (binary relationships); see [`crate::simplify`] to reduce
+    /// arbitrary diagrams first.
+    pub fn from_diagram(diagram: &ErDiagram) -> Result<Self, ErError> {
+        diagram.validate()?;
+        for r in &diagram.relationships {
+            if !r.is_binary() {
+                return Err(ErError::NotSimplified(format!(
+                    "relationship `{}` has arity {}",
+                    r.name,
+                    r.arity()
+                )));
+            }
+        }
+
+        let mut nodes = Vec::with_capacity(diagram.node_count());
+        let mut name_index = BTreeMap::new();
+        for e in &diagram.entities {
+            let id = NodeId(nodes.len() as u32);
+            name_index.insert(e.name.clone(), id);
+            nodes.push(ErNode {
+                name: e.name.clone(),
+                kind: NodeKind::Entity,
+                attributes: e.attributes.clone(),
+            });
+        }
+        for r in &diagram.relationships {
+            let id = NodeId(nodes.len() as u32);
+            name_index.insert(r.name.clone(), id);
+            nodes.push(ErNode {
+                name: r.name.clone(),
+                kind: NodeKind::Relationship,
+                attributes: r.attributes.clone(),
+            });
+        }
+
+        let mut edges = Vec::new();
+        for r in &diagram.relationships {
+            let rel = name_index[&r.name];
+            for (endpoint, ep) in r.endpoints.iter().enumerate() {
+                let participant = name_index[&ep.participant];
+                edges.push(ErEdge {
+                    rel,
+                    participant,
+                    endpoint,
+                    cardinality: ep.cardinality,
+                    participation: ep.participation,
+                    role: ep.role.clone(),
+                });
+            }
+        }
+
+        let orientations: Vec<Orientation> = edges
+            .iter()
+            .map(|e| match e.cardinality {
+                // E participates in many R instances: orient E -> R.
+                Cardinality::Many => Orientation::Directed { from: e.participant, to: e.rel },
+                Cardinality::One => Orientation::Undirected,
+            })
+            .collect();
+
+        let mut adj: Vec<Vec<(EdgeId, NodeId)>> = vec![Vec::new(); nodes.len()];
+        for (i, e) in edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            adj[e.rel.idx()].push((id, e.participant));
+            adj[e.participant.idx()].push((id, e.rel));
+        }
+
+        let (scc_of, scc_count) = compute_sccs(nodes.len(), &edges, &orientations, &adj);
+
+        Ok(ErGraph {
+            name: diagram.name.clone(),
+            nodes,
+            edges,
+            orientations,
+            adj,
+            scc_of,
+            scc_count,
+            name_index,
+        })
+    }
+
+    /// All nodes, indexable by [`NodeId`].
+    pub fn nodes(&self) -> &[ErNode] {
+        &self.nodes
+    }
+
+    /// All edges, indexable by [`EdgeId`].
+    pub fn edges(&self) -> &[ErEdge] {
+        &self.edges
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &ErNode {
+        &self.nodes[id.idx()]
+    }
+
+    /// The edge with the given id.
+    pub fn edge(&self, id: EdgeId) -> &ErEdge {
+        &self.edges[id.idx()]
+    }
+
+    /// Node lookup by type name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// The §4.1 orientation of an edge.
+    pub fn orientation(&self, e: EdgeId) -> Orientation {
+        self.orientations[e.idx()]
+    }
+
+    /// Incident edges of a node, as `(edge, other endpoint)` pairs.
+    pub fn incident(&self, n: NodeId) -> &[(EdgeId, NodeId)] {
+        &self.adj[n.idx()]
+    }
+
+    /// The endpoint of `e` that is not `n`. Panics if `n` is not an endpoint.
+    pub fn other_end(&self, e: EdgeId, n: NodeId) -> NodeId {
+        let edge = self.edge(e);
+        if edge.rel == n {
+            edge.participant
+        } else {
+            assert_eq!(edge.participant, n, "{n} is not an endpoint of {e}");
+            edge.rel
+        }
+    }
+
+    /// Whether `e` may be traversed from `from` toward the other endpoint
+    /// under the §4.1 orientation (directed edges only forward; undirected
+    /// edges either way).
+    pub fn traversable_from(&self, e: EdgeId, from: NodeId) -> bool {
+        match self.orientation(e) {
+            Orientation::Directed { from: f, .. } => f == from,
+            Orientation::Undirected => true,
+        }
+    }
+
+    /// Functional successors of `n`: `(edge, successor)` pairs such that
+    /// nesting `successor` under `n` duplicates nothing (each successor
+    /// instance has at most one `n` instance via that edge).
+    pub fn functional_successors(&self, n: NodeId) -> Vec<(EdgeId, NodeId)> {
+        self.adj[n.idx()]
+            .iter()
+            .copied()
+            .filter(|&(e, _)| self.traversable_from(e, n))
+            .collect()
+    }
+
+    /// SCC id of a node in the mixed graph (undirected edges both ways).
+    pub fn scc(&self, n: NodeId) -> usize {
+        self.scc_of[n.idx()]
+    }
+
+    /// Number of SCCs.
+    pub fn scc_count(&self) -> usize {
+        self.scc_count
+    }
+
+    /// SCC ids with no incoming directed edge from a different SCC
+    /// ("source" components of the condensation) — Algorithm MC picks its
+    /// start nodes from these (Figure 7, step 2).
+    pub fn source_sccs(&self) -> Vec<usize> {
+        let mut has_incoming = vec![false; self.scc_count];
+        for (i, _e) in self.edges.iter().enumerate() {
+            if let Orientation::Directed { from, to } = self.orientations[i] {
+                let (a, b) = (self.scc_of[from.idx()], self.scc_of[to.idx()]);
+                if a != b {
+                    has_incoming[b] = true;
+                }
+            }
+        }
+        (0..self.scc_count).filter(|&s| !has_incoming[s]).collect()
+    }
+
+    /// SCCs of the subgraph keeping only edges where `edge_alive` holds
+    /// (directed edges one-way, undirected both ways). Algorithm MC calls
+    /// this on the *uncolored* subgraph before picking each start node.
+    pub fn sccs_masked(&self, edge_alive: impl Fn(EdgeId) -> bool) -> Sccs {
+        let (of, count) =
+            compute_sccs_masked(self.nodes.len(), &self.orientations, &self.adj, &edge_alive);
+        Sccs { of, count }
+    }
+
+    /// Per-node flag: is the node's masked SCC a *source* (no incoming alive
+    /// directed edge from a different SCC)?
+    pub fn in_source_scc_masked(
+        &self,
+        sccs: &Sccs,
+        edge_alive: impl Fn(EdgeId) -> bool,
+    ) -> Vec<bool> {
+        let mut has_incoming = vec![false; sccs.count];
+        for i in 0..self.edges.len() {
+            if !edge_alive(EdgeId(i as u32)) {
+                continue;
+            }
+            if let Orientation::Directed { from, to } = self.orientations[i] {
+                let (a, b) = (sccs.of[from.idx()], sccs.of[to.idx()]);
+                if a != b {
+                    has_incoming[b] = true;
+                }
+            }
+        }
+        (0..self.nodes.len()).map(|n| !has_incoming[sccs.of[n]]).collect()
+    }
+
+    /// Whether the *underlying undirected* graph is a forest (no cycles).
+    /// Condition (i) of Theorem 4.1.
+    pub fn is_forest(&self) -> bool {
+        // A multigraph is a forest iff every connected component has
+        // |edges| = |nodes| - 1 and there are no parallel edges/self loops.
+        let n = self.nodes.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut [usize], mut x: usize) -> usize {
+            while p[x] != x {
+                p[x] = p[p[x]];
+                x = p[x];
+            }
+            x
+        }
+        for e in &self.edges {
+            let (a, b) = (find(&mut parent, e.rel.idx()), find(&mut parent, e.participant.idx()));
+            if a == b {
+                return false; // cycle (including parallel edges)
+            }
+            parent[a] = b;
+        }
+        true
+    }
+
+    /// Relationship nodes that are many-many (both incident edges Many).
+    pub fn many_many_relationships(&self) -> Vec<NodeId> {
+        self.relationship_nodes()
+            .filter(|&r| {
+                let inc = &self.adj[r.idx()];
+                inc.len() == 2
+                    && inc.iter().all(|&(e, _)| self.edge(e).cardinality == Cardinality::Many)
+            })
+            .collect()
+    }
+
+    /// For each node, the number of one-many relationship types in which it
+    /// is on the **many** side (participates with [`Cardinality::One`] while
+    /// the opposite endpoint participates with [`Cardinality::Many`]).
+    /// Condition (iii) of Theorem 4.1 requires this to be ≤ 1 for all nodes.
+    pub fn many_side_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for r in self.relationship_nodes() {
+            let inc = &self.adj[r.idx()];
+            if inc.len() != 2 {
+                continue;
+            }
+            let (e0, n0) = inc[0];
+            let (e1, n1) = inc[1];
+            let c0 = self.edge(e0).cardinality;
+            let c1 = self.edge(e1).cardinality;
+            match (c0, c1) {
+                (Cardinality::Many, Cardinality::One) => counts[n1.idx()] += 1,
+                (Cardinality::One, Cardinality::Many) => counts[n0.idx()] += 1,
+                _ => {}
+            }
+        }
+        counts
+    }
+
+    /// Iterator over relationship node ids.
+    pub fn relationship_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&n| self.node(n).kind == NodeKind::Relationship)
+    }
+
+    /// Iterator over entity node ids.
+    pub fn entity_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&n| self.node(n).kind == NodeKind::Entity)
+    }
+}
+
+/// SCC decomposition of a (possibly edge-masked) mixed graph.
+#[derive(Debug, Clone)]
+pub struct Sccs {
+    /// SCC id per node index.
+    pub of: Vec<usize>,
+    /// Number of SCCs.
+    pub count: usize,
+}
+
+/// Tarjan SCC over the full mixed graph.
+fn compute_sccs(
+    n: usize,
+    _edges: &[ErEdge],
+    orientations: &[Orientation],
+    adj: &[Vec<(EdgeId, NodeId)>],
+) -> (Vec<usize>, usize) {
+    compute_sccs_masked(n, orientations, adj, &|_| true)
+}
+
+/// Tarjan SCC over the mixed graph restricted to alive edges: directed edges
+/// one-way, undirected edges both ways. Iterative to avoid recursion limits
+/// on large graphs.
+fn compute_sccs_masked(
+    n: usize,
+    orientations: &[Orientation],
+    adj: &[Vec<(EdgeId, NodeId)>],
+    edge_alive: &impl Fn(EdgeId) -> bool,
+) -> (Vec<usize>, usize) {
+    // successor list under the mixed-graph semantics
+    let succ: Vec<Vec<usize>> = (0..n)
+        .map(|u| {
+            adj[u]
+                .iter()
+                .filter_map(|&(e, v)| {
+                    if !edge_alive(e) {
+                        return None;
+                    }
+                    let ok = match orientations[e.idx()] {
+                        Orientation::Directed { from, .. } => from.idx() == u,
+                        Orientation::Undirected => true,
+                    };
+                    ok.then_some(v.idx())
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut scc_of = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut scc_count = 0usize;
+
+    // Explicit DFS stack: (node, next successor position)
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (u, ref mut pos)) = call.last_mut() {
+            if *pos == 0 {
+                index[u] = next_index;
+                low[u] = next_index;
+                next_index += 1;
+                stack.push(u);
+                on_stack[u] = true;
+            }
+            if *pos < succ[u].len() {
+                let v = succ[u][*pos];
+                *pos += 1;
+                if index[v] == usize::MAX {
+                    call.push((v, 0));
+                } else if on_stack[v] {
+                    low[u] = low[u].min(index[v]);
+                }
+            } else {
+                if low[u] == index[u] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc_of[w] = scc_count;
+                        if w == u {
+                            break;
+                        }
+                    }
+                    scc_count += 1;
+                }
+                call.pop();
+                if let Some(&mut (p, _)) = call.last_mut() {
+                    low[p] = low[p].min(low[u]);
+                }
+            }
+        }
+    }
+    (scc_of, scc_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Attribute;
+
+    fn chain() -> ErGraph {
+        // a -r1-> b -r2-> c   (two 1:m relationships)
+        let mut d = ErDiagram::new("chain");
+        for n in ["a", "b", "c"] {
+            d.add_entity(n, vec![Attribute::key("id")]).unwrap();
+        }
+        d.add_rel_1m("r1", "a", "b").unwrap();
+        d.add_rel_1m("r2", "b", "c").unwrap();
+        ErGraph::from_diagram(&d).unwrap()
+    }
+
+    #[test]
+    fn builds_nodes_and_edges() {
+        let g = chain();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.node(g.node_by_name("r1").unwrap()).kind, NodeKind::Relationship);
+        assert_eq!(g.node(g.node_by_name("a").unwrap()).kind, NodeKind::Entity);
+    }
+
+    #[test]
+    fn orientation_follows_cardinality() {
+        let g = chain();
+        let a = g.node_by_name("a").unwrap();
+        let r1 = g.node_by_name("r1").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        // a participates in many r1 instances -> a directed toward r1
+        let (e_ar1, _) = g.incident(a)[0];
+        assert_eq!(g.orientation(e_ar1), Orientation::Directed { from: a, to: r1 });
+        // b participates once in r1 -> undirected
+        let &(e_br1, _) = g
+            .incident(b)
+            .iter()
+            .find(|&&(e, _)| g.edge(e).rel == r1)
+            .unwrap();
+        assert_eq!(g.orientation(e_br1), Orientation::Undirected);
+        assert!(g.traversable_from(e_ar1, a));
+        assert!(!g.traversable_from(e_ar1, r1));
+        assert!(g.traversable_from(e_br1, b));
+        assert!(g.traversable_from(e_br1, r1));
+    }
+
+    #[test]
+    fn forest_detection() {
+        let g = chain();
+        assert!(g.is_forest());
+
+        // add a cycle: c -r3-> a
+        let mut d = ErDiagram::new("cyc");
+        for n in ["a", "b", "c"] {
+            d.add_entity(n, vec![Attribute::key("id")]).unwrap();
+        }
+        d.add_rel_1m("r1", "a", "b").unwrap();
+        d.add_rel_1m("r2", "b", "c").unwrap();
+        d.add_rel_1m("r3", "c", "a").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        assert!(!g.is_forest());
+    }
+
+    #[test]
+    fn many_many_detection() {
+        let mut d = ErDiagram::new("mn");
+        d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+        d.add_entity("b", vec![Attribute::key("id")]).unwrap();
+        d.add_rel_mn("r", "a", "b").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        assert_eq!(g.many_many_relationships(), vec![g.node_by_name("r").unwrap()]);
+    }
+
+    #[test]
+    fn many_side_counts_flag_shared_children() {
+        // b is on the many side of both r1 (from a) and r2 (from c)
+        let mut d = ErDiagram::new("t");
+        for n in ["a", "b", "c"] {
+            d.add_entity(n, vec![Attribute::key("id")]).unwrap();
+        }
+        d.add_rel_1m("r1", "a", "b").unwrap();
+        d.add_rel_1m("r2", "c", "b").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        let counts = g.many_side_counts();
+        assert_eq!(counts[g.node_by_name("b").unwrap().idx()], 2);
+        assert_eq!(counts[g.node_by_name("a").unwrap().idx()], 0);
+    }
+
+    #[test]
+    fn sccs_of_dag_are_singletons_and_sources_found() {
+        let g = chain();
+        // {a}, {r1, b} (joined by the undirected 1:1 edge), {r2, c}
+        assert_eq!(g.scc_count(), 3);
+        let sources = g.source_sccs();
+        // `a` must be in a source SCC; `b`, `c`, `r1`, `r2` reachable from a.
+        let a = g.node_by_name("a").unwrap();
+        assert!(sources.contains(&g.scc(a)));
+        // b is undirected-adjacent to r1 (1:1) so b and r1 are in one SCC?
+        // No: undirected edges go both ways, so b <-> r1 are mutually
+        // reachable and must share an SCC.
+        let b = g.node_by_name("b").unwrap();
+        let r1 = g.node_by_name("r1").unwrap();
+        assert_eq!(g.scc(b), g.scc(r1));
+    }
+
+    #[test]
+    fn one_one_cycle_is_single_scc() {
+        let mut d = ErDiagram::new("t");
+        d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+        d.add_entity("b", vec![Attribute::key("id")]).unwrap();
+        d.add_rel_11("r", "a", "b").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        // a - r - b all connected by undirected edges: one SCC
+        assert_eq!(g.scc_count(), 1);
+        assert_eq!(g.source_sccs(), vec![0]);
+    }
+
+    #[test]
+    fn functional_successors_respect_direction() {
+        let g = chain();
+        let a = g.node_by_name("a").unwrap();
+        let r1 = g.node_by_name("r1").unwrap();
+        let succ_a: Vec<NodeId> = g.functional_successors(a).into_iter().map(|(_, n)| n).collect();
+        assert_eq!(succ_a, vec![r1]);
+        // from r1: can reach b (undirected) but not a (wrong way)
+        let succ_r1: Vec<NodeId> =
+            g.functional_successors(r1).into_iter().map(|(_, n)| n).collect();
+        assert_eq!(succ_r1, vec![g.node_by_name("b").unwrap()]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # colorist-er — the Entity-Relationship substrate
+//!
+//! The design methodology of *Making Designer Schemas with Colors* (ICDE 2006)
+//! starts from a design specification expressed as an **ER diagram** in the
+//! style of Elmasri & Navathe. This crate provides:
+//!
+//! * [`model`] — entity types, relationship types (any arity), attributes,
+//!   cardinality and participation constraints, and the [`ErDiagram`] builder;
+//! * [`simplify`] — the transformations that turn an arbitrary diagram into a
+//!   *simplified* one (only binary relationships and atomic attributes), as the
+//!   paper assumes (§2.1);
+//! * [`graph`] — the **ER graph** view: one node per entity *and* relationship
+//!   type, one edge per (relationship, participant) adjacency, plus the edge
+//!   orientation preprocessing of §4.1;
+//! * [`associations`] — association graphs over the transitive closure of the
+//!   ER graph and the enumeration of *eligible* associations for direct
+//!   recoverability (§3.1);
+//! * [`parse`] — a small text DSL for diagrams, used by the catalog and tests;
+//! * [`catalog`] — the diagram collection used in the paper's evaluation:
+//!   TPC-W (Figure 1), a Database-Derby-like diagram, and ten textbook-style
+//!   diagrams ER1–ER10.
+
+pub mod associations;
+pub mod catalog;
+pub mod error;
+pub mod graph;
+pub mod model;
+pub mod parse;
+pub mod simplify;
+
+pub use associations::{Association, AssociationKind, EligibleAssociations};
+pub use error::ErError;
+pub use graph::{EdgeId, ErEdge, ErGraph, ErNode, NodeId, NodeKind, Orientation, Sccs};
+pub use model::{
+    Attribute, Cardinality, Domain, Endpoint, EntityType, ErDiagram, Participation,
+    RelationshipType,
+};

@@ -1,0 +1,519 @@
+//! The ER model: entity types, relationship types, attributes, constraints.
+//!
+//! We follow the Elmasri–Navathe flavor referenced by the paper (§2.1). A
+//! *simplified* diagram contains only entity types, **binary** relationship
+//! types between distinct entity or relationship types, and **atomic**
+//! attributes. Arbitrary diagrams are reduced to simplified ones by
+//! [`crate::simplify`].
+
+use crate::error::ErError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum number of relationship instances a single participant instance can
+/// take part in.
+///
+/// For a classic "1 customer : M orders" relationship `make`, the *customer*
+/// endpoint is [`Cardinality::Many`] (one customer makes many orders, so it
+/// participates in many `make` instances) and the *order* endpoint is
+/// [`Cardinality::One`] (each order is made exactly once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cardinality {
+    /// The participant instance occurs in at most one relationship instance.
+    One,
+    /// The participant instance may occur in many relationship instances.
+    Many,
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cardinality::One => write!(f, "1"),
+            Cardinality::Many => write!(f, "m"),
+        }
+    }
+}
+
+/// Whether every instance of the participant must take part in the
+/// relationship (total) or not (partial). §4.2 maps these onto minimum
+/// occurrence constraints of the generated schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Participation {
+    /// Some participant instances may not take part.
+    #[default]
+    Partial,
+    /// Every participant instance takes part in at least one instance.
+    Total,
+}
+
+/// Attribute domains. Atomic only in simplified diagrams; composite and
+/// multivalued attributes are flattened by [`crate::simplify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Domain {
+    /// Free text.
+    Text,
+    /// 64-bit integer.
+    Integer,
+    /// Floating point (stored as text in instances, compared numerically).
+    Float,
+    /// ISO-8601 date, stored as text.
+    Date,
+    /// Composite of named sub-attributes (non-simplified diagrams only).
+    Composite(Vec<Attribute>),
+    /// Multivalued attribute of the given element domain (non-simplified only).
+    MultiValued(Box<Domain>),
+}
+
+impl Domain {
+    /// Whether this domain is atomic (allowed in simplified diagrams).
+    pub fn is_atomic(&self) -> bool {
+        !matches!(self, Domain::Composite(_) | Domain::MultiValued(_))
+    }
+}
+
+/// A named, typed attribute of an entity or relationship type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, unique within its owner.
+    pub name: String,
+    /// Whether the attribute is (part of) the owner's key. Key constraints are
+    /// orthogonal to the translation (§4.2): they only contribute keys to the
+    /// generated element types.
+    pub is_key: bool,
+    /// Value domain.
+    pub domain: Domain,
+}
+
+impl Attribute {
+    /// A non-key text attribute.
+    pub fn text(name: &str) -> Self {
+        Attribute { name: name.to_string(), is_key: false, domain: Domain::Text }
+    }
+
+    /// A key attribute (text domain by default, like TPC-W surrogate ids).
+    pub fn key(name: &str) -> Self {
+        Attribute { name: name.to_string(), is_key: true, domain: Domain::Integer }
+    }
+
+    /// A non-key attribute with an explicit domain.
+    pub fn with_domain(name: &str, domain: Domain) -> Self {
+        Attribute { name: name.to_string(), is_key: false, domain }
+    }
+}
+
+/// An entity type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityType {
+    /// Unique name.
+    pub name: String,
+    /// Attributes (at least one key attribute for well-formed diagrams).
+    pub attributes: Vec<Attribute>,
+}
+
+/// One endpoint of a relationship type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endpoint {
+    /// Name of the participating entity *or relationship* type (higher-order
+    /// relationships treat lower-order ones as their entities; §4.1 fn. 3).
+    pub participant: String,
+    /// How many relationship instances one participant instance can join.
+    pub cardinality: Cardinality,
+    /// Whether participation is total.
+    pub participation: Participation,
+    /// Optional role name, to disambiguate recursive relationships.
+    pub role: Option<String>,
+}
+
+impl Endpoint {
+    /// Convenience constructor with partial participation and no role.
+    pub fn new(participant: &str, cardinality: Cardinality) -> Self {
+        Endpoint {
+            participant: participant.to_string(),
+            cardinality,
+            participation: Participation::Partial,
+            role: None,
+        }
+    }
+
+    /// Mark the endpoint's participation as total.
+    pub fn total(mut self) -> Self {
+        self.participation = Participation::Total;
+        self
+    }
+
+    /// Attach a role name.
+    pub fn role(mut self, role: &str) -> Self {
+        self.role = Some(role.to_string());
+        self
+    }
+}
+
+/// A relationship type of arbitrary arity. Simplified diagrams require
+/// exactly two endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationshipType {
+    /// Unique name (shared namespace with entity types).
+    pub name: String,
+    /// Attributes of the relationship itself.
+    pub attributes: Vec<Attribute>,
+    /// Participating endpoints, in declaration order.
+    pub endpoints: Vec<Endpoint>,
+}
+
+impl RelationshipType {
+    /// Arity of the relationship.
+    pub fn arity(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Whether the relationship is binary.
+    pub fn is_binary(&self) -> bool {
+        self.arity() == 2
+    }
+
+    /// Whether the relationship is many-many (both endpoints
+    /// [`Cardinality::Many`]); only meaningful for binary relationships.
+    pub fn is_many_many(&self) -> bool {
+        self.is_binary()
+            && self.endpoints.iter().all(|e| e.cardinality == Cardinality::Many)
+    }
+
+    /// Whether the relationship is one-one (both endpoints
+    /// [`Cardinality::One`]); only meaningful for binary relationships.
+    pub fn is_one_one(&self) -> bool {
+        self.is_binary()
+            && self.endpoints.iter().all(|e| e.cardinality == Cardinality::One)
+    }
+}
+
+/// A complete ER diagram: a named collection of entity and relationship
+/// types over a shared name space.
+///
+/// Construction is incremental through the builder-style `add_*` methods;
+/// [`ErDiagram::validate`] (called by [`ErDiagram::graph`](crate::graph))
+/// checks referential integrity.
+///
+/// ```
+/// use colorist_er::{ErDiagram, Attribute};
+///
+/// let mut d = ErDiagram::new("shop");
+/// d.add_entity("customer", vec![Attribute::key("id"), Attribute::text("name")]).unwrap();
+/// d.add_entity("order", vec![Attribute::key("id")]).unwrap();
+/// // one customer makes many orders
+/// d.add_rel_1m("make", "customer", "order").unwrap();
+/// assert!(d.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ErDiagram {
+    /// Diagram name (used in reports).
+    pub name: String,
+    /// Entity types, in declaration order.
+    pub entities: Vec<EntityType>,
+    /// Relationship types, in declaration order.
+    pub relationships: Vec<RelationshipType>,
+}
+
+impl ErDiagram {
+    /// Create an empty diagram.
+    pub fn new(name: &str) -> Self {
+        ErDiagram { name: name.to_string(), ..Default::default() }
+    }
+
+    /// Add an entity type. Fails on duplicate names.
+    pub fn add_entity(&mut self, name: &str, attributes: Vec<Attribute>) -> Result<(), ErError> {
+        if self.has_name(name) {
+            return Err(ErError::DuplicateName(name.to_string()));
+        }
+        self.entities.push(EntityType { name: name.to_string(), attributes });
+        Ok(())
+    }
+
+    /// Add a relationship type with explicit endpoints.
+    pub fn add_relationship(
+        &mut self,
+        name: &str,
+        endpoints: Vec<Endpoint>,
+        attributes: Vec<Attribute>,
+    ) -> Result<(), ErError> {
+        if self.has_name(name) {
+            return Err(ErError::DuplicateName(name.to_string()));
+        }
+        if endpoints.len() < 2 {
+            return Err(ErError::TooFewParticipants(name.to_string()));
+        }
+        self.relationships.push(RelationshipType {
+            name: name.to_string(),
+            attributes,
+            endpoints,
+        });
+        Ok(())
+    }
+
+    /// Add a binary 1:M relationship: one `one_side` instance relates to many
+    /// `many_side` instances (so the `one_side` endpoint has
+    /// [`Cardinality::Many`] participation).
+    pub fn add_rel_1m(&mut self, name: &str, one_side: &str, many_side: &str) -> Result<(), ErError> {
+        self.add_relationship(
+            name,
+            vec![
+                Endpoint::new(one_side, Cardinality::Many),
+                Endpoint::new(many_side, Cardinality::One),
+            ],
+            Vec::new(),
+        )
+    }
+
+    /// Add a binary 1:1 relationship.
+    pub fn add_rel_11(&mut self, name: &str, left: &str, right: &str) -> Result<(), ErError> {
+        self.add_relationship(
+            name,
+            vec![
+                Endpoint::new(left, Cardinality::One),
+                Endpoint::new(right, Cardinality::One),
+            ],
+            Vec::new(),
+        )
+    }
+
+    /// Add a binary M:N relationship.
+    pub fn add_rel_mn(&mut self, name: &str, left: &str, right: &str) -> Result<(), ErError> {
+        self.add_relationship(
+            name,
+            vec![
+                Endpoint::new(left, Cardinality::Many),
+                Endpoint::new(right, Cardinality::Many),
+            ],
+            Vec::new(),
+        )
+    }
+
+    /// Whether `name` is already used by an entity or relationship type.
+    pub fn has_name(&self, name: &str) -> bool {
+        self.entities.iter().any(|e| e.name == name)
+            || self.relationships.iter().any(|r| r.name == name)
+    }
+
+    /// Look up an entity type by name.
+    pub fn entity(&self, name: &str) -> Option<&EntityType> {
+        self.entities.iter().find(|e| e.name == name)
+    }
+
+    /// Look up a relationship type by name.
+    pub fn relationship(&self, name: &str) -> Option<&RelationshipType> {
+        self.relationships.iter().find(|r| r.name == name)
+    }
+
+    /// Number of entity plus relationship types (= ER graph node count).
+    pub fn node_count(&self) -> usize {
+        self.entities.len() + self.relationships.len()
+    }
+
+    /// Validate referential integrity and well-foundedness:
+    /// * each endpoint references a declared entity or relationship type;
+    /// * no relationship participates in itself, directly or transitively;
+    /// * attribute names are unique within each owner.
+    pub fn validate(&self) -> Result<(), ErError> {
+        for e in &self.entities {
+            check_attr_names(&e.name, &e.attributes)?;
+        }
+        for r in &self.relationships {
+            check_attr_names(&r.name, &r.attributes)?;
+            for ep in &r.endpoints {
+                if !self.has_name(&ep.participant) {
+                    return Err(ErError::UnknownParticipant {
+                        relationship: r.name.clone(),
+                        participant: ep.participant.clone(),
+                    });
+                }
+            }
+        }
+        // Well-foundedness of higher-order participation: the "participates
+        // in" relation over relationship types must be acyclic.
+        let rel_index: BTreeMap<&str, usize> =
+            self.relationships.iter().enumerate().map(|(i, r)| (r.name.as_str(), i)).collect();
+        let n = self.relationships.len();
+        // 0 = unvisited, 1 = on stack, 2 = done
+        let mut state = vec![0u8; n];
+        fn dfs(
+            i: usize,
+            rels: &[RelationshipType],
+            idx: &BTreeMap<&str, usize>,
+            state: &mut [u8],
+        ) -> Result<(), ErError> {
+            state[i] = 1;
+            for ep in &rels[i].endpoints {
+                if let Some(&j) = idx.get(ep.participant.as_str()) {
+                    match state[j] {
+                        1 => return Err(ErError::IllFoundedHierarchy(rels[j].name.clone())),
+                        0 => dfs(j, rels, idx, state)?,
+                        _ => {}
+                    }
+                }
+            }
+            state[i] = 2;
+            Ok(())
+        }
+        for i in 0..n {
+            if state[i] == 0 {
+                dfs(i, &self.relationships, &rel_index, &mut state)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the diagram is *simplified*: binary relationships and atomic
+    /// attributes only (§2.1).
+    pub fn is_simplified(&self) -> bool {
+        self.relationships.iter().all(|r| r.is_binary())
+            && self
+                .entities
+                .iter()
+                .map(|e| &e.attributes)
+                .chain(self.relationships.iter().map(|r| &r.attributes))
+                .all(|attrs| attrs.iter().all(|a| a.domain.is_atomic()))
+    }
+
+    /// Error with an explanation unless the diagram is simplified.
+    pub fn require_simplified(&self) -> Result<(), ErError> {
+        for r in &self.relationships {
+            if !r.is_binary() {
+                return Err(ErError::NotSimplified(format!(
+                    "relationship `{}` has arity {}",
+                    r.name,
+                    r.arity()
+                )));
+            }
+        }
+        for (owner, attrs) in self
+            .entities
+            .iter()
+            .map(|e| (&e.name, &e.attributes))
+            .chain(self.relationships.iter().map(|r| (&r.name, &r.attributes)))
+        {
+            if let Some(a) = attrs.iter().find(|a| !a.domain.is_atomic()) {
+                return Err(ErError::NotSimplified(format!(
+                    "attribute `{}` of `{owner}` is not atomic",
+                    a.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn check_attr_names(owner: &str, attrs: &[Attribute]) -> Result<(), ErError> {
+    let mut seen = std::collections::BTreeSet::new();
+    for a in attrs {
+        if !seen.insert(a.name.as_str()) {
+            return Err(ErError::DuplicateName(format!("{owner}.{}", a.name)));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ErDiagram {
+        let mut d = ErDiagram::new("t");
+        d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+        d.add_entity("b", vec![Attribute::key("id"), Attribute::text("x")]).unwrap();
+        d.add_rel_1m("r", "a", "b").unwrap();
+        d
+    }
+
+    #[test]
+    fn builder_and_lookup() {
+        let d = sample();
+        assert!(d.validate().is_ok());
+        assert!(d.is_simplified());
+        assert_eq!(d.node_count(), 3);
+        assert_eq!(d.entity("a").unwrap().attributes.len(), 1);
+        let r = d.relationship("r").unwrap();
+        assert_eq!(r.endpoints[0].cardinality, Cardinality::Many);
+        assert_eq!(r.endpoints[1].cardinality, Cardinality::One);
+        assert!(!r.is_many_many());
+        assert!(!r.is_one_one());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut d = sample();
+        assert_eq!(d.add_entity("a", vec![]), Err(ErError::DuplicateName("a".into())));
+        assert_eq!(d.add_rel_11("r", "a", "b"), Err(ErError::DuplicateName("r".into())));
+    }
+
+    #[test]
+    fn unknown_participant_rejected() {
+        let mut d = sample();
+        d.add_rel_1m("bad", "a", "zzz").unwrap();
+        assert!(matches!(d.validate(), Err(ErError::UnknownParticipant { .. })));
+    }
+
+    #[test]
+    fn too_few_participants_rejected() {
+        let mut d = sample();
+        let err = d.add_relationship("solo", vec![Endpoint::new("a", Cardinality::One)], vec![]);
+        assert_eq!(err, Err(ErError::TooFewParticipants("solo".into())));
+    }
+
+    #[test]
+    fn higher_order_relationships_allowed_when_well_founded() {
+        let mut d = sample();
+        // relationship over a relationship (treats `r` as an entity)
+        d.add_rel_1m("meta", "b", "r").unwrap();
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn ill_founded_hierarchy_rejected() {
+        let mut d = ErDiagram::new("t");
+        d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+        // r1 participates in r2 and vice versa
+        d.add_relationship(
+            "r1",
+            vec![Endpoint::new("a", Cardinality::Many), Endpoint::new("r2", Cardinality::One)],
+            vec![],
+        )
+        .unwrap();
+        d.add_relationship(
+            "r2",
+            vec![Endpoint::new("a", Cardinality::Many), Endpoint::new("r1", Cardinality::One)],
+            vec![],
+        )
+        .unwrap();
+        assert!(matches!(d.validate(), Err(ErError::IllFoundedHierarchy(_))));
+    }
+
+    #[test]
+    fn cardinality_classifiers() {
+        let mut d = sample();
+        d.add_rel_mn("mn", "a", "b").unwrap();
+        d.add_rel_11("oo", "a", "b").unwrap();
+        assert!(d.relationship("mn").unwrap().is_many_many());
+        assert!(d.relationship("oo").unwrap().is_one_one());
+    }
+
+    #[test]
+    fn non_atomic_attribute_detected() {
+        let mut d = ErDiagram::new("t");
+        d.add_entity(
+            "a",
+            vec![Attribute::with_domain(
+                "addr",
+                Domain::Composite(vec![Attribute::text("city")]),
+            )],
+        )
+        .unwrap();
+        assert!(!d.is_simplified());
+        assert!(matches!(d.require_simplified(), Err(ErError::NotSimplified(_))));
+    }
+
+    #[test]
+    fn duplicate_attribute_names_rejected() {
+        let mut d = ErDiagram::new("t");
+        d.add_entity("a", vec![Attribute::text("x"), Attribute::text("x")]).unwrap();
+        assert!(matches!(d.validate(), Err(ErError::DuplicateName(_))));
+    }
+}

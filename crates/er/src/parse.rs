@@ -1,0 +1,331 @@
+//! A small line-oriented text DSL for ER diagrams, used by the catalog,
+//! examples, and tests.
+//!
+//! ```text
+//! diagram shop                      # optional name directive
+//! entity customer { id* name email }
+//! entity order    { id* date total:float }
+//! rel make 1:m customer -- order!   # one customer, many orders;
+//!                                   # `!` marks total participation
+//! rel pays m:n customer -- order { method }
+//! ```
+//!
+//! Attribute syntax: `name` (text), `name:int|float|date|text`, `name*`
+//! (key, integer domain unless a type is given). Participant syntax:
+//! `name`, `name!` (total participation), `name@role` (role label, for
+//! recursive relationships), combinable as `name@role!`.
+//!
+//! Cardinality syntax `X:Y` reads "X left-instances relate to Y
+//! right-instances": `1:m a -- b` means one `a` has many `b`s, so the `a`
+//! endpoint participates in Many relationship instances and `b` in One.
+
+use crate::error::ErError;
+use crate::model::{Attribute, Cardinality, Domain, Endpoint, ErDiagram};
+
+/// Parse a diagram from DSL text.
+pub fn parse_diagram(input: &str) -> Result<ErDiagram, ErError> {
+    let mut diagram = ErDiagram::new("unnamed");
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ErError::Parse { line: lineno + 1, message };
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("diagram") => {
+                let name = words.next().ok_or_else(|| err("missing diagram name".into()))?;
+                diagram.name = name.to_string();
+            }
+            Some("entity") => {
+                let name = words.next().ok_or_else(|| err("missing entity name".into()))?;
+                let attrs = parse_attr_block(line, lineno + 1)?;
+                diagram
+                    .add_entity(name, attrs)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            Some("rel") => {
+                parse_rel(&mut diagram, line, lineno + 1)?;
+            }
+            Some(other) => {
+                return Err(err(format!("unknown directive `{other}`")));
+            }
+            None => unreachable!(),
+        }
+    }
+    diagram.validate()?;
+    Ok(diagram)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Parse the `{ ... }` attribute block of a line, if any.
+fn parse_attr_block(line: &str, lineno: usize) -> Result<Vec<Attribute>, ErError> {
+    let Some(open) = line.find('{') else {
+        return Ok(Vec::new());
+    };
+    let close = line.rfind('}').ok_or(ErError::Parse {
+        line: lineno,
+        message: "unterminated `{` attribute block".into(),
+    })?;
+    if close < open {
+        return Err(ErError::Parse { line: lineno, message: "mismatched braces".into() });
+    }
+    line[open + 1..close]
+        .split_whitespace()
+        .map(|tok| parse_attr(tok, lineno))
+        .collect()
+}
+
+fn parse_attr(tok: &str, lineno: usize) -> Result<Attribute, ErError> {
+    let (name_part, domain_part) = match tok.split_once(':') {
+        Some((n, d)) => (n, Some(d)),
+        None => (tok, None),
+    };
+    let (name, is_key) = match name_part.strip_suffix('*') {
+        Some(n) => (n, true),
+        None => (name_part, false),
+    };
+    if name.is_empty() {
+        return Err(ErError::Parse { line: lineno, message: format!("bad attribute `{tok}`") });
+    }
+    let domain = match domain_part {
+        Some("int") => Domain::Integer,
+        Some("float") => Domain::Float,
+        Some("date") => Domain::Date,
+        Some("text") => Domain::Text,
+        Some(other) => {
+            return Err(ErError::Parse {
+                line: lineno,
+                message: format!("unknown attribute type `{other}`"),
+            })
+        }
+        None if is_key => Domain::Integer,
+        None => Domain::Text,
+    };
+    Ok(Attribute { name: name.to_string(), is_key, domain })
+}
+
+fn parse_rel(diagram: &mut ErDiagram, line: &str, lineno: usize) -> Result<(), ErError> {
+    let err = |message: String| ErError::Parse { line: lineno, message };
+    // strip any attribute block before tokenizing the header
+    let header = match line.find('{') {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    let attrs = parse_attr_block(line, lineno)?;
+    let toks: Vec<&str> = header.split_whitespace().collect();
+    // rel NAME X:Y LEFT -- RIGHT
+    if toks.len() != 6 || toks[4] != "--" {
+        return Err(err(format!(
+            "expected `rel NAME X:Y LEFT -- RIGHT`, got `{}`",
+            header.trim()
+        )));
+    }
+    let name = toks[1];
+    let (cl, cr) = parse_cardinalities(toks[2], lineno)?;
+    let left = parse_participant(toks[3], cl);
+    let right = parse_participant(toks[5], cr);
+    diagram
+        .add_relationship(name, vec![left, right], attrs)
+        .map_err(|e| err(e.to_string()))
+}
+
+/// `X:Y` where one `X` relates to `Y` many/one right instances. The endpoint
+/// cardinality is the *opposite* side's multiplicity: in `1:m`, the left
+/// participant joins Many instances (one left : many right).
+fn parse_cardinalities(tok: &str, lineno: usize) -> Result<(Cardinality, Cardinality), ErError> {
+    let parse_side = |s: &str| match s {
+        "1" => Some(false),
+        "m" | "n" | "M" | "N" => Some(true),
+        _ => None,
+    };
+    let (l, r) = tok.split_once(':').unwrap_or((tok, ""));
+    match (parse_side(l), parse_side(r)) {
+        (Some(lm), Some(rm)) => {
+            // left endpoint participates in as many instances as there are
+            // right partners per left instance, and vice versa.
+            let left_card = if rm { Cardinality::Many } else { Cardinality::One };
+            let right_card = if lm { Cardinality::Many } else { Cardinality::One };
+            Ok((left_card, right_card))
+        }
+        _ => Err(ErError::Parse {
+            line: lineno,
+            message: format!("bad cardinality `{tok}` (use 1:1, 1:m, m:1, or m:n)"),
+        }),
+    }
+}
+
+fn parse_participant(tok: &str, cardinality: Cardinality) -> Endpoint {
+    let (tok, total) = match tok.strip_suffix('!') {
+        Some(t) => (t, true),
+        None => (tok, false),
+    };
+    let (name, role) = match tok.split_once('@') {
+        Some((n, r)) => (n, Some(r.to_string())),
+        None => (tok, None),
+    };
+    let mut ep = Endpoint::new(name, cardinality);
+    if total {
+        ep = ep.total();
+    }
+    ep.role = role;
+    ep
+}
+
+/// Serialize a (binary) diagram back to DSL text. Inverse of
+/// [`parse_diagram`] up to formatting.
+pub fn to_dsl(diagram: &ErDiagram) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "diagram {}", diagram.name);
+    for e in &diagram.entities {
+        let _ = write!(s, "entity {}", e.name);
+        write_attrs(&mut s, &e.attributes);
+        s.push('\n');
+    }
+    for r in &diagram.relationships {
+        assert!(r.is_binary(), "DSL serialization requires binary relationships");
+        let (l, rr) = (&r.endpoints[0], &r.endpoints[1]);
+        // invert the endpoint-cardinality encoding back to X:Y notation
+        let x = match rr.cardinality {
+            Cardinality::Many => "m",
+            Cardinality::One => "1",
+        };
+        let y = match l.cardinality {
+            Cardinality::Many => "m",
+            Cardinality::One => "1",
+        };
+        let _ = write!(s, "rel {} {}:{} {} -- {}", r.name, x, y, fmt_participant(l), fmt_participant(rr));
+        write_attrs(&mut s, &r.attributes);
+        s.push('\n');
+    }
+    s
+}
+
+fn fmt_participant(ep: &Endpoint) -> String {
+    let mut s = ep.participant.clone();
+    if let Some(role) = &ep.role {
+        s.push('@');
+        s.push_str(role);
+    }
+    if ep.participation == crate::model::Participation::Total {
+        s.push('!');
+    }
+    s
+}
+
+fn write_attrs(s: &mut String, attrs: &[Attribute]) {
+    use std::fmt::Write as _;
+    if attrs.is_empty() {
+        return;
+    }
+    s.push_str(" {");
+    for a in attrs {
+        let _ = write!(s, " {}", a.name);
+        if a.is_key {
+            s.push('*');
+        }
+        match (&a.domain, a.is_key) {
+            (Domain::Integer, true) => {}
+            (Domain::Text, false) => {}
+            (Domain::Integer, false) => s.push_str(":int"),
+            (Domain::Float, _) => s.push_str(":float"),
+            (Domain::Date, _) => s.push_str(":date"),
+            (Domain::Text, true) => s.push_str(":text"),
+            _ => panic!("non-atomic attribute in DSL serialization"),
+        }
+    }
+    s.push_str(" }");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Participation;
+
+    #[test]
+    fn parses_entities_rels_attrs() {
+        let d = parse_diagram(
+            "diagram shop\n\
+             # a comment\n\
+             entity customer { id* name email }\n\
+             entity order { id* total:float placed:date }\n\
+             rel make 1:m customer -- order!  # totals\n\
+             rel pays m:n customer -- order { method }\n",
+        )
+        .unwrap();
+        assert_eq!(d.name, "shop");
+        assert_eq!(d.entities.len(), 2);
+        let c = d.entity("customer").unwrap();
+        assert!(c.attributes[0].is_key);
+        assert_eq!(c.attributes[0].domain, Domain::Integer);
+        assert_eq!(d.entity("order").unwrap().attributes[1].domain, Domain::Float);
+        let make = d.relationship("make").unwrap();
+        assert_eq!(make.endpoints[0].cardinality, Cardinality::Many); // one customer, many orders
+        assert_eq!(make.endpoints[1].cardinality, Cardinality::One);
+        assert_eq!(make.endpoints[1].participation, Participation::Total);
+        assert!(d.relationship("pays").unwrap().is_many_many());
+        assert_eq!(d.relationship("pays").unwrap().attributes[0].name, "method");
+    }
+
+    #[test]
+    fn m1_is_mirror_of_1m() {
+        let d = parse_diagram(
+            "entity a { id* }\nentity b { id* }\nrel r m:1 a -- b\n",
+        )
+        .unwrap();
+        let r = d.relationship("r").unwrap();
+        // many a : one b -> a participates once, b participates many times
+        assert_eq!(r.endpoints[0].cardinality, Cardinality::One);
+        assert_eq!(r.endpoints[1].cardinality, Cardinality::Many);
+    }
+
+    #[test]
+    fn roles_parsed() {
+        let d = parse_diagram(
+            "entity employee { id* }\nrel manages 1:m employee@boss -- employee@report\n",
+        )
+        .unwrap();
+        let r = d.relationship("manages").unwrap();
+        assert_eq!(r.endpoints[0].role.as_deref(), Some("boss"));
+        assert_eq!(r.endpoints[1].role.as_deref(), Some("report"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_diagram("entity a { id* }\nrel r 1:m a - b\n").unwrap_err();
+        assert!(matches!(e, ErError::Parse { line: 2, .. }), "{e:?}");
+        let e = parse_diagram("entity a { id*\n").unwrap_err();
+        assert!(matches!(e, ErError::Parse { line: 1, .. }), "{e:?}");
+        let e = parse_diagram("entity a { id* }\nrel r 2:m a -- a\n").unwrap_err();
+        assert!(matches!(e, ErError::Parse { line: 2, .. }), "{e:?}");
+        let e = parse_diagram("bogus x\n").unwrap_err();
+        assert!(matches!(e, ErError::Parse { line: 1, .. }), "{e:?}");
+    }
+
+    #[test]
+    fn unknown_participant_fails_validation() {
+        let e = parse_diagram("entity a { id* }\nrel r 1:m a -- nope\n").unwrap_err();
+        assert!(matches!(e, ErError::UnknownParticipant { .. }), "{e:?}");
+    }
+
+    #[test]
+    fn round_trip() {
+        let src = "diagram shop\n\
+             entity customer { id* name joined:date score:int }\n\
+             entity order { id* total:float }\n\
+             rel make 1:m customer -- order!\n\
+             rel pays m:n customer -- order { method }\n\
+             rel twin 1:1 customer -- order\n";
+        let d = parse_diagram(src).unwrap();
+        let printed = to_dsl(&d);
+        let d2 = parse_diagram(&printed).unwrap();
+        assert_eq!(d, d2);
+    }
+}

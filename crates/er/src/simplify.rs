@@ -1,0 +1,245 @@
+//! Reduction of arbitrary ER diagrams to *simplified* ones (§2.1).
+//!
+//! Simplified diagrams contain only binary relationship types and atomic
+//! attributes. The paper notes that arbitrary diagrams can be translated into
+//! simplified ones "by applying simple transformations"; we implement the
+//! textbook versions:
+//!
+//! * **n-ary relationship** `R(E1, …, Ek)`, k ≥ 3 → reify `R` as an entity
+//!   type carrying `R`'s attributes, plus `k` binary relationships
+//!   `R_Ei` that are 1:M from `Ei` to `R` (each `R` instance involves exactly
+//!   one `Ei` instance).
+//! * **composite attribute** → flattened atomic attributes with
+//!   underscore-joined names (`address.city` → `address_city`).
+//! * **multivalued attribute** `A` of `E` → a new weak entity `E_A` holding a
+//!   single `value` attribute, linked by a 1:M relationship `E_has_A`.
+
+use crate::error::ErError;
+use crate::model::{
+    Attribute, Cardinality, Domain, Endpoint, ErDiagram, Participation,
+};
+
+/// Produce a simplified copy of `diagram`. Idempotent on already simplified
+/// diagrams (returns an equal diagram).
+pub fn simplify(diagram: &ErDiagram) -> Result<ErDiagram, ErError> {
+    diagram.validate()?;
+    let mut out = ErDiagram::new(&diagram.name);
+
+    // Entities, with attribute flattening and multivalued extraction.
+    let mut extracted: Vec<(String, String)> = Vec::new(); // (owner, new entity)
+    for e in &diagram.entities {
+        let (atomic, multi) = split_attributes(&e.attributes);
+        out.add_entity(&e.name, atomic)?;
+        for (attr_name, elem_domain) in multi {
+            let child = format!("{}_{}", e.name, attr_name);
+            out.add_entity(
+                &child,
+                vec![Attribute { name: "value".to_string(), is_key: false, domain: elem_domain }],
+            )?;
+            extracted.push((e.name.clone(), child));
+        }
+    }
+    for (owner, child) in &extracted {
+        let rel = format!("{owner}_has_{}", child.strip_prefix(&format!("{owner}_")).unwrap_or(child));
+        out.add_relationship(
+            &rel,
+            vec![
+                Endpoint::new(owner, Cardinality::Many),
+                Endpoint::new(child, Cardinality::One).total(),
+            ],
+            Vec::new(),
+        )?;
+    }
+
+    // Relationships: binary kept (with flattened attributes); n-ary reified.
+    for r in &diagram.relationships {
+        let (atomic, multi) = split_attributes(&r.attributes);
+        if !multi.is_empty() {
+            return Err(ErError::NotSimplified(format!(
+                "relationship `{}` has a multivalued attribute; move it to an entity first",
+                r.name
+            )));
+        }
+        if r.is_binary() {
+            out.add_relationship(&r.name, r.endpoints.clone(), atomic)?;
+        } else {
+            // Reify: R becomes an entity; add a surrogate key.
+            let mut attrs = vec![Attribute::key("id")];
+            attrs.extend(atomic.into_iter().filter(|a| a.name != "id"));
+            out.add_entity(&r.name, attrs)?;
+            for ep in &r.endpoints {
+                let suffix = ep.role.as_deref().unwrap_or(&ep.participant);
+                let rel_name = format!("{}_{}", r.name, suffix);
+                // Each R instance involves exactly one Ei instance; Ei may be
+                // in many R instances unless its original cardinality was One.
+                let ei_card = ep.cardinality;
+                out.add_relationship(
+                    &rel_name,
+                    vec![
+                        Endpoint {
+                            participant: ep.participant.clone(),
+                            cardinality: ei_card,
+                            participation: ep.participation,
+                            role: ep.role.clone(),
+                        },
+                        Endpoint {
+                            participant: r.name.clone(),
+                            cardinality: Cardinality::One,
+                            participation: Participation::Total,
+                            role: None,
+                        },
+                    ],
+                    Vec::new(),
+                )?;
+            }
+        }
+    }
+
+    out.validate()?;
+    debug_assert!(out.is_simplified());
+    Ok(out)
+}
+
+/// Flatten composite attributes; split off multivalued ones.
+fn split_attributes(attrs: &[Attribute]) -> (Vec<Attribute>, Vec<(String, Domain)>) {
+    let mut atomic = Vec::new();
+    let mut multi = Vec::new();
+    for a in attrs {
+        flatten_into(a, None, &mut atomic, &mut multi);
+    }
+    (atomic, multi)
+}
+
+fn flatten_into(
+    a: &Attribute,
+    prefix: Option<&str>,
+    atomic: &mut Vec<Attribute>,
+    multi: &mut Vec<(String, Domain)>,
+) {
+    let name = match prefix {
+        Some(p) => format!("{p}_{}", a.name),
+        None => a.name.clone(),
+    };
+    match &a.domain {
+        Domain::Composite(subs) => {
+            for s in subs {
+                flatten_into(s, Some(&name), atomic, multi);
+            }
+        }
+        Domain::MultiValued(elem) => {
+            multi.push((name, (**elem).clone()));
+        }
+        d => atomic.push(Attribute { name, is_key: a.is_key, domain: d.clone() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ErGraph;
+
+    #[test]
+    fn already_simplified_is_identity() {
+        let mut d = ErDiagram::new("t");
+        d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+        d.add_entity("b", vec![Attribute::key("id")]).unwrap();
+        d.add_rel_1m("r", "a", "b").unwrap();
+        let s = simplify(&d).unwrap();
+        assert_eq!(s, d);
+    }
+
+    #[test]
+    fn ternary_relationship_is_reified() {
+        let mut d = ErDiagram::new("t");
+        for n in ["supplier", "part", "project"] {
+            d.add_entity(n, vec![Attribute::key("id")]).unwrap();
+        }
+        d.add_relationship(
+            "supplies",
+            vec![
+                Endpoint::new("supplier", Cardinality::Many),
+                Endpoint::new("part", Cardinality::Many),
+                Endpoint::new("project", Cardinality::Many),
+            ],
+            vec![Attribute::text("qty")],
+        )
+        .unwrap();
+        let s = simplify(&d).unwrap();
+        assert!(s.is_simplified());
+        // supplies became an entity with qty + surrogate id
+        let e = s.entity("supplies").unwrap();
+        assert!(e.attributes.iter().any(|a| a.name == "qty"));
+        assert!(e.attributes.iter().any(|a| a.is_key));
+        // three binary relationships
+        assert!(s.relationship("supplies_supplier").is_some());
+        assert!(s.relationship("supplies_part").is_some());
+        assert!(s.relationship("supplies_project").is_some());
+        // each is 1:m from participant to supplies
+        let r = s.relationship("supplies_part").unwrap();
+        assert_eq!(r.endpoints[0].cardinality, Cardinality::Many);
+        assert_eq!(r.endpoints[1].cardinality, Cardinality::One);
+        // and the result builds a graph
+        ErGraph::from_diagram(&s).unwrap();
+    }
+
+    #[test]
+    fn composite_attributes_flattened() {
+        let mut d = ErDiagram::new("t");
+        d.add_entity(
+            "person",
+            vec![
+                Attribute::key("id"),
+                Attribute::with_domain(
+                    "address",
+                    Domain::Composite(vec![Attribute::text("city"), Attribute::text("zip")]),
+                ),
+            ],
+        )
+        .unwrap();
+        let s = simplify(&d).unwrap();
+        let p = s.entity("person").unwrap();
+        let names: Vec<&str> = p.attributes.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["id", "address_city", "address_zip"]);
+    }
+
+    #[test]
+    fn multivalued_attribute_extracted_as_weak_entity() {
+        let mut d = ErDiagram::new("t");
+        d.add_entity(
+            "person",
+            vec![
+                Attribute::key("id"),
+                Attribute::with_domain("phone", Domain::MultiValued(Box::new(Domain::Text))),
+            ],
+        )
+        .unwrap();
+        let s = simplify(&d).unwrap();
+        assert!(s.entity("person_phone").is_some());
+        let r = s.relationship("person_has_phone").unwrap();
+        assert_eq!(r.endpoints[0].participant, "person");
+        assert_eq!(r.endpoints[0].cardinality, Cardinality::Many);
+        assert_eq!(r.endpoints[1].participation, Participation::Total);
+        assert!(s.is_simplified());
+    }
+
+    #[test]
+    fn nested_composite_with_multivalued_inside() {
+        let mut d = ErDiagram::new("t");
+        d.add_entity(
+            "person",
+            vec![Attribute::with_domain(
+                "contact",
+                Domain::Composite(vec![
+                    Attribute::text("email"),
+                    Attribute::with_domain("phone", Domain::MultiValued(Box::new(Domain::Text))),
+                ]),
+            )],
+        )
+        .unwrap();
+        let s = simplify(&d).unwrap();
+        let p = s.entity("person").unwrap();
+        assert!(p.attributes.iter().any(|a| a.name == "contact_email"));
+        assert!(s.entity("person_contact_phone").is_some());
+        assert!(s.relationship("person_has_contact_phone").is_some());
+    }
+}

@@ -1,0 +1,56 @@
+//! Color identifiers.
+//!
+//! Colors are dense small integers; display names follow the palette the
+//! paper uses in Figure 5 (BLUE, RED, PURPLE, ORANGE, GREEN) and continue
+//! with more names, falling back to `color<N>` beyond the palette.
+
+use std::fmt;
+
+/// Identifier of one color (one overlay tree/forest) of an MCT schema or
+/// database. Dense: `0..schema.color_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColorId(pub u16);
+
+impl ColorId {
+    /// The color index as a `usize`.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ColorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", color_name(*self))
+    }
+}
+
+/// Human-readable name of a color, matching the paper's Figure 5 palette
+/// for the first five.
+pub fn color_name(c: ColorId) -> String {
+    const PALETTE: [&str; 12] = [
+        "blue", "red", "purple", "orange", "green", "teal", "gold", "magenta", "cyan", "olive",
+        "navy", "coral",
+    ];
+    match PALETTE.get(c.idx()) {
+        Some(name) => (*name).to_string(),
+        None => format!("color{}", c.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palette_matches_figure_5() {
+        // Figure 5 uses BLUE, RED, PURPLE, ORANGE, GREEN for TPC-W's DR schema.
+        let names: Vec<String> = (0..5).map(|i| color_name(ColorId(i))).collect();
+        assert_eq!(names, ["blue", "red", "purple", "orange", "green"]);
+    }
+
+    #[test]
+    fn overflow_names_are_generated() {
+        assert_eq!(color_name(ColorId(40)), "color40");
+        assert_eq!(format!("{}", ColorId(1)), "red");
+    }
+}

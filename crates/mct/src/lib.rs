@@ -1,0 +1,34 @@
+//! # colorist-mct — the Multi-Colored Trees data model
+//!
+//! MCT (Jagadish et al., SIGMOD 2004, "Colorful XML: one hierarchy isn't
+//! enough") extends the XML data model in two ways (§2.2 of the ICDE'06
+//! paper):
+//!
+//! * every data node has one or more **colors** from a finite set;
+//! * an MCT database consists of one colored tree per color, overlaid on the
+//!   same node set — a node belongs to exactly one rooted tree for each of
+//!   its colors.
+//!
+//! A single-color MCT database is exactly an XML database, so the paper's
+//! single-color schemas (DEEP / SHALLOW / AF) are just 1-color instances of
+//! the structures in this crate.
+//!
+//! This crate defines the **schema-level** artifacts:
+//!
+//! * [`color`] — color identifiers and display names;
+//! * [`schema`] — the [`MctSchema`]: per-color forests of *placements* (one
+//!   placement = one occurrence of an ER node type in one color), plus
+//!   idref links for value-encoded associations, with derived **inter-color
+//!   integrity constraints** (ICICs, §2.3);
+//! * [`path`] — colored XPath-style path expressions (each axis step is
+//!   augmented with a color, §2.2), used for query explanation.
+
+pub mod color;
+pub mod path;
+pub mod schema;
+
+pub use color::{color_name, ColorId};
+pub use path::{Axis, ColoredPath, PathStep};
+pub use schema::{
+    Icic, IdrefLink, MctSchema, MctSchemaBuilder, Placement, PlacementId, SchemaError,
+};

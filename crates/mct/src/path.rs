@@ -1,0 +1,132 @@
+//! Colored path expressions — the multi-colored version of XPath (§2.2).
+//!
+//! MCT databases are queried with XPath/XQuery extensions in which **each
+//! axis step is augmented with a color** naming the overlay tree to navigate
+//! in. This module provides a tiny AST used to *display* compiled plans in a
+//! familiar syntax (e.g. `/blue::country[@name='Japan']//blue::order`);
+//! evaluation happens on physical plans in `colorist-query`.
+
+use crate::color::{color_name, ColorId};
+use std::fmt;
+
+/// An XPath axis. Structural recoverability only ever needs the two
+/// downward axes (§3.1: direct recoverability is a single parent-child or
+/// ancestor-descendant step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `/` — parent-child.
+    Child,
+    /// `//` — ancestor-descendant.
+    Descendant,
+}
+
+/// One colored axis step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStep {
+    /// The color in which the step navigates.
+    pub color: ColorId,
+    /// Child or descendant.
+    pub axis: Axis,
+    /// Element label (ER node type name).
+    pub label: String,
+    /// Optional attribute predicate, pre-rendered (e.g. `@name='Japan'`).
+    pub predicate: Option<String>,
+}
+
+/// A colored path expression: a sequence of steps from a color root.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ColoredPath {
+    /// The steps, outermost first.
+    pub steps: Vec<PathStep>,
+}
+
+impl ColoredPath {
+    /// An empty path.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a step.
+    pub fn push(&mut self, step: PathStep) {
+        self.steps.push(step);
+    }
+
+    /// Number of axis steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the path has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of color changes between consecutive steps — each one is a
+    /// *color crossing* at evaluation time.
+    pub fn color_crossings(&self) -> usize {
+        self.steps.windows(2).filter(|w| w[0].color != w[1].color).count()
+    }
+}
+
+impl fmt::Display for PathStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let axis = match self.axis {
+            Axis::Child => "/",
+            Axis::Descendant => "//",
+        };
+        write!(f, "{axis}{}::{}", color_name(self.color), self.label)?;
+        if let Some(p) = &self.predicate {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ColoredPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.steps {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(color: u16, axis: Axis, label: &str) -> PathStep {
+        PathStep { color: ColorId(color), axis, label: label.to_string(), predicate: None }
+    }
+
+    #[test]
+    fn renders_like_colored_xpath() {
+        let mut p = ColoredPath::new();
+        p.push(PathStep {
+            predicate: Some("@name='Japan'".to_string()),
+            ..step(0, Axis::Child, "country")
+        });
+        p.push(step(0, Axis::Descendant, "order"));
+        assert_eq!(p.to_string(), "/blue::country[@name='Japan']//blue::order");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.color_crossings(), 0);
+    }
+
+    #[test]
+    fn counts_color_crossings() {
+        let mut p = ColoredPath::new();
+        p.push(step(0, Axis::Child, "a"));
+        p.push(step(1, Axis::Descendant, "b"));
+        p.push(step(1, Axis::Child, "c"));
+        p.push(step(2, Axis::Descendant, "d"));
+        assert_eq!(p.color_crossings(), 2);
+        assert!(p.to_string().contains("//red::b"));
+    }
+
+    #[test]
+    fn empty_path() {
+        let p = ColoredPath::new();
+        assert!(p.is_empty());
+        assert_eq!(p.to_string(), "");
+    }
+}

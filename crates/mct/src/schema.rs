@@ -1,0 +1,679 @@
+//! MCT schemas (§2.3): per-color forests of **placements** plus idref links,
+//! with derived inter-color integrity constraints (ICICs).
+//!
+//! Formally the paper defines an MCT schema as a tuple `(V, c, E1..Ec, I)`:
+//! labelled nodes `V`, `c` colors, one edge set per color each forming an
+//! ordered labelled graph on `V`, and a set `I` of ICICs. We represent each
+//! color's edge set as a forest of *placements*:
+//!
+//! * a [`Placement`] is one occurrence of an ER node type in one color's
+//!   forest — normalized schemas have at most one placement per (node,
+//!   color), while un-normalized schemas (DEEP, UNDR) may repeat a node type
+//!   within a color, which is exactly how they trade redundancy for direct
+//!   recoverability;
+//! * every non-root placement records the **ER edge** its placement edge
+//!   realizes, which is what the normal forms quantify over: *edge normal
+//!   form* (EN) says no ER edge is realized in more than one color, and each
+//!   ER edge realized in ≥ 2 colors contributes one [`Icic`];
+//! * ER edges not realized structurally anywhere may be encoded as
+//!   [`IdrefLink`]s — id/idref attribute values recovered at query time by
+//!   value joins (the expensive operation the paper designs away from).
+
+use crate::color::ColorId;
+use colorist_er::{EdgeId, ErGraph, NodeId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of a placement within an [`MctSchema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlacementId(pub u32);
+
+impl PlacementId {
+    /// The placement index as a `usize`.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PlacementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One occurrence of an ER node type in one color's forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// The ER node type this placement instantiates.
+    pub node: NodeId,
+    /// The color whose forest contains this placement.
+    pub color: ColorId,
+    /// Parent placement and the ER edge the placement edge realizes;
+    /// `None` for roots of the color's forest (children of the implicit
+    /// per-color document root).
+    pub parent: Option<(PlacementId, EdgeId)>,
+}
+
+/// A value-encoded association: the relationship element carries an idref
+/// attribute pointing at the id of its participant on this ER edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdrefLink {
+    /// The ER edge encoded by value.
+    pub edge: EdgeId,
+    /// Name of the idref attribute (e.g. `bill_address_idref`), placed on
+    /// the relationship element of the edge.
+    pub attr: String,
+}
+
+/// An inter-color integrity constraint (§2.3): the same ER edge realized in
+/// two or more colors must be present between the same pair of data nodes in
+/// *all* of those colors, or in none.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Icic {
+    /// The redundantly realized ER edge.
+    pub edge: EdgeId,
+    /// The colors realizing it (≥ 2, sorted).
+    pub colors: Vec<ColorId>,
+}
+
+/// Errors detected while assembling a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A child placement's color differs from its parent's.
+    ColorMismatch { parent: PlacementId, child_color: ColorId },
+    /// The realizing ER edge does not connect the parent and child node
+    /// types.
+    EdgeMismatch { parent: PlacementId, edge: EdgeId },
+    /// An ER node type has no placement in any color (the schema would lose
+    /// its instances).
+    UncoveredNode(String),
+    /// An ER edge is neither realized structurally nor encoded as an idref
+    /// (the association would be unrecoverable).
+    UncoveredEdge(String),
+    /// The same ER edge is both structural in some color and idref-encoded.
+    RedundantIdref(String),
+    /// A referenced placement does not exist.
+    NoSuchPlacement(PlacementId),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::ColorMismatch { parent, child_color } => {
+                write!(f, "placement under {parent} declared in different color {child_color}")
+            }
+            SchemaError::EdgeMismatch { parent, edge } => {
+                write!(f, "edge {edge} does not connect placement {parent} to the child node type")
+            }
+            SchemaError::UncoveredNode(n) => write!(f, "ER node `{n}` has no placement"),
+            SchemaError::UncoveredEdge(e) => {
+                write!(f, "ER edge `{e}` is neither structural nor idref-encoded")
+            }
+            SchemaError::RedundantIdref(e) => {
+                write!(f, "ER edge `{e}` is both structural and idref-encoded")
+            }
+            SchemaError::NoSuchPlacement(p) => write!(f, "no such placement {p}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A complete MCT schema over an ER graph.
+///
+/// Built through [`MctSchemaBuilder`]; immutable afterwards. All derived
+/// structure (children lists, roots, per-edge realizations, ICICs) is
+/// precomputed.
+#[derive(Debug, Clone)]
+pub struct MctSchema {
+    /// Diagram name this schema was designed for.
+    pub diagram: String,
+    /// Label of the design strategy that produced it (e.g. `"DR"`).
+    pub strategy: String,
+    color_count: u16,
+    placements: Vec<Placement>,
+    children: Vec<Vec<PlacementId>>,
+    roots: Vec<Vec<PlacementId>>,
+    by_node: Vec<Vec<PlacementId>>,
+    idrefs: Vec<IdrefLink>,
+    icics: Vec<Icic>,
+    /// Per ER edge: (color, child placement) pairs realizing it structurally.
+    edge_realizations: Vec<Vec<(ColorId, PlacementId)>>,
+}
+
+impl MctSchema {
+    /// Number of colors (the paper's *color frugality* metric).
+    pub fn color_count(&self) -> usize {
+        self.color_count as usize
+    }
+
+    /// All color ids.
+    pub fn colors(&self) -> impl Iterator<Item = ColorId> {
+        (0..self.color_count).map(ColorId)
+    }
+
+    /// All placements, indexable by [`PlacementId`].
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// The placement with the given id.
+    pub fn placement(&self, p: PlacementId) -> &Placement {
+        &self.placements[p.idx()]
+    }
+
+    /// All placement ids.
+    pub fn placement_ids(&self) -> impl Iterator<Item = PlacementId> + '_ {
+        (0..self.placements.len() as u32).map(PlacementId)
+    }
+
+    /// Child placements of `p` within its color.
+    pub fn children(&self, p: PlacementId) -> &[PlacementId] {
+        &self.children[p.idx()]
+    }
+
+    /// Root placements of a color's forest.
+    pub fn roots(&self, color: ColorId) -> &[PlacementId] {
+        &self.roots[color.idx()]
+    }
+
+    /// Every placement of an ER node type, across all colors.
+    pub fn placements_of(&self, node: NodeId) -> &[PlacementId] {
+        &self.by_node[node.idx()]
+    }
+
+    /// Placements of `node` in one color (an NN schema yields ≤ 1).
+    pub fn placements_of_in_color(&self, node: NodeId, color: ColorId) -> Vec<PlacementId> {
+        self.by_node[node.idx()]
+            .iter()
+            .copied()
+            .filter(|&p| self.placement(p).color == color)
+            .collect()
+    }
+
+    /// Structural realizations of an ER edge: `(color, child placement)`.
+    pub fn edge_realizations(&self, edge: EdgeId) -> &[(ColorId, PlacementId)] {
+        &self.edge_realizations[edge.idx()]
+    }
+
+    /// Distinct colors in which an ER edge is structurally realized.
+    pub fn edge_colors(&self, edge: EdgeId) -> Vec<ColorId> {
+        let mut v: Vec<ColorId> =
+            self.edge_realizations[edge.idx()].iter().map(|&(c, _)| c).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The idref links (value-encoded ER edges).
+    pub fn idrefs(&self) -> &[IdrefLink] {
+        &self.idrefs
+    }
+
+    /// The idref link for an edge, if the edge is value-encoded.
+    pub fn idref_for(&self, edge: EdgeId) -> Option<&IdrefLink> {
+        self.idrefs.iter().find(|l| l.edge == edge)
+    }
+
+    /// The derived inter-color integrity constraints. Empty iff the schema
+    /// is in edge normal form.
+    pub fn icics(&self) -> &[Icic] {
+        &self.icics
+    }
+
+    /// Depth of a placement within its color tree (roots have depth 0).
+    pub fn depth(&self, p: PlacementId) -> usize {
+        let mut d = 0;
+        let mut cur = p;
+        while let Some((parent, _)) = self.placement(cur).parent {
+            d += 1;
+            cur = parent;
+        }
+        d
+    }
+
+    /// Whether `anc` is a proper ancestor of `desc` (same color only, since
+    /// parents never cross colors).
+    pub fn is_ancestor(&self, anc: PlacementId, desc: PlacementId) -> bool {
+        let mut cur = desc;
+        while let Some((parent, _)) = self.placement(cur).parent {
+            if parent == anc {
+                return true;
+            }
+            cur = parent;
+        }
+        false
+    }
+
+    /// The placements on the path from `p` up to its root, inclusive,
+    /// bottom-up, with the realizing edges (`None` at the root).
+    pub fn path_to_root(&self, p: PlacementId) -> Vec<(PlacementId, Option<EdgeId>)> {
+        let mut out = Vec::new();
+        let mut cur = p;
+        loop {
+            match self.placement(cur).parent {
+                Some((parent, edge)) => {
+                    out.push((cur, Some(edge)));
+                    cur = parent;
+                }
+                None => {
+                    out.push((cur, None));
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// Iterate a placement's subtree in preorder (including `p`).
+    pub fn subtree(&self, p: PlacementId) -> Vec<PlacementId> {
+        let mut out = Vec::new();
+        let mut stack = vec![p];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            // push children in reverse so preorder is left-to-right
+            stack.extend(self.children(x).iter().rev().copied());
+        }
+        out
+    }
+
+    /// Human-readable rendering of the schema, one tree per color, used in
+    /// examples and reports.
+    pub fn render(&self, graph: &ErGraph) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "schema {} [{}]: {} colors, {} placements, {} idrefs, {} ICICs",
+            self.diagram,
+            self.strategy,
+            self.color_count(),
+            self.placements.len(),
+            self.idrefs.len(),
+            self.icics.len()
+        );
+        for c in self.colors() {
+            let _ = writeln!(s, "  ({})", crate::color::color_name(c).to_uppercase());
+            for &r in self.roots(c) {
+                self.render_tree(graph, r, 2, &mut s);
+            }
+        }
+        for l in &self.idrefs {
+            let e = graph.edge(l.edge);
+            let _ = writeln!(
+                s,
+                "  idref: {} --[{}]--> {}",
+                graph.node(e.rel).name,
+                l.attr,
+                graph.node(e.participant).name
+            );
+        }
+        s
+    }
+
+    fn render_tree(&self, graph: &ErGraph, p: PlacementId, indent: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "{}{}",
+            "  ".repeat(indent),
+            graph.node(self.placement(p).node).name
+        );
+        for &c in self.children(p) {
+            self.render_tree(graph, c, indent + 1, out);
+        }
+    }
+}
+
+/// Incremental builder for [`MctSchema`].
+#[derive(Debug)]
+pub struct MctSchemaBuilder {
+    diagram: String,
+    strategy: String,
+    color_count: u16,
+    placements: Vec<Placement>,
+    idrefs: Vec<IdrefLink>,
+}
+
+impl MctSchemaBuilder {
+    /// Start a schema for the given diagram and strategy label.
+    pub fn new(diagram: &str, strategy: &str) -> Self {
+        MctSchemaBuilder {
+            diagram: diagram.to_string(),
+            strategy: strategy.to_string(),
+            color_count: 0,
+            placements: Vec::new(),
+            idrefs: Vec::new(),
+        }
+    }
+
+    /// Allocate a new color and return its id.
+    pub fn add_color(&mut self) -> ColorId {
+        let c = ColorId(self.color_count);
+        self.color_count += 1;
+        c
+    }
+
+    /// Number of colors allocated so far.
+    pub fn color_count(&self) -> usize {
+        self.color_count as usize
+    }
+
+    /// Add a root placement of `node` to `color`'s forest.
+    pub fn add_root(&mut self, color: ColorId, node: NodeId) -> PlacementId {
+        assert!(color.0 < self.color_count, "color not allocated");
+        let id = PlacementId(self.placements.len() as u32);
+        self.placements.push(Placement { node, color, parent: None });
+        id
+    }
+
+    /// Add a child placement of `node` under `parent`, realizing `edge`.
+    pub fn add_child(&mut self, parent: PlacementId, edge: EdgeId, node: NodeId) -> PlacementId {
+        assert!(parent.idx() < self.placements.len(), "no such parent placement");
+        let color = self.placements[parent.idx()].color;
+        let id = PlacementId(self.placements.len() as u32);
+        self.placements.push(Placement { node, color, parent: Some((parent, edge)) });
+        id
+    }
+
+    /// Record `edge` as value-encoded. The idref attribute name is derived
+    /// from the participant name and role: `<role-or-name>_idref`.
+    pub fn add_idref(&mut self, graph: &ErGraph, edge: EdgeId) {
+        let e = graph.edge(edge);
+        let base = e.role.clone().unwrap_or_else(|| graph.node(e.participant).name.clone());
+        self.idrefs.push(IdrefLink { edge, attr: format!("{base}_idref") });
+    }
+
+    /// Reparent an existing placement (used by MCMR-style post-passes that
+    /// graft additional edges onto colors). The placement must currently be
+    /// a root of its color.
+    pub fn attach_root(
+        &mut self,
+        root: PlacementId,
+        new_parent: PlacementId,
+        edge: EdgeId,
+    ) -> Result<(), SchemaError> {
+        if root.idx() >= self.placements.len() {
+            return Err(SchemaError::NoSuchPlacement(root));
+        }
+        if new_parent.idx() >= self.placements.len() {
+            return Err(SchemaError::NoSuchPlacement(new_parent));
+        }
+        assert!(self.placements[root.idx()].parent.is_none(), "placement is not a root");
+        let pc = self.placements[new_parent.idx()].color;
+        let cc = self.placements[root.idx()].color;
+        if pc != cc {
+            return Err(SchemaError::ColorMismatch { parent: new_parent, child_color: cc });
+        }
+        self.placements[root.idx()].parent = Some((new_parent, edge));
+        Ok(())
+    }
+
+    /// Current placements (for strategy algorithms that inspect their own
+    /// partial output).
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Validate against the ER graph and freeze.
+    pub fn finish(self, graph: &ErGraph) -> Result<MctSchema, SchemaError> {
+        // Structural sanity: parent colors match (guaranteed by add_child /
+        // attach_root), realizing edges connect the right node types.
+        for (i, p) in self.placements.iter().enumerate() {
+            if let Some((parent, edge)) = p.parent {
+                let parent_node = self.placements[parent.idx()].node;
+                let e = graph.edge(edge);
+                let connects = (e.rel == parent_node && e.participant == p.node)
+                    || (e.participant == parent_node && e.rel == p.node);
+                if !connects {
+                    return Err(SchemaError::EdgeMismatch {
+                        parent: PlacementId(i as u32),
+                        edge,
+                    });
+                }
+            }
+        }
+
+        // Coverage: every node placed, every edge structural or idref.
+        let mut node_covered = vec![false; graph.node_count()];
+        let mut edge_structural = vec![false; graph.edge_count()];
+        for p in &self.placements {
+            node_covered[p.node.idx()] = true;
+            if let Some((_, edge)) = p.parent {
+                edge_structural[edge.idx()] = true;
+            }
+        }
+        if let Some(n) = node_covered.iter().position(|&c| !c) {
+            return Err(SchemaError::UncoveredNode(graph.node(NodeId(n as u32)).name.clone()));
+        }
+        let idref_edges: BTreeSet<EdgeId> = self.idrefs.iter().map(|l| l.edge).collect();
+        for e in graph.edge_ids() {
+            let s = edge_structural[e.idx()];
+            let v = idref_edges.contains(&e);
+            if !s && !v {
+                return Err(SchemaError::UncoveredEdge(describe_edge(graph, e)));
+            }
+            if s && v {
+                return Err(SchemaError::RedundantIdref(describe_edge(graph, e)));
+            }
+        }
+
+        // Derived structure.
+        let mut children: Vec<Vec<PlacementId>> = vec![Vec::new(); self.placements.len()];
+        let mut roots: Vec<Vec<PlacementId>> = vec![Vec::new(); self.color_count as usize];
+        let mut by_node: Vec<Vec<PlacementId>> = vec![Vec::new(); graph.node_count()];
+        let mut edge_realizations: Vec<Vec<(ColorId, PlacementId)>> =
+            vec![Vec::new(); graph.edge_count()];
+        for (i, p) in self.placements.iter().enumerate() {
+            let id = PlacementId(i as u32);
+            by_node[p.node.idx()].push(id);
+            match p.parent {
+                Some((parent, edge)) => {
+                    children[parent.idx()].push(id);
+                    edge_realizations[edge.idx()].push((p.color, id));
+                }
+                None => roots[p.color.idx()].push(id),
+            }
+        }
+
+        // ICICs: one per ER edge realized in >= 2 distinct colors.
+        let mut icics = Vec::new();
+        for e in graph.edge_ids() {
+            let mut colors: Vec<ColorId> =
+                edge_realizations[e.idx()].iter().map(|&(c, _)| c).collect();
+            colors.sort_unstable();
+            colors.dedup();
+            if colors.len() >= 2 {
+                icics.push(Icic { edge: e, colors });
+            }
+        }
+
+        Ok(MctSchema {
+            diagram: self.diagram,
+            strategy: self.strategy,
+            color_count: self.color_count,
+            placements: self.placements,
+            children,
+            roots,
+            by_node,
+            idrefs: self.idrefs,
+            icics,
+            edge_realizations,
+        })
+    }
+}
+
+fn describe_edge(graph: &ErGraph, e: EdgeId) -> String {
+    let edge = graph.edge(e);
+    format!("{}--{}", graph.node(edge.rel).name, graph.node(edge.participant).name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorist_er::{Attribute, ErDiagram};
+
+    fn small_graph() -> ErGraph {
+        let mut d = ErDiagram::new("t");
+        d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+        d.add_entity("b", vec![Attribute::key("id")]).unwrap();
+        d.add_rel_1m("r", "a", "b").unwrap();
+        ErGraph::from_diagram(&d).unwrap()
+    }
+
+    fn edge_between(g: &ErGraph, rel: &str, part: &str) -> EdgeId {
+        let rel = g.node_by_name(rel).unwrap();
+        let part = g.node_by_name(part).unwrap();
+        g.edge_ids()
+            .find(|&e| g.edge(e).rel == rel && g.edge(e).participant == part)
+            .unwrap()
+    }
+
+    /// A one-color a -> r -> b schema.
+    fn linear_schema(g: &ErGraph) -> MctSchema {
+        let mut b = MctSchemaBuilder::new("t", "TEST");
+        let c = b.add_color();
+        let a = g.node_by_name("a").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let bb = g.node_by_name("b").unwrap();
+        let pa = b.add_root(c, a);
+        let pr = b.add_child(pa, edge_between(g, "r", "a"), r);
+        b.add_child(pr, edge_between(g, "r", "b"), bb);
+        b.finish(g).unwrap()
+    }
+
+    #[test]
+    fn build_and_derive() {
+        let g = small_graph();
+        let s = linear_schema(&g);
+        assert_eq!(s.color_count(), 1);
+        assert_eq!(s.placements().len(), 3);
+        assert!(s.icics().is_empty());
+        let root = s.roots(ColorId(0))[0];
+        assert_eq!(s.depth(root), 0);
+        assert_eq!(s.children(root).len(), 1);
+        let r = s.children(root)[0];
+        let b = s.children(r)[0];
+        assert_eq!(s.depth(b), 2);
+        assert!(s.is_ancestor(root, b));
+        assert!(!s.is_ancestor(b, root));
+        assert_eq!(s.subtree(root), vec![root, r, b]);
+        assert_eq!(s.path_to_root(b).len(), 3);
+    }
+
+    #[test]
+    fn icic_derived_for_redundant_edge() {
+        let g = small_graph();
+        let a = g.node_by_name("a").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let bb = g.node_by_name("b").unwrap();
+        let e_ra = edge_between(&g, "r", "a");
+        let e_rb = edge_between(&g, "r", "b");
+        let mut b = MctSchemaBuilder::new("t", "TEST");
+        let c1 = b.add_color();
+        let c2 = b.add_color();
+        // color 1: a -> r -> b ; color 2: b -> r (edge r--b again!)
+        let pa = b.add_root(c1, a);
+        let pr = b.add_child(pa, e_ra, r);
+        b.add_child(pr, e_rb, bb);
+        let pb2 = b.add_root(c2, bb);
+        b.add_child(pb2, e_rb, r);
+        let s = b.finish(&g).unwrap();
+        assert_eq!(s.icics().len(), 1);
+        assert_eq!(s.icics()[0].edge, e_rb);
+        assert_eq!(s.icics()[0].colors, vec![c1, c2]);
+        assert_eq!(s.edge_colors(e_ra), vec![c1]);
+    }
+
+    #[test]
+    fn uncovered_edge_rejected_and_idref_accepted() {
+        let g = small_graph();
+        let a = g.node_by_name("a").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let bb = g.node_by_name("b").unwrap();
+        let e_ra = edge_between(&g, "r", "a");
+        let e_rb = edge_between(&g, "r", "b");
+
+        let mk = |with_idref: bool| {
+            let mut b = MctSchemaBuilder::new("t", "TEST");
+            let c = b.add_color();
+            let pa = b.add_root(c, a);
+            b.add_child(pa, e_ra, r);
+            let _pb = b.add_root(c, bb); // b placed but r--b edge not structural
+            if with_idref {
+                b.add_idref(&g, e_rb);
+            }
+            b.finish(&g)
+        };
+        assert!(matches!(mk(false), Err(SchemaError::UncoveredEdge(_))));
+        let s = mk(true).unwrap();
+        assert_eq!(s.idrefs().len(), 1);
+        assert_eq!(s.idref_for(e_rb).unwrap().attr, "b_idref");
+        assert!(s.idref_for(e_ra).is_none());
+    }
+
+    #[test]
+    fn uncovered_node_rejected() {
+        let g = small_graph();
+        let a = g.node_by_name("a").unwrap();
+        let mut b = MctSchemaBuilder::new("t", "TEST");
+        let c = b.add_color();
+        b.add_root(c, a);
+        assert!(matches!(b.finish(&g), Err(SchemaError::UncoveredNode(_))));
+    }
+
+    #[test]
+    fn edge_mismatch_rejected() {
+        let g = small_graph();
+        let a = g.node_by_name("a").unwrap();
+        let bb = g.node_by_name("b").unwrap();
+        let e_ra = edge_between(&g, "r", "a");
+        let mut b = MctSchemaBuilder::new("t", "TEST");
+        let c = b.add_color();
+        let pa = b.add_root(c, a);
+        // claim edge r--a connects a to b: wrong
+        b.add_child(pa, e_ra, bb);
+        assert!(matches!(b.finish(&g), Err(SchemaError::EdgeMismatch { .. })));
+    }
+
+    #[test]
+    fn redundant_idref_rejected() {
+        let g = small_graph();
+        let a = g.node_by_name("a").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let bb = g.node_by_name("b").unwrap();
+        let mut b = MctSchemaBuilder::new("t", "TEST");
+        let c = b.add_color();
+        let pa = b.add_root(c, a);
+        let pr = b.add_child(pa, edge_between(&g, "r", "a"), r);
+        b.add_child(pr, edge_between(&g, "r", "b"), bb);
+        b.add_idref(&g, edge_between(&g, "r", "b"));
+        assert!(matches!(b.finish(&g), Err(SchemaError::RedundantIdref(_))));
+    }
+
+    #[test]
+    fn attach_root_merges_trees() {
+        let g = small_graph();
+        let a = g.node_by_name("a").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let bb = g.node_by_name("b").unwrap();
+        let mut b = MctSchemaBuilder::new("t", "TEST");
+        let c = b.add_color();
+        let pa = b.add_root(c, a);
+        let pr = b.add_child(pa, edge_between(&g, "r", "a"), r);
+        let pb = b.add_root(c, bb);
+        b.attach_root(pb, pr, edge_between(&g, "r", "b")).unwrap();
+        let s = b.finish(&g).unwrap();
+        assert_eq!(s.roots(c).len(), 1);
+        assert_eq!(s.depth(pb), 2);
+    }
+
+    #[test]
+    fn render_mentions_strategy_and_colors() {
+        let g = small_graph();
+        let s = linear_schema(&g);
+        let out = s.render(&g);
+        assert!(out.contains("TEST"));
+        assert!(out.contains("BLUE"));
+        assert!(out.contains("a"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+/// Errors raised while building patterns or compiling them against a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A named ER node does not exist in the graph.
+    UnknownNode(String),
+    /// A named attribute does not exist on the node.
+    UnknownAttribute { node: String, attr: String },
+    /// No ER edge connects two adjacent nodes of a declared path.
+    NoSuchEdge { from: String, to: String },
+    /// The compiler found no realization of a pattern edge (the schema does
+    /// not cover the association structurally or by idref — impossible for
+    /// schemas produced by this workspace's strategies).
+    Unreachable { from: String, to: String },
+    /// The pattern has no nodes / invalid indices.
+    Malformed(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownNode(n) => write!(f, "unknown ER node `{n}`"),
+            QueryError::UnknownAttribute { node, attr } => {
+                write!(f, "node `{node}` has no attribute `{attr}`")
+            }
+            QueryError::NoSuchEdge { from, to } => {
+                write!(f, "no ER edge between `{from}` and `{to}`")
+            }
+            QueryError::Unreachable { from, to } => {
+                write!(f, "no realization of the association `{from}`..`{to}` in the schema")
+            }
+            QueryError::Malformed(m) => write!(f, "malformed pattern: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

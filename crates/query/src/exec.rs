@@ -1,0 +1,419 @@
+//! Plan execution against a stored database.
+
+use crate::plan::{Op, Plan, VDir};
+use colorist_er::ErGraph;
+use colorist_mct::{ColorId, PlacementId};
+use colorist_store::{
+    structural_join, value_join, AttrRef, Axis, Database, ElementId, Metrics, OccId,
+};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// The outcome of executing one query plan.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Physical result tuples — includes copies on un-normalized schemas
+    /// (the parenthesized numbers of Table 1).
+    pub results: u64,
+    /// Distinct logical results.
+    pub distinct: u64,
+    /// The distinct logical answers, as canonical element ids (sorted).
+    pub elements: Vec<ElementId>,
+    /// Measured metrics (plan ops + volumes + wall time).
+    pub metrics: Metrics,
+}
+
+/// A register value during execution.
+#[derive(Debug, Clone)]
+enum SetVal {
+    Occs { color: ColorId, occs: Vec<OccId> },
+    Elems(Vec<ElementId>),
+    Groups { count: usize, elems: Vec<ElementId> },
+}
+
+/// Execute a compiled plan.
+pub fn execute(db: &Database, graph: &ErGraph, plan: &Plan) -> QueryResult {
+    let start = Instant::now();
+    let mut metrics = Metrics::default();
+    let mut regs: Vec<Option<SetVal>> = vec![None; plan.reg_count];
+
+    // physical tuple count at the point duplicate elimination ran (the
+    // parenthesized duplicate counts of Table 1)
+    let mut pre_distinct: Option<u64> = None;
+    for op in &plan.ops {
+        if let Op::Distinct { src, .. } = op {
+            if let Some(SetVal::Occs { occs, .. }) = regs[*src].as_ref() {
+                pre_distinct = Some(occs.len() as u64);
+            }
+        }
+        let val = eval(db, graph, &mut metrics, &regs, op);
+        regs[op.dst()] = Some(val);
+    }
+
+    let out = regs[plan.output].take().expect("output register");
+    let (results, elements, count_groups) = match out {
+        SetVal::Occs { color, occs } => {
+            let elems = occs_to_canonical_inner(db, db.color(color), &occs);
+            (occs.len() as u64, elems, None)
+        }
+        SetVal::Elems(elems) => (elems.len() as u64, elems, None),
+        SetVal::Groups { count, elems } => (count as u64, elems, Some(count as u64)),
+    };
+    let distinct = count_groups.unwrap_or(elements.len() as u64);
+    let results = pre_distinct.unwrap_or(results).max(results);
+    metrics.results = results;
+    metrics.distinct_results = distinct;
+    metrics.elapsed = start.elapsed();
+    QueryResult { results, distinct, elements, metrics }
+}
+
+fn eval(
+    db: &Database,
+    graph: &ErGraph,
+    metrics: &mut Metrics,
+    regs: &[Option<SetVal>],
+    op: &Op,
+) -> SetVal {
+    match op {
+        Op::Scan { color, node, pred, .. } => {
+            let tree = db.color(*color);
+            let all = tree.of_node(*node);
+            metrics.elements_scanned += all.len() as u64;
+            let occs: Vec<OccId> = match pred {
+                None => all.to_vec(),
+                Some(p) => all
+                    .iter()
+                    .copied()
+                    .filter(|&o| p.eval(&db.element(tree.occ(o).element).attrs[p.attr]))
+                    .collect(),
+            };
+            SetVal::Occs { color: *color, occs }
+        }
+
+        Op::StructSemi { src, color, node, via, dir, .. } => {
+            let src_val = expect_occs(&regs[*src], *color, "StructSemi");
+            let tree = db.color(*color);
+            let k = via.len() as u16;
+            match dir {
+                VDir::Down => {
+                    // descendants at path-valid placements, exactly k below
+                    let valid = valid_desc_placements(db, *color, *node, via);
+                    let mut targets: Vec<OccId> = valid
+                        .iter()
+                        .flat_map(|&p| tree.of_placement(p).iter().copied())
+                        .collect();
+                    targets.sort_unstable();
+                    let pairs = structural_join(
+                        db,
+                        *color,
+                        src_val,
+                        &targets,
+                        Axis::Descendant,
+                        metrics,
+                    );
+                    let mut out: Vec<OccId> = pairs
+                        .into_iter()
+                        .filter(|&(a, d)| tree.occ(a).level + k == tree.occ(d).level)
+                        .map(|(_, d)| d)
+                        .collect();
+                    out.sort_unstable();
+                    out.dedup();
+                    SetVal::Occs { color: *color, occs: out }
+                }
+                VDir::Up => {
+                    // ancestors exactly k above, along the matching chain
+                    let valid = valid_desc_placement_set(db, *color, *node, via, src_val, tree);
+                    let desc: Vec<OccId> = src_val
+                        .iter()
+                        .copied()
+                        .filter(|&o| valid.contains(&tree.occ(o).placement))
+                        .collect();
+                    let anc = tree.of_node(*node).to_vec();
+                    let pairs =
+                        structural_join(db, *color, &anc, &desc, Axis::Descendant, metrics);
+                    let mut out: Vec<OccId> = pairs
+                        .into_iter()
+                        .filter(|&(a, d)| tree.occ(a).level + k == tree.occ(d).level)
+                        .map(|(a, _)| a)
+                        .collect();
+                    out.sort_unstable();
+                    out.dedup();
+                    SetVal::Occs { color: *color, occs: out }
+                }
+            }
+        }
+
+        Op::ValueSemi { src, edge, src_is_rel, enter, .. } => {
+            let src_elems = to_elems(db, &regs[*src]);
+            let e = graph.edge(*edge);
+            let idref_idx = db
+                .idref_attr_index(graph, *edge)
+                .expect("ValueSemi edge must be idref-encoded");
+            let matched: Vec<ElementId> = if *src_is_rel {
+                // src holds relationship elements; probe participant ids
+                let extent = db.extent(e.participant).to_vec();
+                value_join(db, &src_elems, AttrRef::Attr(idref_idx), &extent, AttrRef::Id, metrics)
+                    .into_iter()
+                    .map(|(_, r)| r)
+                    .collect()
+            } else {
+                let extent = db.extent(e.rel).to_vec();
+                value_join(db, &extent, AttrRef::Attr(idref_idx), &src_elems, AttrRef::Id, metrics)
+                    .into_iter()
+                    .map(|(l, _)| l)
+                    .collect()
+            };
+            let mut elems = matched;
+            elems.sort_unstable();
+            elems.dedup();
+            match enter {
+                Some(c) => SetVal::Occs { color: *c, occs: elems_to_occs(db, *c, &elems) },
+                None => SetVal::Elems(elems),
+            }
+        }
+
+        Op::LinkSemi { src, edge, src_is_rel, enter, .. } => {
+            // a parent-child step resolved through the stored link
+            // adjacency: exact on any schema
+            metrics.structural_joins += 1;
+            let src_elems = to_elems(db, &regs[*src]);
+            metrics.elements_scanned += src_elems.len() as u64;
+            let e = graph.edge(*edge);
+            let mut out: Vec<ElementId> = if *src_is_rel {
+                src_elems
+                    .iter()
+                    .filter_map(|&w| {
+                        let ro = db.element(w).ordinal;
+                        db.link(*edge, ro).map(|po| db.extent(e.participant)[po as usize])
+                    })
+                    .collect()
+            } else {
+                src_elems
+                    .iter()
+                    .flat_map(|&x| {
+                        let po = db.element(x).ordinal;
+                        db.linked_rels(*edge, po)
+                            .into_iter()
+                            .map(|ro| db.extent(e.rel)[ro as usize])
+                            .collect::<Vec<_>>()
+                    })
+                    .collect()
+            };
+            out.sort_unstable();
+            out.dedup();
+            match enter {
+                Some(c) => SetVal::Occs { color: *c, occs: elems_to_occs(db, *c, &out) },
+                None => SetVal::Elems(out),
+            }
+        }
+
+        Op::Cross { src, color, .. } => {
+            metrics.color_crossings += 1;
+            let elems = to_elems(db, &regs[*src]);
+            metrics.elements_scanned += elems.len() as u64;
+            SetVal::Occs { color: *color, occs: elems_to_occs(db, *color, &elems) }
+        }
+
+        Op::Intersect { a, b, .. } => {
+            let (ca, va) = match regs[*a].as_ref().expect("intersect input") {
+                SetVal::Occs { color, occs } => (*color, occs),
+                _ => panic!("Intersect expects occurrence sets"),
+            };
+            let vb = expect_occs(&regs[*b], ca, "Intersect");
+            // sorted merge
+            let mut out = Vec::with_capacity(va.len().min(vb.len()));
+            let (mut i, mut j) = (0, 0);
+            while i < va.len() && j < vb.len() {
+                match va[i].cmp(&vb[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.push(va[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            SetVal::Occs { color: ca, occs: out }
+        }
+
+        Op::Distinct { src, .. } => {
+            metrics.dup_eliminations += 1;
+            let elems = to_elems(db, &regs[*src]);
+            SetVal::Elems(elems)
+        }
+
+        Op::GroupBy { src, attr, .. } => {
+            metrics.group_bys += 1;
+            let elems = to_elems(db, &regs[*src]);
+            metrics.elements_scanned += elems.len() as u64;
+            let mut keys = HashSet::new();
+            for &e in &elems {
+                keys.insert(db.element(e).attrs[*attr].join_key());
+            }
+            SetVal::Groups { count: keys.len(), elems }
+        }
+    }
+}
+
+fn expect_occs<'v>(val: &'v Option<SetVal>, color: ColorId, who: &str) -> &'v [OccId] {
+    match val.as_ref().unwrap_or_else(|| panic!("{who}: unset register")) {
+        SetVal::Occs { color: c, occs } => {
+            assert_eq!(*c, color, "{who}: register in wrong color");
+            occs
+        }
+        _ => panic!("{who}: expected occurrences"),
+    }
+}
+
+/// Canonical (logical) elements behind a register value, sorted distinct.
+fn to_elems(db: &Database, val: &Option<SetVal>) -> Vec<ElementId> {
+    match val.as_ref().expect("unset register") {
+        SetVal::Occs { color, occs } => {
+            let tree = db.color(*color);
+            occs_to_canonical_inner(db, tree, occs)
+        }
+        SetVal::Elems(e) => e.clone(),
+        SetVal::Groups { elems, .. } => elems.clone(),
+    }
+}
+
+fn occs_to_canonical_inner(
+    db: &Database,
+    tree: &colorist_store::ColorTree,
+    occs: &[OccId],
+) -> Vec<ElementId> {
+    let mut v: Vec<ElementId> =
+        occs.iter().map(|&o| db.element(tree.occ(o).element).canonical).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// All occurrences of the logical instances of `elems` in `color`.
+fn elems_to_occs(db: &Database, color: ColorId, elems: &[ElementId]) -> Vec<OccId> {
+    let mut occs: Vec<OccId> = elems
+        .iter()
+        .flat_map(|&e| db.occurrences_of_logical(color, e).iter().copied())
+        .collect();
+    occs.sort_unstable();
+    occs.dedup();
+    occs
+}
+
+/// Placements of `node` in `color` whose upward chain realizes exactly
+/// `via` (ancestor-side-first) — the valid landing spots of a path-exact
+/// descent.
+fn valid_desc_placements(
+    db: &Database,
+    color: ColorId,
+    node: colorist_er::NodeId,
+    via: &[colorist_er::EdgeId],
+) -> Vec<PlacementId> {
+    db.schema
+        .placements_of_in_color(node, color)
+        .into_iter()
+        .filter(|&p| chain_matches(db, p, via))
+        .collect()
+}
+
+/// For ascents: the set of source placements whose upward chain matches.
+fn valid_desc_placement_set(
+    db: &Database,
+    _color: ColorId,
+    _node: colorist_er::NodeId,
+    via: &[colorist_er::EdgeId],
+    src: &[OccId],
+    tree: &colorist_store::ColorTree,
+) -> HashSet<PlacementId> {
+    let mut distinct: HashSet<PlacementId> =
+        src.iter().map(|&o| tree.occ(o).placement).collect();
+    distinct.retain(|&p| chain_matches(db, p, via));
+    distinct
+}
+
+/// Does `p`'s upward chain realize `via` (ancestor-side-first)?
+fn chain_matches(db: &Database, p: PlacementId, via: &[colorist_er::EdgeId]) -> bool {
+    let mut cur = p;
+    for &expected in via.iter().rev() {
+        match db.schema.placement(cur).parent {
+            Some((pp, e)) if e == expected => cur = pp,
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::pattern::PatternBuilder;
+    use colorist_core::{design, Strategy};
+    use colorist_datagen::{generate, materialize, ScaleProfile};
+    use colorist_er::catalog;
+    use colorist_store::Value;
+
+    fn setup(strategy: Strategy) -> (ErGraph, Database) {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let p = ScaleProfile::tpcw(&g, 60);
+        let inst = generate(&g, &p, 77);
+        let schema = design(&g, strategy).unwrap();
+        let db = materialize(&g, &schema, &inst);
+        (g, db)
+    }
+
+    fn q1(g: &ErGraph) -> crate::pattern::Pattern {
+        PatternBuilder::new(g, "Q1")
+            .node("country")
+            .pred_eq("id", Value::Int(3))
+            .node("order")
+            .chain(0, 1, &["in", "address", "has", "customer", "make"])
+            .unwrap()
+            .output(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn q1_runs_on_af_with_zero_value_joins() {
+        let (g, db) = setup(Strategy::Af);
+        let plan = compile(&g, &db.schema, &q1(&g)).unwrap();
+        let m = plan.static_metrics();
+        assert_eq!(m.value_joins, 0, "Figure 3 makes Q1 purely structural\n{plan}");
+        assert_eq!(m.color_crossings, 0);
+        assert_eq!(m.structural_joins, 1, "a single // step\n{plan}");
+        let r = execute(&db, &g, &plan);
+        assert!(r.results > 0, "country 3 should have orders");
+        assert_eq!(r.results, r.distinct, "AF is node normal");
+    }
+
+    #[test]
+    fn q1_needs_value_joins_on_shallow() {
+        let (g, db) = setup(Strategy::Shallow);
+        let plan = compile(&g, &db.schema, &q1(&g)).unwrap();
+        let m = plan.static_metrics();
+        assert!(m.value_joins >= 2, "SHALLOW must pay value joins\n{plan}");
+    }
+
+    #[test]
+    fn q1_equivalent_across_all_strategies() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let p = ScaleProfile::tpcw(&g, 60);
+        let inst = generate(&g, &p, 77);
+        let mut reference: Option<Vec<ElementId>> = None;
+        for s in Strategy::ALL {
+            let schema = design(&g, s).unwrap();
+            let db = materialize(&g, &schema, &inst);
+            let plan = compile(&g, &db.schema, &q1(&g)).unwrap();
+            let r = execute(&db, &g, &plan);
+            match &reference {
+                None => reference = Some(r.elements.clone()),
+                Some(exp) => assert_eq!(
+                    &r.elements, exp,
+                    "{s}: logical answers must be schema-independent\n{plan}"
+                ),
+            }
+        }
+    }
+}

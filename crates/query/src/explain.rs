@@ -1,0 +1,138 @@
+//! Colored-XPath rendering of compiled plans.
+//!
+//! Maps a plan back to the multi-colored XPath dialect of §2.2 — every axis
+//! step annotated with its color — so the examples and reports can show
+//! *why* a schema is cheap or expensive for a query, e.g. on AF:
+//!
+//! ```text
+//! Q1: /blue::country[@name='Japan']//blue::order
+//! ```
+//!
+//! versus SHALLOW's value-join chains.
+
+use crate::pattern::CmpOp;
+use crate::plan::{Op, Plan, VDir};
+use colorist_er::ErGraph;
+use colorist_mct::color_name;
+use std::fmt::Write as _;
+
+/// Render a plan as an annotated colored-XPath sketch, one line per
+/// operator, with element names instead of internal ids.
+pub fn explain(graph: &ErGraph, plan: &Plan) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{} [{}]:", plan.name, plan.strategy);
+    for op in &plan.ops {
+        match op {
+            Op::Scan { color, node, pred, .. } => {
+                let _ = write!(s, "  //{}::{}", color_name(*color), graph.node(*node).name);
+                if let Some(p) = pred {
+                    let attr = &graph.node(*node).attributes[p.attr].name;
+                    let op_str = match p.op {
+                        CmpOp::Eq => "=",
+                        CmpOp::Lt => "<",
+                        CmpOp::Gt => ">",
+                    };
+                    let _ = write!(s, "[@{attr}{op_str}'{}']", p.value);
+                }
+                let _ = writeln!(s);
+            }
+            Op::StructSemi { color, node, via, dir, .. } => {
+                let axis = match (dir, via.len()) {
+                    (VDir::Down, 1) => "/",
+                    (VDir::Down, _) => "//",
+                    (VDir::Up, 1) => "/parent::",
+                    (VDir::Up, _) => "/ancestor::",
+                };
+                let _ = writeln!(
+                    s,
+                    "  {axis}{}::{}   (structural join, {} ER edge(s))",
+                    color_name(*color),
+                    graph.node(*node).name,
+                    via.len()
+                );
+            }
+            Op::ValueSemi { edge, src_is_rel, .. } => {
+                let e = graph.edge(*edge);
+                let (from, to) = if *src_is_rel {
+                    (&graph.node(e.rel).name, &graph.node(e.participant).name)
+                } else {
+                    (&graph.node(e.participant).name, &graph.node(e.rel).name)
+                };
+                let _ = writeln!(s, "  ==[{from} @idref = {to} @id]==   (value join)");
+            }
+            Op::LinkSemi { edge, src_is_rel, .. } => {
+                let e = graph.edge(*edge);
+                let (from, to) = if *src_is_rel {
+                    (&graph.node(e.rel).name, &graph.node(e.participant).name)
+                } else {
+                    (&graph.node(e.participant).name, &graph.node(e.rel).name)
+                };
+                let _ = writeln!(s, "  --[{from} / {to}]--   (parent-child link join)");
+            }
+            Op::Cross { color, node, .. } => {
+                let _ = writeln!(
+                    s,
+                    "  ~~> {}::{}   (color crossing)",
+                    color_name(*color),
+                    graph.node(*node).name
+                );
+            }
+            Op::Intersect { .. } => {}
+            Op::Distinct { .. } => {
+                let _ = writeln!(s, "  distinct-values(.)   (duplicate elimination)");
+            }
+            Op::GroupBy { attr, .. } => {
+                let _ = writeln!(s, "  group by @{attr}");
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::pattern::PatternBuilder;
+    use colorist_core::{design, Strategy};
+    use colorist_er::catalog;
+    use colorist_store::Value;
+
+    #[test]
+    fn af_q1_reads_like_the_paper() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let schema = design(&g, Strategy::Af).unwrap();
+        let q1 = PatternBuilder::new(&g, "Q1")
+            .node("country")
+            .pred_eq("name", Value::Text("Japan".into()))
+            .node("order")
+            .chain(0, 1, &["in", "address", "has", "customer", "make"])
+            .unwrap()
+            .output(1)
+            .build()
+            .unwrap();
+        let plan = compile(&g, &schema, &q1).unwrap();
+        let text = explain(&g, &plan);
+        assert!(text.contains("blue::country[@name='Japan']"), "{text}");
+        assert!(text.contains("structural join"), "{text}");
+        assert!(!text.contains("value join"), "{text}");
+    }
+
+    #[test]
+    fn shallow_q1_shows_value_joins() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let schema = design(&g, Strategy::Shallow).unwrap();
+        let q1 = PatternBuilder::new(&g, "Q1")
+            .node("country")
+            .pred_eq("name", Value::Text("Japan".into()))
+            .node("order")
+            .chain(0, 1, &["in", "address", "has", "customer", "make"])
+            .unwrap()
+            .output(1)
+            .build()
+            .unwrap();
+        let plan = compile(&g, &schema, &q1).unwrap();
+        let text = explain(&g, &plan);
+        assert!(text.contains("value join"), "{text}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # colorist-query — schema-independent queries over MCT databases
+//!
+//! The paper evaluates each schema family on one workload: the same logical
+//! query must run against SHALLOW, AF, DEEP, EN, MCMR, DR and UNDR, paying
+//! whatever mix of structural joins, value joins, and color crossings each
+//! schema forces. This crate makes that precise:
+//!
+//! * [`pattern`] — queries as **association patterns**: a small tree of ER
+//!   node types connected by ER paths, with attribute predicates, one
+//!   output node, and optional duplicate elimination / grouping; plus
+//!   update specifications (modify / delete / insert);
+//! * [`mod@compile`] — the schema-aware compiler: a layered shortest-path
+//!   search over schema placements chooses, for every hop of every pattern
+//!   edge, between a structural step (descending or ascending, in some
+//!   color), a color crossing, and an id/idref value join — minimizing
+//!   `(value joins, color crossings, structural joins)` lexicographically,
+//!   the cost order the paper's measurements justify;
+//! * [`plan`] — the compiled semi-join program and its static operation
+//!   counts (exactly the Figures 8–10 metrics);
+//! * [`exec`] — the interpreter: structural joins / value joins / crossings
+//!   against a [`colorist_store::Database`], with measured [`Metrics`];
+//! * [`update`] — update execution: locate targets, mutate every color
+//!   (ICIC maintenance), propagate to physical copies (duplicate updates),
+//!   cascade inserts through un-normalized placements;
+//! * [`mod@explain`] — colored-XPath rendering of compiled plans.
+
+pub mod compile;
+pub mod error;
+pub mod exec;
+pub mod explain;
+pub mod pattern;
+pub mod plan;
+pub mod update;
+
+pub use compile::compile;
+pub use error::QueryError;
+pub use exec::{execute, QueryResult};
+pub use explain::explain;
+pub use pattern::{
+    CmpOp, InsertLink, InsertSpec, NewInstance, Partner, Pattern, PatternBuilder, PatternEdge,
+    PatternNode, Predicate, UpdateAction, UpdateSpec,
+};
+pub use plan::Plan;
+pub use update::{execute_update, UpdateOutcome};
+
+pub use colorist_store::Metrics;

@@ -1,0 +1,274 @@
+//! Compiled query plans: linear semi-join programs over registers.
+//!
+//! A plan reduces the pattern tree bottom-up: leaf scans produce candidate
+//! sets, and each pattern edge reduces its parent's candidates to those
+//! with a match on the child side, by a chain of structural semi-joins,
+//! value semi-joins, and color crossings. The static operation counts of a
+//! plan are precisely the per-query metrics of Figures 8–10.
+//!
+//! Structural semi-joins are *path-exact*: each carries the ER edge
+//! sequence (`via`) it realizes, and the executor pairs an ancestor with a
+//! descendant only when the descendant's placement chain matches `via` and
+//! the level distance equals `via.len()` — a single stack-merge pass per
+//! join (in the spirit of the holistic twig joins the paper cites), so a
+//! run of same-direction steps costs one structural join, which is exactly
+//! the expressive benefit of the `//` axis the paper leverages.
+
+use crate::pattern::Predicate;
+use colorist_er::{EdgeId, NodeId};
+use colorist_mct::ColorId;
+use colorist_store::Metrics;
+use std::fmt;
+
+/// Register index.
+pub type Reg = usize;
+
+/// Vertical direction of a structural semi-join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VDir {
+    /// Targets are descendants of the source set.
+    Down,
+    /// Targets are ancestors of the source set.
+    Up,
+}
+
+/// One plan operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Scan all occurrences of an ER node type in a color, with optional
+    /// predicate (XPath label match).
+    Scan {
+        /// Destination register.
+        dst: Reg,
+        /// Color scanned.
+        color: ColorId,
+        /// ER node type (element label).
+        node: NodeId,
+        /// Predicate on the element's attributes.
+        pred: Option<Predicate>,
+    },
+    /// Path-exact structural semi-join within `color`: `dst` = occurrences
+    /// of `node` that are descendants (`Down`) or ancestors (`Up`) of `src`
+    /// along exactly the `via` edge sequence.
+    StructSemi {
+        /// Destination register.
+        dst: Reg,
+        /// Source register (occurrences in `color`).
+        src: Reg,
+        /// The color navigated.
+        color: ColorId,
+        /// Target label.
+        node: NodeId,
+        /// Realized ER edges, ancestor-side first.
+        via: Vec<EdgeId>,
+        /// Direction of navigation from the source set.
+        dir: VDir,
+    },
+    /// Value semi-join across an idref-encoded ER edge: `dst` = elements on
+    /// the far side of `edge` matching `src`, re-entering `enter`'s colored
+    /// tree if the plan continues structurally.
+    ValueSemi {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+        /// The idref-encoded ER edge.
+        edge: EdgeId,
+        /// Whether `src` holds the relationship side (probing participants
+        /// by id) or the participant side (probing relationship idrefs).
+        src_is_rel: bool,
+        /// Where the result re-enters a colored tree.
+        enter: Option<ColorId>,
+    },
+    /// Parent-child link semi-join across one ER edge, using the stored
+    /// link adjacency (the parent-child pairs every realization of the edge
+    /// materializes). The compiler's fallback when no *complete* structural
+    /// chain exists — exact on any schema, but never able to skip levels,
+    /// so long associations cost one of these per hop.
+    LinkSemi {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+        /// The ER edge hopped.
+        edge: EdgeId,
+        /// Whether `src` holds the relationship side.
+        src_is_rel: bool,
+        /// Where the result re-enters a colored tree.
+        enter: Option<ColorId>,
+    },
+    /// Color crossing: `dst` = occurrences of the same logical instances in
+    /// `color` (MCT's distinctive navigation step).
+    Cross {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+        /// Target color.
+        color: ColorId,
+        /// The node type crossed (labels only; for explain output).
+        node: NodeId,
+    },
+    /// Occurrence-set intersection (same color) — the merge step of a
+    /// multi-child semi-join; not a counted operation.
+    Intersect {
+        /// Destination register.
+        dst: Reg,
+        /// One input.
+        a: Reg,
+        /// Other input.
+        b: Reg,
+    },
+    /// Logical duplicate elimination: `dst` = distinct canonical elements.
+    Distinct {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Group the source by an attribute of its elements (aggregation).
+    GroupBy {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+        /// Attribute index grouped on.
+        attr: usize,
+    },
+}
+
+impl Op {
+    /// Destination register of the operator.
+    pub fn dst(&self) -> Reg {
+        match *self {
+            Op::Scan { dst, .. }
+            | Op::StructSemi { dst, .. }
+            | Op::ValueSemi { dst, .. }
+            | Op::LinkSemi { dst, .. }
+            | Op::Cross { dst, .. }
+            | Op::Intersect { dst, .. }
+            | Op::Distinct { dst, .. }
+            | Op::GroupBy { dst, .. } => dst,
+        }
+    }
+}
+
+/// A compiled plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Query name.
+    pub name: String,
+    /// Strategy label of the schema compiled against.
+    pub strategy: String,
+    /// Operators, in execution order.
+    pub ops: Vec<Op>,
+    /// Register holding the final result.
+    pub output: Reg,
+    /// Number of registers.
+    pub reg_count: usize,
+}
+
+impl Plan {
+    /// The plan-level operation counts (Figures 8–10): these are exactly
+    /// what execution will report, since every operator runs once.
+    pub fn static_metrics(&self) -> Metrics {
+        let mut m = Metrics::default();
+        for op in &self.ops {
+            match op {
+                Op::Scan { .. } | Op::Intersect { .. } => {}
+                // a link semi-join is a single parent-child structural step
+                Op::StructSemi { .. } | Op::LinkSemi { .. } => m.structural_joins += 1,
+                Op::ValueSemi { .. } => m.value_joins += 1,
+                Op::Cross { .. } => m.color_crossings += 1,
+                Op::Distinct { .. } => m.dup_eliminations += 1,
+                Op::GroupBy { .. } => m.group_bys += 1,
+            }
+        }
+        m
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan {} [{}] -> r{}", self.name, self.strategy, self.output)?;
+        for op in &self.ops {
+            match op {
+                Op::Scan { dst, color, node, pred } => {
+                    write!(f, "  r{dst} = scan {color}::{node}")?;
+                    if pred.is_some() {
+                        write!(f, " [pred]")?;
+                    }
+                    writeln!(f)?;
+                }
+                Op::StructSemi { dst, src, color, node, via, dir } => writeln!(
+                    f,
+                    "  r{dst} = struct{} r{src} -> {color}::{node} via {} edge(s)",
+                    if *dir == VDir::Down { "↓" } else { "↑" },
+                    via.len()
+                )?,
+                Op::ValueSemi { dst, src, edge, src_is_rel, enter } => {
+                    write!(f, "  r{dst} = valuejoin r{src} across {edge}")?;
+                    write!(f, "{}", if *src_is_rel { " (idref→id)" } else { " (id→idref)" })?;
+                    if let Some(c) = enter {
+                        write!(f, " enter {c}")?;
+                    }
+                    writeln!(f)?;
+                }
+                Op::LinkSemi { dst, src, edge, .. } => {
+                    writeln!(f, "  r{dst} = linkjoin r{src} across {edge}")?
+                }
+                Op::Cross { dst, src, color, node } => {
+                    writeln!(f, "  r{dst} = cross r{src} -> {color}::{node}")?
+                }
+                Op::Intersect { dst, a, b } => writeln!(f, "  r{dst} = r{a} ∩ r{b}")?,
+                Op::Distinct { dst, src } => writeln!(f, "  r{dst} = distinct r{src}")?,
+                Op::GroupBy { dst, src, attr } => {
+                    writeln!(f, "  r{dst} = groupby r{src} @{attr}")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_metrics_count_ops() {
+        let plan = Plan {
+            name: "t".into(),
+            strategy: "EN".into(),
+            ops: vec![
+                Op::Scan { dst: 0, color: ColorId(0), node: NodeId(0), pred: None },
+                Op::StructSemi {
+                    dst: 1,
+                    src: 0,
+                    color: ColorId(0),
+                    node: NodeId(1),
+                    via: vec![EdgeId(0), EdgeId(1)],
+                    dir: VDir::Down,
+                },
+                Op::Cross { dst: 2, src: 1, color: ColorId(1), node: NodeId(1) },
+                Op::ValueSemi { dst: 3, src: 2, edge: EdgeId(0), src_is_rel: true, enter: None },
+                Op::Intersect { dst: 4, a: 3, b: 1 },
+                Op::Distinct { dst: 5, src: 4 },
+                Op::GroupBy { dst: 6, src: 5, attr: 0 },
+            ],
+            output: 6,
+            reg_count: 7,
+        };
+        let m = plan.static_metrics();
+        assert_eq!(m.structural_joins, 1);
+        assert_eq!(m.value_joins, 1);
+        assert_eq!(m.color_crossings, 1);
+        assert_eq!(m.dup_eliminations, 1);
+        assert_eq!(m.group_bys, 1);
+        let txt = plan.to_string();
+        assert!(txt.contains("valuejoin"), "{txt}");
+        assert!(txt.contains("struct↓"), "{txt}");
+        assert!(txt.contains('∩'), "{txt}");
+        assert_eq!(plan.ops[1].dst(), 1);
+    }
+}

@@ -1,0 +1,706 @@
+//! The stored MCT database: elements plus per-color labelled occurrence
+//! trees.
+//!
+//! **Elements** are the stored XML elements. Every logical ER instance has
+//! exactly one *canonical* element; un-normalized schemas (DEEP, UNDR)
+//! additionally store *copies* — physically duplicated elements with their
+//! own attribute storage, which is why Table 1 shows DEEP at 6.08M elements
+//! against 2.64M for every node-normalized schema.
+//!
+//! **Occurrences** are positions in a color's tree. A canonical element has
+//! at most one occurrence per color (the MCT invariant: a node belongs to
+//! exactly one rooted tree per color it carries); each copy element has
+//! exactly one occurrence. Occurrences carry `(start, end, level)` interval
+//! labels assigned by a DFS per color, so that `a` is an ancestor of `d` iff
+//! `a.start < d.start && d.end <= a.end` — the primitive behind structural
+//! joins.
+
+use crate::value::Value;
+use colorist_er::{ErGraph, NodeId};
+use colorist_mct::{ColorId, MctSchema, PlacementId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a stored element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementId(pub u32);
+
+/// Identifier of an occurrence within one color's tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OccId(pub u32);
+
+impl ElementId {
+    /// Index as `usize`.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl OccId {
+    /// Index as `usize`.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "el{}", self.0)
+    }
+}
+
+/// A stored element.
+#[derive(Debug, Clone)]
+pub struct Element {
+    /// The ER node type.
+    pub node: NodeId,
+    /// Ordinal of the logical instance within its type's extent.
+    pub ordinal: u32,
+    /// The canonical element of this logical instance (self for canonical
+    /// elements; a copy points at the original whose data it duplicates).
+    pub canonical: ElementId,
+    /// Attribute values, aligned with the ER node's attribute declaration.
+    pub attrs: Vec<Value>,
+}
+
+impl Element {
+    /// Whether this element is a physical duplicate.
+    pub fn is_copy(&self, own_id: ElementId) -> bool {
+        self.canonical != own_id
+    }
+}
+
+/// One position in a color's tree.
+#[derive(Debug, Clone, Copy)]
+pub struct Occurrence {
+    /// The stored element at this position.
+    pub element: ElementId,
+    /// The schema placement this position instantiates.
+    pub placement: PlacementId,
+    /// Parent occurrence within the same color.
+    pub parent: Option<OccId>,
+    /// DFS interval start.
+    pub start: u32,
+    /// DFS interval end (`start < desc.start && desc.end <= end` ⇔ ancestor).
+    pub end: u32,
+    /// Depth in the color tree.
+    pub level: u16,
+}
+
+/// One color's labelled tree.
+#[derive(Debug, Clone, Default)]
+pub struct ColorTree {
+    /// Occurrences in document (DFS/start) order.
+    occs: Vec<Occurrence>,
+    /// Occurrence ids per placement, in document order.
+    by_placement: HashMap<PlacementId, Vec<OccId>>,
+    /// Occurrence ids per ER node type (label), in document order — XPath
+    /// steps match labels, not placements.
+    by_node: HashMap<NodeId, Vec<OccId>>,
+}
+
+impl ColorTree {
+    /// All occurrences, in document order (sorted by `start`).
+    pub fn occs(&self) -> &[Occurrence] {
+        &self.occs
+    }
+
+    /// The occurrence with the given id.
+    pub fn occ(&self, o: OccId) -> &Occurrence {
+        &self.occs[o.idx()]
+    }
+
+    /// Occurrence ids instantiating a placement, in document order.
+    pub fn of_placement(&self, p: PlacementId) -> &[OccId] {
+        self.by_placement.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Occurrence ids of every element labelled with the ER node type, in
+    /// document order (all placements of the node in this color).
+    pub fn of_node(&self, n: NodeId) -> &[OccId] {
+        self.by_node.get(&n).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether `anc` is a proper ancestor of `desc` (interval containment).
+    pub fn is_ancestor(&self, anc: OccId, desc: OccId) -> bool {
+        let a = self.occ(anc);
+        let d = self.occ(desc);
+        a.start < d.start && d.end <= a.end
+    }
+}
+
+/// A complete stored database over one schema.
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// The schema this database conforms to.
+    pub schema: MctSchema,
+    elements: Vec<Element>,
+    colors: Vec<ColorTree>,
+    /// Canonical elements per ER node type (the extent).
+    extents: Vec<Vec<ElementId>>,
+    /// Per color: occurrences of each logical instance `(node, ordinal)`.
+    logical_occs: Vec<HashMap<(NodeId, u32), Vec<OccId>>>,
+    /// Per ER edge: participant ordinal per relationship ordinal — the
+    /// parent-child adjacency the trees encode, stored explicitly so that
+    /// link (parent-child) joins stay exact under any schema and so that
+    /// update cascades can follow existing links. `u32::MAX` marks a
+    /// deleted link.
+    links: Vec<Vec<u32>>,
+    /// Per ER edge: relationship ordinals per participant ordinal.
+    rev_links: Vec<Vec<Vec<u32>>>,
+}
+
+impl Database {
+    /// All stored elements.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// The element with the given id.
+    pub fn element(&self, e: ElementId) -> &Element {
+        &self.elements[e.idx()]
+    }
+
+    /// Mutable element access (updates).
+    pub fn element_mut(&mut self, e: ElementId) -> &mut Element {
+        &mut self.elements[e.idx()]
+    }
+
+    /// The tree of one color.
+    pub fn color(&self, c: ColorId) -> &ColorTree {
+        &self.colors[c.idx()]
+    }
+
+    /// Number of colors.
+    pub fn color_count(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Canonical elements (the logical extent) of an ER node type.
+    pub fn extent(&self, node: NodeId) -> &[ElementId] {
+        &self.extents[node.idx()]
+    }
+
+    /// Occurrences of the logical instance behind `e` in color `c` — the
+    /// *color crossing* primitive, and the duplicate-expansion step for
+    /// un-normalized schemas.
+    pub fn occurrences_of_logical(&self, c: ColorId, e: ElementId) -> &[OccId] {
+        let el = self.element(e);
+        let canon = self.element(el.canonical);
+        self.logical_occs[c.idx()]
+            .get(&(canon.node, canon.ordinal))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Attribute index of `attr` in the ER node's declaration.
+    pub fn attr_index(&self, graph: &ErGraph, node: NodeId, attr: &str) -> Option<usize> {
+        graph.node(node).attributes.iter().position(|a| a.name == attr)
+    }
+
+    /// Attribute index (within the relationship element's stored attribute
+    /// vector) of the idref value for a value-encoded ER edge: idref values
+    /// are appended after the declared attributes, in the order the schema
+    /// lists its idref links for that relationship.
+    pub fn idref_attr_index(
+        &self,
+        graph: &ErGraph,
+        edge: colorist_er::EdgeId,
+    ) -> Option<usize> {
+        let rel = graph.edge(edge).rel;
+        let declared = graph.node(rel).attributes.len();
+        self.schema
+            .idrefs()
+            .iter()
+            .filter(|l| graph.edge(l.edge).rel == rel)
+            .position(|l| l.edge == edge)
+            .map(|pos| declared + pos)
+    }
+
+    /// Total number of stored elements (canonical + copies).
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// The participant ordinal linked to relationship instance
+    /// `rel_ordinal` via `edge` (`None` if the link was deleted).
+    pub fn link(&self, edge: colorist_er::EdgeId, rel_ordinal: u32) -> Option<u32> {
+        let v = self.links.get(edge.idx())?.get(rel_ordinal as usize).copied()?;
+        (v != u32::MAX).then_some(v)
+    }
+
+    /// Relationship ordinals linked to participant instance
+    /// `participant_ordinal` via `edge` (deleted links excluded).
+    pub fn linked_rels(&self, edge: colorist_er::EdgeId, participant_ordinal: u32) -> Vec<u32> {
+        let rels = match self
+            .rev_links
+            .get(edge.idx())
+            .and_then(|rv| rv.get(participant_ordinal as usize))
+        {
+            Some(v) => v,
+            None => return Vec::new(),
+        };
+        rels.iter()
+            .copied()
+            .filter(|&r| self.links[edge.idx()][r as usize] != u32::MAX)
+            .collect()
+    }
+
+    /// Record a new relationship instance's link (insert maintenance).
+    /// `rel_ordinal` must be the next dense ordinal for the edge.
+    pub fn push_link(&mut self, edge: colorist_er::EdgeId, rel_ordinal: u32, participant: u32) {
+        if self.links.len() <= edge.idx() {
+            self.links.resize(edge.idx() + 1, Vec::new());
+            self.rev_links.resize(edge.idx() + 1, Vec::new());
+        }
+        let v = &mut self.links[edge.idx()];
+        assert_eq!(v.len(), rel_ordinal as usize, "link ordinals must stay dense");
+        v.push(participant);
+        let rv = &mut self.rev_links[edge.idx()];
+        if rv.len() <= participant as usize {
+            rv.resize(participant as usize + 1, Vec::new());
+        }
+        rv[participant as usize].push(rel_ordinal);
+    }
+
+    /// Invalidate a relationship instance's link (delete maintenance).
+    pub fn kill_link(&mut self, edge: colorist_er::EdgeId, rel_ordinal: u32) {
+        if let Some(v) = self
+            .links
+            .get_mut(edge.idx())
+            .and_then(|l| l.get_mut(rel_ordinal as usize))
+        {
+            *v = u32::MAX;
+        }
+    }
+
+    /// Recompute a color's interval labels after structural updates.
+    /// (Linear; the engine relabels eagerly after each update batch, which
+    /// is charged to update cost like TIMBER's index maintenance.)
+    pub fn relabel_color(&mut self, c: ColorId) {
+        let tree = &mut self.colors[c.idx()];
+        relabel(&mut tree.occs);
+        rebuild_tree_indexes(tree, c, &self.elements, &mut self.logical_occs);
+    }
+
+    /// Insert a new canonical element, returning its id. The caller must
+    /// add occurrences (then relabel) to make it reachable.
+    pub fn insert_element(&mut self, node: NodeId, attrs: Vec<Value>) -> ElementId {
+        let id = ElementId(self.elements.len() as u32);
+        let ordinal = self.extents[node.idx()].len() as u32;
+        self.elements.push(Element { node, ordinal, canonical: id, attrs });
+        self.extents[node.idx()].push(id);
+        id
+    }
+
+    /// Insert a copy of an existing element (un-normalized maintenance).
+    pub fn insert_copy(&mut self, of: ElementId) -> ElementId {
+        let canon = self.element(of).canonical;
+        let src = self.element(canon).clone();
+        let id = ElementId(self.elements.len() as u32);
+        self.elements.push(Element { canonical: canon, ..src });
+        id
+    }
+
+    /// Append an occurrence to a color (labels stale until
+    /// [`Database::relabel_color`]).
+    pub fn push_occurrence(
+        &mut self,
+        c: ColorId,
+        element: ElementId,
+        placement: PlacementId,
+        parent: Option<OccId>,
+    ) -> OccId {
+        let tree = &mut self.colors[c.idx()];
+        let id = OccId(tree.occs.len() as u32);
+        tree.occs.push(Occurrence { element, placement, parent, start: 0, end: 0, level: 0 });
+        id
+    }
+
+    /// Remove occurrences (by id) from a color; parents of surviving
+    /// occurrences are remapped; labels must be recomputed afterwards.
+    /// Returns the number removed (descendants of removed occurrences are
+    /// removed transitively).
+    pub fn remove_occurrences(&mut self, c: ColorId, remove: &[OccId]) -> usize {
+        let tree = &mut self.colors[c.idx()];
+        let n = tree.occs.len();
+        let mut dead = vec![false; n];
+        for &o in remove {
+            dead[o.idx()] = true;
+        }
+        // transitive: occurrences are stored with parents before children
+        // only pre-relabel; walk via parent chain instead to be safe.
+        for i in 0..n {
+            let mut cur = i;
+            loop {
+                if dead[cur] {
+                    dead[i] = true;
+                    break;
+                }
+                match tree.occs[cur].parent {
+                    Some(p) => cur = p.idx(),
+                    None => break,
+                }
+            }
+        }
+        let mut remap = vec![OccId(u32::MAX); n];
+        let mut kept = Vec::with_capacity(n);
+        for (i, occ) in tree.occs.iter().enumerate() {
+            if !dead[i] {
+                remap[i] = OccId(kept.len() as u32);
+                kept.push(*occ);
+            }
+        }
+        for occ in &mut kept {
+            occ.parent = occ.parent.map(|p| remap[p.idx()]);
+        }
+        let removed = n - kept.len();
+        tree.occs = kept;
+        removed
+    }
+
+    /// Remove an element entirely (all colors, with subtrees), e.g. for
+    /// delete updates. Relabels every affected color. Returns the number of
+    /// occurrences removed.
+    pub fn remove_element_occurrences(&mut self, e: ElementId) -> usize {
+        let mut total = 0;
+        for c in 0..self.colors.len() {
+            let c = ColorId(c as u16);
+            let doomed: Vec<OccId> = self.colors[c.idx()]
+                .occs
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.element == e)
+                .map(|(i, _)| OccId(i as u32))
+                .collect();
+            if !doomed.is_empty() {
+                total += self.remove_occurrences(c, &doomed);
+                self.relabel_color(c);
+            }
+        }
+        total
+    }
+}
+
+/// Incremental builder used by the materializer.
+#[derive(Debug)]
+pub struct DatabaseBuilder {
+    schema: MctSchema,
+    elements: Vec<Element>,
+    extents: Vec<Vec<ElementId>>,
+    colors: Vec<ColorTree>,
+    links: Vec<Vec<u32>>,
+}
+
+impl DatabaseBuilder {
+    /// Start building a database for `schema` over a graph with
+    /// `node_count` ER node types.
+    pub fn new(schema: MctSchema, node_count: usize) -> Self {
+        let colors = (0..schema.color_count()).map(|_| ColorTree::default()).collect();
+        DatabaseBuilder {
+            schema,
+            elements: Vec::new(),
+            extents: vec![Vec::new(); node_count],
+            colors,
+            links: Vec::new(),
+        }
+    }
+
+    /// Provide the per-edge link vectors (participant ordinal per
+    /// relationship ordinal), as produced by the canonical instance.
+    pub fn set_links(&mut self, links: Vec<Vec<u32>>) {
+        self.links = links;
+    }
+
+    /// The schema being populated.
+    pub fn schema(&self) -> &MctSchema {
+        &self.schema
+    }
+
+    /// Add the canonical element of logical instance `(node, ordinal)`.
+    /// Ordinals must arrive densely in order per node.
+    pub fn add_canonical(&mut self, node: NodeId, attrs: Vec<Value>) -> ElementId {
+        let id = ElementId(self.elements.len() as u32);
+        let ordinal = self.extents[node.idx()].len() as u32;
+        self.elements.push(Element { node, ordinal, canonical: id, attrs });
+        self.extents[node.idx()].push(id);
+        id
+    }
+
+    /// Add a physical copy of a canonical element.
+    pub fn add_copy(&mut self, of: ElementId) -> ElementId {
+        let src = self.elements[of.idx()].clone();
+        debug_assert_eq!(src.canonical, of, "copies must reference canonical elements");
+        let id = ElementId(self.elements.len() as u32);
+        self.elements.push(Element { canonical: of, ..src });
+        id
+    }
+
+    /// Add an occurrence (parents must be added before children).
+    pub fn add_occurrence(
+        &mut self,
+        c: ColorId,
+        element: ElementId,
+        placement: PlacementId,
+        parent: Option<OccId>,
+    ) -> OccId {
+        let tree = &mut self.colors[c.idx()];
+        let id = OccId(tree.occs.len() as u32);
+        debug_assert!(parent.is_none_or(|p| p.idx() < tree.occs.len()));
+        tree.occs.push(Occurrence { element, placement, parent, start: 0, end: 0, level: 0 });
+        id
+    }
+
+    /// Label every color and freeze.
+    pub fn finish(mut self) -> Database {
+        let mut logical_occs = Vec::with_capacity(self.colors.len());
+        for (ci, tree) in self.colors.iter_mut().enumerate() {
+            relabel(&mut tree.occs);
+            let mut lo = HashMap::new();
+            rebuild_indexes_into(tree, ColorId(ci as u16), &self.elements, &mut lo);
+            logical_occs.push(lo);
+        }
+        // reverse link index
+        let mut rev_links: Vec<Vec<Vec<u32>>> = Vec::with_capacity(self.links.len());
+        for per_edge in &self.links {
+            let max = per_edge.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+            let mut rv: Vec<Vec<u32>> = vec![Vec::new(); max];
+            for (ro, &po) in per_edge.iter().enumerate() {
+                rv[po as usize].push(ro as u32);
+            }
+            rev_links.push(rv);
+        }
+        Database {
+            schema: self.schema,
+            elements: self.elements,
+            colors: self.colors,
+            extents: self.extents,
+            logical_occs,
+            links: self.links,
+            rev_links,
+        }
+    }
+}
+
+/// Assign `(start, end, level)` by DFS over the parent arrays; reorders the
+/// occurrence vector into document order and remaps parents.
+fn relabel(occs: &mut Vec<Occurrence>) {
+    let n = occs.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut roots = Vec::new();
+    for (i, o) in occs.iter().enumerate() {
+        match o.parent {
+            Some(p) => children[p.idx()].push(i),
+            None => roots.push(i),
+        }
+    }
+    let mut ordered: Vec<Occurrence> = Vec::with_capacity(n);
+    let mut remap = vec![OccId(u32::MAX); n];
+    let mut counter: u32 = 0;
+    // iterative DFS with explicit post-processing for `end`
+    enum Ev {
+        Enter(usize, Option<OccId>, u16),
+        Exit(usize),
+    }
+    let mut stack: Vec<Ev> = roots.into_iter().rev().map(|r| Ev::Enter(r, None, 0)).collect();
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Enter(i, parent, level) => {
+                counter += 1;
+                let new_id = OccId(ordered.len() as u32);
+                remap[i] = new_id;
+                ordered.push(Occurrence {
+                    element: occs[i].element,
+                    placement: occs[i].placement,
+                    parent,
+                    start: counter,
+                    end: 0,
+                    level,
+                });
+                stack.push(Ev::Exit(new_id.idx()));
+                for &c in children[i].iter().rev() {
+                    stack.push(Ev::Enter(c, Some(new_id), level + 1));
+                }
+            }
+            Ev::Exit(new_idx) => {
+                counter += 1;
+                ordered[new_idx].end = counter;
+            }
+        }
+    }
+    assert_eq!(ordered.len(), n, "relabel lost occurrences (cycle in parents?)");
+    *occs = ordered;
+}
+
+fn rebuild_indexes_into(
+    tree: &mut ColorTree,
+    _c: ColorId,
+    elements: &[Element],
+    logical: &mut HashMap<(NodeId, u32), Vec<OccId>>,
+) {
+    tree.by_placement.clear();
+    tree.by_node.clear();
+    logical.clear();
+    for (i, o) in tree.occs.iter().enumerate() {
+        let id = OccId(i as u32);
+        tree.by_placement.entry(o.placement).or_default().push(id);
+        let canon = &elements[elements[o.element.idx()].canonical.idx()];
+        tree.by_node.entry(canon.node).or_default().push(id);
+        logical.entry((canon.node, canon.ordinal)).or_default().push(id);
+    }
+}
+
+fn rebuild_tree_indexes(
+    tree: &mut ColorTree,
+    c: ColorId,
+    elements: &[Element],
+    logical_occs: &mut [HashMap<(NodeId, u32), Vec<OccId>>],
+) {
+    rebuild_indexes_into(tree, c, elements, &mut logical_occs[c.idx()]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorist_er::{Attribute, ErDiagram};
+
+    fn tiny() -> (ErGraph, MctSchema) {
+        let mut d = ErDiagram::new("t");
+        d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+        d.add_entity("b", vec![Attribute::key("id"), Attribute::text("x")]).unwrap();
+        d.add_rel_1m("r", "a", "b").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        let s = colorist_core::design(&g, colorist_core::Strategy::En).unwrap();
+        (g, s)
+    }
+
+    /// a0 -> r0 -> b0, a0 -> r1 -> b1, a1 (childless)
+    fn build(g: &ErGraph, s: &MctSchema) -> Database {
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let c = ColorId(0);
+        let pa = s.placements_of_in_color(a, c)[0];
+        let pr = s.placements_of_in_color(r, c)[0];
+        let pb = s.placements_of_in_color(b, c)[0];
+        let mut bd = DatabaseBuilder::new(s.clone(), g.node_count());
+        let ea0 = bd.add_canonical(a, vec![Value::Int(0)]);
+        let ea1 = bd.add_canonical(a, vec![Value::Int(1)]);
+        let er0 = bd.add_canonical(r, vec![]);
+        let er1 = bd.add_canonical(r, vec![]);
+        let eb0 = bd.add_canonical(b, vec![Value::Int(0), Value::Text("u".into())]);
+        let eb1 = bd.add_canonical(b, vec![Value::Int(1), Value::Text("v".into())]);
+        let oa0 = bd.add_occurrence(c, ea0, pa, None);
+        let _oa1 = bd.add_occurrence(c, ea1, pa, None);
+        let or0 = bd.add_occurrence(c, er0, pr, Some(oa0));
+        let or1 = bd.add_occurrence(c, er1, pr, Some(oa0));
+        bd.add_occurrence(c, eb0, pb, Some(or0));
+        bd.add_occurrence(c, eb1, pb, Some(or1));
+        bd.finish()
+    }
+
+    #[test]
+    fn labels_nest_properly() {
+        let (g, s) = tiny();
+        let db = build(&g, &s);
+        let t = db.color(ColorId(0));
+        assert_eq!(t.occs().len(), 6);
+        // document order by start, intervals well-formed
+        let mut prev = 0;
+        for o in t.occs() {
+            assert!(o.start > prev, "document order violated");
+            assert!(o.end > o.start);
+            prev = o.start;
+        }
+        // parent intervals contain children
+        for (i, o) in t.occs().iter().enumerate() {
+            if let Some(p) = o.parent {
+                assert!(t.is_ancestor(p, OccId(i as u32)));
+                assert_eq!(t.occ(p).level + 1, o.level);
+            }
+        }
+    }
+
+    #[test]
+    fn extents_and_logical_occurrences() {
+        let (g, s) = tiny();
+        let db = build(&g, &s);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        assert_eq!(db.extent(a).len(), 2);
+        assert_eq!(db.extent(b).len(), 2);
+        let eb0 = db.extent(b)[0];
+        let occs = db.occurrences_of_logical(ColorId(0), eb0);
+        assert_eq!(occs.len(), 1);
+        assert_eq!(db.color(ColorId(0)).occ(occs[0]).element, eb0);
+    }
+
+    #[test]
+    fn copies_share_logical_identity() {
+        let (g, s) = tiny();
+        let mut db = build(&g, &s);
+        let b = g.node_by_name("b").unwrap();
+        let eb0 = db.extent(b)[0];
+        let copy = db.insert_copy(eb0);
+        assert!(db.element(copy).is_copy(copy));
+        assert_eq!(db.element(copy).canonical, eb0);
+        assert_eq!(db.element(copy).attrs, db.element(eb0).attrs);
+        // place the copy under the other r occurrence and relabel
+        let c = ColorId(0);
+        let pb = db.schema.placements_of_in_color(b, c)[0];
+        let parent = db.color(c).of_placement(
+            db.schema.placements_of_in_color(g.node_by_name("r").unwrap(), c)[0],
+        )[0];
+        db.push_occurrence(c, copy, pb, Some(parent));
+        db.relabel_color(c);
+        assert_eq!(db.occurrences_of_logical(c, eb0).len(), 2);
+    }
+
+    #[test]
+    fn remove_occurrences_cascades() {
+        let (g, s) = tiny();
+        let mut db = build(&g, &s);
+        let c = ColorId(0);
+        let a = g.node_by_name("a").unwrap();
+        // remove a0's occurrence: r0, r1, b0, b1 go with it
+        let pa = db.schema.placements_of_in_color(a, c)[0];
+        let oa0 = db.color(c).of_placement(pa)[0];
+        let removed = db.remove_occurrences(c, &[oa0]);
+        db.relabel_color(c);
+        assert_eq!(removed, 5);
+        assert_eq!(db.color(c).occs().len(), 1); // a1 remains
+    }
+
+    #[test]
+    fn link_storage_push_kill_and_reverse() {
+        let (g, s) = tiny();
+        let mut db = build(&g, &s);
+        let r = g.node_by_name("r").unwrap();
+        let e_ra = g
+            .edge_ids()
+            .find(|&e| g.edge(e).rel == r && g.edge(e).participant == g.node_by_name("a").unwrap())
+            .unwrap();
+        // build() does not set links; push some for the two r instances
+        db.push_link(e_ra, 0, 0);
+        db.push_link(e_ra, 1, 0);
+        assert_eq!(db.link(e_ra, 0), Some(0));
+        assert_eq!(db.linked_rels(e_ra, 0), vec![0, 1]);
+        db.kill_link(e_ra, 0);
+        assert_eq!(db.link(e_ra, 0), None);
+        assert_eq!(db.linked_rels(e_ra, 0), vec![1]);
+        // out-of-range lookups are safe
+        assert_eq!(db.link(e_ra, 99), None);
+        assert!(db.linked_rels(e_ra, 99).is_empty());
+    }
+
+    #[test]
+    fn remove_element_clears_all_colors() {
+        let (g, s) = tiny();
+        let mut db = build(&g, &s);
+        let b = g.node_by_name("b").unwrap();
+        let eb0 = db.extent(b)[0];
+        let n = db.remove_element_occurrences(eb0);
+        assert_eq!(n, 1);
+        assert_eq!(db.color(ColorId(0)).occs().len(), 5);
+    }
+}

@@ -1,0 +1,315 @@
+//! The two join primitives.
+//!
+//! **Structural join** (Al-Khalifa et al., ICDE 2002): given ancestor
+//! candidates and descendant candidates in one color, both in document
+//! order, produce the containment pairs with a single stack-based merge —
+//! `O(|anc| + |desc| + |output|)`, no hashing, no value materialization.
+//!
+//! **Value join**: the id/idref fallback for associations a schema does not
+//! capture structurally. Builds a hash table over one side's attribute
+//! values and probes with the other side — every probe materializes and
+//! hashes attribute values, which is the cost asymmetry the paper's whole
+//! design space is about (and which `benches/structural_vs_value.rs`
+//! measures).
+
+use crate::database::{Database, ElementId, OccId, Occurrence};
+use crate::metrics::Metrics;
+use crate::value::{Value, ValueKey};
+use colorist_mct::ColorId;
+use std::collections::HashMap;
+
+/// What a value join compares on one side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrRef {
+    /// The element's implicit id (the logical ordinal every element carries
+    /// as an XML `id` attribute; idref attributes store these).
+    Id,
+    /// A declared attribute, by index into the element's attribute vector.
+    Attr(usize),
+}
+
+/// Fetch the referenced value of an element.
+pub fn attr_value(db: &Database, e: ElementId, r: AttrRef) -> Value {
+    match r {
+        AttrRef::Id => Value::Int(db.element(db.element(e).canonical).ordinal as i64),
+        AttrRef::Attr(i) => db.element(e).attrs[i].clone(),
+    }
+}
+
+/// The vertical axis of a structural join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Parent-child (levels differ by exactly one).
+    Child,
+    /// Ancestor-descendant (any positive level difference).
+    Descendant,
+}
+
+/// Stack-based structural join: all `(ancestor, descendant)` pairs from
+/// `anc × desc` under interval containment in color `c`.
+///
+/// Both inputs must be sorted by `start` (document order) — as produced by
+/// [`crate::database::ColorTree::of_placement`] and by upstream joins.
+pub fn structural_join(
+    db: &Database,
+    c: ColorId,
+    anc: &[OccId],
+    desc: &[OccId],
+    axis: Axis,
+    metrics: &mut Metrics,
+) -> Vec<(OccId, OccId)> {
+    metrics.structural_joins += 1;
+    metrics.elements_scanned += (anc.len() + desc.len()) as u64;
+    let tree = db.color(c);
+    let occ = |o: OccId| -> &Occurrence { tree.occ(o) };
+
+    let mut out = Vec::new();
+    let mut stack: Vec<OccId> = Vec::new();
+    let (mut ai, mut di) = (0usize, 0usize);
+    while di < desc.len() {
+        let d = occ(desc[di]);
+        // push ancestors that start before d
+        while ai < anc.len() && occ(anc[ai]).start < d.start {
+            // pop finished ancestors first
+            while let Some(&top) = stack.last() {
+                if occ(top).end < occ(anc[ai]).start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push(anc[ai]);
+            ai += 1;
+        }
+        // pop ancestors that ended before d starts
+        while let Some(&top) = stack.last() {
+            if occ(top).end < d.start {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        for &a in stack.iter() {
+            let ao = occ(a);
+            if ao.start < d.start && d.end <= ao.end {
+                match axis {
+                    Axis::Descendant => out.push((a, desc[di])),
+                    Axis::Child => {
+                        if ao.level + 1 == d.level {
+                            out.push((a, desc[di]));
+                        }
+                    }
+                }
+            }
+        }
+        di += 1;
+    }
+    // keep descendant-major document order for downstream joins
+    out
+}
+
+/// Hash value join: pairs `(l, r)` with `l.attrs[left_attr]` matching
+/// `r.attrs[right_attr]`.
+pub fn value_join(
+    db: &Database,
+    left: &[ElementId],
+    left_attr: AttrRef,
+    right: &[ElementId],
+    right_attr: AttrRef,
+    metrics: &mut Metrics,
+) -> Vec<(ElementId, ElementId)> {
+    metrics.value_joins += 1;
+    metrics.elements_scanned += (left.len() + right.len()) as u64;
+    // build on the smaller side
+    let (build, build_attr, probe, probe_attr, swapped) = if left.len() <= right.len() {
+        (left, left_attr, right, right_attr, false)
+    } else {
+        (right, right_attr, left, left_attr, true)
+    };
+    let mut table: HashMap<ValueKey, Vec<ElementId>> = HashMap::with_capacity(build.len());
+    for &e in build {
+        let v = attr_value(db, e, build_attr);
+        table.entry(v.join_key()).or_default().push(e);
+    }
+    let mut out = Vec::new();
+    for &e in probe {
+        let v = attr_value(db, e, probe_attr);
+        if let Some(matches) = table.get(&v.join_key()) {
+            for &m in matches {
+                out.push(if swapped { (e, m) } else { (m, e) });
+            }
+        }
+    }
+    out
+}
+
+/// Reference implementations used by property tests: quadratic nested-loop
+/// versions of both joins.
+pub mod naive {
+    use super::*;
+
+    /// Quadratic structural join (test oracle).
+    pub fn structural_join(
+        db: &Database,
+        c: ColorId,
+        anc: &[OccId],
+        desc: &[OccId],
+        axis: Axis,
+    ) -> Vec<(OccId, OccId)> {
+        let tree = db.color(c);
+        let mut out = Vec::new();
+        for &d in desc {
+            for &a in anc {
+                let ao = tree.occ(a);
+                let dd = tree.occ(d);
+                let contains = ao.start < dd.start && dd.end <= ao.end;
+                let ok = match axis {
+                    Axis::Descendant => contains,
+                    Axis::Child => contains && ao.level + 1 == dd.level,
+                };
+                if ok {
+                    out.push((a, d));
+                }
+            }
+        }
+        out
+    }
+
+    /// Quadratic value join (test oracle).
+    pub fn value_join(
+        db: &Database,
+        left: &[ElementId],
+        left_attr: AttrRef,
+        right: &[ElementId],
+        right_attr: AttrRef,
+    ) -> Vec<(ElementId, ElementId)> {
+        let mut out = Vec::new();
+        for &l in left {
+            for &r in right {
+                if attr_value(db, l, left_attr).matches(&attr_value(db, r, right_attr)) {
+                    out.push((l, r));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::DatabaseBuilder;
+    use crate::value::Value;
+    use colorist_er::{Attribute, ErDiagram, ErGraph};
+
+    /// Build a database over a 1:m chain with `n_a` roots each having
+    /// `per_a` relationship children each with one `b` child.
+    fn chain_db(n_a: usize, per_a: usize) -> (ErGraph, Database) {
+        let mut d = ErDiagram::new("t");
+        d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+        d.add_entity("b", vec![Attribute::key("id"), Attribute::key("a_ref")]).unwrap();
+        d.add_rel_1m("r", "a", "b").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        let s = colorist_core::design(&g, colorist_core::Strategy::En).unwrap();
+        let c = ColorId(0);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let pa = s.placements_of_in_color(a, c)[0];
+        let pr = s.placements_of_in_color(r, c)[0];
+        let pb = s.placements_of_in_color(b, c)[0];
+        let mut bd = DatabaseBuilder::new(s, g.node_count());
+        let mut bi = 0i64;
+        for ai in 0..n_a {
+            let ea = bd.add_canonical(a, vec![Value::Int(ai as i64)]);
+            let oa = bd.add_occurrence(c, ea, pa, None);
+            for _ in 0..per_a {
+                let er = bd.add_canonical(r, vec![]);
+                let or = bd.add_occurrence(c, er, pr, Some(oa));
+                let eb = bd.add_canonical(b, vec![Value::Int(bi), Value::Int(ai as i64)]);
+                bd.add_occurrence(c, eb, pb, Some(or));
+                bi += 1;
+            }
+        }
+        (g, bd.finish())
+    }
+
+    #[test]
+    fn structural_join_matches_naive() {
+        let (g, db) = chain_db(5, 3);
+        let c = ColorId(0);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let pa = db.schema.placements_of_in_color(a, c)[0];
+        let pb = db.schema.placements_of_in_color(b, c)[0];
+        let anc = db.color(c).of_placement(pa).to_vec();
+        let desc = db.color(c).of_placement(pb).to_vec();
+        let mut m = Metrics::default();
+        for axis in [Axis::Descendant, Axis::Child] {
+            let fast = structural_join(&db, c, &anc, &desc, axis, &mut m);
+            let slow = naive::structural_join(&db, c, &anc, &desc, axis);
+            assert_eq!(fast, slow, "{axis:?}");
+        }
+        // every b has exactly one a ancestor at distance 2
+        let fast = structural_join(&db, c, &anc, &desc, Axis::Descendant, &mut m);
+        assert_eq!(fast.len(), 15);
+        let children = structural_join(&db, c, &anc, &desc, Axis::Child, &mut m);
+        assert!(children.is_empty(), "b is a grandchild, not a child");
+        assert_eq!(m.structural_joins, 4);
+    }
+
+    #[test]
+    fn structural_join_with_subset_inputs() {
+        let (g, db) = chain_db(4, 2);
+        let c = ColorId(0);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let pa = db.schema.placements_of_in_color(a, c)[0];
+        let pb = db.schema.placements_of_in_color(b, c)[0];
+        // only the second a, all bs
+        let anc = vec![db.color(c).of_placement(pa)[1]];
+        let desc = db.color(c).of_placement(pb).to_vec();
+        let mut m = Metrics::default();
+        let pairs = structural_join(&db, c, &anc, &desc, Axis::Descendant, &mut m);
+        assert_eq!(pairs.len(), 2);
+        for (x, y) in pairs {
+            assert!(db.color(c).is_ancestor(x, y));
+        }
+    }
+
+    #[test]
+    fn value_join_matches_naive_and_counts() {
+        let (g, db) = chain_db(6, 2);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let la = db.extent(a).to_vec();
+        let lb = db.extent(b).to_vec();
+        let mut m = Metrics::default();
+        // join a.id = b.a_ref
+        let fast = value_join(&db, &la, AttrRef::Attr(0), &lb, AttrRef::Attr(1), &mut m);
+        let mut slow = naive::value_join(&db, &la, AttrRef::Attr(0), &lb, AttrRef::Attr(1));
+        let mut fast_sorted = fast.clone();
+        fast_sorted.sort_unstable();
+        slow.sort_unstable();
+        assert_eq!(fast_sorted, slow);
+        assert_eq!(fast.len(), 12);
+        assert_eq!(m.value_joins, 1);
+        assert_eq!(m.elements_scanned, 18);
+    }
+
+    #[test]
+    fn value_join_build_side_selection_is_transparent() {
+        let (g, db) = chain_db(2, 5);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let la = db.extent(a).to_vec();
+        let lb = db.extent(b).to_vec();
+        let mut m = Metrics::default();
+        // left bigger than right: output sides must stay (left, right)
+        let out = value_join(&db, &lb, AttrRef::Attr(1), &la, AttrRef::Id, &mut m);
+        for (l, r) in out {
+            assert_eq!(db.element(l).node, b);
+            assert_eq!(db.element(r).node, a);
+        }
+    }
+}

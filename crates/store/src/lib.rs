@@ -1,0 +1,35 @@
+//! # colorist-store — a TIMBER-like native MCT storage engine
+//!
+//! The paper's experiments run on TIMBER, a native XML database with
+//! interval node labels enabling structural joins. This crate is the
+//! equivalent substrate for MCT databases:
+//!
+//! * [`value`] — attribute values;
+//! * [`database`] — the stored database: **elements** (one per logical ER
+//!   instance, plus physical *copies* for un-normalized schemas) and
+//!   per-color **occurrence trees** carrying `(start, end, level)` interval
+//!   labels computed by DFS — a node belongs to exactly one rooted tree per
+//!   color, per the MCT model;
+//! * [`join`] — the two join primitives whose cost asymmetry drives the
+//!   paper's entire design space: stack-based interval **structural joins**
+//!   (cheap; Al-Khalifa et al., ICDE 2002) and hash-based **value joins**
+//!   over id/idref attributes (expensive);
+//! * [`metrics`] — the operation counters the paper reports in Figures 8–10
+//!   (structural joins, value joins, color crossings, duplicate
+//!   eliminations, …) plus wall-clock time;
+//! * [`stats`] — the storage statistics of Table 1 (elements, attributes,
+//!   content nodes, data bytes, colors).
+
+pub mod database;
+pub mod join;
+pub mod metrics;
+pub mod stats;
+pub mod value;
+pub mod xml;
+
+pub use database::{ColorTree, Database, DatabaseBuilder, Element, ElementId, OccId, Occurrence};
+pub use join::{attr_value, structural_join, value_join, AttrRef, Axis};
+pub use metrics::Metrics;
+pub use stats::Stats;
+pub use value::Value;
+pub use xml::to_xml;

@@ -1,0 +1,110 @@
+//! Query/update cost counters — the complexity surrogates of §6.
+//!
+//! The paper's analysis of the ER collection (and much of the TPC-W
+//! discussion) rests on counting the expensive operations a query needs
+//! under each schema: "the time taken to evaluate a query appears to be
+//! almost proportional to the number of value joins or color crossings,
+//! with an added amount if there is grouping or duplicate elimination
+//! required. There is little correlation between the time to evaluate a
+//! query and the number of structural joins."
+//!
+//! [`Metrics`] carries both the *plan-level* counts (filled by the
+//! compiler, reported in Figures 8–10 and 12–14) and *runtime* totals
+//! (filled by the executor, backing Table 1 / Figure 11).
+
+use std::ops::AddAssign;
+use std::time::Duration;
+
+/// Operation counts plus runtime measurements for one query (or an
+/// aggregate over a workload).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Metrics {
+    /// Structural (containment) joins — Figure 8.
+    pub structural_joins: u64,
+    /// Value (id/idref) joins — Figure 9, first component.
+    pub value_joins: u64,
+    /// Color crossings (same-logical-node hops between colored trees) —
+    /// Figure 9, second component.
+    pub color_crossings: u64,
+    /// Duplicate eliminations — Figure 10.
+    pub dup_eliminations: u64,
+    /// Group-by-value operations — Figure 10.
+    pub group_bys: u64,
+    /// Duplicate updates (extra physical writes to copies) — Figure 10.
+    pub duplicate_updates: u64,
+    /// ICIC maintenance writes (re-applying an update in another color).
+    pub icic_maintenance: u64,
+    /// Elements touched (scan + probe volume).
+    pub elements_scanned: u64,
+    /// Tuples produced by the final operator.
+    pub results: u64,
+    /// Distinct logical results (differs from `results` when a
+    /// non-node-normalized schema returns duplicates; the parenthesized
+    /// numbers of Table 1).
+    pub distinct_results: u64,
+    /// Measured evaluation time.
+    pub elapsed: Duration,
+}
+
+impl Metrics {
+    /// Figure 9's combined metric.
+    pub fn value_joins_plus_crossings(&self) -> u64 {
+        self.value_joins + self.color_crossings
+    }
+
+    /// Figure 10's combined metric.
+    pub fn dup_group_metric(&self) -> u64 {
+        self.dup_eliminations + self.group_bys + self.duplicate_updates
+    }
+
+    /// Number of duplicate results returned (0 for normalized schemas).
+    pub fn duplicate_results(&self) -> u64 {
+        self.results.saturating_sub(self.distinct_results)
+    }
+}
+
+impl AddAssign for Metrics {
+    fn add_assign(&mut self, rhs: Metrics) {
+        self.structural_joins += rhs.structural_joins;
+        self.value_joins += rhs.value_joins;
+        self.color_crossings += rhs.color_crossings;
+        self.dup_eliminations += rhs.dup_eliminations;
+        self.group_bys += rhs.group_bys;
+        self.duplicate_updates += rhs.duplicate_updates;
+        self.icic_maintenance += rhs.icic_maintenance;
+        self.elements_scanned += rhs.elements_scanned;
+        self.results += rhs.results;
+        self.distinct_results += rhs.distinct_results;
+        self.elapsed += rhs.elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_metrics() {
+        let m = Metrics {
+            value_joins: 2,
+            color_crossings: 3,
+            dup_eliminations: 1,
+            duplicate_updates: 4,
+            results: 10,
+            distinct_results: 7,
+            ..Default::default()
+        };
+        assert_eq!(m.value_joins_plus_crossings(), 5);
+        assert_eq!(m.dup_group_metric(), 5);
+        assert_eq!(m.duplicate_results(), 3);
+    }
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = Metrics { structural_joins: 1, ..Default::default() };
+        let b = Metrics { structural_joins: 2, value_joins: 1, ..Default::default() };
+        a += b;
+        assert_eq!(a.structural_joins, 3);
+        assert_eq!(a.value_joins, 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Attribute values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An atomic attribute value. Dates are stored as ISO-8601 text (their
+/// lexicographic order is chronological).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer (keys, counts, idrefs).
+    Int(i64),
+    /// Floating point (prices, rates).
+    Float(f64),
+    /// Text (names, dates, enumerations).
+    Text(String),
+}
+
+impl Value {
+    /// Total order across values: by variant first (Int < Float < Text),
+    /// then within the variant; NaN sorts last among floats.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Int(_) | Float(_), Text(_)) => Ordering::Less,
+            (Text(_), Int(_) | Float(_)) => Ordering::Greater,
+        }
+    }
+
+    /// Equality used by joins and predicates (numeric cross-variant
+    /// comparison allowed, like XPath general comparison).
+    pub fn matches(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// The integer value, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The text value, if this is a `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Approximate serialized size in bytes (for the Table 1 storage model).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Text(s) => s.len(),
+        }
+    }
+
+    /// A stable hash key for hash joins (distinguishes variants except for
+    /// integral floats, which compare equal to ints).
+    pub fn join_key(&self) -> ValueKey {
+        match self {
+            Value::Int(i) => ValueKey::Num(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => ValueKey::Num(*f as i64),
+            Value::Float(f) => ValueKey::Bits(f.to_bits()),
+            Value::Text(s) => ValueKey::Text(s.clone()),
+        }
+    }
+}
+
+/// Hashable join key for [`Value`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ValueKey {
+    /// Integer or integral float.
+    Num(i64),
+    /// Non-integral float bits.
+    Bits(u64),
+    /// Text.
+    Text(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_matching() {
+        assert!(Value::Int(1).matches(&Value::Int(1)));
+        assert!(Value::Int(1).matches(&Value::Float(1.0)));
+        assert!(!Value::Int(1).matches(&Value::Text("1".into())));
+        assert_eq!(Value::Int(2).total_cmp(&Value::Int(10)), Ordering::Less);
+        assert_eq!(
+            Value::Text("2020-01-02".into()).total_cmp(&Value::Text("2020-01-10".into())),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn join_keys_unify_int_and_integral_float() {
+        assert_eq!(Value::Int(7).join_key(), Value::Float(7.0).join_key());
+        assert_ne!(Value::Int(7).join_key(), Value::Float(7.5).join_key());
+        assert_ne!(Value::Int(7).join_key(), Value::Text("7".into()).join_key());
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Value::Int(1).byte_size(), 8);
+        assert_eq!(Value::Text("abcd".into()).byte_size(), 4);
+    }
+}

@@ -1,0 +1,320 @@
+//! The Database-Derby workload: 20 queries (12 reads, 8 updates) over the
+//! Derby-like manufacturing diagram — standing in for the real 1985 contest
+//! schema and query set, which is not available (see `colorist-er`'s
+//! catalog notes).
+
+use crate::suite::Workload;
+use colorist_er::{ErGraph, NodeId};
+use colorist_query::pattern::find_edge;
+#[allow(unused_imports)]
+use colorist_query::{
+    CmpOp, InsertLink, InsertSpec, NewInstance, Partner, Pattern, PatternBuilder, UpdateAction,
+    UpdateSpec,
+};
+use colorist_store::Value;
+
+fn t(s: &str) -> Value {
+    Value::Text(s.to_string())
+}
+
+/// Build the Derby workload against the Derby ER graph.
+#[allow(clippy::vec_init_then_push)] // one commented push per paper query
+pub fn workload(g: &ErGraph) -> Workload {
+    let b = |name: &str| PatternBuilder::new(g, name);
+    let mut reads: Vec<Pattern> = Vec::new();
+
+    // D1: employees of a department
+    reads.push(
+        b("D1")
+            .node("department")
+            .pred_eq("id", Value::Int(1))
+            .node("employee")
+            .chain(0, 1, &["works_in"])
+            .unwrap()
+            .output(1)
+            .build()
+            .unwrap(),
+    );
+    // D2: dependents of employees of a department
+    reads.push(
+        b("D2")
+            .node("department")
+            .pred_eq("id", Value::Int(1))
+            .node("dependent")
+            .chain(0, 1, &["works_in", "employee", "has_dependent"])
+            .unwrap()
+            .output(1)
+            .distinct()
+            .build()
+            .unwrap(),
+    );
+    // D3: projects of the department an employee works in
+    reads.push(
+        b("D3")
+            .node("employee")
+            .pred_eq("id", Value::Int(5))
+            .node("project")
+            .chain(0, 1, &["works_in", "department", "controls"])
+            .unwrap()
+            .output(1)
+            .distinct()
+            .build()
+            .unwrap(),
+    );
+    // D4: employees assigned to a project (M:N)
+    reads.push(
+        b("D4")
+            .node("project")
+            .pred_eq("id", Value::Int(2))
+            .node("employee")
+            .chain(0, 1, &["assigned_to"])
+            .unwrap()
+            .output(1)
+            .distinct()
+            .build()
+            .unwrap(),
+    );
+    // D5: parts from high-rated suppliers (M:N)
+    reads.push(
+        b("D5")
+            .node("supplier")
+            .pred("rating", CmpOp::Gt, Value::Int(800))
+            .node("part")
+            .chain(0, 1, &["supplies"])
+            .unwrap()
+            .output(1)
+            .distinct()
+            .build()
+            .unwrap(),
+    );
+    // D6: warehouses stocking a part (M:N)
+    reads.push(
+        b("D6")
+            .node("part")
+            .pred_eq("id", Value::Int(3))
+            .node("warehouse")
+            .chain(0, 1, &["stocked_in"])
+            .unwrap()
+            .output(1)
+            .distinct()
+            .build()
+            .unwrap(),
+    );
+    // D7: invoices of purchases placed by a firm
+    reads.push(
+        b("D7")
+            .node("firm")
+            .pred_eq("id", Value::Int(2))
+            .node("invoice")
+            .chain(0, 1, &["places", "purchase", "billed_by"])
+            .unwrap()
+            .output(1)
+            .distinct()
+            .build()
+            .unwrap(),
+    );
+    // D8: parts included in purchases shipped from a warehouse
+    reads.push(
+        b("D8")
+            .node("warehouse")
+            .pred_eq("city", t("warehouse_city_1"))
+            .node("part")
+            .chain(0, 1, &["ships_from", "purchase", "includes"])
+            .unwrap()
+            .output(1)
+            .distinct()
+            .build()
+            .unwrap(),
+    );
+    // D9: the manager of a department (1:1)
+    reads.push(
+        b("D9")
+            .node("department")
+            .pred_eq("id", Value::Int(1))
+            .node("employee")
+            .chain(0, 1, &["manages"])
+            .unwrap()
+            .output(1)
+            .build()
+            .unwrap(),
+    );
+    // D10: invoices of a firm's purchases, grouped by paid status
+    reads.push(
+        b("D10")
+            .node("firm")
+            .pred_eq("industry", t("firm_industry_1"))
+            .node("invoice")
+            .chain(0, 1, &["places", "purchase", "billed_by"])
+            .unwrap()
+            .output(1)
+            .distinct()
+            .group_by("paid")
+            .build()
+            .unwrap(),
+    );
+    // D11: employees of the department controlling a project (ascent)
+    reads.push(
+        b("D11")
+            .node("project")
+            .pred_eq("id", Value::Int(2))
+            .node("employee")
+            .chain(0, 1, &["controls", "department", "works_in"])
+            .unwrap()
+            .output(1)
+            .distinct()
+            .build()
+            .unwrap(),
+    );
+    // D12: purchases by a firm that include a given part (star)
+    reads.push(
+        b("D12")
+            .node("purchase")
+            .node("firm")
+            .pred_eq("id", Value::Int(1))
+            .node("part")
+            .pred_eq("id", Value::Int(2))
+            .chain(0, 1, &["places"])
+            .unwrap()
+            .chain(0, 2, &["includes"])
+            .unwrap()
+            .output(0)
+            .distinct()
+            .build()
+            .unwrap(),
+    );
+
+    let node = |n: &str| g.node_by_name(n).unwrap();
+    let e = |rel: NodeId, part: NodeId| find_edge(g, rel, part, None).expect("derby edge");
+
+    let mut updates: Vec<UpdateSpec> = Vec::new();
+    // DU1: raise a salary
+    updates.push(UpdateSpec {
+        name: "DU1".into(),
+        pattern: b("DU1").node("employee").pred_eq("id", Value::Int(1)).output(0).build().unwrap(),
+        action: UpdateAction::Modify { attr: 3, value: Value::Float(99_000.0) },
+    });
+    // DU2: reprice a part
+    updates.push(UpdateSpec {
+        name: "DU2".into(),
+        pattern: b("DU2").node("part").pred_eq("id", Value::Int(2)).output(0).build().unwrap(),
+        action: UpdateAction::Modify { attr: 4, value: Value::Float(3.5) },
+    });
+    // DU3: re-budget a department
+    updates.push(UpdateSpec {
+        name: "DU3".into(),
+        pattern: b("DU3").node("department").pred_eq("id", Value::Int(0)).output(0).build().unwrap(),
+        action: UpdateAction::Modify { attr: 2, value: Value::Float(1_000_000.0) },
+    });
+    // DU4: remove a dependent
+    updates.push(UpdateSpec {
+        name: "DU4".into(),
+        pattern: b("DU4").node("dependent").pred_eq("id", Value::Int(3)).output(0).build().unwrap(),
+        action: UpdateAction::Delete,
+    });
+    // DU5: void an invoice
+    updates.push(UpdateSpec {
+        name: "DU5".into(),
+        pattern: b("DU5").node("invoice").pred_eq("id", Value::Int(4)).output(0).build().unwrap(),
+        action: UpdateAction::Delete,
+    });
+    // DU6: a firm places a new purchase
+    let purchase = node("purchase");
+    let firm = node("firm");
+    let places = node("places");
+    updates.push(UpdateSpec {
+        name: "DU6".into(),
+        pattern: b("DU6loc").node("firm").pred_eq("id", Value::Int(2)).output(0).build().unwrap(),
+        action: UpdateAction::Insert(InsertSpec {
+            instances: vec![NewInstance {
+                node: purchase,
+                attrs: vec![
+                    Value::Int(7_000_000),
+                    Value::Text("2026-07-05".into()),
+                    Value::Float(120.0),
+                ],
+                links: vec![InsertLink {
+                    rel: places,
+                    self_edge: e(places, purchase),
+                    partner_edge: e(places, firm),
+                    partner: Partner::Matched(0),
+                }],
+            }],
+        }),
+    });
+    // DU7: register a new dependent for an employee
+    let dependent = node("dependent");
+    let employee = node("employee");
+    let has_dependent = node("has_dependent");
+    updates.push(UpdateSpec {
+        name: "DU7".into(),
+        pattern: b("DU7loc").node("employee").pred_eq("id", Value::Int(2)).output(0).build().unwrap(),
+        action: UpdateAction::Insert(InsertSpec {
+            instances: vec![NewInstance {
+                node: dependent,
+                attrs: vec![
+                    Value::Int(7_000_001),
+                    Value::Text("new kid".into()),
+                    Value::Text("2026-01-01".into()),
+                    Value::Text("child".into()),
+                ],
+                links: vec![InsertLink {
+                    rel: has_dependent,
+                    self_edge: e(has_dependent, dependent),
+                    partner_edge: e(has_dependent, employee),
+                    partner: Partner::Matched(0),
+                }],
+            }],
+        }),
+    });
+    // DU8: a department starts a new project with one assignee
+    let project = node("project");
+    let department = node("department");
+    let controls = node("controls");
+    let assigned_to = node("assigned_to");
+    updates.push(UpdateSpec {
+        name: "DU8".into(),
+        pattern: b("DU8loc").node("department").pred_eq("id", Value::Int(1)).output(0).build().unwrap(),
+        action: UpdateAction::Insert(InsertSpec {
+            instances: vec![NewInstance {
+                node: project,
+                attrs: vec![
+                    Value::Int(7_000_002),
+                    Value::Text("skunkworks".into()),
+                    Value::Text("2027-01-01".into()),
+                    Value::Int(1),
+                ],
+                links: vec![
+                    InsertLink {
+                        rel: controls,
+                        self_edge: e(controls, project),
+                        partner_edge: e(controls, department),
+                        partner: Partner::Matched(0),
+                    },
+                    InsertLink {
+                        rel: assigned_to,
+                        self_edge: e(assigned_to, project),
+                        partner_edge: e(assigned_to, employee),
+                        partner: Partner::ByOrdinal(employee, 3),
+                    },
+                ],
+            }],
+        }),
+    });
+
+    Workload { name: "derby".into(), reads, updates, indifferent: Vec::new() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorist_er::catalog;
+
+    #[test]
+    fn twenty_queries_eight_updates() {
+        let g = ErGraph::from_diagram(&catalog::derby()).unwrap();
+        let w = workload(&g);
+        assert_eq!(w.reads.len(), 12);
+        assert_eq!(w.updates.len(), 8);
+        assert_eq!(w.reported().len(), 20);
+    }
+}

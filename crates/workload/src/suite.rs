@@ -1,0 +1,164 @@
+//! Workload execution harness: run every query of a workload against every
+//! schema of a diagram, over one shared canonical instance.
+
+use colorist_core::{design, Strategy};
+use colorist_datagen::{generate, materialize, CanonicalInstance, ScaleProfile};
+use colorist_er::ErGraph;
+use colorist_query::{compile, execute, execute_update, Pattern, QueryError, UpdateSpec};
+use colorist_store::{stats::stats, Metrics, Stats};
+
+/// Read query or update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Read-only query (Q…).
+    Read,
+    /// Update query (U…).
+    Update,
+}
+
+/// A workload: read patterns plus update specifications.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload label.
+    pub name: String,
+    /// Read queries, in reporting order.
+    pub reads: Vec<Pattern>,
+    /// Updates, in reporting order.
+    pub updates: Vec<UpdateSpec>,
+    /// Names of queries that are indifferent to schema choice (excluded
+    /// from the reported figures, per §6.1).
+    pub indifferent: Vec<String>,
+}
+
+impl Workload {
+    /// Queries reported in the figures (non-indifferent), reads first.
+    pub fn reported(&self) -> Vec<&str> {
+        self.reads
+            .iter()
+            .map(|p| p.name.as_str())
+            .chain(self.updates.iter().map(|u| u.name.as_str()))
+            .filter(|n| !self.indifferent.iter().any(|i| i == n))
+            .collect()
+    }
+}
+
+/// Result of one query against one schema.
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    /// Query name.
+    pub name: String,
+    /// Read or update.
+    pub kind: QueryKind,
+    /// Measured metrics (plan ops, volumes, wall time).
+    pub metrics: Metrics,
+    /// Logical results / elements updated.
+    pub logical: u64,
+    /// Physical results incl. duplicates (the parenthesized numbers).
+    pub physical: u64,
+}
+
+/// One schema's complete evaluation.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// The strategy evaluated.
+    pub strategy: Strategy,
+    /// Storage statistics (Table 1 top).
+    pub stats: Stats,
+    /// Schema color count.
+    pub colors: usize,
+    /// Per-query runs, reads then updates.
+    pub runs: Vec<QueryRun>,
+}
+
+impl SuiteResult {
+    /// Find one run by query name.
+    pub fn run(&self, name: &str) -> Option<&QueryRun> {
+        self.runs.iter().find(|r| r.name == name)
+    }
+}
+
+/// Run `workload` for every strategy on one diagram. The same canonical
+/// instance (from `profile` and `seed`) backs every schema, so logical
+/// results agree across strategies by construction.
+pub fn run_suite(
+    graph: &ErGraph,
+    strategies: &[Strategy],
+    workload: &Workload,
+    profile: &ScaleProfile,
+    seed: u64,
+) -> Result<Vec<SuiteResult>, QueryError> {
+    let instance = generate(graph, profile, seed);
+    run_suite_on(graph, strategies, workload, &instance)
+}
+
+/// Like [`run_suite`] with a pre-generated instance.
+pub fn run_suite_on(
+    graph: &ErGraph,
+    strategies: &[Strategy],
+    workload: &Workload,
+    instance: &CanonicalInstance,
+) -> Result<Vec<SuiteResult>, QueryError> {
+    let mut out = Vec::with_capacity(strategies.len());
+    for &s in strategies {
+        let schema = design(graph, s).expect("strategy designs the diagram");
+        let db = materialize(graph, &schema, instance);
+        let mut runs = Vec::new();
+        for q in &workload.reads {
+            let plan = compile(graph, &db.schema, q)?;
+            let r = execute(&db, graph, &plan);
+            runs.push(QueryRun {
+                name: q.name.clone(),
+                kind: QueryKind::Read,
+                metrics: r.metrics,
+                logical: r.distinct,
+                physical: r.results,
+            });
+        }
+        for u in &workload.updates {
+            // isolate each update on a fresh clone so later queries see the
+            // same base state on every schema
+            let mut dbu = db.clone();
+            let o = execute_update(&mut dbu, graph, u)?;
+            runs.push(QueryRun {
+                name: u.name.clone(),
+                kind: QueryKind::Update,
+                metrics: o.metrics,
+                logical: o.logical,
+                physical: o.physical,
+            });
+        }
+        out.push(SuiteResult { strategy: s, stats: stats(&db, graph), colors: db.color_count(), runs });
+    }
+    Ok(out)
+}
+
+/// Shifted geometric mean (`exp(mean(ln(1 + x))) - 1`): the aggregation
+/// used for Figures 12–14, where most queries have zero value joins and a
+/// plain geometric mean would collapse to 0.
+pub fn geo_mean(values: impl IntoIterator<Item = u64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += (1.0 + v as f64).ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (sum / n as f64).exp() - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_basics() {
+        assert_eq!(geo_mean([]), 0.0);
+        assert_eq!(geo_mean([0, 0, 0]), 0.0);
+        assert!((geo_mean([1, 1, 1]) - 1.0).abs() < 1e-12);
+        // mixed zeros stay between 0 and max
+        let m = geo_mean([0, 3]);
+        assert!(m > 0.0 && m < 3.0);
+    }
+}

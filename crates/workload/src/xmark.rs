@@ -1,0 +1,401 @@
+//! The XMark-emulated workload: 28 query templates (8 updates),
+//! instantiated against any ER diagram.
+//!
+//! The paper had no workloads for its collected ER diagrams, so it
+//! "generated a query workload for each ER diagram, based on emulating the
+//! XMark set of queries through identifying correspondences between schema
+//! elements". We do the same mechanically: the XMark shapes (point
+//! queries, selections, parent-child chases, deep chains, M:N traversals,
+//! star joins, grouping, plus inserts/deletes/modifies) are instantiated
+//! on each diagram by picking, deterministically, the nodes and
+//! associations that fit each shape.
+
+use crate::suite::Workload;
+use colorist_er::{
+    Association, Cardinality, Domain, EligibleAssociations, ErGraph, NodeId, NodeKind,
+};
+use colorist_query::{
+    CmpOp, InsertLink, InsertSpec, NewInstance, Partner, Pattern, PatternBuilder, UpdateAction,
+    UpdateSpec,
+};
+use colorist_store::Value;
+
+/// Instantiate the 28-query workload (20 reads + 8 updates) on a diagram.
+pub fn workload(graph: &ErGraph) -> Workload {
+    let eligible = EligibleAssociations::enumerate_default(graph);
+    let mut reads = Vec::new();
+    let mut n = 0usize;
+    let mut next = |prefix: &str| {
+        n += 1;
+        format!("{prefix}{n}")
+    };
+
+    // longest association per distinct (source, target) pair, longest first
+    let mut reps: Vec<&Association> = Vec::new();
+    {
+        let mut seen = std::collections::HashSet::new();
+        let mut all: Vec<&Association> = eligible.iter().collect();
+        all.sort_by_key(|a| (std::cmp::Reverse(a.len()), a.source, a.target));
+        for a in all {
+            if seen.insert((a.source, a.target)) {
+                reps.push(a);
+            }
+        }
+    }
+    let entities: Vec<NodeId> = graph.entity_nodes().collect();
+
+    // X1/X2: point query + selection on the first entities
+    for (i, &e) in entities.iter().take(2).enumerate() {
+        reads.push(point_query(graph, &next("X"), e, i as i64 + 1));
+    }
+    // X3/X4: attribute-range selections
+    for &e in entities.iter().skip(2).take(2) {
+        if let Some(q) = range_query(graph, &next("X"), e) {
+            reads.push(q);
+        }
+    }
+    // chain chases over the longest distinct associations (down), with
+    // alternating predicate styles
+    let mut rep_iter = reps.iter();
+    while reads.len() < 12 {
+        match rep_iter.next() {
+            Some(a) => reads.push(chain_query(graph, &next("X"), a, false)),
+            None => break,
+        }
+    }
+    // reversed chases (output the "one" side)
+    let mut rev_iter = reps.iter();
+    while reads.len() < 15 {
+        match rev_iter.next() {
+            Some(a) if a.len() >= 2 => reads.push(chain_query(graph, &next("X"), a, true)),
+            Some(_) => {}
+            None => break,
+        }
+    }
+    // M:N traversals (both directions) across many-many relationships
+    for r in graph.many_many_relationships() {
+        if reads.len() >= 17 {
+            break;
+        }
+        let parts: Vec<NodeId> =
+            graph.incident(r).iter().map(|&(_, p)| p).collect();
+        if let [a, b] = parts[..] {
+            reads.push(mn_query(graph, &next("X"), a, r, b));
+            reads.push(mn_query(graph, &next("X"), b, r, a));
+        }
+    }
+    // star: two associations sharing a source
+    if let Some(q) = star_query(graph, &reps, &next("X")) {
+        reads.push(q);
+    }
+    // group-by on a chain target
+    if let Some(a) = reps.first() {
+        if let Some(q) = group_query(graph, a, &next("X")) {
+            reads.push(q);
+        }
+    }
+    // pad to 20 with further selections / chains cycling the material
+    let mut pad = 0usize;
+    while reads.len() < 20 {
+        let e = entities[pad % entities.len()];
+        reads.push(point_query(graph, &next("X"), e, (pad as i64 % 7) + 2));
+        pad += 1;
+    }
+    reads.truncate(20);
+
+    // 8 updates: 3 modifies, 2 deletes, 3 inserts
+    let mut updates = Vec::new();
+    let mut un = 0usize;
+    let mut unext = || {
+        un += 1;
+        format!("XU{un}")
+    };
+    for (i, &e) in entities.iter().take(3).enumerate() {
+        if let Some(u) = modify_update(graph, &unext(), e, i as i64) {
+            updates.push(u);
+        }
+    }
+    for &e in entities.iter().rev().take(2) {
+        updates.push(delete_update(graph, &unext(), e));
+    }
+    let rels: Vec<NodeId> = graph.relationship_nodes().collect();
+    for &r in &rels {
+        if updates.len() >= 8 {
+            break;
+        }
+        if let Some(u) = insert_update(graph, &unext(), r) {
+            updates.push(u);
+        }
+    }
+    // pad updates with modifies if the diagram is short on material
+    let mut pad = 0usize;
+    while updates.len() < 8 {
+        let e = entities[pad % entities.len()];
+        if let Some(u) = modify_update(graph, &unext(), e, pad as i64 + 3) {
+            updates.push(u);
+        }
+        pad += 1;
+    }
+
+    Workload { name: format!("xmark@{}", graph.name), reads, updates, indifferent: Vec::new() }
+}
+
+fn key_attr(graph: &ErGraph, n: NodeId) -> Option<usize> {
+    graph.node(n).attributes.iter().position(|a| a.is_key)
+}
+
+fn point_query(graph: &ErGraph, name: &str, e: NodeId, k: i64) -> Pattern {
+    let mut b = PatternBuilder::new(graph, name).node(&graph.node(e).name);
+    if let Some(i) = key_attr(graph, e) {
+        let attr = graph.node(e).attributes[i].name.clone();
+        b = b.pred_eq(&attr, Value::Int(k));
+    }
+    b.output(0).build().expect("point query")
+}
+
+fn range_query(graph: &ErGraph, name: &str, e: NodeId) -> Option<Pattern> {
+    let node = graph.node(e);
+    let (i, attr) = node
+        .attributes
+        .iter()
+        .enumerate()
+        .find(|(_, a)| !a.is_key && matches!(a.domain, Domain::Float | Domain::Integer))?;
+    let value = match attr.domain {
+        Domain::Float => Value::Float(5000.0),
+        _ => Value::Int(500),
+    };
+    let _ = i;
+    Some(
+        PatternBuilder::new(graph, name)
+            .node(&node.name)
+            .pred(&attr.name, CmpOp::Gt, value)
+            .output(0)
+            .build()
+            .expect("range query"),
+    )
+}
+
+fn via_names(graph: &ErGraph, a: &Association) -> Vec<String> {
+    a.nodes[1..a.nodes.len() - 1].iter().map(|&n| graph.node(n).name.clone()).collect()
+}
+
+fn chain_query(graph: &ErGraph, name: &str, a: &Association, reversed: bool) -> Pattern {
+    let (pred_node, out_node) = if reversed { (a.target, a.source) } else { (a.source, a.target) };
+    let mut b = PatternBuilder::new(graph, name).node(&graph.node(pred_node).name);
+    if let Some(i) = key_attr(graph, pred_node) {
+        let attr = graph.node(pred_node).attributes[i].name.clone();
+        b = b.pred_eq(&attr, Value::Int(1));
+    }
+    b = b.node(&graph.node(out_node).name);
+    let via: Vec<String> = if reversed {
+        via_names(graph, a).into_iter().rev().collect()
+    } else {
+        via_names(graph, a)
+    };
+    let via_refs: Vec<&str> = via.iter().map(String::as_str).collect();
+    b.chain(0, 1, &via_refs)
+        .expect("chain follows the ER path")
+        .output(1)
+        .distinct()
+        .build()
+        .expect("chain query")
+}
+
+fn mn_query(graph: &ErGraph, name: &str, from: NodeId, rel: NodeId, to: NodeId) -> Pattern {
+    let mut b = PatternBuilder::new(graph, name).node(&graph.node(from).name);
+    if let Some(i) = key_attr(graph, from) {
+        let attr = graph.node(from).attributes[i].name.clone();
+        b = b.pred_eq(&attr, Value::Int(2));
+    }
+    b.node(&graph.node(to).name)
+        .chain(0, 1, &[&graph.node(rel).name])
+        .expect("m:n chain")
+        .output(1)
+        .distinct()
+        .build()
+        .expect("m:n query")
+}
+
+fn star_query(graph: &ErGraph, reps: &[&Association], name: &str) -> Option<Pattern> {
+    // two associations out of the same source with distinct targets
+    let (a, b2) = reps.iter().enumerate().find_map(|(i, a)| {
+        reps[i + 1..]
+            .iter()
+            .find(|b| b.source == a.source && b.target != a.target && b.path[0] != a.path[0])
+            .map(|b| (*a, *b))
+    })?;
+    let src = a.source;
+    let via_a = via_names(graph, a);
+    let via_b = via_names(graph, b2);
+    let mut builder = PatternBuilder::new(graph, name)
+        .node(&graph.node(src).name)
+        .node(&graph.node(a.target).name)
+        .node(&graph.node(b2.target).name);
+    // predicates on the branch targets
+    for (idx, tgt) in [(1usize, a.target), (2, b2.target)] {
+        let _ = idx;
+        let _ = tgt;
+    }
+    let ra: Vec<&str> = via_a.iter().map(String::as_str).collect();
+    let rb: Vec<&str> = via_b.iter().map(String::as_str).collect();
+    builder = builder.chain(0, 1, &ra).ok()?.chain(0, 2, &rb).ok()?;
+    // key predicates on targets for selectivity
+    let mut p = builder.output(0).distinct().build().ok()?;
+    for (i, tgt) in [(1usize, a.target), (2usize, b2.target)] {
+        if let Some(k) = key_attr(graph, tgt) {
+            p.nodes[i].predicate = Some(colorist_query::Predicate {
+                attr: k,
+                op: CmpOp::Lt,
+                value: Value::Int(6),
+            });
+        }
+    }
+    Some(p)
+}
+
+fn group_query(graph: &ErGraph, a: &Association, name: &str) -> Option<Pattern> {
+    let tgt = graph.node(a.target);
+    let attr = tgt.attributes.iter().find(|x| !x.is_key && x.domain == Domain::Text)?;
+    let via = via_names(graph, a);
+    let refs: Vec<&str> = via.iter().map(String::as_str).collect();
+    PatternBuilder::new(graph, name)
+        .node(&graph.node(a.source).name)
+        .node(&tgt.name)
+        .chain(0, 1, &refs)
+        .ok()?
+        .output(1)
+        .distinct()
+        .group_by(&attr.name)
+        .build()
+        .ok()
+}
+
+fn modify_update(graph: &ErGraph, name: &str, e: NodeId, k: i64) -> Option<UpdateSpec> {
+    let node = graph.node(e);
+    let (attr_idx, attr) = node.attributes.iter().enumerate().find(|(_, a)| !a.is_key)?;
+    let key = node.attributes.get(key_attr(graph, e)?)?.name.clone();
+    let value = match attr.domain {
+        Domain::Float => Value::Float(1.25),
+        Domain::Integer => Value::Int(42),
+        _ => Value::Text("updated".into()),
+    };
+    Some(UpdateSpec {
+        name: name.to_string(),
+        pattern: PatternBuilder::new(graph, name)
+            .node(&node.name)
+            .pred_eq(&key, Value::Int(k))
+            .output(0)
+            .build()
+            .ok()?,
+        action: UpdateAction::Modify { attr: attr_idx, value },
+    })
+}
+
+fn delete_update(graph: &ErGraph, name: &str, e: NodeId) -> UpdateSpec {
+    let node = graph.node(e);
+    let mut b = PatternBuilder::new(graph, name).node(&node.name);
+    if let Some(i) = key_attr(graph, e) {
+        let attr = node.attributes[i].name.clone();
+        b = b.pred_eq(&attr, Value::Int(3));
+    }
+    UpdateSpec {
+        name: name.to_string(),
+        pattern: b.output(0).build().expect("delete locator"),
+        action: UpdateAction::Delete,
+    }
+}
+
+/// Insert a fresh instance of one endpoint of `rel`, linked to ordinal 0 of
+/// the other endpoint. Prefers inserting the side that participates once
+/// (a "child" instance, like a new order), matching XMark's inserts.
+fn insert_update(graph: &ErGraph, name: &str, rel: NodeId) -> Option<UpdateSpec> {
+    let edges: Vec<_> = graph
+        .incident(rel)
+        .iter()
+        .filter(|&&(e, _)| graph.edge(e).rel == rel)
+        .map(|&(e, p)| (e, p))
+        .collect();
+    if edges.len() != 2 {
+        return None;
+    }
+    // the inserted side: prefer cardinality One; entity endpoints only
+    let (self_side, partner_side) = {
+        let (e0, e1) = (edges[0], edges[1]);
+        let one0 = graph.edge(e0.0).cardinality == Cardinality::One;
+        if one0 {
+            (e0, e1)
+        } else {
+            (e1, e0)
+        }
+    };
+    if graph.node(self_side.1).kind != NodeKind::Entity
+        || graph.node(partner_side.1).kind != NodeKind::Entity
+    {
+        return None; // higher-order relationship: skip
+    }
+    let node = graph.node(self_side.1);
+    let attrs: Vec<Value> = node
+        .attributes
+        .iter()
+        .map(|a| match a.domain {
+            Domain::Integer => Value::Int(8_000_000),
+            Domain::Float => Value::Float(8.5),
+            _ => Value::Text("inserted".into()),
+        })
+        .collect();
+    let partner_name = graph.node(partner_side.1).name.clone();
+    let key = graph.node(partner_side.1).attributes.first()?.name.clone();
+    Some(UpdateSpec {
+        name: name.to_string(),
+        pattern: PatternBuilder::new(graph, name)
+            .node(&partner_name)
+            .pred_eq(&key, Value::Int(0))
+            .output(0)
+            .build()
+            .ok()?,
+        action: UpdateAction::Insert(InsertSpec {
+            instances: vec![NewInstance {
+                node: self_side.1,
+                attrs,
+                links: vec![InsertLink {
+                    rel,
+                    self_edge: self_side.0,
+                    partner_edge: partner_side.0,
+                    partner: Partner::Matched(0),
+                }],
+            }],
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorist_er::catalog;
+
+    #[test]
+    fn every_catalog_diagram_gets_28_queries() {
+        for name in catalog::COLLECTION {
+            let g = ErGraph::from_diagram(&catalog::by_name(name).unwrap()).unwrap();
+            let w = workload(&g);
+            assert_eq!(w.reads.len(), 20, "{name}");
+            assert_eq!(w.updates.len(), 8, "{name}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = ErGraph::from_diagram(&catalog::er5()).unwrap();
+        let a = workload(&g);
+        let b = workload(&g);
+        assert_eq!(a.reads, b.reads);
+    }
+
+    #[test]
+    fn uses_find_edge_helper_for_mn() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let ol = g.node_by_name("order_line").unwrap();
+        let order = g.node_by_name("order").unwrap();
+        assert!(colorist_query::pattern::find_edge(&g, ol, order, None).is_some());
+    }
+}

@@ -1,0 +1,40 @@
+//! Render the colored-forest schemas of every catalog diagram — a gallery
+//! of what the design algorithms produce across the evaluation collection.
+//!
+//! ```text
+//! cargo run --example schema_gallery [diagram] [strategy]
+//! cargo run --example schema_gallery er5 DR
+//! ```
+
+use colorist::core::{design, design_report, Strategy};
+use colorist::er::{catalog, ErGraph};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {
+            // summary across the whole collection
+            for name in catalog::COLLECTION {
+                let diagram = catalog::by_name(name).expect("catalog diagram");
+                let graph = ErGraph::from_diagram(&diagram)?;
+                println!("=== {name} ===");
+                println!("{}", design_report(&graph));
+            }
+            println!("(pass a diagram name and strategy to see the schema trees,");
+            println!(" e.g. `cargo run --example schema_gallery tpcw DR`)");
+        }
+        [name] | [name, _] => {
+            let diagram = catalog::by_name(name)
+                .ok_or_else(|| format!("unknown diagram `{name}`; try: {:?}", catalog::COLLECTION))?;
+            let graph = ErGraph::from_diagram(&diagram)?;
+            let strategy = match args.get(1) {
+                Some(s) => Strategy::parse(s).ok_or_else(|| format!("unknown strategy `{s}`"))?,
+                None => Strategy::Dr,
+            };
+            let schema = design(&graph, strategy)?;
+            println!("{}", schema.render(&graph));
+        }
+        _ => eprintln!("usage: schema_gallery [diagram] [strategy]"),
+    }
+    Ok(())
+}

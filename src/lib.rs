@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the whole `colorist` workspace.
+pub use colorist_core as core;
+pub use colorist_datagen as datagen;
+pub use colorist_er as er;
+pub use colorist_mct as mct;
+pub use colorist_query as query;
+pub use colorist_store as store;
+pub use colorist_workload as workload;

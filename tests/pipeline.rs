@@ -1,0 +1,230 @@
+//! End-to-end pipeline tests: DSL text → simplification → design →
+//! materialization → queries → updates → queries again, with the paper's
+//! metric expectations asserted along the way.
+
+use colorist::core::{design, Strategy};
+use colorist::datagen::{generate, materialize, ScaleProfile};
+use colorist::er::parse::parse_diagram;
+use colorist::er::simplify::simplify;
+use colorist::er::{catalog, Attribute, Domain, ErDiagram, ErGraph};
+use colorist::query::pattern::find_edge;
+use colorist::query::{
+    compile, execute, execute_update, InsertLink, InsertSpec, NewInstance, Partner,
+    PatternBuilder, UpdateAction, UpdateSpec,
+};
+use colorist::store::Value;
+use colorist::workload::tpcw;
+
+#[test]
+fn dsl_to_answers() {
+    let d = parse_diagram(
+        "diagram shop\n\
+         entity customer { id* name }\n\
+         entity order { id* total:float }\n\
+         entity item { id* title }\n\
+         rel places 1:m customer -- order!\n\
+         rel line m:n order -- item\n",
+    )
+    .unwrap();
+    let g = ErGraph::from_diagram(&d).unwrap();
+    let profile = ScaleProfile::uniform(&g, 50);
+    let inst = generate(&g, &profile, 1);
+
+    let q = PatternBuilder::new(&g, "items-of-customer")
+        .node("customer")
+        .pred_eq("id", Value::Int(3))
+        .node("item")
+        .chain(0, 1, &["places", "order", "line"])
+        .unwrap()
+        .output(1)
+        .distinct()
+        .build()
+        .unwrap();
+
+    let mut answers = Vec::new();
+    for s in Strategy::ALL {
+        let schema = design(&g, s).unwrap();
+        let db = materialize(&g, &schema, &inst);
+        let plan = compile(&g, &db.schema, &q).unwrap();
+        let r = execute(&db, &g, &plan);
+        answers.push((s, r.distinct));
+    }
+    let first = answers[0].1;
+    assert!(first > 0, "customer 3 ordered something");
+    for (s, a) in answers {
+        assert_eq!(a, first, "{s}");
+    }
+}
+
+#[test]
+fn non_simplified_diagrams_reduce_then_design() {
+    // a ternary relationship + a multivalued attribute, reduced by simplify()
+    let mut d = ErDiagram::new("raw");
+    d.add_entity(
+        "supplier",
+        vec![
+            Attribute::key("id"),
+            Attribute::with_domain("phone", Domain::MultiValued(Box::new(Domain::Text))),
+        ],
+    )
+    .unwrap();
+    d.add_entity("part", vec![Attribute::key("id")]).unwrap();
+    d.add_entity("project", vec![Attribute::key("id")]).unwrap();
+    d.add_relationship(
+        "supplies",
+        vec![
+            colorist::er::Endpoint::new("supplier", colorist::er::Cardinality::Many),
+            colorist::er::Endpoint::new("part", colorist::er::Cardinality::Many),
+            colorist::er::Endpoint::new("project", colorist::er::Cardinality::Many),
+        ],
+        vec![],
+    )
+    .unwrap();
+
+    let s = simplify(&d).unwrap();
+    let g = ErGraph::from_diagram(&s).unwrap();
+    let schema = design(&g, Strategy::Dr).unwrap();
+    let profile = ScaleProfile::uniform(&g, 30);
+    let inst = generate(&g, &profile, 2);
+    let db = materialize(&g, &schema, &inst);
+    assert!(db.element_count() > 0);
+
+    // parts supplied to project 1 — through the reified `supplies`
+    let q = PatternBuilder::new(&g, "q")
+        .node("project")
+        .pred_eq("id", Value::Int(1))
+        .node("part")
+        .chain(0, 1, &["supplies_project", "supplies", "supplies_part"])
+        .unwrap()
+        .output(1)
+        .distinct()
+        .build()
+        .unwrap();
+    let plan = compile(&g, &db.schema, &q).unwrap();
+    let r = execute(&db, &g, &plan);
+    assert!(r.metrics.structural_joins + r.metrics.value_joins > 0);
+}
+
+#[test]
+fn updates_are_visible_to_subsequent_queries_on_every_schema() {
+    let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+    let profile = ScaleProfile::tpcw(&g, 50);
+    let inst = generate(&g, &profile, 9);
+    let order = g.node_by_name("order").unwrap();
+    let make = g.node_by_name("make").unwrap();
+    let customer = g.node_by_name("customer").unwrap();
+    let e = |rel, part| find_edge(&g, rel, part, None).unwrap();
+
+    let insert = UpdateSpec {
+        name: "ins".into(),
+        pattern: PatternBuilder::new(&g, "loc")
+            .node("customer")
+            .pred_eq("id", Value::Int(11))
+            .output(0)
+            .build()
+            .unwrap(),
+        action: UpdateAction::Insert(InsertSpec {
+            instances: vec![NewInstance {
+                node: order,
+                attrs: vec![
+                    Value::Int(123_456),
+                    Value::Text("2026-07-05".into()),
+                    Value::Float(5.0),
+                    Value::Float(0.5),
+                    Value::Float(5.5),
+                    Value::Text("fresh".into()),
+                ],
+                links: vec![InsertLink {
+                    rel: make,
+                    self_edge: e(make, order),
+                    partner_edge: e(make, customer),
+                    partner: Partner::Matched(0),
+                }],
+            }],
+        }),
+    };
+    let count_query = PatternBuilder::new(&g, "orders-of-11")
+        .node("customer")
+        .pred_eq("id", Value::Int(11))
+        .node("order")
+        .chain(0, 1, &["make"])
+        .unwrap()
+        .output(1)
+        .build()
+        .unwrap();
+    let delete = UpdateSpec {
+        name: "del".into(),
+        pattern: PatternBuilder::new(&g, "delloc")
+            .node("order")
+            .pred_eq("status", Value::Text("fresh".into()))
+            .output(0)
+            .build()
+            .unwrap(),
+        action: UpdateAction::Delete,
+    };
+
+    for s in Strategy::ALL {
+        let schema = design(&g, s).unwrap();
+        let mut db = materialize(&g, &schema, &inst);
+        let before = {
+            let plan = compile(&g, &db.schema, &count_query).unwrap();
+            execute(&db, &g, &plan).distinct
+        };
+        execute_update(&mut db, &g, &insert).unwrap();
+        let after = {
+            let plan = compile(&g, &db.schema, &count_query).unwrap();
+            execute(&db, &g, &plan).distinct
+        };
+        assert_eq!(after, before + 1, "{s}: insert visible");
+        execute_update(&mut db, &g, &delete).unwrap();
+        let final_count = {
+            let plan = compile(&g, &db.schema, &count_query).unwrap();
+            execute(&db, &g, &plan).distinct
+        };
+        assert_eq!(final_count, before, "{s}: delete visible");
+    }
+}
+
+#[test]
+fn metric_shapes_match_the_paper_on_tpcw() {
+    let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+    let w = tpcw::workload(&g);
+    let profile = ScaleProfile::tpcw(&g, 60);
+    let results =
+        colorist::workload::suite::run_suite(&g, &Strategy::ALL, &w, &profile, 42).unwrap();
+    let by = |label: &str| results.iter().find(|r| r.strategy.label() == label).unwrap();
+
+    // Figure 9 / §6.2: SHALLOW requires the most value joins+crossings,
+    // DEEP the least; EN requires many more than MCMR and DR.
+    let total = |label: &str, f: &dyn Fn(&colorist::workload::QueryRun) -> u64| -> u64 {
+        w.reported().iter().map(|q| f(by(label).run(q).unwrap())).sum()
+    };
+    let vjc: &dyn Fn(&colorist::workload::QueryRun) -> u64 =
+        &|r| r.metrics.value_joins_plus_crossings();
+    assert!(total("SHALLOW", vjc) > total("EN", vjc));
+    assert!(total("EN", vjc) > total("MCMR", vjc));
+    assert!(total("MCMR", vjc) >= total("DR", vjc));
+    assert!(total("DEEP", vjc) <= total("DR", vjc));
+
+    // value joins specifically: only the single-color value-encoding
+    // schemas ever pay them
+    let vj: &dyn Fn(&colorist::workload::QueryRun) -> u64 = &|r| r.metrics.value_joins;
+    assert!(total("SHALLOW", vj) > 0);
+    assert!(total("AF", vj) > 0);
+    assert_eq!(total("EN", vj), 0);
+    assert_eq!(total("DR", vj), 0);
+
+    // storage: Table 1 ordering
+    let bytes = |label: &str| by(label).stats.data_bytes;
+    assert!(bytes("DEEP") > bytes("UNDR"));
+    assert!(bytes("UNDR") > bytes("DR"));
+    assert!(bytes("DR") > bytes("MCMR"));
+    assert!(bytes("MCMR") >= bytes("EN"));
+
+    // U3: duplicated schemas pay duplicate updates, normalized ones do not
+    let dup = |label: &str| by(label).run("U3").unwrap().metrics.duplicate_updates;
+    assert!(dup("DEEP") > 0);
+    assert!(dup("UNDR") > 0);
+    assert_eq!(dup("DR"), 0);
+    assert_eq!(dup("EN"), 0);
+}

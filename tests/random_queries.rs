@@ -1,0 +1,111 @@
+//! Property test: random chain queries over random diagrams return the
+//! same logical answers under every design strategy. This is the strongest
+//! correctness statement in the repository — it quantifies over diagrams,
+//! data, queries, *and* schemas at once.
+
+use colorist::core::{design, Strategy};
+use colorist::datagen::{generate, materialize, ScaleProfile};
+use colorist::er::{
+    Attribute, Cardinality, EligibleAssociations, Endpoint, ErDiagram, ErGraph,
+};
+use colorist::query::{compile, execute, Pattern, PatternBuilder};
+use colorist::store::Value;
+use proptest::prelude::{prop_assert_eq, proptest, ProptestConfig};
+use proptest::strategy::Strategy as PropStrategy;
+
+fn arb_diagram() -> impl PropStrategy<Value = ErDiagram> {
+    let rel = (0usize..5, 0usize..5, 0u8..4, proptest::bool::ANY);
+    (2usize..=5, proptest::collection::vec(rel, 1..=7)).prop_map(|(n, rels)| {
+        let mut d = ErDiagram::new("random");
+        for i in 0..n {
+            d.add_entity(
+                &format!("e{i}"),
+                vec![Attribute::key("id"), Attribute::text("label")],
+            )
+            .unwrap();
+        }
+        for (k, (a, b, kind, total)) in rels.into_iter().enumerate() {
+            let (a, b) = (a % n, b % n);
+            let (ca, cb) = match kind {
+                0 => (Cardinality::One, Cardinality::One),
+                1 => (Cardinality::Many, Cardinality::One),
+                2 => (Cardinality::One, Cardinality::Many),
+                _ => (Cardinality::Many, Cardinality::Many),
+            };
+            let ea = Endpoint::new(&format!("e{a}"), ca).role("l");
+            let mut eb = Endpoint::new(&format!("e{b}"), cb).role("r");
+            if total {
+                eb = eb.total();
+            }
+            d.add_relationship(&format!("r{k}"), vec![ea, eb], vec![]).unwrap();
+        }
+        d
+    })
+}
+
+/// Build a chain query along a randomly chosen eligible association,
+/// direction randomly flipped (exercising descents and ascents).
+fn pick_query(g: &ErGraph, pick: usize, flip: bool, key: i64) -> Option<Pattern> {
+    let elig = EligibleAssociations::enumerate(g, 6);
+    if elig.is_empty() {
+        return None;
+    }
+    let assocs: Vec<_> = elig.iter().collect();
+    let a = assocs[pick % assocs.len()];
+    let (from, to) = if flip { (a.target, a.source) } else { (a.source, a.target) };
+    let via: Vec<String> = {
+        let interior = &a.nodes[1..a.nodes.len() - 1];
+        let names: Vec<String> =
+            interior.iter().map(|&n| g.node(n).name.clone()).collect();
+        if flip {
+            names.into_iter().rev().collect()
+        } else {
+            names
+        }
+    };
+    let via_refs: Vec<&str> = via.iter().map(String::as_str).collect();
+    PatternBuilder::new(g, "rand")
+        .node(&g.node(from).name)
+        .pred_eq("id", Value::Int(key))
+        .node(&g.node(to).name)
+        .chain(0, 1, &via_refs)
+        .ok()?
+        .output(1)
+        .distinct()
+        .build()
+        .ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_chain_queries_agree_across_all_strategies(
+        d in arb_diagram(),
+        pick in 0usize..64,
+        flip in proptest::bool::ANY,
+        key in 0i64..10,
+        seed in 0u64..1000,
+    ) {
+        let g = ErGraph::from_diagram(&d).unwrap();
+        let Some(q) = pick_query(&g, pick, flip, key) else {
+            return Ok(()); // no eligible associations in this diagram
+        };
+        let profile = ScaleProfile::uniform(&g, 25);
+        let inst = generate(&g, &profile, seed);
+        let mut reference: Option<Vec<_>> = None;
+        for s in Strategy::ALL {
+            let schema = design(&g, s).unwrap();
+            let db = materialize(&g, &schema, &inst);
+            let plan = compile(&g, &db.schema, &q).unwrap();
+            let r = execute(&db, &g, &plan);
+            match &reference {
+                None => reference = Some(r.elements),
+                Some(expected) => prop_assert_eq!(
+                    &r.elements, expected,
+                    "{} disagrees on {:?}", s, q
+                ),
+            }
+        }
+    }
+}
