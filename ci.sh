@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline CI for the workspace: format, lint, build, test, and a smoke run
+# of the Table 1 benchmark at a small scale. No network access required —
+# the workspace has zero external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> table1 smoke (COLORIST_SCALE=20)"
+COLORIST_SCALE=20 COLORIST_SUMMARY="results/bench_summary_ci.json" \
+    cargo run -q --release -p colorist-bench --bin table1 >/dev/null
+test -s results/bench_summary_ci.json
+rm -f results/bench_summary_ci.json
+
+echo "==> ci.sh: all checks passed"

@@ -2,24 +2,16 @@
 //! smallest, a mid-size, and the largest catalog diagram. Design time is
 //! the "compile-time" cost of the methodology and stays in microseconds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use colorist_bench::micro;
 use colorist_core::{design, Strategy};
 use colorist_er::{catalog, ErGraph};
 
-fn bench_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithms");
+fn main() {
+    println!("algorithms — ER diagram → MCT schema design time");
     for name in ["er6", "tpcw", "er9"] {
         let g = ErGraph::from_diagram(&catalog::by_name(name).unwrap()).unwrap();
         for s in Strategy::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(s.label(), name),
-                &g,
-                |b, g| b.iter(|| std::hint::black_box(design(g, s).unwrap())),
-            );
+            micro::case(&format!("{}/{name}", s.label()), || design(&g, s).unwrap());
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_algorithms);
-criterion_main!(benches);

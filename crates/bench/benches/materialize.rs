@@ -2,24 +2,18 @@
 //! Un-normalized schemas pay for their copies here (Table 1's storage
 //! column, as time).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use colorist_bench::micro;
 use colorist_core::{design, Strategy};
 use colorist_datagen::{generate, materialize, ScaleProfile};
 use colorist_er::{catalog, ErGraph};
 
-fn bench_materialize(c: &mut Criterion) {
+fn main() {
     let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
     let p = ScaleProfile::tpcw(&g, 200);
     let inst = generate(&g, &p, 42);
-    let mut group = c.benchmark_group("materialize");
+    println!("materialize — canonical TPC-W instance (200 customers) into each schema");
     for s in Strategy::ALL {
         let schema = design(&g, s).unwrap();
-        group.bench_with_input(BenchmarkId::new("tpcw200", s.label()), &schema, |b, schema| {
-            b.iter(|| std::hint::black_box(materialize(&g, schema, &inst)))
-        });
+        micro::case(&format!("tpcw200/{}", s.label()), || materialize(&g, &schema, &inst));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_materialize);
-criterion_main!(benches);

@@ -2,32 +2,26 @@
 //! multi-association star (Q8), and the longest chain (Q9) — the queries
 //! whose Table 1 rows separate the strategies most.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use colorist_bench::micro;
 use colorist_core::{design, Strategy};
 use colorist_datagen::{generate, materialize, ScaleProfile};
 use colorist_er::{catalog, ErGraph};
 use colorist_query::{compile, execute};
 use colorist_workload::tpcw;
 
-fn bench_queries(c: &mut Criterion) {
+fn main() {
     let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
     let p = ScaleProfile::tpcw(&g, 300);
     let inst = generate(&g, &p, 42);
     let w = tpcw::workload(&g);
-    let mut group = c.benchmark_group("query_eval");
+    println!("query_eval — Q1/Q8/Q9 per schema (300 customers)");
     for s in Strategy::ALL {
         let schema = design(&g, s).unwrap();
         let db = materialize(&g, &schema, &inst);
         for qname in ["Q1", "Q8", "Q9"] {
             let q = w.reads.iter().find(|q| q.name == qname).unwrap();
             let plan = compile(&g, &db.schema, q).unwrap();
-            group.bench_function(BenchmarkId::new(qname, s.label()), |b| {
-                b.iter(|| std::hint::black_box(execute(&db, &g, &plan)))
-            });
+            micro::case(&format!("{qname}/{}", s.label()), || execute(&db, &g, &plan));
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_queries);
-criterion_main!(benches);

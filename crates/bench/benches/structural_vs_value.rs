@@ -1,14 +1,17 @@
 //! The cost asymmetry the whole paper rests on: structural joins (interval
 //! stack-merge) versus value joins (hash build + probe over id/idref
 //! values), at growing extents — "structural joins … have been shown to be
-//! much more efficient than value-based joins".
+//! much more efficient than value-based joins". Also times the semi-join
+//! variant, which returns one side with no pair materialization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use colorist_bench::micro;
 use colorist_core::{design, Strategy};
 use colorist_datagen::{generate, materialize, ScaleProfile};
 use colorist_er::{catalog, ErGraph};
 use colorist_mct::ColorId;
-use colorist_store::{structural_join, value_join, AttrRef, Axis, Database, Metrics};
+use colorist_store::{
+    structural_join, structural_semi_join, value_join, AttrRef, Axis, Database, Metrics, SemiSide,
+};
 
 fn setup(customers: u32, strategy: Strategy) -> (ErGraph, Database) {
     let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
@@ -19,59 +22,35 @@ fn setup(customers: u32, strategy: Strategy) -> (ErGraph, Database) {
     (g, db)
 }
 
-fn bench_joins(c: &mut Criterion) {
-    let mut group = c.benchmark_group("structural_vs_value");
+fn main() {
+    println!("structural_vs_value — join primitive cost at growing extents");
     for &customers in &[100u32, 400, 1600] {
         // structural: country ancestors of orders in AF's single color
         let (g, db) = setup(customers, Strategy::Af);
         let color = ColorId(0);
         let anc = db.color(color).of_node(g.node_by_name("country").unwrap()).to_vec();
         let desc = db.color(color).of_node(g.node_by_name("order").unwrap()).to_vec();
-        group.bench_with_input(
-            BenchmarkId::new("structural_join", customers),
-            &customers,
-            |b, _| {
-                b.iter(|| {
-                    let mut m = Metrics::default();
-                    std::hint::black_box(structural_join(
-                        &db,
-                        color,
-                        &anc,
-                        &desc,
-                        Axis::Descendant,
-                        &mut m,
-                    ))
-                })
-            },
-        );
+        micro::case(&format!("structural_join/{customers}"), || {
+            let mut m = Metrics::default();
+            structural_join(&db, color, &anc, &desc, Axis::Descendant, &mut m)
+        });
+        micro::case(&format!("structural_semi_join/{customers}"), || {
+            let mut m = Metrics::default();
+            structural_semi_join(&db, color, &anc, &desc, SemiSide::Descendant, None, &mut m)
+        });
 
         // value: SHALLOW's order_line.item_idref = item.id
         let (g, db) = setup(customers, Strategy::Shallow);
         let ol = g.node_by_name("order_line").unwrap();
         let item = g.node_by_name("item").unwrap();
-        let edge = g
-            .edge_ids()
-            .find(|&e| g.edge(e).rel == ol && g.edge(e).participant == item)
-            .unwrap();
+        let edge =
+            g.edge_ids().find(|&e| g.edge(e).rel == ol && g.edge(e).participant == item).unwrap();
         let idref = db.idref_attr_index(&g, edge).expect("shallow idref");
         let left = db.extent(ol).to_vec();
         let right = db.extent(item).to_vec();
-        group.bench_with_input(BenchmarkId::new("value_join", customers), &customers, |b, _| {
-            b.iter(|| {
-                let mut m = Metrics::default();
-                std::hint::black_box(value_join(
-                    &db,
-                    &left,
-                    AttrRef::Attr(idref),
-                    &right,
-                    AttrRef::Id,
-                    &mut m,
-                ))
-            })
+        micro::case(&format!("value_join/{customers}"), || {
+            let mut m = Metrics::default();
+            value_join(&db, &left, AttrRef::Attr(idref), &right, AttrRef::Id, &mut m)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_joins);
-criterion_main!(benches);

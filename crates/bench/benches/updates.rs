@@ -1,36 +1,31 @@
 //! Update cost per schema: the insert (U1) and the single-element modify
 //! (U3) whose duplicate maintenance makes DEEP and UNDR pay in Table 1.
+//! Each iteration runs on a fresh database clone; only the update itself
+//! is timed.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use colorist_bench::micro;
 use colorist_core::{design, Strategy};
 use colorist_datagen::{generate, materialize, ScaleProfile};
 use colorist_er::{catalog, ErGraph};
 use colorist_query::execute_update;
 use colorist_workload::tpcw;
 
-fn bench_updates(c: &mut Criterion) {
+fn main() {
     let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
     let p = ScaleProfile::tpcw(&g, 150);
     let inst = generate(&g, &p, 42);
     let w = tpcw::workload(&g);
-    let mut group = c.benchmark_group("updates");
-    group.sample_size(20);
+    println!("updates — U1/U3 per schema (150 customers, fresh clone per iteration)");
     for s in Strategy::ALL {
         let schema = design(&g, s).unwrap();
         let db = materialize(&g, &schema, &inst);
         for uname in ["U1", "U3"] {
             let u = w.updates.iter().find(|u| u.name == uname).unwrap();
-            group.bench_function(BenchmarkId::new(uname, s.label()), |b| {
-                b.iter_batched(
-                    || db.clone(),
-                    |mut dbu| std::hint::black_box(execute_update(&mut dbu, &g, u).unwrap()),
-                    criterion::BatchSize::LargeInput,
-                )
-            });
+            micro::case_with_setup(
+                &format!("{uname}/{}", s.label()),
+                || db.clone(),
+                |mut dbu| execute_update(&mut dbu, &g, u).unwrap(),
+            );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_updates);
-criterion_main!(benches);

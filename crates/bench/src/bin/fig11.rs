@@ -9,4 +9,16 @@ fn main() {
         &results,
         |run| run.metrics.elapsed.as_micros().to_string(),
     );
+
+    let meta = colorist_bench::SummaryMeta {
+        bench: "fig11",
+        scale: colorist_bench::scale(),
+        seed: colorist_bench::seed(),
+        threads: colorist_workload::suite_threads(),
+        serial_wall: None,
+    };
+    match colorist_bench::write_bench_summary(&meta, &results) {
+        Ok(path) => println!("\nsummary: {}", path.display()),
+        Err(e) => eprintln!("summary write failed: {e}"),
+    }
 }

@@ -7,11 +7,6 @@ fn main() {
         "Figure 9 — value joins + color crossings per TPC-W query",
         &w,
         &results,
-        |run| {
-            format!(
-                "{}+{}",
-                run.metrics.value_joins, run.metrics.color_crossings
-            )
-        },
+        |run| format!("{}+{}", run.metrics.value_joins, run.metrics.color_crossings),
     );
 }

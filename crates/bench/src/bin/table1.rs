@@ -2,7 +2,7 @@
 //! schemas (DEEP, AF, SHALLOW, EN, MCMR, DR, UNDR).
 
 fn main() {
-    let (_g, w, results) = colorist_bench::tpcw_suite();
+    let (_g, w, results, serial_wall) = colorist_bench::tpcw_suite_with_baseline();
 
     println!(
         "Table 1 — TPC-W data statistics and query processing time (scale: {} customers, seed {})",
@@ -49,5 +49,30 @@ fn main() {
             print!("{:>16}", cell);
         }
         println!();
+    }
+
+    let threads = colorist_workload::suite_threads();
+    let suite_wall = results[0].suite_wall;
+    println!();
+    print!("suite wall: {:.1} ms on {threads} worker(s)", suite_wall.as_secs_f64() * 1e3);
+    if let Some(serial) = serial_wall {
+        print!(
+            "; serial baseline: {:.1} ms ({:.2}x speedup)",
+            serial.as_secs_f64() * 1e3,
+            serial.as_secs_f64() / suite_wall.as_secs_f64()
+        );
+    }
+    println!();
+
+    let meta = colorist_bench::SummaryMeta {
+        bench: "table1",
+        scale: colorist_bench::scale(),
+        seed: colorist_bench::seed(),
+        threads,
+        serial_wall,
+    };
+    match colorist_bench::write_bench_summary(&meta, &results) {
+        Ok(path) => println!("summary: {}", path.display()),
+        Err(e) => eprintln!("summary write failed: {e}"),
     }
 }

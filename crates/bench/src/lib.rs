@@ -19,14 +19,25 @@
 //! what rough factor, where the crossovers are) is scale-stable; see
 //! EXPERIMENTS.md.
 //!
-//! The `benches/` directory holds Criterion micro-benchmarks for the
-//! primitives underlying those tables: structural vs value joins, the
-//! design algorithms, materialization, query evaluation, and updates.
+//! The `benches/` directory holds micro-benchmarks (driven by the
+//! dependency-free [`micro`] harness) for the primitives underlying those
+//! tables: structural vs value joins, the design algorithms,
+//! materialization, query evaluation, and updates.
+//!
+//! Suite runs are parallel across strategies and queries
+//! (`COLORIST_THREADS`, default: available parallelism); [`summary`]
+//! persists each run to `results/bench_summary.json`.
 
 use colorist_core::Strategy;
-use colorist_datagen::ScaleProfile;
+use colorist_datagen::{generate, ScaleProfile};
 use colorist_er::{catalog, ErGraph};
 use colorist_workload::{derby, suite, tpcw, xmark, SuiteResult, Workload};
+use std::time::Duration;
+
+pub mod micro;
+pub mod summary;
+
+pub use summary::{bench_summary_json, write_bench_summary, SummaryMeta};
 
 /// TPC-W customers at scale 1.
 pub fn scale() -> u32 {
@@ -46,6 +57,26 @@ pub fn tpcw_suite() -> (ErGraph, Workload, Vec<SuiteResult>) {
     let results =
         suite::run_suite(&g, &Strategy::ALL, &w, &profile, seed()).expect("tpcw suite runs");
     (g, w, results)
+}
+
+/// [`tpcw_suite`] plus, when the suite ran on more than one worker, an
+/// extra single-worker pass over the same instance whose wall time anchors
+/// the parallel-speedup figure in the JSON summary.
+pub fn tpcw_suite_with_baseline() -> (ErGraph, Workload, Vec<SuiteResult>, Option<Duration>) {
+    let g = ErGraph::from_diagram(&catalog::tpcw()).expect("tpcw builds");
+    let w = tpcw::workload(&g);
+    let profile = ScaleProfile::tpcw(&g, scale());
+    let instance = generate(&g, &profile, seed());
+    let threads = suite::suite_threads();
+    let results = suite::run_suite_on_threads(&g, &Strategy::ALL, &w, &instance, threads)
+        .expect("tpcw suite runs");
+    let serial_wall = (threads > 1).then(|| {
+        suite::run_suite_on_threads(&g, &Strategy::ALL, &w, &instance, 1)
+            .expect("serial baseline runs")
+            .first()
+            .map_or(Duration::ZERO, |r| r.suite_wall)
+    });
+    (g, w, results, serial_wall)
 }
 
 /// Run the appropriate workload on every diagram of the collection
@@ -112,9 +143,8 @@ pub fn print_geo_matrix(
     for (name, w, results) in suites {
         print!("{:<8}", name);
         for r in results {
-            let m = suite::geo_mean(
-                w.reported().iter().map(|q| metric(r.run(q).expect("query ran"))),
-            );
+            let m =
+                suite::geo_mean(w.reported().iter().map(|q| metric(r.run(q).expect("query ran"))));
             print!("{:>9.2}", m);
         }
         println!();

@@ -1,0 +1,79 @@
+//! A dependency-free micro-benchmark harness for the `benches/` binaries.
+//!
+//! The workspace builds offline with no external crates, so the former
+//! Criterion benches are plain `harness = false` binaries driving this
+//! module instead: warm up, then repeat the closure until a time budget
+//! (`COLORIST_BENCH_MS`, default 200 ms per case) or an iteration cap is
+//! spent, and report the median per-iteration time. No statistics beyond
+//! the median are attempted — these numbers guide relative comparisons
+//! (structural vs value join, schema vs schema), not absolute claims.
+
+use std::time::{Duration, Instant};
+
+/// Per-case time budget.
+fn budget() -> Duration {
+    let ms = std::env::var("COLORIST_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+/// Time one case and print a `name  median  (iters)` row. Returns the
+/// median per-iteration time so callers can derive ratios.
+pub fn case<R>(name: &str, mut f: impl FnMut() -> R) -> Duration {
+    case_with_setup(name, || (), move |()| f())
+}
+
+/// Like [`case`] for workloads needing fresh input per iteration (e.g.
+/// updates mutating a database clone); only `run`'s span is measured.
+pub fn case_with_setup<T, R>(
+    name: &str,
+    mut setup: impl FnMut() -> T,
+    mut run: impl FnMut(T) -> R,
+) -> Duration {
+    let budget = budget();
+    for _ in 0..2 {
+        std::hint::black_box(run(setup()));
+    }
+    let mut times = Vec::new();
+    let started = Instant::now();
+    while started.elapsed() < budget && times.len() < 100_000 {
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(run(input));
+        times.push(t0.elapsed());
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!("{name:<44}{:>14}  ({} iters)", fmt_duration(median), times.len());
+    median
+}
+
+/// Human-scale duration formatting (ns → s).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scale_appropriately() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(50)), "50.0 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(50)), "50.0 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(50)), "50.00 s");
+    }
+}

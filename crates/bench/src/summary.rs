@@ -1,0 +1,169 @@
+//! Machine-readable run summaries: `results/bench_summary.json`.
+//!
+//! The table/figure binaries print human-oriented matrices; this module
+//! additionally persists one JSON document per run with the per-query wall
+//! times, the per-strategy operation totals, and the run metadata (scale,
+//! seed, worker count, suite wall clock) so results can be diffed across
+//! commits and machines without re-parsing stdout. The format is
+//! hand-rolled — the workspace is buildable offline with no external
+//! crates — and kept flat enough for `jq` one-liners.
+
+use colorist_workload::{QueryKind, SuiteResult};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Run metadata stamped into the summary document.
+#[derive(Debug, Clone)]
+pub struct SummaryMeta<'a> {
+    /// Which binary produced this (e.g. `"table1"`).
+    pub bench: &'a str,
+    /// `COLORIST_SCALE` in effect.
+    pub scale: u32,
+    /// `COLORIST_SEED` in effect.
+    pub seed: u64,
+    /// Worker count the suite ran with (`COLORIST_THREADS`).
+    pub threads: usize,
+    /// Wall time of an extra single-worker pass over the same instance,
+    /// when one was taken (for the parallel speedup figure).
+    pub serial_wall: Option<Duration>,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the summary document.
+pub fn bench_summary_json(meta: &SummaryMeta, results: &[SuiteResult]) -> String {
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"bench\": \"{}\",", esc(meta.bench));
+    let _ = writeln!(j, "  \"scale\": {},", meta.scale);
+    let _ = writeln!(j, "  \"seed\": {},", meta.seed);
+    let _ = writeln!(j, "  \"threads\": {},", meta.threads);
+    let suite_wall = results.first().map_or(Duration::ZERO, |r| r.suite_wall);
+    let _ = writeln!(j, "  \"suite_wall_ms\": {:.3},", ms(suite_wall));
+    if let Some(serial) = meta.serial_wall {
+        let _ = writeln!(j, "  \"serial_wall_ms\": {:.3},", ms(serial));
+        if !suite_wall.is_zero() {
+            let _ = writeln!(
+                j,
+                "  \"parallel_speedup\": {:.3},",
+                serial.as_secs_f64() / suite_wall.as_secs_f64()
+            );
+        }
+    }
+    let _ = writeln!(j, "  \"strategies\": [");
+    for (i, r) in results.iter().enumerate() {
+        let total: Duration = r.runs.iter().map(|q| q.metrics.elapsed).sum();
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"strategy\": \"{}\",", esc(r.strategy.label()));
+        let _ = writeln!(j, "      \"colors\": {},", r.colors);
+        let _ = writeln!(j, "      \"elements\": {},", r.stats.elements);
+        let _ = writeln!(j, "      \"data_mbytes\": {:.3},", r.stats.data_mbytes());
+        let _ = writeln!(j, "      \"queries_wall_ms\": {:.3},", ms(total));
+        let _ = writeln!(j, "      \"queries\": [");
+        for (qi, q) in r.runs.iter().enumerate() {
+            let kind = match q.kind {
+                QueryKind::Read => "read",
+                QueryKind::Update => "update",
+            };
+            let m = &q.metrics;
+            let _ = write!(
+                j,
+                "        {{\"name\": \"{}\", \"kind\": \"{kind}\", \
+                 \"elapsed_us\": {}, \"logical\": {}, \"physical\": {}, \
+                 \"structural_joins\": {}, \"value_joins\": {}, \
+                 \"color_crossings\": {}, \"dup_eliminations\": {}, \
+                 \"group_bys\": {}, \"duplicate_updates\": {}, \
+                 \"icic_maintenance\": {}, \"elements_scanned\": {}}}",
+                esc(&q.name),
+                m.elapsed.as_micros(),
+                q.logical,
+                q.physical,
+                m.structural_joins,
+                m.value_joins,
+                m.color_crossings,
+                m.dup_eliminations,
+                m.group_bys,
+                m.duplicate_updates,
+                m.icic_maintenance,
+                m.elements_scanned,
+            );
+            let _ = writeln!(j, "{}", if qi + 1 < r.runs.len() { "," } else { "" });
+        }
+        let _ = writeln!(j, "      ]");
+        let _ = writeln!(j, "    }}{}", if i + 1 < results.len() { "," } else { "" });
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = write!(j, "}}");
+    j
+}
+
+/// Default output path: `COLORIST_SUMMARY` if set, else
+/// `results/bench_summary.json` under the current directory.
+pub fn summary_path() -> PathBuf {
+    std::env::var_os("COLORIST_SUMMARY")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/bench_summary.json"))
+}
+
+/// Write the summary document and return where it landed.
+pub fn write_bench_summary(
+    meta: &SummaryMeta,
+    results: &[SuiteResult],
+) -> std::io::Result<PathBuf> {
+    let path = summary_path();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(&path, bench_summary_json(meta, results))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn summary_shape_on_empty_results() {
+        let meta = SummaryMeta {
+            bench: "t",
+            scale: 1,
+            seed: 2,
+            threads: 3,
+            serial_wall: Some(Duration::from_millis(10)),
+        };
+        let j = bench_summary_json(&meta, &[]);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"bench\": \"t\""));
+        assert!(j.contains("\"threads\": 3"));
+        assert!(j.contains("\"serial_wall_ms\": 10.000"));
+        assert!(j.contains("\"strategies\": ["));
+    }
+}

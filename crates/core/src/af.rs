@@ -92,9 +92,10 @@ mod tests {
             ("write", "author"),
             ("item", "write"),
         ] {
-            let (p, _) = s.placement(place(child)).parent.unwrap_or_else(|| {
-                panic!("{child} should not be a root:\n{}", s.render(&g))
-            });
+            let (p, _) = s
+                .placement(place(child))
+                .parent
+                .unwrap_or_else(|| panic!("{child} should not be a root:\n{}", s.render(&g)));
             assert_eq!(s.placement(p).node, node(parent), "{child} under {parent}");
         }
 

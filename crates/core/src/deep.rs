@@ -73,18 +73,16 @@ pub fn deep_bounded(graph: &ErGraph, max_placements: usize) -> Result<MctSchema,
             continue;
         }
         let edge = graph.edge(e);
-        let (parent, child) = match (
-            first_placement[edge.rel.idx()],
-            first_placement[edge.participant.idx()],
-        ) {
-            (Some(p), _) => (p, edge.participant),
-            (None, Some(p)) => (p, edge.rel),
-            (None, None) => {
-                let p = b.add_root(color, edge.rel);
-                first_placement[edge.rel.idx()] = Some(p);
-                (p, edge.participant)
-            }
-        };
+        let (parent, child) =
+            match (first_placement[edge.rel.idx()], first_placement[edge.participant.idx()]) {
+                (Some(p), _) => (p, edge.participant),
+                (None, Some(p)) => (p, edge.rel),
+                (None, None) => {
+                    let p = b.add_root(color, edge.rel);
+                    first_placement[edge.rel.idx()] = Some(p);
+                    (p, edge.participant)
+                }
+            };
         let p = b.add_child(parent, e, child);
         first_placement[child.idx()].get_or_insert(p);
         edge_realized[e.idx()] = true;
@@ -231,9 +229,7 @@ mod tests {
         let direct = |src: &str, dst: &str| {
             let s_id = g.node_by_name(src).unwrap();
             let d_id = g.node_by_name(dst).unwrap();
-            elig.between(s_id, d_id)
-                .iter()
-                .any(|a| properties::is_directly_recoverable(&s, a))
+            elig.between(s_id, d_id).iter().any(|a| properties::is_directly_recoverable(&s, a))
         };
         for (x, y) in [
             ("country", "order"),
@@ -263,9 +259,7 @@ mod tests {
         let address = g.node_by_name("address").unwrap();
         let billing = g.node_by_name("billing").unwrap();
         let leaf = s.placements_of(address).iter().copied().find(|&p| {
-            s.placement(p)
-                .parent
-                .is_some_and(|(parent, _)| s.placement(parent).node == billing)
+            s.placement(p).parent.is_some_and(|(parent, _)| s.placement(parent).node == billing)
         });
         let leaf = leaf.expect("address leaf under billing");
         assert!(s.children(leaf).is_empty(), "cycle cut must not expand");

@@ -112,7 +112,9 @@ mod tests {
             let p = properties::check(&s, &g, &elig);
             assert!(p.node_normal, "{name}: NN");
             assert!(p.association_recoverable, "{name}: AR");
-            assert!(p.direct_recoverable, "{name}: DR\n{:?}",
+            assert!(
+                p.direct_recoverable,
+                "{name}: DR\n{:?}",
                 properties::uncovered_associations(&s, &elig)
                     .iter()
                     .map(|a| format!(
@@ -121,7 +123,8 @@ mod tests {
                         g.node(a.target).name,
                         a.label(&g)
                     ))
-                    .collect::<Vec<_>>());
+                    .collect::<Vec<_>>()
+            );
         }
     }
 
@@ -132,11 +135,7 @@ mod tests {
         for name in catalog::COLLECTION {
             let g = ErGraph::from_diagram(&catalog::by_name(name).unwrap()).unwrap();
             let s = dumc(&g).unwrap();
-            assert!(
-                s.color_count() <= 7,
-                "{name}: DR used {} colors",
-                s.color_count()
-            );
+            assert!(s.color_count() <= 7, "{name}: DR used {} colors", s.color_count());
         }
     }
 

@@ -78,7 +78,12 @@ fn emit_element(schema: &MctSchema, graph: &ErGraph, p: PlacementId, s: &mut Str
             Domain::Text | Domain::Date => "CDATA",
             _ => "NMTOKEN",
         };
-        attrs.push(format!("{} {} {}", a.name, ty, if a.is_key { "#REQUIRED" } else { "#IMPLIED" }));
+        attrs.push(format!(
+            "{} {} {}",
+            a.name,
+            ty,
+            if a.is_key { "#REQUIRED" } else { "#IMPLIED" }
+        ));
     }
     for l in schema.idrefs() {
         if graph.edge(l.edge).rel == schema.placement(p).node {

@@ -58,11 +58,8 @@ impl Feasibility {
 
 /// Run the Theorem 4.1 test on an ER graph.
 pub fn single_color_feasibility(graph: &ErGraph) -> Feasibility {
-    let many_many = graph
-        .many_many_relationships()
-        .into_iter()
-        .map(|n| graph.node(n).name.clone())
-        .collect();
+    let many_many =
+        graph.many_many_relationships().into_iter().map(|n| graph.node(n).name.clone()).collect();
     let overloaded_many_side = graph
         .many_side_counts()
         .into_iter()

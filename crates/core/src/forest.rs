@@ -155,8 +155,7 @@ impl Forest {
                             changed = true;
                         }
                         Some(occ_m)
-                            if self.occs[occ_m].parent.is_none()
-                                && !self.is_ancestor(occ_m, i) =>
+                            if self.occs[occ_m].parent.is_none() && !self.is_ancestor(occ_m, i) =>
                         {
                             self.attach_root(occ_m, i, e);
                             changed = true;
@@ -262,10 +261,7 @@ mod tests {
         let g = ErGraph::from_diagram(&catalog::toy_mcmr()).unwrap();
         let a = g.node_by_name("a").unwrap();
         let r1 = g.node_by_name("r1").unwrap();
-        let e = g
-            .edge_ids()
-            .find(|&e| g.edge(e).rel == r1 && g.edge(e).participant == a)
-            .unwrap();
+        let e = g.edge_ids().find(|&e| g.edge(e).rel == r1 && g.edge(e).participant == a).unwrap();
         let mut f = Forest::new(g.node_count());
         let pa = f.add_root(a);
         let pr = f.add_child(pa, e, r1);

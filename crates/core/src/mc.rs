@@ -233,9 +233,10 @@ impl<'g> McRun<'g> {
         in_color: &HashMap<NodeId, PlacementId>,
         roots: &[NodeId],
     ) -> bool {
-        self.graph.incident(n).iter().any(|&(e, m)| {
-            self.colorable(e, n, m, start, in_color, roots).is_some()
-        })
+        self.graph
+            .incident(n)
+            .iter()
+            .any(|&(e, m)| self.colorable(e, n, m, start, in_color, roots).is_some())
     }
 
     /// The colorability test of step 3. Returns the merge target placement
@@ -263,9 +264,7 @@ impl<'g> McRun<'g> {
                 // a current root, not the start, and not an ancestor of n
                 // (cycle guard). When probing from a candidate root, n has
                 // no placement yet and cannot be below anything.
-                let below = in_color
-                    .get(&n)
-                    .is_some_and(|&pn| self.placement_is_ancestor(pm, pn));
+                let below = in_color.get(&n).is_some_and(|&pn| self.placement_is_ancestor(pm, pn));
                 if m != start && roots.contains(&m) && !below {
                     Some(Some(pm))
                 } else {
@@ -352,19 +351,13 @@ impl<'g> McRun<'g> {
 
     /// Place unplaced isolated nodes as roots of color 0.
     fn place_stragglers(&mut self) {
-        let unplaced: Vec<NodeId> = self
-            .graph
-            .node_ids()
-            .filter(|&n| !self.placed_anywhere[n.idx()])
-            .collect();
+        let unplaced: Vec<NodeId> =
+            self.graph.node_ids().filter(|&n| !self.placed_anywhere[n.idx()]).collect();
         if unplaced.is_empty() {
             return;
         }
-        let color = if self.builder.color_count() == 0 {
-            self.builder.add_color()
-        } else {
-            ColorId(0)
-        };
+        let color =
+            if self.builder.color_count() == 0 { self.builder.add_color() } else { ColorId(0) };
         for n in unplaced {
             self.builder.add_root(color, n);
             self.placed_anywhere[n.idx()] = true;

@@ -266,17 +266,9 @@ mod tests {
         let _pr2 = bld.add_child(pa, edge(&g, "r2", "a"), r2);
         bld.add_idref(&g, edge(&g, "r2", "b"));
         let s = bld.finish(&g).unwrap();
-        let via_r2 = elig
-            .between(a, bb)
-            .into_iter()
-            .find(|assoc| assoc.label(&g) == "r2")
-            .unwrap();
+        let via_r2 = elig.between(a, bb).into_iter().find(|assoc| assoc.label(&g) == "r2").unwrap();
         assert!(!is_directly_recoverable(&s, via_r2));
-        let via_r1 = elig
-            .between(a, bb)
-            .into_iter()
-            .find(|assoc| assoc.label(&g) == "r1")
-            .unwrap();
+        let via_r1 = elig.between(a, bb).into_iter().find(|assoc| assoc.label(&g) == "r1").unwrap();
         assert!(is_directly_recoverable(&s, via_r1));
     }
 }

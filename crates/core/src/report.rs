@@ -2,9 +2,9 @@
 //! color counts — the "which strategy should I use" summary an end user of
 //! the methodology reads.
 
+use crate::feasibility::single_color_feasibility;
 use crate::properties;
 use crate::strategy::{design, Strategy};
-use crate::feasibility::single_color_feasibility;
 use colorist_er::{EligibleAssociations, ErGraph};
 use std::fmt::Write as _;
 

@@ -45,11 +45,8 @@ pub fn shallow(graph: &ErGraph) -> Result<MctSchema, SchemaError> {
         rels.retain(|&r| {
             let incident = graph.incident(r);
             // edges from r to its participants, in endpoint order
-            let mut participant_edges: Vec<_> = incident
-                .iter()
-                .filter(|&&(e, _)| graph.edge(e).rel == r)
-                .copied()
-                .collect();
+            let mut participant_edges: Vec<_> =
+                incident.iter().filter(|&&(e, _)| graph.edge(e).rel == r).copied().collect();
             participant_edges.sort_by_key(|&(e, _)| graph.edge(e).endpoint);
 
             // parent choice: first One endpoint, else first endpoint

@@ -91,10 +91,7 @@ pub fn design(graph: &ErGraph, strategy: Strategy) -> Result<MctSchema, SchemaEr
 
 /// Design all seven schemas (the per-diagram schema family of §6).
 pub fn design_all(graph: &ErGraph) -> Result<Vec<(Strategy, MctSchema)>, SchemaError> {
-    Strategy::ALL
-        .iter()
-        .map(|&s| design(graph, s).map(|schema| (s, schema)))
-        .collect()
+    Strategy::ALL.iter().map(|&s| design(graph, s).map(|schema| (s, schema))).collect()
 }
 
 #[cfg(test)]

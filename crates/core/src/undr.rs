@@ -181,7 +181,9 @@ mod tests {
         let ok = s.placements_of(order).iter().any(|&po| {
             let has_chain = |rel| {
                 s.placements_of(address).iter().any(|&pa| {
-                    let Some((pr, _)) = s.placement(pa).parent else { return false };
+                    let Some((pr, _)) = s.placement(pa).parent else {
+                        return false;
+                    };
                     s.placement(pr).node == rel
                         && s.is_ancestor(po, pr)
                         && s.placement(pr).color == s.placement(po).color

@@ -2,11 +2,9 @@
 //! of a diagram, independent of any schema.
 
 use crate::profile::ScaleProfile;
+use crate::rng::Rng;
 use colorist_er::{Cardinality, Domain, EdgeId, ErGraph, NodeId, Participation};
 use colorist_store::Value;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// A canonical instance of an ER diagram.
 ///
@@ -55,7 +53,7 @@ impl CanonicalInstance {
 /// Generate a canonical instance for `graph` at `profile` scale with a
 /// deterministic `seed`.
 pub fn generate(graph: &ErGraph, profile: &ScaleProfile, seed: u64) -> CanonicalInstance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let counts: Vec<u32> = profile.counts().to_vec();
 
     // Attribute values.
@@ -96,11 +94,9 @@ pub fn generate(graph: &ErGraph, profile: &ScaleProfile, seed: u64) -> Canonical
                     // injective: a random subset of participants, each once.
                     // Total participation wants full coverage; the profile
                     // arranges n_rel == n_part in that case.
-                    debug_assert!(
-                        edge.participation == Participation::Partial || n_rel <= n_part
-                    );
+                    debug_assert!(edge.participation == Participation::Partial || n_rel <= n_part);
                     let mut ordinals: Vec<u32> = (0..n_part).collect();
-                    ordinals.shuffle(&mut rng);
+                    rng.shuffle(&mut ordinals);
                     ordinals.truncate(n_rel as usize);
                     assert!(
                         n_rel <= n_part,
@@ -115,7 +111,7 @@ pub fn generate(graph: &ErGraph, profile: &ScaleProfile, seed: u64) -> Canonical
                     // are hot, like real workloads
                     (0..n_rel)
                         .map(|_| {
-                            let u: f64 = rng.random::<f64>();
+                            let u: f64 = rng.f64();
                             ((u * u * n_part as f64) as u32).min(n_part - 1)
                         })
                         .collect()
@@ -142,7 +138,7 @@ pub fn generate(graph: &ErGraph, profile: &ScaleProfile, seed: u64) -> Canonical
 /// bounded vocabulary (`attr_j`) so predicates have realistic selectivity;
 /// numbers are uniform; dates span 2001–2004.
 fn attr_value(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     node_name: &str,
     attr: &colorist_er::Attribute,
     ordinal: u32,
@@ -152,17 +148,17 @@ fn attr_value(
         return Value::Int(ordinal as i64);
     }
     match attr.domain {
-        Domain::Integer => Value::Int(rng.random_range(0..1000)),
-        Domain::Float => Value::Float((rng.random_range(0..1_000_000) as f64) / 100.0),
+        Domain::Integer => Value::Int(rng.range_i64(0, 1000)),
+        Domain::Float => Value::Float((rng.range_i64(0, 1_000_000) as f64) / 100.0),
         Domain::Date => {
-            let y = 2001 + rng.random_range(0..4);
-            let m = rng.random_range(1..13);
-            let d = rng.random_range(1..29);
+            let y = 2001 + rng.range_i64(0, 4);
+            let m = rng.range_i64(1, 13);
+            let d = rng.range_i64(1, 29);
             Value::Text(format!("{y:04}-{m:02}-{d:02}"))
         }
         Domain::Text => {
             let vocab = (extent / 8).clamp(2, 64);
-            let j = rng.random_range(0..vocab);
+            let j = rng.range_u32(0, vocab);
             Value::Text(format!("{}_{}_{j}", node_name, attr.name))
         }
         _ => unreachable!("simplified diagrams have atomic attributes"),
@@ -251,9 +247,8 @@ mod tests {
         }
         // subject is a text attr with bounded vocabulary
         let idx = g.node(item).attributes.iter().position(|a| a.name == "subject").unwrap();
-        let distinct: std::collections::HashSet<String> = (0..inst.count(item))
-            .map(|o| inst.attrs(item, o)[idx].to_string())
-            .collect();
+        let distinct: std::collections::HashSet<String> =
+            (0..inst.count(item)).map(|o| inst.attrs(item, o)[idx].to_string()).collect();
         assert!(distinct.len() <= 64);
         assert!(distinct.len() >= 2);
     }

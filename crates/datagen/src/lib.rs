@@ -22,7 +22,9 @@
 pub mod canonical;
 pub mod materialize;
 pub mod profile;
+pub mod rng;
 
 pub use canonical::{generate, CanonicalInstance};
 pub use materialize::materialize;
 pub use profile::ScaleProfile;
+pub use rng::Rng;

@@ -36,9 +36,7 @@ pub fn materialize(graph: &ErGraph, schema: &MctSchema, instance: &CanonicalInst
         graph
             .edge_ids()
             .map(|e| {
-                (0..instance.count(graph.edge(e).rel))
-                    .map(|ro| instance.link(e, ro))
-                    .collect()
+                (0..instance.count(graph.edge(e).rel)).map(|ro| instance.link(e, ro)).collect()
             })
             .collect(),
     );
@@ -69,11 +67,8 @@ pub fn materialize(graph: &ErGraph, schema: &MctSchema, instance: &CanonicalInst
         let mut bindable: HashSet<PlacementId> = HashSet::new();
         for n in graph.node_ids() {
             let of_node = schema.placements_of_in_color(n, color);
-            let childful: Vec<PlacementId> = of_node
-                .iter()
-                .copied()
-                .filter(|&p| !schema.children(p).is_empty())
-                .collect();
+            let childful: Vec<PlacementId> =
+                of_node.iter().copied().filter(|&p| !schema.children(p).is_empty()).collect();
             if childful.is_empty() {
                 bindable.extend(of_node);
             } else {
@@ -109,8 +104,8 @@ pub fn materialize(graph: &ErGraph, schema: &MctSchema, instance: &CanonicalInst
             for ordinal in 0..instance.count(node) {
                 if !bound.contains(&(node.0, ordinal)) {
                     instantiate(
-                        graph, schema, instance, &mut b, &canonical, &bindable, &mut bound,
-                        color, p, ordinal, None,
+                        graph, schema, instance, &mut b, &canonical, &bindable, &mut bound, color,
+                        p, ordinal, None,
                     );
                 }
             }
@@ -151,8 +146,17 @@ fn instantiate(
             // to this ordinal via the edge
             for &rel_ordinal in instance.linked_rels(edge, ordinal) {
                 instantiate(
-                    graph, schema, instance, b, canonical, bindable, bound, color, child,
-                    rel_ordinal, Some(occ),
+                    graph,
+                    schema,
+                    instance,
+                    b,
+                    canonical,
+                    bindable,
+                    bound,
+                    color,
+                    child,
+                    rel_ordinal,
+                    Some(occ),
                 );
             }
         } else {
@@ -160,7 +164,16 @@ fn instantiate(
             debug_assert_eq!(e.rel, node);
             let p_ordinal = instance.link(edge, ordinal);
             instantiate(
-                graph, schema, instance, b, canonical, bindable, bound, color, child, p_ordinal,
+                graph,
+                schema,
+                instance,
+                b,
+                canonical,
+                bindable,
+                bound,
+                color,
+                child,
+                p_ordinal,
                 Some(occ),
             );
         }

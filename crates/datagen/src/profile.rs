@@ -63,7 +63,9 @@ impl ScaleProfile {
                 let participant_counts: Vec<(u32, Cardinality, Participation)> = incident
                     .iter()
                     .filter(|&&(e, _)| graph.edge(e).rel == r)
-                    .map(|&(e, p)| (counts[p.idx()], graph.edge(e).cardinality, graph.edge(e).participation))
+                    .map(|&(e, p)| {
+                        (counts[p.idx()], graph.edge(e).cardinality, graph.edge(e).participation)
+                    })
                     .collect();
                 if participant_counts.iter().any(|&(c, _, _)| c == 0) {
                     return true; // dependency not resolved yet

@@ -221,7 +221,7 @@ mod tests {
         // Entity-to-entity functional paths only: a..b via r.
         assert_eq!(assoc.between(a, b).len(), 1);
         assert_eq!(assoc.between(b, a).len(), 0); // b to a is not functional
-        // relationship endpoints are not eligible associations
+                                                  // relationship endpoints are not eligible associations
         assert_eq!(assoc.between(a, r).len(), 0);
         assert_eq!(assoc.between(b, r).len(), 0);
         let ab = &assoc.between(a, b)[0];

@@ -358,9 +358,8 @@ pub fn toy_dumc() -> ErDiagram {
 
 /// Names of the evaluation collection, in the order of Figures 12–14:
 /// ER1..ER10, Derby, TPC-W.
-pub const COLLECTION: [&str; 12] = [
-    "er1", "er2", "er3", "er4", "er5", "er6", "er7", "er8", "er9", "er10", "derby", "tpcw",
-];
+pub const COLLECTION: [&str; 12] =
+    ["er1", "er2", "er3", "er4", "er5", "er6", "er7", "er8", "er9", "er10", "derby", "tpcw"];
 
 /// Fetch a catalog diagram by collection name.
 pub fn by_name(name: &str) -> Option<ErDiagram> {
@@ -438,11 +437,7 @@ mod tests {
         // two distinct edges between employee and supervises
         let n = g.incident(emp).iter().filter(|&&(_, o)| o == sup).count();
         assert_eq!(n, 2);
-        let eps: Vec<usize> = g
-            .incident(sup)
-            .iter()
-            .map(|&(e, _)| g.edge(e).endpoint)
-            .collect();
+        let eps: Vec<usize> = g.incident(sup).iter().map(|&(e, _)| g.edge(e).endpoint).collect();
         assert_eq!(eps.len(), 2);
         assert_ne!(eps[0], eps[1]);
     }

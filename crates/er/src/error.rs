@@ -25,7 +25,10 @@ impl fmt::Display for ErError {
         match self {
             ErError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
             ErError::UnknownParticipant { relationship, participant } => {
-                write!(f, "relationship `{relationship}` references unknown participant `{participant}`")
+                write!(
+                    f,
+                    "relationship `{relationship}` references unknown participant `{participant}`"
+                )
             }
             ErError::TooFewParticipants(r) => {
                 write!(f, "relationship `{r}` needs at least two participants")

@@ -286,11 +286,7 @@ impl ErGraph {
     /// nesting `successor` under `n` duplicates nothing (each successor
     /// instance has at most one `n` instance via that edge).
     pub fn functional_successors(&self, n: NodeId) -> Vec<(EdgeId, NodeId)> {
-        self.adj[n.idx()]
-            .iter()
-            .copied()
-            .filter(|&(e, _)| self.traversable_from(e, n))
-            .collect()
+        self.adj[n.idx()].iter().copied().filter(|&(e, _)| self.traversable_from(e, n)).collect()
     }
 
     /// SCC id of a node in the mixed graph (undirected edges both ways).
@@ -554,11 +550,7 @@ mod tests {
         let (e_ar1, _) = g.incident(a)[0];
         assert_eq!(g.orientation(e_ar1), Orientation::Directed { from: a, to: r1 });
         // b participates once in r1 -> undirected
-        let &(e_br1, _) = g
-            .incident(b)
-            .iter()
-            .find(|&&(e, _)| g.edge(e).rel == r1)
-            .unwrap();
+        let &(e_br1, _) = g.incident(b).iter().find(|&&(e, _)| g.edge(e).rel == r1).unwrap();
         assert_eq!(g.orientation(e_br1), Orientation::Undirected);
         assert!(g.traversable_from(e_ar1, a));
         assert!(!g.traversable_from(e_ar1, r1));

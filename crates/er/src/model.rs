@@ -174,15 +174,13 @@ impl RelationshipType {
     /// Whether the relationship is many-many (both endpoints
     /// [`Cardinality::Many`]); only meaningful for binary relationships.
     pub fn is_many_many(&self) -> bool {
-        self.is_binary()
-            && self.endpoints.iter().all(|e| e.cardinality == Cardinality::Many)
+        self.is_binary() && self.endpoints.iter().all(|e| e.cardinality == Cardinality::Many)
     }
 
     /// Whether the relationship is one-one (both endpoints
     /// [`Cardinality::One`]); only meaningful for binary relationships.
     pub fn is_one_one(&self) -> bool {
-        self.is_binary()
-            && self.endpoints.iter().all(|e| e.cardinality == Cardinality::One)
+        self.is_binary() && self.endpoints.iter().all(|e| e.cardinality == Cardinality::One)
     }
 }
 
@@ -241,18 +239,19 @@ impl ErDiagram {
         if endpoints.len() < 2 {
             return Err(ErError::TooFewParticipants(name.to_string()));
         }
-        self.relationships.push(RelationshipType {
-            name: name.to_string(),
-            attributes,
-            endpoints,
-        });
+        self.relationships.push(RelationshipType { name: name.to_string(), attributes, endpoints });
         Ok(())
     }
 
     /// Add a binary 1:M relationship: one `one_side` instance relates to many
     /// `many_side` instances (so the `one_side` endpoint has
     /// [`Cardinality::Many`] participation).
-    pub fn add_rel_1m(&mut self, name: &str, one_side: &str, many_side: &str) -> Result<(), ErError> {
+    pub fn add_rel_1m(
+        &mut self,
+        name: &str,
+        one_side: &str,
+        many_side: &str,
+    ) -> Result<(), ErError> {
         self.add_relationship(
             name,
             vec![
@@ -267,10 +266,7 @@ impl ErDiagram {
     pub fn add_rel_11(&mut self, name: &str, left: &str, right: &str) -> Result<(), ErError> {
         self.add_relationship(
             name,
-            vec![
-                Endpoint::new(left, Cardinality::One),
-                Endpoint::new(right, Cardinality::One),
-            ],
+            vec![Endpoint::new(left, Cardinality::One), Endpoint::new(right, Cardinality::One)],
             Vec::new(),
         )
     }
@@ -279,10 +275,7 @@ impl ErDiagram {
     pub fn add_rel_mn(&mut self, name: &str, left: &str, right: &str) -> Result<(), ErError> {
         self.add_relationship(
             name,
-            vec![
-                Endpoint::new(left, Cardinality::Many),
-                Endpoint::new(right, Cardinality::Many),
-            ],
+            vec![Endpoint::new(left, Cardinality::Many), Endpoint::new(right, Cardinality::Many)],
             Vec::new(),
         )
     }
@@ -500,10 +493,7 @@ mod tests {
         let mut d = ErDiagram::new("t");
         d.add_entity(
             "a",
-            vec![Attribute::with_domain(
-                "addr",
-                Domain::Composite(vec![Attribute::text("city")]),
-            )],
+            vec![Attribute::with_domain("addr", Domain::Composite(vec![Attribute::text("city")]))],
         )
         .unwrap();
         assert!(!d.is_simplified());

@@ -40,9 +40,7 @@ pub fn parse_diagram(input: &str) -> Result<ErDiagram, ErError> {
             Some("entity") => {
                 let name = words.next().ok_or_else(|| err("missing entity name".into()))?;
                 let attrs = parse_attr_block(line, lineno + 1)?;
-                diagram
-                    .add_entity(name, attrs)
-                    .map_err(|e| err(e.to_string()))?;
+                diagram.add_entity(name, attrs).map_err(|e| err(e.to_string()))?;
             }
             Some("rel") => {
                 parse_rel(&mut diagram, line, lineno + 1)?;
@@ -76,10 +74,7 @@ fn parse_attr_block(line: &str, lineno: usize) -> Result<Vec<Attribute>, ErError
     if close < open {
         return Err(ErError::Parse { line: lineno, message: "mismatched braces".into() });
     }
-    line[open + 1..close]
-        .split_whitespace()
-        .map(|tok| parse_attr(tok, lineno))
-        .collect()
+    line[open + 1..close].split_whitespace().map(|tok| parse_attr(tok, lineno)).collect()
 }
 
 fn parse_attr(tok: &str, lineno: usize) -> Result<Attribute, ErError> {
@@ -122,18 +117,13 @@ fn parse_rel(diagram: &mut ErDiagram, line: &str, lineno: usize) -> Result<(), E
     let toks: Vec<&str> = header.split_whitespace().collect();
     // rel NAME X:Y LEFT -- RIGHT
     if toks.len() != 6 || toks[4] != "--" {
-        return Err(err(format!(
-            "expected `rel NAME X:Y LEFT -- RIGHT`, got `{}`",
-            header.trim()
-        )));
+        return Err(err(format!("expected `rel NAME X:Y LEFT -- RIGHT`, got `{}`", header.trim())));
     }
     let name = toks[1];
     let (cl, cr) = parse_cardinalities(toks[2], lineno)?;
     let left = parse_participant(toks[3], cl);
     let right = parse_participant(toks[5], cr);
-    diagram
-        .add_relationship(name, vec![left, right], attrs)
-        .map_err(|e| err(e.to_string()))
+    diagram.add_relationship(name, vec![left, right], attrs).map_err(|e| err(e.to_string()))
 }
 
 /// `X:Y` where one `X` relates to `Y` many/one right instances. The endpoint
@@ -201,7 +191,15 @@ pub fn to_dsl(diagram: &ErDiagram) -> String {
             Cardinality::Many => "m",
             Cardinality::One => "1",
         };
-        let _ = write!(s, "rel {} {}:{} {} -- {}", r.name, x, y, fmt_participant(l), fmt_participant(rr));
+        let _ = write!(
+            s,
+            "rel {} {}:{} {} -- {}",
+            r.name,
+            x,
+            y,
+            fmt_participant(l),
+            fmt_participant(rr)
+        );
         write_attrs(&mut s, &r.attributes);
         s.push('\n');
     }
@@ -276,10 +274,7 @@ mod tests {
 
     #[test]
     fn m1_is_mirror_of_1m() {
-        let d = parse_diagram(
-            "entity a { id* }\nentity b { id* }\nrel r m:1 a -- b\n",
-        )
-        .unwrap();
+        let d = parse_diagram("entity a { id* }\nentity b { id* }\nrel r m:1 a -- b\n").unwrap();
         let r = d.relationship("r").unwrap();
         // many a : one b -> a participates once, b participates many times
         assert_eq!(r.endpoints[0].cardinality, Cardinality::One);

@@ -15,9 +15,7 @@
 //!   single `value` attribute, linked by a 1:M relationship `E_has_A`.
 
 use crate::error::ErError;
-use crate::model::{
-    Attribute, Cardinality, Domain, Endpoint, ErDiagram, Participation,
-};
+use crate::model::{Attribute, Cardinality, Domain, Endpoint, ErDiagram, Participation};
 
 /// Produce a simplified copy of `diagram`. Idempotent on already simplified
 /// diagrams (returns an equal diagram).
@@ -40,7 +38,8 @@ pub fn simplify(diagram: &ErDiagram) -> Result<ErDiagram, ErError> {
         }
     }
     for (owner, child) in &extracted {
-        let rel = format!("{owner}_has_{}", child.strip_prefix(&format!("{owner}_")).unwrap_or(child));
+        let rel =
+            format!("{owner}_has_{}", child.strip_prefix(&format!("{owner}_")).unwrap_or(child));
         out.add_relationship(
             &rel,
             vec![

@@ -312,12 +312,7 @@ impl MctSchema {
 
     fn render_tree(&self, graph: &ErGraph, p: PlacementId, indent: usize, out: &mut String) {
         use std::fmt::Write as _;
-        let _ = writeln!(
-            out,
-            "{}{}",
-            "  ".repeat(indent),
-            graph.node(self.placement(p).node).name
-        );
+        let _ = writeln!(out, "{}{}", "  ".repeat(indent), graph.node(self.placement(p).node).name);
         for &c in self.children(p) {
             self.render_tree(graph, c, indent + 1, out);
         }
@@ -425,10 +420,7 @@ impl MctSchemaBuilder {
                 let connects = (e.rel == parent_node && e.participant == p.node)
                     || (e.participant == parent_node && e.rel == p.node);
                 if !connects {
-                    return Err(SchemaError::EdgeMismatch {
-                        parent: PlacementId(i as u32),
-                        edge,
-                    });
+                    return Err(SchemaError::EdgeMismatch { parent: PlacementId(i as u32), edge });
                 }
             }
         }
@@ -523,9 +515,7 @@ mod tests {
     fn edge_between(g: &ErGraph, rel: &str, part: &str) -> EdgeId {
         let rel = g.node_by_name(rel).unwrap();
         let part = g.node_by_name(part).unwrap();
-        g.edge_ids()
-            .find(|&e| g.edge(e).rel == rel && g.edge(e).participant == part)
-            .unwrap()
+        g.edge_ids().find(|&e| g.edge(e).rel == rel && g.edge(e).participant == part).unwrap()
     }
 
     /// A one-color a -> r -> b schema.

@@ -76,11 +76,7 @@ struct State {
 }
 
 /// Compile `pattern` against `schema`.
-pub fn compile(
-    graph: &ErGraph,
-    schema: &MctSchema,
-    pattern: &Pattern,
-) -> Result<Plan, QueryError> {
+pub fn compile(graph: &ErGraph, schema: &MctSchema, pattern: &Pattern) -> Result<Plan, QueryError> {
     let full = completeness(graph, schema);
     Compiler { graph, schema, full }.run(pattern)
 }
@@ -362,9 +358,7 @@ impl<'a> Compiler<'a> {
 
     fn schema_has_copies(&self) -> bool {
         self.graph.node_ids().any(|n| {
-            self.schema
-                .colors()
-                .any(|c| self.schema.placements_of_in_color(n, c).len() > 1)
+            self.schema.colors().any(|c| self.schema.placements_of_in_color(n, c).len() > 1)
         })
     }
 

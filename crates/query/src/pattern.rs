@@ -275,11 +275,9 @@ impl<'g> PatternBuilder<'g> {
             // *other* edge (never re-traverse the edge just used).
             let role = a_role.or(b_role);
             let prev = path.last().copied();
-            let edge = find_edge_excluding(self.graph, a, b, role, prev)
-                .ok_or(QueryError::NoSuchEdge {
-                    from: a_name.to_string(),
-                    to: b_name.to_string(),
-                })?;
+            let edge = find_edge_excluding(self.graph, a, b, role, prev).ok_or(
+                QueryError::NoSuchEdge { from: a_name.to_string(), to: b_name.to_string() },
+            )?;
             if nodes.is_empty() {
                 nodes.push(a);
             }
@@ -396,12 +394,8 @@ pub fn find_edge_excluding(
     role: Option<&str>,
     exclude: Option<EdgeId>,
 ) -> Option<EdgeId> {
-    let candidates: Vec<EdgeId> = graph
-        .incident(a)
-        .iter()
-        .filter(|&&(_, other)| other == b)
-        .map(|&(e, _)| e)
-        .collect();
+    let candidates: Vec<EdgeId> =
+        graph.incident(a).iter().filter(|&&(_, other)| other == b).map(|&(e, _)| e).collect();
     // preference order: role-matching first, then the rest; within that,
     // anything different from `exclude` beats re-traversing it.
     let mut pool: Vec<EdgeId> = Vec::with_capacity(candidates.len());
@@ -474,11 +468,8 @@ mod tests {
             PatternBuilder::new(&g, "x").node("country").pred_eq("bogus", Value::Int(1)).build(),
             Err(QueryError::UnknownAttribute { .. })
         ));
-        let err = PatternBuilder::new(&g, "x")
-            .node("country")
-            .node("item")
-            .chain(0, 1, &[])
-            .unwrap_err();
+        let err =
+            PatternBuilder::new(&g, "x").node("country").node("item").chain(0, 1, &[]).unwrap_err();
         assert!(matches!(err, QueryError::NoSuchEdge { .. }));
     }
 

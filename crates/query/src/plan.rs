@@ -222,9 +222,7 @@ impl fmt::Display for Plan {
                 }
                 Op::Intersect { dst, a, b } => writeln!(f, "  r{dst} = r{a} ∩ r{b}")?,
                 Op::Distinct { dst, src } => writeln!(f, "  r{dst} = distinct r{src}")?,
-                Op::GroupBy { dst, src, attr } => {
-                    writeln!(f, "  r{dst} = groupby r{src} @{attr}")?
-                }
+                Op::GroupBy { dst, src, attr } => writeln!(f, "  r{dst} = groupby r{src} @{attr}")?,
             }
         }
         Ok(())

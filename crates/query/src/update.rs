@@ -58,10 +58,10 @@ pub fn execute_update(
             let copies = copies_map(db);
             let mut physical = 0u64;
             for &t in &targets {
-                db.element_mut(t).attrs[*attr] = value.clone();
+                db.write_attr(t, *attr, value.clone());
                 physical += 1;
                 for &c in copies.get(&t).map(Vec::as_slice).unwrap_or(&[]) {
-                    db.element_mut(c).attrs[*attr] = value.clone();
+                    db.write_attr(c, *attr, value.clone());
                     physical += 1;
                     metrics.duplicate_updates += 1;
                 }
@@ -217,20 +217,17 @@ impl<'a> Inserter<'a> {
         for (ii, inst) in ins.instances.iter().enumerate() {
             for l in &inst.links {
                 let partner = match l.partner {
-                    Partner::Matched(p) => Who::Existing(
-                        anchors.get(p).copied().flatten().ok_or_else(|| {
+                    Partner::Matched(p) => {
+                        Who::Existing(anchors.get(p).copied().flatten().ok_or_else(|| {
                             QueryError::Malformed("insert anchor unmatched".into())
-                        })?,
-                    ),
+                        })?)
+                    }
                     Partner::New(j) => Who::New(j),
-                    Partner::ByOrdinal(node, ordinal) => Who::Existing(
-                        db.extent(node)
-                            .get(ordinal as usize)
-                            .copied()
-                            .ok_or_else(|| {
-                                QueryError::Malformed("insert partner ordinal out of range".into())
-                            })?,
-                    ),
+                    Partner::ByOrdinal(node, ordinal) => {
+                        Who::Existing(db.extent(node).get(ordinal as usize).copied().ok_or_else(
+                            || QueryError::Malformed("insert partner ordinal out of range".into()),
+                        )?)
+                    }
                 };
                 let idx = me.new_nodes.len();
                 // idref slots in schema order for this relationship
@@ -286,9 +283,8 @@ impl<'a> Inserter<'a> {
             }
             for &p in &placements {
                 let node = schema.placement(p).node;
-                let whos: Vec<usize> = (0..me.new_nodes.len())
-                    .filter(|&i| me.new_nodes[i] == node)
-                    .collect();
+                let whos: Vec<usize> =
+                    (0..me.new_nodes.len()).filter(|&i| me.new_nodes[i] == node).collect();
                 if whos.is_empty() {
                     continue;
                 }
@@ -340,9 +336,8 @@ impl<'a> Inserter<'a> {
                 if bound.contains_key(&Who::New(i)) {
                     continue;
                 }
-                if let Some(&p) = placements
-                    .iter()
-                    .find(|&&p| schema.placement(p).node == me.new_nodes[i])
+                if let Some(&p) =
+                    placements.iter().find(|&&p| schema.placement(p).node == me.new_nodes[i])
                 {
                     me.add_recursive(db, &schema, color, p, Who::New(i), None, &mut bound, metrics);
                 }
@@ -541,9 +536,7 @@ mod tests {
         let cct = g.node_by_name("credit_card_transaction").unwrap();
         let customer = g.node_by_name("customer").unwrap();
         let e = |rel: NodeId, part: NodeId| {
-            g.edge_ids()
-                .find(|&e| g.edge(e).rel == rel && g.edge(e).participant == part)
-                .unwrap()
+            g.edge_ids().find(|&e| g.edge(e).rel == rel && g.edge(e).participant == part).unwrap()
         };
         let spec = |gr: &ErGraph| UpdateSpec {
             name: "U1".into(),
@@ -644,9 +637,7 @@ mod tests {
         let make = g.node_by_name("make").unwrap();
         let customer = g.node_by_name("customer").unwrap();
         let e = |rel: NodeId, part: NodeId| {
-            g.edge_ids()
-                .find(|&e| g.edge(e).rel == rel && g.edge(e).participant == part)
-                .unwrap()
+            g.edge_ids().find(|&e| g.edge(e).rel == rel && g.edge(e).participant == part).unwrap()
         };
         let spec = UpdateSpec {
             name: "ins".into(),

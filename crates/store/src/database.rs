@@ -15,7 +15,7 @@
 //! `a.start < d.start && d.end <= a.end` — the primitive behind structural
 //! joins.
 
-use crate::value::Value;
+use crate::value::{Interner, Value, ValueKey};
 use colorist_er::{ErGraph, NodeId};
 use colorist_mct::{ColorId, MctSchema, PlacementId};
 use std::collections::HashMap;
@@ -148,6 +148,9 @@ pub struct Database {
     links: Vec<Vec<u32>>,
     /// Per ER edge: relationship ordinals per participant ordinal.
     rev_links: Vec<Vec<Vec<u32>>>,
+    /// Text symbol table: every stored text attribute value is interned, so
+    /// join keys are `Copy` (see [`crate::value::ValueKey`]).
+    interner: Interner,
 }
 
 impl Database {
@@ -161,9 +164,31 @@ impl Database {
         &self.elements[e.idx()]
     }
 
-    /// Mutable element access (updates).
+    /// Mutable element access (updates). Prefer [`Database::write_attr`]
+    /// for attribute writes — it keeps the text symbol table in sync.
     pub fn element_mut(&mut self, e: ElementId) -> &mut Element {
         &mut self.elements[e.idx()]
+    }
+
+    /// Write one attribute value, interning text so the value stays
+    /// joinable through the `Copy` key path.
+    pub fn write_attr(&mut self, e: ElementId, attr: usize, v: Value) {
+        if let Value::Text(s) = &v {
+            self.interner.intern(s);
+        }
+        self.elements[e.idx()].attrs[attr] = v;
+    }
+
+    /// The text symbol table.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// The `Copy` join key of a value under this database's symbol table.
+    /// Never allocates. Panics on text never stored in this database (all
+    /// build and write paths intern).
+    pub fn join_key(&self, v: &Value) -> ValueKey {
+        self.interner.key(v)
     }
 
     /// The tree of one color.
@@ -202,11 +227,7 @@ impl Database {
     /// vector) of the idref value for a value-encoded ER edge: idref values
     /// are appended after the declared attributes, in the order the schema
     /// lists its idref links for that relationship.
-    pub fn idref_attr_index(
-        &self,
-        graph: &ErGraph,
-        edge: colorist_er::EdgeId,
-    ) -> Option<usize> {
+    pub fn idref_attr_index(&self, graph: &ErGraph, edge: colorist_er::EdgeId) -> Option<usize> {
         let rel = graph.edge(edge).rel;
         let declared = graph.node(rel).attributes.len();
         self.schema
@@ -240,10 +261,7 @@ impl Database {
             Some(v) => v,
             None => return Vec::new(),
         };
-        rels.iter()
-            .copied()
-            .filter(|&r| self.links[edge.idx()][r as usize] != u32::MAX)
-            .collect()
+        rels.iter().copied().filter(|&r| self.links[edge.idx()][r as usize] != u32::MAX).collect()
     }
 
     /// Record a new relationship instance's link (insert maintenance).
@@ -265,10 +283,8 @@ impl Database {
 
     /// Invalidate a relationship instance's link (delete maintenance).
     pub fn kill_link(&mut self, edge: colorist_er::EdgeId, rel_ordinal: u32) {
-        if let Some(v) = self
-            .links
-            .get_mut(edge.idx())
-            .and_then(|l| l.get_mut(rel_ordinal as usize))
+        if let Some(v) =
+            self.links.get_mut(edge.idx()).and_then(|l| l.get_mut(rel_ordinal as usize))
         {
             *v = u32::MAX;
         }
@@ -286,6 +302,11 @@ impl Database {
     /// Insert a new canonical element, returning its id. The caller must
     /// add occurrences (then relabel) to make it reachable.
     pub fn insert_element(&mut self, node: NodeId, attrs: Vec<Value>) -> ElementId {
+        for v in &attrs {
+            if let Value::Text(s) = v {
+                self.interner.intern(s);
+            }
+        }
         let id = ElementId(self.elements.len() as u32);
         let ordinal = self.extents[node.idx()].len() as u32;
         self.elements.push(Element { node, ordinal, canonical: id, attrs });
@@ -451,8 +472,17 @@ impl DatabaseBuilder {
         id
     }
 
-    /// Label every color and freeze.
+    /// Label every color and freeze. Interns every stored text attribute
+    /// value so join keys are `Copy` from here on.
     pub fn finish(mut self) -> Database {
+        let mut interner = Interner::default();
+        for e in &self.elements {
+            for v in &e.attrs {
+                if let Value::Text(s) = v {
+                    interner.intern(s);
+                }
+            }
+        }
         let mut logical_occs = Vec::with_capacity(self.colors.len());
         for (ci, tree) in self.colors.iter_mut().enumerate() {
             relabel(&mut tree.occs);
@@ -478,6 +508,7 @@ impl DatabaseBuilder {
             logical_occs,
             links: self.links,
             rev_links,
+            interner,
         }
     }
 }
@@ -648,9 +679,9 @@ mod tests {
         // place the copy under the other r occurrence and relabel
         let c = ColorId(0);
         let pb = db.schema.placements_of_in_color(b, c)[0];
-        let parent = db.color(c).of_placement(
-            db.schema.placements_of_in_color(g.node_by_name("r").unwrap(), c)[0],
-        )[0];
+        let parent = db
+            .color(c)
+            .of_placement(db.schema.placements_of_in_color(g.node_by_name("r").unwrap(), c)[0])[0];
         db.push_occurrence(c, copy, pb, Some(parent));
         db.relabel_color(c);
         assert_eq!(db.occurrences_of_logical(c, eb0).len(), 2);

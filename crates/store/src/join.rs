@@ -28,11 +28,22 @@ pub enum AttrRef {
     Attr(usize),
 }
 
-/// Fetch the referenced value of an element.
+/// Fetch the referenced value of an element (clones text; the join paths
+/// use [`attr_key`] instead, which never allocates).
 pub fn attr_value(db: &Database, e: ElementId, r: AttrRef) -> Value {
     match r {
         AttrRef::Id => Value::Int(db.element(db.element(e).canonical).ordinal as i64),
         AttrRef::Attr(i) => db.element(e).attrs[i].clone(),
+    }
+}
+
+/// The `Copy` join key of an element's referenced value — zero allocations
+/// per call (text resolves through the database's symbol table).
+#[inline]
+pub fn attr_key(db: &Database, e: ElementId, r: AttrRef) -> ValueKey {
+    match r {
+        AttrRef::Id => ValueKey::Num(db.element(db.element(e).canonical).ordinal as i64),
+        AttrRef::Attr(i) => db.join_key(&db.element(e).attrs[i]),
     }
 }
 
@@ -128,17 +139,115 @@ pub fn value_join(
     };
     let mut table: HashMap<ValueKey, Vec<ElementId>> = HashMap::with_capacity(build.len());
     for &e in build {
-        let v = attr_value(db, e, build_attr);
-        table.entry(v.join_key()).or_default().push(e);
+        table.entry(attr_key(db, e, build_attr)).or_default().push(e);
     }
     let mut out = Vec::new();
     for &e in probe {
-        let v = attr_value(db, e, probe_attr);
-        if let Some(matches) = table.get(&v.join_key()) {
+        // keys are Copy (text is interned): no per-probe String allocation
+        if let Some(matches) = table.get(&attr_key(db, e, probe_attr)) {
             for &m in matches {
                 out.push(if swapped { (e, m) } else { (m, e) });
             }
         }
+    }
+    out
+}
+
+/// Which side a [`structural_semi_join`] keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemiSide {
+    /// Keep ancestors having at least one qualifying descendant.
+    Ancestor,
+    /// Keep descendants having at least one qualifying ancestor.
+    Descendant,
+}
+
+/// Stack-based structural **semi**-join: the subset of one side with at
+/// least one containment partner on the other, in color `c`.
+///
+/// Unlike [`structural_join`] this never materializes `(anc, desc)` pairs —
+/// each kept occurrence is emitted exactly once, with early exit as soon as
+/// its first partner is found — so the output is at most one side's input,
+/// not the cross product. `depth` of `Some(k)` additionally requires the
+/// level distance to be exactly `k` (so `Some(1)` is [`Axis::Child`]);
+/// `None` accepts any ancestor-descendant distance.
+///
+/// Both inputs must be sorted by `start` (document order). The output is in
+/// document order and duplicate-free.
+pub fn structural_semi_join(
+    db: &Database,
+    c: ColorId,
+    anc: &[OccId],
+    desc: &[OccId],
+    keep: SemiSide,
+    depth: Option<u16>,
+    metrics: &mut Metrics,
+) -> Vec<OccId> {
+    metrics.structural_joins += 1;
+    metrics.elements_scanned += (anc.len() + desc.len()) as u64;
+    let tree = db.color(c);
+    let occ = |o: OccId| -> &Occurrence { tree.occ(o) };
+    let level_ok = |a: &Occurrence, d: &Occurrence| {
+        depth.is_none_or(|k| a.level as u32 + k as u32 == d.level as u32)
+    };
+
+    let mut out = Vec::new();
+    // (ancestor, already emitted) — the emitted flag makes the Ancestor
+    // side duplicate-free without a pair vector or a hash set
+    let mut stack: Vec<(OccId, bool)> = Vec::new();
+    let (mut ai, mut di) = (0usize, 0usize);
+    while di < desc.len() {
+        let d = occ(desc[di]);
+        // push ancestors that start before d
+        while ai < anc.len() && occ(anc[ai]).start < d.start {
+            // pop finished ancestors first
+            while let Some(&(top, _)) = stack.last() {
+                if occ(top).end < occ(anc[ai]).start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push((anc[ai], false));
+            ai += 1;
+        }
+        // pop ancestors that ended before d starts
+        while let Some(&(top, _)) = stack.last() {
+            if occ(top).end < d.start {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        match keep {
+            SemiSide::Descendant => {
+                for &(a, _) in stack.iter() {
+                    let ao = occ(a);
+                    if ao.start < d.start && d.end <= ao.end && level_ok(ao, d) {
+                        out.push(desc[di]);
+                        break; // early exit: one partner suffices
+                    }
+                }
+            }
+            SemiSide::Ancestor => {
+                for (a, emitted) in stack.iter_mut() {
+                    if *emitted {
+                        continue;
+                    }
+                    let ao = occ(*a);
+                    if ao.start < d.start && d.end <= ao.end && level_ok(ao, d) {
+                        out.push(*a);
+                        *emitted = true;
+                    }
+                }
+            }
+        }
+        di += 1;
+    }
+    // Descendant outputs arrive in document order already; ancestors are
+    // emitted at their first partner, so restore document order
+    if keep == SemiSide::Ancestor {
+        out.sort_unstable();
     }
     out
 }
@@ -295,6 +404,163 @@ mod tests {
         assert_eq!(fast.len(), 12);
         assert_eq!(m.value_joins, 1);
         assert_eq!(m.elements_scanned, 18);
+    }
+
+    /// Semi-join oracle: run the pair join, apply the depth filter, keep
+    /// one side, dedup.
+    fn semi_via_pairs(
+        db: &Database,
+        c: ColorId,
+        anc: &[OccId],
+        desc: &[OccId],
+        keep: SemiSide,
+        depth: Option<u16>,
+    ) -> Vec<OccId> {
+        let mut m = Metrics::default();
+        let tree = db.color(c);
+        let mut out: Vec<OccId> = structural_join(db, c, anc, desc, Axis::Descendant, &mut m)
+            .into_iter()
+            .filter(|&(a, d)| {
+                depth
+                    .is_none_or(|k| tree.occ(a).level as u32 + k as u32 == tree.occ(d).level as u32)
+            })
+            .map(|(a, d)| match keep {
+                SemiSide::Ancestor => a,
+                SemiSide::Descendant => d,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn structural_semi_join_matches_filtered_pair_join() {
+        let (g, db) = chain_db(5, 3);
+        let c = ColorId(0);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let pa = db.schema.placements_of_in_color(a, c)[0];
+        let pr = db.schema.placements_of_in_color(r, c)[0];
+        let pb = db.schema.placements_of_in_color(b, c)[0];
+        let anc_sets = [
+            db.color(c).of_placement(pa).to_vec(),
+            db.color(c).of_placement(pr).to_vec(),
+            vec![db.color(c).of_placement(pa)[2]],
+        ];
+        let desc_sets =
+            [db.color(c).of_placement(pb).to_vec(), db.color(c).of_placement(pr).to_vec()];
+        for anc in &anc_sets {
+            for desc in &desc_sets {
+                for depth in [None, Some(1), Some(2), Some(7)] {
+                    for keep in [SemiSide::Ancestor, SemiSide::Descendant] {
+                        let mut m = Metrics::default();
+                        let fast = structural_semi_join(&db, c, anc, desc, keep, depth, &mut m);
+                        let slow = semi_via_pairs(&db, c, anc, desc, keep, depth);
+                        assert_eq!(fast, slow, "{keep:?} depth {depth:?}");
+                        assert_eq!(m.structural_joins, 1);
+                        assert_eq!(m.elements_scanned, (anc.len() + desc.len()) as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structural_semi_join_counts_each_side_once() {
+        // every a has 3 r children; keep=Ancestor must not emit an a per
+        // child, and keep=Descendant must not emit an r per matching a
+        let (g, db) = chain_db(4, 3);
+        let c = ColorId(0);
+        let a = g.node_by_name("a").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let pa = db.schema.placements_of_in_color(a, c)[0];
+        let pr = db.schema.placements_of_in_color(r, c)[0];
+        let anc = db.color(c).of_placement(pa).to_vec();
+        let desc = db.color(c).of_placement(pr).to_vec();
+        let mut m = Metrics::default();
+        let anc_out =
+            structural_semi_join(&db, c, &anc, &desc, SemiSide::Ancestor, Some(1), &mut m);
+        assert_eq!(anc_out.len(), 4);
+        let desc_out =
+            structural_semi_join(&db, c, &anc, &desc, SemiSide::Descendant, Some(1), &mut m);
+        assert_eq!(desc_out.len(), 12);
+    }
+
+    /// Database over two entities sharing a text attribute with a small
+    /// vocabulary (so text joins have real fan-out), plus an int key.
+    fn text_db(n_a: usize, n_b: usize) -> (ErGraph, Database) {
+        let mut d = ErDiagram::new("t");
+        d.add_entity("a", vec![Attribute::key("id"), Attribute::text("tag")]).unwrap();
+        d.add_entity("b", vec![Attribute::key("id"), Attribute::text("tag")]).unwrap();
+        d.add_rel_1m("r", "a", "b").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        let s = colorist_core::design(&g, colorist_core::Strategy::En).unwrap();
+        let c = ColorId(0);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let pa = s.placements_of_in_color(a, c)[0];
+        let pb = s.placements_of_in_color(b, c)[0];
+        let mut bd = DatabaseBuilder::new(s, g.node_count());
+        for i in 0..n_a {
+            let e = bd.add_canonical(
+                a,
+                vec![Value::Int(i as i64), Value::Text(format!("tag_{}", i % 3))],
+            );
+            bd.add_occurrence(c, e, pa, None);
+        }
+        for i in 0..n_b {
+            let e = bd.add_canonical(
+                b,
+                vec![Value::Int(i as i64), Value::Text(format!("tag_{}", i % 4))],
+            );
+            bd.add_occurrence(c, e, pb, None);
+        }
+        (g, bd.finish())
+    }
+
+    #[test]
+    fn interned_text_value_join_matches_cloning_oracle() {
+        let (g, db) = text_db(9, 14);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let la = db.extent(a).to_vec();
+        let lb = db.extent(b).to_vec();
+        let mut m = Metrics::default();
+        // a.tag = b.tag — the text path the interner makes allocation-free
+        let mut fast = value_join(&db, &la, AttrRef::Attr(1), &lb, AttrRef::Attr(1), &mut m);
+        let mut slow = naive::value_join(&db, &la, AttrRef::Attr(1), &lb, AttrRef::Attr(1));
+        fast.sort_unstable();
+        slow.sort_unstable();
+        assert_eq!(fast, slow);
+        assert!(!fast.is_empty(), "vocabularies overlap on tag_0..tag_2");
+        // key equality agrees with Value::matches on the text path
+        for (l, r) in &fast {
+            assert_eq!(attr_key(&db, *l, AttrRef::Attr(1)), attr_key(&db, *r, AttrRef::Attr(1)));
+        }
+    }
+
+    #[test]
+    fn value_join_sees_text_written_after_build() {
+        let (g, db) = text_db(4, 6);
+        let mut db = db;
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        // write a brand-new string (not in the build vocabulary) to one
+        // element on each side: write_attr must intern it so the join still
+        // matches them up
+        db.write_attr(db.extent(a)[0], 1, Value::Text("fresh".into()));
+        db.write_attr(db.extent(b)[5], 1, Value::Text("fresh".into()));
+        let la = db.extent(a).to_vec();
+        let lb = db.extent(b).to_vec();
+        let mut m = Metrics::default();
+        let mut fast = value_join(&db, &la, AttrRef::Attr(1), &lb, AttrRef::Attr(1), &mut m);
+        let mut slow = naive::value_join(&db, &la, AttrRef::Attr(1), &lb, AttrRef::Attr(1));
+        fast.sort_unstable();
+        slow.sort_unstable();
+        assert_eq!(fast, slow);
+        assert!(fast.contains(&(db.extent(a)[0], db.extent(b)[5])));
     }
 
     #[test]

@@ -28,8 +28,11 @@ pub mod value;
 pub mod xml;
 
 pub use database::{ColorTree, Database, DatabaseBuilder, Element, ElementId, OccId, Occurrence};
-pub use join::{attr_value, structural_join, value_join, AttrRef, Axis};
+pub use join::{
+    attr_key, attr_value, structural_join, structural_semi_join, value_join, AttrRef, Axis,
+    SemiSide,
+};
 pub use metrics::Metrics;
 pub use stats::Stats;
-pub use value::Value;
+pub use value::{Interner, Value, ValueKey};
 pub use xml::to_xml;

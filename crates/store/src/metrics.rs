@@ -42,7 +42,15 @@ pub struct Metrics {
     /// non-node-normalized schema returns duplicates; the parenthesized
     /// numbers of Table 1).
     pub distinct_results: u64,
-    /// Measured evaluation time.
+    /// Measured evaluation time of **this query alone** — the wall-clock
+    /// span between the start and end of its `execute`/`execute_update`
+    /// call. Under the parallel suite runner
+    /// (`colorist_workload::suite::run_suite_on`), queries from different
+    /// strategies run concurrently, so these per-query spans overlap in
+    /// real time: summing them over a suite yields aggregate CPU-ish work,
+    /// **not** the suite's wall time (per-query values may also be inflated
+    /// by scheduling contention). The suite's end-to-end wall time is
+    /// reported separately as `SuiteResult::suite_wall`.
     pub elapsed: Duration,
 }
 

@@ -54,8 +54,11 @@ pub fn stats(db: &Database, graph: &ErGraph) -> Stats {
         .nodes()
         .iter()
         .map(|n| {
-            let text =
-                n.attributes.iter().filter(|a| matches!(a.domain, Domain::Text | Domain::Date)).count() as u64;
+            let text = n
+                .attributes
+                .iter()
+                .filter(|a| matches!(a.domain, Domain::Text | Domain::Date))
+                .count() as u64;
             (n.attributes.len() as u64 - text, text)
         })
         .collect();

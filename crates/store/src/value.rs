@@ -1,6 +1,11 @@
-//! Attribute values.
+//! Attribute values, join keys, and the text symbol table.
+//!
+//! Join keys are `Copy`: text values are interned into a `u32` symbol table
+//! ([`Interner`]) when a database is built, so the hash-join probe path
+//! never allocates — see `join::value_join`.
 
 use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::fmt;
 
 /// An atomic attribute value. Dates are stored as ISO-8601 text (their
@@ -61,28 +66,81 @@ impl Value {
             Value::Text(s) => s.len(),
         }
     }
-
-    /// A stable hash key for hash joins (distinguishes variants except for
-    /// integral floats, which compare equal to ints).
-    pub fn join_key(&self) -> ValueKey {
-        match self {
-            Value::Int(i) => ValueKey::Num(*i),
-            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => ValueKey::Num(*f as i64),
-            Value::Float(f) => ValueKey::Bits(f.to_bits()),
-            Value::Text(s) => ValueKey::Text(s.clone()),
-        }
-    }
 }
 
-/// Hashable join key for [`Value`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Hashable, `Copy` join key for [`Value`], produced by [`Interner::key`].
+///
+/// Keys agree with [`Value::matches`]: integral floats unify with ints, and
+/// equal strings map to the same symbol. Because text is represented by its
+/// symbol, producing a key never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ValueKey {
     /// Integer or integral float.
     Num(i64),
     /// Non-integral float bits.
     Bits(u64),
-    /// Text.
-    Text(String),
+    /// Interned text symbol.
+    Sym(u32),
+}
+
+/// Text symbol table. Every text attribute value stored in a database is
+/// interned here (at build time and on every write), so join keys for text
+/// are plain `u32` symbols.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    map: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Intern `s`, returning its symbol (stable for the table's lifetime).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = self.strings.len() as u32;
+        self.map.insert(s.to_owned(), sym);
+        self.strings.push(s.to_owned());
+        sym
+    }
+
+    /// Symbol of an already-interned string.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.map.get(s).copied()
+    }
+
+    /// The string behind a symbol.
+    pub fn resolve(&self, sym: u32) -> &str {
+        &self.strings[sym as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// The `Copy` join key of a value (distinguishes variants except for
+    /// integral floats, which compare equal to ints, mirroring
+    /// [`Value::matches`]).
+    ///
+    /// # Panics
+    /// If `v` is a text value that was never interned — stored values are
+    /// always interned by the database build/write paths.
+    pub fn key(&self, v: &Value) -> ValueKey {
+        match v {
+            Value::Int(i) => ValueKey::Num(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => ValueKey::Num(*f as i64),
+            Value::Float(f) => ValueKey::Bits(f.to_bits()),
+            Value::Text(s) => ValueKey::Sym(
+                self.get(s).expect("text value interned at database build/write time"),
+            ),
+        }
+    }
 }
 
 impl fmt::Display for Value {
@@ -113,9 +171,28 @@ mod tests {
 
     #[test]
     fn join_keys_unify_int_and_integral_float() {
-        assert_eq!(Value::Int(7).join_key(), Value::Float(7.0).join_key());
-        assert_ne!(Value::Int(7).join_key(), Value::Float(7.5).join_key());
-        assert_ne!(Value::Int(7).join_key(), Value::Text("7".into()).join_key());
+        let mut it = Interner::default();
+        it.intern("7");
+        assert_eq!(it.key(&Value::Int(7)), it.key(&Value::Float(7.0)));
+        assert_ne!(it.key(&Value::Int(7)), it.key(&Value::Float(7.5)));
+        assert_ne!(it.key(&Value::Int(7)), it.key(&Value::Text("7".into())));
+    }
+
+    #[test]
+    fn interner_is_stable_and_deduplicating() {
+        let mut it = Interner::default();
+        let a = it.intern("alpha");
+        let b = it.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(it.intern("alpha"), a, "re-interning returns the same symbol");
+        assert_eq!(it.resolve(b), "beta");
+        assert_eq!(it.len(), 2);
+        assert_eq!(
+            it.key(&Value::Text("alpha".into())),
+            it.key(&Value::Text("alpha".into())),
+            "equal strings share a key"
+        );
+        assert_ne!(it.key(&Value::Text("alpha".into())), it.key(&Value::Text("beta".into())));
     }
 
     #[test]

@@ -55,12 +55,8 @@ fn emit(db: &Database, graph: &ErGraph, color: ColorId, o: OccId, depth: usize, 
             }
         }
     }
-    for (k, l) in db
-        .schema
-        .idrefs()
-        .iter()
-        .filter(|l| graph.edge(l.edge).rel == el.node)
-        .enumerate()
+    for (k, l) in
+        db.schema.idrefs().iter().filter(|l| graph.edge(l.edge).rel == el.node).enumerate()
     {
         let target = graph.node(graph.edge(l.edge).participant).name.clone();
         if let Some(Value::Int(v)) = el.attrs.get(node.attributes.len() + k) {

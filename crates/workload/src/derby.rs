@@ -202,7 +202,12 @@ pub fn workload(g: &ErGraph) -> Workload {
     // DU3: re-budget a department
     updates.push(UpdateSpec {
         name: "DU3".into(),
-        pattern: b("DU3").node("department").pred_eq("id", Value::Int(0)).output(0).build().unwrap(),
+        pattern: b("DU3")
+            .node("department")
+            .pred_eq("id", Value::Int(0))
+            .output(0)
+            .build()
+            .unwrap(),
         action: UpdateAction::Modify { attr: 2, value: Value::Float(1_000_000.0) },
     });
     // DU4: remove a dependent
@@ -247,7 +252,12 @@ pub fn workload(g: &ErGraph) -> Workload {
     let has_dependent = node("has_dependent");
     updates.push(UpdateSpec {
         name: "DU7".into(),
-        pattern: b("DU7loc").node("employee").pred_eq("id", Value::Int(2)).output(0).build().unwrap(),
+        pattern: b("DU7loc")
+            .node("employee")
+            .pred_eq("id", Value::Int(2))
+            .output(0)
+            .build()
+            .unwrap(),
         action: UpdateAction::Insert(InsertSpec {
             instances: vec![NewInstance {
                 node: dependent,
@@ -273,7 +283,12 @@ pub fn workload(g: &ErGraph) -> Workload {
     let assigned_to = node("assigned_to");
     updates.push(UpdateSpec {
         name: "DU8".into(),
-        pattern: b("DU8loc").node("department").pred_eq("id", Value::Int(1)).output(0).build().unwrap(),
+        pattern: b("DU8loc")
+            .node("department")
+            .pred_eq("id", Value::Int(1))
+            .output(0)
+            .build()
+            .unwrap(),
         action: UpdateAction::Insert(InsertSpec {
             instances: vec![NewInstance {
                 node: project,

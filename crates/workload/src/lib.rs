@@ -21,4 +21,4 @@ pub mod suite;
 pub mod tpcw;
 pub mod xmark;
 
-pub use suite::{geo_mean, QueryKind, QueryRun, SuiteResult, Workload};
+pub use suite::{geo_mean, suite_threads, QueryKind, QueryRun, SuiteResult, Workload};

@@ -6,6 +6,9 @@ use colorist_datagen::{generate, materialize, CanonicalInstance, ScaleProfile};
 use colorist_er::ErGraph;
 use colorist_query::{compile, execute, execute_update, Pattern, QueryError, UpdateSpec};
 use colorist_store::{stats::stats, Metrics, Stats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Read query or update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +71,12 @@ pub struct SuiteResult {
     pub colors: usize,
     /// Per-query runs, reads then updates.
     pub runs: Vec<QueryRun>,
+    /// End-to-end wall-clock time of the whole suite invocation that
+    /// produced this result (design + materialize + every query on every
+    /// strategy). The same value is stamped on every `SuiteResult` of one
+    /// `run_suite_on` call; with `COLORIST_THREADS > 1` it is smaller than
+    /// the sum of per-query `Metrics::elapsed` spans, which overlap.
+    pub suite_wall: Duration,
 }
 
 impl SuiteResult {
@@ -91,43 +100,125 @@ pub fn run_suite(
     run_suite_on(graph, strategies, workload, &instance)
 }
 
-/// Like [`run_suite`] with a pre-generated instance.
+/// Worker count for the suite runner: `COLORIST_THREADS` if set to a
+/// positive integer, otherwise the machine's available parallelism.
+pub fn suite_threads() -> usize {
+    std::env::var("COLORIST_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Map `f` over `0..n` on up to `threads` scoped workers, returning the
+/// results in index order (a shared atomic cursor hands out indices; each
+/// result lands in its own slot, so the output is identical to the serial
+/// `(0..n).map(f)` regardless of scheduling).
+fn par_map<R: Send>(n: usize, threads: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot lock").expect("worker filled slot"))
+        .collect()
+}
+
+/// Like [`run_suite`] with a pre-generated instance. Parallelism comes
+/// from [`suite_threads`] (`COLORIST_THREADS`).
 pub fn run_suite_on(
     graph: &ErGraph,
     strategies: &[Strategy],
     workload: &Workload,
     instance: &CanonicalInstance,
 ) -> Result<Vec<SuiteResult>, QueryError> {
+    run_suite_on_threads(graph, strategies, workload, instance, suite_threads())
+}
+
+/// [`run_suite_on`] with an explicit worker count. `threads <= 1` runs
+/// fully serially; any other count produces byte-identical `QueryRun`s
+/// (only the measured times differ).
+pub fn run_suite_on_threads(
+    graph: &ErGraph,
+    strategies: &[Strategy],
+    workload: &Workload,
+    instance: &CanonicalInstance,
+    threads: usize,
+) -> Result<Vec<SuiteResult>, QueryError> {
+    let start = Instant::now();
+
+    // phase A: design + materialize every strategy — independent, so each
+    // strategy is one task
+    let dbs = par_map(strategies.len(), threads, |i| {
+        let schema = design(graph, strategies[i]).expect("strategy designs the diagram");
+        materialize(graph, &schema, instance)
+    });
+
+    // phase B: one task per (strategy, query) pair; reads share the
+    // strategy's database immutably, updates isolate on a fresh clone so
+    // every query sees the same base state on every schema (exactly as the
+    // serial runner did)
+    let n_reads = workload.reads.len();
+    let n_q = n_reads + workload.updates.len();
+    let results: Vec<Result<QueryRun, QueryError>> =
+        par_map(strategies.len() * n_q, threads, |t| {
+            let (si, qi) = (t / n_q, t % n_q);
+            let db = &dbs[si];
+            if qi < n_reads {
+                let q = &workload.reads[qi];
+                let plan = compile(graph, &db.schema, q)?;
+                let r = execute(db, graph, &plan);
+                Ok(QueryRun {
+                    name: q.name.clone(),
+                    kind: QueryKind::Read,
+                    metrics: r.metrics,
+                    logical: r.distinct,
+                    physical: r.results,
+                })
+            } else {
+                let u = &workload.updates[qi - n_reads];
+                let mut dbu = db.clone();
+                let o = execute_update(&mut dbu, graph, u)?;
+                Ok(QueryRun {
+                    name: u.name.clone(),
+                    kind: QueryKind::Update,
+                    metrics: o.metrics,
+                    logical: o.logical,
+                    physical: o.physical,
+                })
+            }
+        });
+
+    let suite_wall = start.elapsed();
+    let mut it = results.into_iter();
     let mut out = Vec::with_capacity(strategies.len());
-    for &s in strategies {
-        let schema = design(graph, s).expect("strategy designs the diagram");
-        let db = materialize(graph, &schema, instance);
-        let mut runs = Vec::new();
-        for q in &workload.reads {
-            let plan = compile(graph, &db.schema, q)?;
-            let r = execute(&db, graph, &plan);
-            runs.push(QueryRun {
-                name: q.name.clone(),
-                kind: QueryKind::Read,
-                metrics: r.metrics,
-                logical: r.distinct,
-                physical: r.results,
-            });
-        }
-        for u in &workload.updates {
-            // isolate each update on a fresh clone so later queries see the
-            // same base state on every schema
-            let mut dbu = db.clone();
-            let o = execute_update(&mut dbu, graph, u)?;
-            runs.push(QueryRun {
-                name: u.name.clone(),
-                kind: QueryKind::Update,
-                metrics: o.metrics,
-                logical: o.logical,
-                physical: o.physical,
-            });
-        }
-        out.push(SuiteResult { strategy: s, stats: stats(&db, graph), colors: db.color_count(), runs });
+    for (si, &s) in strategies.iter().enumerate() {
+        // surface errors in task order, so failures are reported
+        // identically to the serial runner
+        let runs = (0..n_q)
+            .map(|_| it.next().expect("one result per task"))
+            .collect::<Result<Vec<_>, _>>()?;
+        out.push(SuiteResult {
+            strategy: s,
+            stats: stats(&dbs[si], graph),
+            colors: dbs[si].color_count(),
+            runs,
+            suite_wall,
+        });
     }
     Ok(out)
 }
@@ -151,6 +242,40 @@ pub fn geo_mean(values: impl IntoIterator<Item = u64>) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use colorist_er::catalog;
+
+    #[test]
+    fn parallel_suite_matches_serial() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).expect("tpcw builds");
+        let w = crate::tpcw::workload(&g);
+        let profile = ScaleProfile::tpcw(&g, 20);
+        let instance = generate(&g, &profile, 7);
+        let serial =
+            run_suite_on_threads(&g, &Strategy::ALL, &w, &instance, 1).expect("serial suite");
+        let par =
+            run_suite_on_threads(&g, &Strategy::ALL, &w, &instance, 4).expect("parallel suite");
+        assert_eq!(serial.len(), par.len());
+        let norm = |m: Metrics| Metrics { elapsed: Duration::default(), ..m };
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.strategy, b.strategy);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.colors, b.colors);
+            assert_eq!(a.runs.len(), b.runs.len());
+            for (x, y) in a.runs.iter().zip(&b.runs) {
+                assert_eq!(x.name, y.name);
+                assert_eq!(x.kind, y.kind);
+                assert_eq!((x.logical, x.physical), (y.logical, y.physical), "{}", x.name);
+                assert_eq!(norm(x.metrics), norm(y.metrics), "{}", x.name);
+            }
+        }
+    }
+
+    #[test]
+    fn suite_threads_respects_env_contract() {
+        // can't set the process env safely in a threaded test binary, but
+        // the default must be at least 1
+        assert!(suite_threads() >= 1);
+    }
 
     #[test]
     fn geo_mean_basics() {

@@ -56,7 +56,12 @@ pub fn workload(g: &ErGraph) -> Workload {
     );
     // Q3 (schema-indifferent): cheap items
     reads.push(
-        b("Q3").node("item").pred("cost", CmpOp::Lt, Value::Float(500.0)).output(0).build().unwrap(),
+        b("Q3")
+            .node("item")
+            .pred("cost", CmpOp::Lt, Value::Float(500.0))
+            .output(0)
+            .build()
+            .unwrap(),
     );
     // Q4 (schema-indifferent): high-discount customers
     reads.push(
@@ -126,7 +131,17 @@ pub fn workload(g: &ErGraph) -> Workload {
             .chain(
                 0,
                 1,
-                &["in", "address", "has", "customer", "make", "order", "order_line", "item", "write"],
+                &[
+                    "in",
+                    "address",
+                    "has",
+                    "customer",
+                    "make",
+                    "order",
+                    "order_line",
+                    "item",
+                    "write",
+                ],
             )
             .unwrap()
             .output(1)

@@ -77,8 +77,7 @@ pub fn workload(graph: &ErGraph) -> Workload {
         if reads.len() >= 17 {
             break;
         }
-        let parts: Vec<NodeId> =
-            graph.incident(r).iter().map(|&(_, p)| p).collect();
+        let parts: Vec<NodeId> = graph.incident(r).iter().map(|&(_, p)| p).collect();
         if let [a, b] = parts[..] {
             reads.push(mn_query(graph, &next("X"), a, r, b));
             reads.push(mn_query(graph, &next("X"), b, r, a));
@@ -243,11 +242,8 @@ fn star_query(graph: &ErGraph, reps: &[&Association], name: &str) -> Option<Patt
     let mut p = builder.output(0).distinct().build().ok()?;
     for (i, tgt) in [(1usize, a.target), (2usize, b2.target)] {
         if let Some(k) = key_attr(graph, tgt) {
-            p.nodes[i].predicate = Some(colorist_query::Predicate {
-                attr: k,
-                op: CmpOp::Lt,
-                value: Value::Int(6),
-            });
+            p.nodes[i].predicate =
+                Some(colorist_query::Predicate { attr: k, op: CmpOp::Lt, value: Value::Int(6) });
         }
     }
     Some(p)

@@ -24,8 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(" e.g. `cargo run --example schema_gallery tpcw DR`)");
         }
         [name] | [name, _] => {
-            let diagram = catalog::by_name(name)
-                .ok_or_else(|| format!("unknown diagram `{name}`; try: {:?}", catalog::COLLECTION))?;
+            let diagram = catalog::by_name(name).ok_or_else(|| {
+                format!("unknown diagram `{name}`; try: {:?}", catalog::COLLECTION)
+            })?;
             let graph = ErGraph::from_diagram(&diagram)?;
             let strategy = match args.get(1) {
                 Some(s) => Strategy::parse(s).ok_or_else(|| format!("unknown strategy `{s}`"))?,

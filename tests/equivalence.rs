@@ -27,7 +27,8 @@ fn check_diagram(name: &str, base: u32) {
         for r in &results {
             let run = r.run(&q.name).unwrap();
             assert_eq!(
-                run.logical, reference,
+                run.logical,
+                reference,
                 "{name}/{}: {} disagrees with {}",
                 q.name,
                 r.strategy.label(),

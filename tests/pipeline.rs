@@ -9,8 +9,8 @@ use colorist::er::simplify::simplify;
 use colorist::er::{catalog, Attribute, Domain, ErDiagram, ErGraph};
 use colorist::query::pattern::find_edge;
 use colorist::query::{
-    compile, execute, execute_update, InsertLink, InsertSpec, NewInstance, Partner,
-    PatternBuilder, UpdateAction, UpdateSpec,
+    compile, execute, execute_update, InsertLink, InsertSpec, NewInstance, Partner, PatternBuilder,
+    UpdateAction, UpdateSpec,
 };
 use colorist::store::Value;
 use colorist::workload::tpcw;

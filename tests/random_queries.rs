@@ -2,45 +2,51 @@
 //! same logical answers under every design strategy. This is the strongest
 //! correctness statement in the repository — it quantifies over diagrams,
 //! data, queries, *and* schemas at once.
+//!
+//! Randomness comes from the repository's own deterministic
+//! [`Rng`](colorist::datagen::Rng): each case is a fixed function of its
+//! index. Build with `--features fuzz` to multiply the case count.
 
 use colorist::core::{design, Strategy};
-use colorist::datagen::{generate, materialize, ScaleProfile};
-use colorist::er::{
-    Attribute, Cardinality, EligibleAssociations, Endpoint, ErDiagram, ErGraph,
-};
+use colorist::datagen::{generate, materialize, Rng, ScaleProfile};
+use colorist::er::{Attribute, Cardinality, EligibleAssociations, Endpoint, ErDiagram, ErGraph};
 use colorist::query::{compile, execute, Pattern, PatternBuilder};
 use colorist::store::Value;
-use proptest::prelude::{prop_assert_eq, proptest, ProptestConfig};
-use proptest::strategy::Strategy as PropStrategy;
 
-fn arb_diagram() -> impl PropStrategy<Value = ErDiagram> {
-    let rel = (0usize..5, 0usize..5, 0u8..4, proptest::bool::ANY);
-    (2usize..=5, proptest::collection::vec(rel, 1..=7)).prop_map(|(n, rels)| {
-        let mut d = ErDiagram::new("random");
-        for i in 0..n {
-            d.add_entity(
-                &format!("e{i}"),
-                vec![Attribute::key("id"), Attribute::text("label")],
-            )
+fn cases() -> u64 {
+    if cfg!(feature = "fuzz") {
+        192
+    } else {
+        24
+    }
+}
+
+/// A random simplified ER diagram: 2–5 entities, 1–7 binary relationships.
+fn arb_diagram(rng: &mut Rng) -> ErDiagram {
+    let n = 2 + rng.below(4) as usize;
+    let n_rels = 1 + rng.below(7) as usize;
+    let mut d = ErDiagram::new("random");
+    for i in 0..n {
+        d.add_entity(&format!("e{i}"), vec![Attribute::key("id"), Attribute::text("label")])
             .unwrap();
+    }
+    for k in 0..n_rels {
+        let a = rng.below(n as u64) as usize;
+        let b = rng.below(n as u64) as usize;
+        let (ca, cb) = match rng.below(4) {
+            0 => (Cardinality::One, Cardinality::One),
+            1 => (Cardinality::Many, Cardinality::One),
+            2 => (Cardinality::One, Cardinality::Many),
+            _ => (Cardinality::Many, Cardinality::Many),
+        };
+        let ea = Endpoint::new(&format!("e{a}"), ca).role("l");
+        let mut eb = Endpoint::new(&format!("e{b}"), cb).role("r");
+        if rng.below(2) == 1 {
+            eb = eb.total();
         }
-        for (k, (a, b, kind, total)) in rels.into_iter().enumerate() {
-            let (a, b) = (a % n, b % n);
-            let (ca, cb) = match kind {
-                0 => (Cardinality::One, Cardinality::One),
-                1 => (Cardinality::Many, Cardinality::One),
-                2 => (Cardinality::One, Cardinality::Many),
-                _ => (Cardinality::Many, Cardinality::Many),
-            };
-            let ea = Endpoint::new(&format!("e{a}"), ca).role("l");
-            let mut eb = Endpoint::new(&format!("e{b}"), cb).role("r");
-            if total {
-                eb = eb.total();
-            }
-            d.add_relationship(&format!("r{k}"), vec![ea, eb], vec![]).unwrap();
-        }
-        d
-    })
+        d.add_relationship(&format!("r{k}"), vec![ea, eb], vec![]).unwrap();
+    }
+    d
 }
 
 /// Build a chain query along a randomly chosen eligible association,
@@ -55,8 +61,7 @@ fn pick_query(g: &ErGraph, pick: usize, flip: bool, key: i64) -> Option<Pattern>
     let (from, to) = if flip { (a.target, a.source) } else { (a.source, a.target) };
     let via: Vec<String> = {
         let interior = &a.nodes[1..a.nodes.len() - 1];
-        let names: Vec<String> =
-            interior.iter().map(|&n| g.node(n).name.clone()).collect();
+        let names: Vec<String> = interior.iter().map(|&n| g.node(n).name.clone()).collect();
         if flip {
             names.into_iter().rev().collect()
         } else {
@@ -76,20 +81,50 @@ fn pick_query(g: &ErGraph, pick: usize, flip: bool, key: i64) -> Option<Pattern>
         .ok()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Regression (found by the `fuzz`-depth run of the property below, case
+/// 106): on a schema with duplicated placements, an ascent-then-descent
+/// chain plan turns at a node whose occurrences are scattered over several
+/// subtrees, and no single occurrence need carry the whole chain. DEEP
+/// returned an empty answer where every other strategy found the match,
+/// until the executor widened struct-join sources to all occurrences of
+/// the same logical instances.
+#[test]
+fn deep_turning_point_sees_all_duplicate_subtrees() {
+    let case = 106u64;
+    let mut rng = Rng::new(0xBEEF_u64.wrapping_add(case));
+    let d = arb_diagram(&mut rng);
+    let pick = rng.below(64) as usize;
+    let flip = rng.below(2) == 1;
+    let key = rng.below(10) as i64;
+    let seed = rng.below(1000);
 
-    #[test]
-    fn random_chain_queries_agree_across_all_strategies(
-        d in arb_diagram(),
-        pick in 0usize..64,
-        flip in proptest::bool::ANY,
-        key in 0i64..10,
-        seed in 0u64..1000,
-    ) {
+    let g = ErGraph::from_diagram(&d).unwrap();
+    let q = pick_query(&g, pick, flip, key).expect("case 106 has an eligible association");
+    let inst = generate(&g, &ScaleProfile::uniform(&g, 25), seed);
+    let mut answers = Vec::new();
+    for s in [Strategy::Deep, Strategy::Af] {
+        let schema = design(&g, s).unwrap();
+        let db = materialize(&g, &schema, &inst);
+        let plan = compile(&g, &db.schema, &q).unwrap();
+        answers.push(execute(&db, &g, &plan).elements);
+    }
+    assert!(!answers[1].is_empty(), "the association instance exists");
+    assert_eq!(answers[0], answers[1], "DEEP must see the match through duplicate subtrees");
+}
+
+#[test]
+fn random_chain_queries_agree_across_all_strategies() {
+    for case in 0..cases() {
+        let mut rng = Rng::new(0xBEEF_u64.wrapping_add(case));
+        let d = arb_diagram(&mut rng);
+        let pick = rng.below(64) as usize;
+        let flip = rng.below(2) == 1;
+        let key = rng.below(10) as i64;
+        let seed = rng.below(1000);
+
         let g = ErGraph::from_diagram(&d).unwrap();
         let Some(q) = pick_query(&g, pick, flip, key) else {
-            return Ok(()); // no eligible associations in this diagram
+            continue; // no eligible associations in this diagram
         };
         let profile = ScaleProfile::uniform(&g, 25);
         let inst = generate(&g, &profile, seed);
@@ -101,10 +136,9 @@ proptest! {
             let r = execute(&db, &g, &plan);
             match &reference {
                 None => reference = Some(r.elements),
-                Some(expected) => prop_assert_eq!(
-                    &r.elements, expected,
-                    "{} disagrees on {:?}", s, q
-                ),
+                Some(expected) => {
+                    assert_eq!(&r.elements, expected, "case {case}: {s} disagrees on {q:?}")
+                }
             }
         }
     }
