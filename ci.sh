@@ -17,6 +17,12 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> oracle smoke (256 seeds, all seven strategies)"
+# Differential-testing oracle: random diagrams, shared canonical instance,
+# randomized pattern workload, pairwise answer equivalence. Bounded well
+# under a minute; exits non-zero on any divergence.
+cargo run -q --release -p colorist-workload --bin colorist-oracle -- --seeds 256
+
 echo "==> table1 smoke (COLORIST_SCALE=20)"
 COLORIST_SCALE=20 COLORIST_SUMMARY="results/bench_summary_ci.json" \
     cargo run -q --release -p colorist-bench --bin table1 >/dev/null

@@ -21,7 +21,7 @@ fn main() {
         for qname in ["Q1", "Q8", "Q9"] {
             let q = w.reads.iter().find(|q| q.name == qname).unwrap();
             let plan = compile(&g, &db.schema, q).unwrap();
-            micro::case(&format!("{qname}/{}", s.label()), || execute(&db, &g, &plan));
+            micro::case(&format!("{qname}/{}", s.label()), || execute(&db, &g, &plan).unwrap());
         }
     }
 }

@@ -109,12 +109,26 @@ pub fn generate(graph: &ErGraph, profile: &ScaleProfile, seed: u64) -> Canonical
                 Cardinality::Many => {
                     // skewed choice (squared uniform) so some participants
                     // are hot, like real workloads
-                    (0..n_rel)
+                    let mut chosen: Vec<u32> = (0..n_rel)
                         .map(|_| {
                             let u: f64 = rng.f64();
                             ((u * u * n_part as f64) as u32).min(n_part - 1)
                         })
-                        .collect()
+                        .collect();
+                    if edge.participation == Participation::Total {
+                        // every participant instance must appear at least
+                        // once — the schemas' completeness analysis relies
+                        // on it. Overwrite a prefix with a shuffled cover,
+                        // then re-shuffle so coverage is not correlated
+                        // with relationship ordinals (best effort when the
+                        // profile could not afford n_rel >= n_part).
+                        let mut cover: Vec<u32> = (0..n_part).collect();
+                        rng.shuffle(&mut cover);
+                        cover.truncate(n_rel as usize);
+                        chosen[..cover.len()].copy_from_slice(&cover);
+                        rng.shuffle(&mut chosen);
+                    }
+                    chosen
                 }
             };
         }

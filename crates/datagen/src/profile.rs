@@ -73,15 +73,25 @@ impl ScaleProfile {
                 let mut n = u32::MAX;
                 let mut pinned = None;
                 let mut any_one = false;
+                // coverage floor: a total Many-endpoint needs at least one
+                // relationship instance per participant instance
+                let mut need = 0u32;
                 for &(c, card, part) in &participant_counts {
-                    if card == Cardinality::One {
-                        any_one = true;
-                        n = n.min(c);
-                        if part == Participation::Total {
-                            pinned = Some(match pinned {
-                                None => c,
-                                Some(p) => c.min(p),
-                            });
+                    match card {
+                        Cardinality::One => {
+                            any_one = true;
+                            n = n.min(c);
+                            if part == Participation::Total {
+                                pinned = Some(match pinned {
+                                    None => c,
+                                    Some(p) => c.min(p),
+                                });
+                            }
+                        }
+                        Cardinality::Many => {
+                            if part == Participation::Total {
+                                need = need.max(c);
+                            }
                         }
                     }
                 }
@@ -90,8 +100,10 @@ impl ScaleProfile {
                     // a total One-endpoint pins the count, but never above
                     // another One-endpoint's cap (injectivity wins)
                     (Some(p), _) => p.min(n).max(1),
-                    (None, true) => (n * 4 / 5).max(1),
-                    (None, false) => max_part.saturating_mul(mn_fanout).max(1),
+                    // the Many-side coverage floor applies up to the
+                    // injectivity cap of the One endpoints
+                    (None, true) => (n * 4 / 5).max(need.min(n)).max(1),
+                    (None, false) => max_part.saturating_mul(mn_fanout).max(need).max(1),
                 };
                 false
             });

@@ -33,12 +33,15 @@ use colorist_er::{EdgeId, ErGraph, NodeId};
 use colorist_mct::{MctSchema, PlacementId};
 use std::collections::{BinaryHeap, HashMap};
 
-/// Lexicographic plan cost: (incomplete run starts, value joins, crossings,
-/// structural joins). The leading component penalizes structural runs that
-/// start at a placement whose occurrence set is not statically guaranteed
-/// to hold the full logical extent — legal on un-normalized schemas but
-/// able to miss pairs, so the compiler avoids them whenever any complete
-/// realization exists.
+/// Lexicographic plan cost: (incomplete runs, value joins, crossings,
+/// structural joins). The leading component penalizes structural runs whose
+/// anchor placement is not statically guaranteed to hold the full logical
+/// extent — for a Down run its start (top) placement, for an Up run the
+/// placement it terminates at (every realized pair hangs *below* an
+/// occurrence of the run's top placement, so topped-up orphans at the
+/// bottom cannot be ascended from). Such runs are legal on un-normalized
+/// schemas but able to miss pairs, so the compiler avoids them whenever
+/// any complete realization exists.
 type Cost = (u64, u64, u64, u64);
 
 const INF: Cost = (u64::MAX, u64::MAX, u64::MAX, u64::MAX);
@@ -206,7 +209,7 @@ impl<'a> Compiler<'a> {
             root_placement,
             &mut ops,
             &mut regs,
-        );
+        )?;
 
         if pattern.distinct && self.schema_has_copies() {
             let r = alloc(&mut regs);
@@ -240,7 +243,7 @@ impl<'a> Compiler<'a> {
         pv: PlacementId,
         ops: &mut Vec<Op>,
         regs: &mut usize,
-    ) -> Reg {
+    ) -> Result<Reg, QueryError> {
         let color = self.schema.placement(pv).color;
         let mut reg = alloc(regs);
         ops.push(Op::Scan {
@@ -255,13 +258,13 @@ impl<'a> Compiler<'a> {
             let (child_placement, steps) =
                 edge_steps[ei].as_ref().expect("edge computed")[&pv].clone();
             let child_reg =
-                self.emit_node(pattern, children, edge_steps, child, child_placement, ops, regs);
-            let reduced = self.emit_chain(ops, regs, child_reg, &steps);
+                self.emit_node(pattern, children, edge_steps, child, child_placement, ops, regs)?;
+            let reduced = self.emit_chain(ops, regs, child_reg, &steps)?;
             let r = alloc(regs);
             ops.push(Op::Intersect { dst: r, a: reg, b: reduced });
             reg = r;
         }
-        reg
+        Ok(reg)
     }
 
     /// Emit the op chain for one pattern edge (steps oriented child →
@@ -272,7 +275,7 @@ impl<'a> Compiler<'a> {
         regs: &mut usize,
         child_reg: Reg,
         steps: &[Step],
-    ) -> Reg {
+    ) -> Result<Reg, QueryError> {
         let mut reg = child_reg;
         let mut i = 0usize;
         while i < steps.len() {
@@ -289,6 +292,19 @@ impl<'a> Compiler<'a> {
                     i += 1;
                 }
                 Step::Value { edge, to } => {
+                    // the plan would need a value join across this edge:
+                    // reject now, at compile time, if the schema does not
+                    // idref-encode it (the executor only double-checks)
+                    if self.schema.idref_for(edge).is_none() {
+                        let ed = self.graph.edge(edge);
+                        return Err(QueryError::NotIdrefEncoded {
+                            edge: format!(
+                                "{}[{}]",
+                                self.graph.node(ed.rel).name,
+                                self.graph.node(ed.participant).name
+                            ),
+                        });
+                    }
                     let to_node = self.schema.placement(to).node;
                     let src_is_rel = self.graph.edge(edge).participant == to_node;
                     let r = alloc(regs);
@@ -353,7 +369,7 @@ impl<'a> Compiler<'a> {
                 }
             }
         }
-        reg
+        Ok(reg)
     }
 
     fn schema_has_copies(&self) -> bool {
@@ -399,6 +415,15 @@ impl<'a> Compiler<'a> {
                 }
             };
 
+            // An Up run discovers all pairs only when the placement it ENDS
+            // at holds the full extent: every realized pair hangs below an
+            // occurrence of the run's top placement, so topped-up orphans at
+            // the bottom (present but parentless, §4.2) cannot be ascended
+            // from. The charge is deferred to whichever transition leaves
+            // Up mode (and to the collapse below, for runs ending the
+            // chain), because the terminating placement is unknown mid-run.
+            let up_exit = u64::from(st.mode == Mode::Up && !self.full[st.placement.idx()]);
+
             let layer = st.layer as usize;
             // crossings within the layer
             for &q in self.schema.placements_of(nodes[layer]) {
@@ -409,7 +434,7 @@ impl<'a> Compiler<'a> {
                         &mut preds,
                         &mut heap,
                         next,
-                        add(c, (0, 0, 1, 0)),
+                        add(c, (up_exit, 0, 1, 0)),
                         Step::Cross { to: q },
                     );
                 }
@@ -425,7 +450,8 @@ impl<'a> Compiler<'a> {
                     let run_start = st.mode != Mode::Down;
                     let sj = u64::from(run_start);
                     // a Down run discovers all pairs only when its top
-                    // placement holds the full extent
+                    // placement holds the full extent; a preceding Up run
+                    // terminates here and is charged its own deferred check
                     let incomplete = u64::from(run_start && !self.full[st.placement.idx()]);
                     let next = State { layer: st.layer + 1, placement: cp, mode: Mode::Down };
                     relax(
@@ -433,23 +459,22 @@ impl<'a> Compiler<'a> {
                         &mut preds,
                         &mut heap,
                         next,
-                        add(c, (incomplete, 0, 0, sj)),
+                        add(c, (incomplete + up_exit, 0, 0, sj)),
                         Step::Struct { edge: e, to: cp, down: true },
                     );
                 }
                 if cp == st.placement && self.schema.placement(pp).node == nodes[layer + 1] {
                     let run_start = st.mode != Mode::Up;
                     let sj = u64::from(run_start);
-                    // an Up run is complete when its bottom placement holds
-                    // the full extent
-                    let incomplete = u64::from(run_start && !self.full[st.placement.idx()]);
+                    // extending an Up run costs no completeness here — the
+                    // deferred `up_exit` charge lands where the run ends
                     let next = State { layer: st.layer + 1, placement: pp, mode: Mode::Up };
                     relax(
                         &mut dist,
                         &mut preds,
                         &mut heap,
                         next,
-                        add(c, (incomplete, 0, 0, sj)),
+                        add(c, (0, 0, 0, sj)),
                         Step::Struct { edge: e, to: pp, down: false },
                     );
                 }
@@ -463,7 +488,7 @@ impl<'a> Compiler<'a> {
                         &mut preds,
                         &mut heap,
                         next,
-                        add(c, (0, 1, 0, 0)),
+                        add(c, (up_exit, 1, 0, 0)),
                         Step::Value { edge: e, to: q },
                     );
                 }
@@ -479,7 +504,7 @@ impl<'a> Compiler<'a> {
                     &mut preds,
                     &mut heap,
                     next,
-                    add(c, (0, 1, 1, 2)),
+                    add(c, (up_exit, 1, 1, 2)),
                     Step::Link { edge: e, to: q },
                 );
             }
@@ -494,6 +519,12 @@ impl<'a> Compiler<'a> {
             for mode in [Mode::Fresh, Mode::Down, Mode::Up] {
                 let st = State { layer: last, placement: t, mode };
                 if let Some(&c) = dist.get(&st) {
+                    // deferred Up-run termination charge (see `up_exit`)
+                    let c = if mode == Mode::Up && !self.full[t.idx()] {
+                        add(c, (1, 0, 0, 0))
+                    } else {
+                        c
+                    };
                     if best.is_none() || c < best.unwrap().0 {
                         best = Some((c, st));
                     }

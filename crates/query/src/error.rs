@@ -17,6 +17,17 @@ pub enum QueryError {
     Unreachable { from: String, to: String },
     /// The pattern has no nodes / invalid indices.
     Malformed(String),
+    /// The executor hit a plan invariant violation: an op addressed a
+    /// register that is out of bounds, unset, in the wrong color, or of
+    /// the wrong kind — a malformed plan no compiler output produces.
+    Exec(String),
+    /// A value semi-join was requested across an ER edge the schema does
+    /// not idref-encode. Raised at compile time when a plan would need
+    /// one; the executor re-checks defensively instead of panicking.
+    NotIdrefEncoded {
+        /// Human-readable edge label (`relationship[participant]`).
+        edge: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -33,6 +44,10 @@ impl fmt::Display for QueryError {
                 write!(f, "no realization of the association `{from}`..`{to}` in the schema")
             }
             QueryError::Malformed(m) => write!(f, "malformed pattern: {m}"),
+            QueryError::Exec(m) => write!(f, "plan execution failed: {m}"),
+            QueryError::NotIdrefEncoded { edge } => {
+                write!(f, "ER edge `{edge}` is not idref-encoded in the schema")
+            }
         }
     }
 }

@@ -1,11 +1,21 @@
 //! Plan execution against a stored database.
+//!
+//! Execution is **panic-free**: every register access, color/node/edge id,
+//! and set-kind expectation is checked, and violations surface as
+//! [`QueryError::Exec`] (or [`QueryError::NotIdrefEncoded`] for a value
+//! join across an edge the schema does not encode). A plan produced by
+//! [`compile`](crate::compile::compile) against the database's own schema
+//! never trips these checks; they exist so adversarial or stale plans —
+//! e.g. replayed against a different schema by the differential-testing
+//! oracle — return `Err` instead of aborting the process.
 
-use crate::plan::{Op, Plan, VDir};
-use colorist_er::ErGraph;
+use crate::error::QueryError;
+use crate::plan::{Op, Plan, Reg, VDir};
+use colorist_er::{EdgeId, ErEdge, ErGraph, NodeId};
 use colorist_mct::{ColorId, PlacementId};
 use colorist_store::{
-    structural_semi_join, value_join, AttrRef, Database, ElementId, Metrics, OccId, SemiSide,
-    ValueKey,
+    structural_semi_join, value_join, AttrRef, ColorTree, Database, ElementId, Metrics, OccId,
+    SemiSide, ValueKey,
 };
 use std::collections::HashSet;
 use std::time::Instant;
@@ -32,40 +42,68 @@ enum SetVal {
     Groups { count: usize, elems: Vec<ElementId> },
 }
 
+impl SetVal {
+    /// Physical tuples this value holds directly (copies included for
+    /// occurrence sets; groups report their backing elements).
+    fn physical_len(&self) -> u64 {
+        match self {
+            SetVal::Occs { occs, .. } => occs.len() as u64,
+            SetVal::Elems(e) => e.len() as u64,
+            SetVal::Groups { elems, .. } => elems.len() as u64,
+        }
+    }
+}
+
 /// Execute a compiled plan.
-pub fn execute(db: &Database, graph: &ErGraph, plan: &Plan) -> QueryResult {
+///
+/// On success, `results` counts the physical tuples the output produced
+/// *before* logical duplicate elimination (`Distinct`/`GroupBy` pass their
+/// input's physical count through), and `distinct` the logical answers —
+/// so `results >= distinct` always, with equality on schemas that store
+/// no copies of the output node.
+pub fn execute(db: &Database, graph: &ErGraph, plan: &Plan) -> Result<QueryResult, QueryError> {
     let start = Instant::now();
     let mut metrics = Metrics::default();
     let mut regs: Vec<Option<SetVal>> = vec![None; plan.reg_count];
-
-    // physical tuple count at the point duplicate elimination ran (the
+    // physical tuple count per register: Distinct and GroupBy compress
+    // logically but inherit their source's physical count, so the output
+    // register's entry is exactly the pre-dedup tuple count (the
     // parenthesized duplicate counts of Table 1)
-    let mut pre_distinct: Option<u64> = None;
+    let mut phys: Vec<u64> = vec![0; plan.reg_count];
+
     for op in &plan.ops {
-        if let Op::Distinct { src, .. } = op {
-            if let Some(SetVal::Occs { occs, .. }) = regs[*src].as_ref() {
-                pre_distinct = Some(occs.len() as u64);
-            }
+        let dst = op.dst();
+        let val = eval(db, graph, &mut metrics, &regs, op)?;
+        if dst >= regs.len() {
+            return Err(QueryError::Exec(format!(
+                "destination register r{dst} out of bounds ({} registers)",
+                regs.len()
+            )));
         }
-        let val = eval(db, graph, &mut metrics, &regs, op);
-        regs[op.dst()] = Some(val);
+        phys[dst] = match op {
+            Op::Distinct { src, .. } | Op::GroupBy { src, .. } => phys[*src],
+            _ => val.physical_len(),
+        };
+        regs[dst] = Some(val);
     }
 
-    let out = regs[plan.output].take().expect("output register");
-    let (results, elements, count_groups) = match out {
-        SetVal::Occs { color, occs } => {
-            let elems = occs_to_canonical_inner(db, db.color(color), &occs);
-            (occs.len() as u64, elems, None)
+    let out = match regs.get_mut(plan.output).map(Option::take) {
+        Some(Some(v)) => v,
+        _ => {
+            return Err(QueryError::Exec(format!("output register r{} is unset", plan.output)));
         }
-        SetVal::Elems(elems) => (elems.len() as u64, elems, None),
-        SetVal::Groups { count, elems } => (count as u64, elems, Some(count as u64)),
+    };
+    let results = phys[plan.output];
+    let (elements, count_groups) = match out {
+        SetVal::Occs { color, occs } => (occs_to_canonical_inner(db, db.color(color), &occs), None),
+        SetVal::Elems(elems) => (elems, None),
+        SetVal::Groups { count, elems } => (elems, Some(count as u64)),
     };
     let distinct = count_groups.unwrap_or(elements.len() as u64);
-    let results = pre_distinct.unwrap_or(results).max(results);
     metrics.results = results;
     metrics.distinct_results = distinct;
     metrics.elapsed = start.elapsed();
-    QueryResult { results, distinct, elements, metrics }
+    Ok(QueryResult { results, distinct, elements, metrics })
 }
 
 fn eval(
@@ -74,25 +112,38 @@ fn eval(
     metrics: &mut Metrics,
     regs: &[Option<SetVal>],
     op: &Op,
-) -> SetVal {
+) -> Result<SetVal, QueryError> {
     match op {
         Op::Scan { color, node, pred, .. } => {
-            let tree = db.color(*color);
+            let tree = color_tree(db, *color, "Scan")?;
             let all = tree.of_node(*node);
             metrics.elements_scanned += all.len() as u64;
             let occs: Vec<OccId> = match pred {
                 None => all.to_vec(),
-                Some(p) => all
-                    .iter()
-                    .copied()
-                    .filter(|&o| p.eval(&db.element(tree.occ(o).element).attrs[p.attr]))
-                    .collect(),
+                Some(p) => {
+                    let mut v = Vec::new();
+                    for &o in all {
+                        let el = db.element(tree.occ(o).element);
+                        let Some(av) = el.attrs.get(p.attr) else {
+                            return Err(QueryError::Exec(format!(
+                                "Scan: predicate attribute #{} out of range for `{}`",
+                                p.attr,
+                                graph.node(el.node).name
+                            )));
+                        };
+                        if p.eval(av) {
+                            v.push(o);
+                        }
+                    }
+                    v
+                }
             };
-            SetVal::Occs { color: *color, occs }
+            Ok(SetVal::Occs { color: *color, occs })
         }
 
         Op::StructSemi { src, color, node, via, dir, .. } => {
-            let src_val = expect_occs(&regs[*src], *color, "StructSemi");
+            check_node(graph, *node, "StructSemi")?;
+            let src_val = expect_occs(regs, *src, *color, "StructSemi")?;
             // On schemas with duplicated placements, a logical instance's
             // occurrences are scattered over several subtrees and no single
             // one need carry the whole chain (e.g. the turning point of an
@@ -100,7 +151,7 @@ fn eval(
             // of the same logical instances before joining; a no-op on
             // node-normal schemas.
             let src_val = expand_to_logical_occs(db, *color, src_val);
-            let tree = db.color(*color);
+            let tree = color_tree(db, *color, "StructSemi")?;
             let k = via.len() as u16;
             match dir {
                 VDir::Down => {
@@ -119,7 +170,7 @@ fn eval(
                         Some(k),
                         metrics,
                     );
-                    SetVal::Occs { color: *color, occs: out }
+                    Ok(SetVal::Occs { color: *color, occs: out })
                 }
                 VDir::Up => {
                     // ancestors exactly k above, along the matching chain
@@ -139,16 +190,17 @@ fn eval(
                         Some(k),
                         metrics,
                     );
-                    SetVal::Occs { color: *color, occs: out }
+                    Ok(SetVal::Occs { color: *color, occs: out })
                 }
             }
         }
 
         Op::ValueSemi { src, edge, src_is_rel, enter, .. } => {
-            let src_elems = to_elems(db, &regs[*src]);
-            let e = graph.edge(*edge);
-            let idref_idx =
-                db.idref_attr_index(graph, *edge).expect("ValueSemi edge must be idref-encoded");
+            let src_elems = to_elems(db, regs, *src, "ValueSemi")?;
+            let e = check_edge(graph, *edge, "ValueSemi")?;
+            let idref_idx = db
+                .idref_attr_index(graph, *edge)
+                .ok_or_else(|| QueryError::NotIdrefEncoded { edge: edge_label(graph, *edge) })?;
             let matched: Vec<ElementId> = if *src_is_rel {
                 // src holds relationship elements; probe participant ids
                 let extent = db.extent(e.participant).to_vec();
@@ -166,19 +218,16 @@ fn eval(
             let mut elems = matched;
             elems.sort_unstable();
             elems.dedup();
-            match enter {
-                Some(c) => SetVal::Occs { color: *c, occs: elems_to_occs(db, *c, &elems) },
-                None => SetVal::Elems(elems),
-            }
+            reenter(db, *enter, elems, "ValueSemi")
         }
 
         Op::LinkSemi { src, edge, src_is_rel, enter, .. } => {
             // a parent-child step resolved through the stored link
             // adjacency: exact on any schema
             metrics.structural_joins += 1;
-            let src_elems = to_elems(db, &regs[*src]);
+            let src_elems = to_elems(db, regs, *src, "LinkSemi")?;
             metrics.elements_scanned += src_elems.len() as u64;
-            let e = graph.edge(*edge);
+            let e = check_edge(graph, *edge, "LinkSemi")?;
             let mut out: Vec<ElementId> = if *src_is_rel {
                 src_elems
                     .iter()
@@ -201,25 +250,27 @@ fn eval(
             };
             out.sort_unstable();
             out.dedup();
-            match enter {
-                Some(c) => SetVal::Occs { color: *c, occs: elems_to_occs(db, *c, &out) },
-                None => SetVal::Elems(out),
-            }
+            reenter(db, *enter, out, "LinkSemi")
         }
 
         Op::Cross { src, color, .. } => {
             metrics.color_crossings += 1;
-            let elems = to_elems(db, &regs[*src]);
+            let elems = to_elems(db, regs, *src, "Cross")?;
             metrics.elements_scanned += elems.len() as u64;
-            SetVal::Occs { color: *color, occs: elems_to_occs(db, *color, &elems) }
+            color_tree(db, *color, "Cross")?;
+            Ok(SetVal::Occs { color: *color, occs: elems_to_occs(db, *color, &elems) })
         }
 
         Op::Intersect { a, b, .. } => {
-            let (ca, va) = match regs[*a].as_ref().expect("intersect input") {
+            let (ca, va) = match get_reg(regs, *a, "Intersect")? {
                 SetVal::Occs { color, occs } => (*color, occs),
-                _ => panic!("Intersect expects occurrence sets"),
+                _ => {
+                    return Err(QueryError::Exec(format!(
+                        "Intersect: register r{a} does not hold an occurrence set"
+                    )));
+                }
             };
-            let vb = expect_occs(&regs[*b], ca, "Intersect");
+            let vb = expect_occs(regs, *b, ca, "Intersect")?;
             // sorted merge
             let mut out = Vec::with_capacity(va.len().min(vb.len()));
             let (mut i, mut j) = (0, 0);
@@ -234,49 +285,144 @@ fn eval(
                     }
                 }
             }
-            SetVal::Occs { color: ca, occs: out }
+            Ok(SetVal::Occs { color: ca, occs: out })
         }
 
         Op::Distinct { src, .. } => {
             metrics.dup_eliminations += 1;
-            let elems = to_elems(db, &regs[*src]);
-            SetVal::Elems(elems)
+            let elems = to_elems(db, regs, *src, "Distinct")?;
+            Ok(SetVal::Elems(elems))
         }
 
         Op::GroupBy { src, attr, .. } => {
             metrics.group_bys += 1;
-            let elems = to_elems(db, &regs[*src]);
+            let elems = to_elems(db, regs, *src, "GroupBy")?;
             metrics.elements_scanned += elems.len() as u64;
             // Copy keys + sort/dedup: no hashing, no per-element String
-            let mut keys: Vec<ValueKey> =
-                elems.iter().map(|&e| db.join_key(&db.element(e).attrs[*attr])).collect();
+            let mut keys: Vec<ValueKey> = Vec::with_capacity(elems.len());
+            for &e in &elems {
+                let el = db.element(e);
+                let Some(v) = el.attrs.get(*attr) else {
+                    return Err(QueryError::Exec(format!(
+                        "GroupBy: attribute #{attr} out of range for `{}`",
+                        graph.node(el.node).name
+                    )));
+                };
+                let Some(k) = db.try_join_key(v) else {
+                    return Err(QueryError::Exec(format!(
+                        "GroupBy: value `{v}` was never interned in this database"
+                    )));
+                };
+                keys.push(k);
+            }
             keys.sort_unstable();
             keys.dedup();
-            SetVal::Groups { count: keys.len(), elems }
+            Ok(SetVal::Groups { count: keys.len(), elems })
         }
     }
 }
 
-fn expect_occs<'v>(val: &'v Option<SetVal>, color: ColorId, who: &str) -> &'v [OccId] {
-    match val.as_ref().unwrap_or_else(|| panic!("{who}: unset register")) {
+/// Wrap a semi-join's element output, re-entering a colored tree when the
+/// plan continues structurally.
+fn reenter(
+    db: &Database,
+    enter: Option<ColorId>,
+    elems: Vec<ElementId>,
+    who: &str,
+) -> Result<SetVal, QueryError> {
+    match enter {
+        Some(c) => {
+            color_tree(db, c, who)?;
+            Ok(SetVal::Occs { color: c, occs: elems_to_occs(db, c, &elems) })
+        }
+        None => Ok(SetVal::Elems(elems)),
+    }
+}
+
+/// The colored tree, or an error for a color id the database lacks.
+fn color_tree<'d>(db: &'d Database, c: ColorId, who: &str) -> Result<&'d ColorTree, QueryError> {
+    if (c.0 as usize) < db.color_count() {
+        Ok(db.color(c))
+    } else {
+        Err(QueryError::Exec(format!(
+            "{who}: color {c} out of range ({} colors)",
+            db.color_count()
+        )))
+    }
+}
+
+/// Validate an ER node id against the graph.
+fn check_node(graph: &ErGraph, n: NodeId, who: &str) -> Result<(), QueryError> {
+    if n.idx() < graph.node_count() {
+        Ok(())
+    } else {
+        Err(QueryError::Exec(format!("{who}: ER node {n:?} out of range")))
+    }
+}
+
+/// Validate an ER edge id against the graph.
+fn check_edge<'g>(graph: &'g ErGraph, e: EdgeId, who: &str) -> Result<&'g ErEdge, QueryError> {
+    if e.idx() < graph.edge_count() {
+        Ok(graph.edge(e))
+    } else {
+        Err(QueryError::Exec(format!("{who}: ER edge {e:?} out of range")))
+    }
+}
+
+/// Human-readable `relationship[participant]` label of an ER edge.
+fn edge_label(graph: &ErGraph, e: EdgeId) -> String {
+    let ed = graph.edge(e);
+    format!("{}[{}]", graph.node(ed.rel).name, graph.node(ed.participant).name)
+}
+
+/// The set value in register `r`, or a typed error when the register is
+/// out of bounds or unset.
+fn get_reg<'v>(regs: &'v [Option<SetVal>], r: Reg, who: &str) -> Result<&'v SetVal, QueryError> {
+    match regs.get(r) {
+        Some(Some(v)) => Ok(v),
+        Some(None) => Err(QueryError::Exec(format!("{who}: register r{r} is unset"))),
+        None => Err(QueryError::Exec(format!(
+            "{who}: register r{r} out of bounds ({} registers)",
+            regs.len()
+        ))),
+    }
+}
+
+/// The occurrence set in register `r`, which must be in `color`.
+fn expect_occs<'v>(
+    regs: &'v [Option<SetVal>],
+    r: Reg,
+    color: ColorId,
+    who: &str,
+) -> Result<&'v [OccId], QueryError> {
+    match get_reg(regs, r, who)? {
         SetVal::Occs { color: c, occs } => {
-            assert_eq!(*c, color, "{who}: register in wrong color");
-            occs
+            if *c != color {
+                return Err(QueryError::Exec(format!(
+                    "{who}: register r{r} holds occurrences of color {c}, expected {color}"
+                )));
+            }
+            Ok(occs)
         }
-        _ => panic!("{who}: expected occurrences"),
+        _ => Err(QueryError::Exec(format!("{who}: register r{r} does not hold an occurrence set"))),
     }
 }
 
-/// Canonical (logical) elements behind a register value, sorted distinct.
-fn to_elems(db: &Database, val: &Option<SetVal>) -> Vec<ElementId> {
-    match val.as_ref().expect("unset register") {
+/// Canonical (logical) elements behind register `r`, sorted distinct.
+fn to_elems(
+    db: &Database,
+    regs: &[Option<SetVal>],
+    r: Reg,
+    who: &str,
+) -> Result<Vec<ElementId>, QueryError> {
+    Ok(match get_reg(regs, r, who)? {
         SetVal::Occs { color, occs } => {
-            let tree = db.color(*color);
+            let tree = color_tree(db, *color, who)?;
             occs_to_canonical_inner(db, tree, occs)
         }
         SetVal::Elems(e) => e.clone(),
         SetVal::Groups { elems, .. } => elems.clone(),
-    }
+    })
 }
 
 fn occs_to_canonical_inner(
@@ -403,7 +549,7 @@ mod tests {
         assert_eq!(m.value_joins, 0, "Figure 3 makes Q1 purely structural\n{plan}");
         assert_eq!(m.color_crossings, 0);
         assert_eq!(m.structural_joins, 1, "a single // step\n{plan}");
-        let r = execute(&db, &g, &plan);
+        let r = execute(&db, &g, &plan).unwrap();
         assert!(r.results > 0, "country 0 should have orders");
         assert_eq!(r.results, r.distinct, "AF is node normal");
     }
@@ -426,7 +572,7 @@ mod tests {
             let schema = design(&g, s).unwrap();
             let db = materialize(&g, &schema, &inst);
             let plan = compile(&g, &db.schema, &q1(&g)).unwrap();
-            let r = execute(&db, &g, &plan);
+            let r = execute(&db, &g, &plan).unwrap();
             match &reference {
                 None => reference = Some(r.elements.clone()),
                 Some(exp) => assert_eq!(
@@ -435,5 +581,150 @@ mod tests {
                 ),
             }
         }
+    }
+
+    /// Pin the result-accounting semantics: `results` is the physical
+    /// tuple count *before* duplicate elimination (so adding `Distinct`
+    /// changes `distinct`, never `results`), and `GroupBy` reports its
+    /// group count as `distinct` while passing the physical count through.
+    #[test]
+    fn result_counts_are_exact_pre_and_post_distinct() {
+        // DEEP duplicates `item` under every `order_line` (the M:N
+        // unfolding), so an order→item chain produces physical duplicates
+        // that Distinct must collapse
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let p = ScaleProfile::tpcw(&g, 60);
+        let inst = generate(&g, &p, 77);
+        let schema = design(&g, Strategy::Deep).unwrap();
+        let db = materialize(&g, &schema, &inst);
+
+        let base = |distinct: bool| {
+            let mut b = PatternBuilder::new(&g, "Qc")
+                .node("order")
+                .node("item")
+                .chain(0, 1, &["order_line"])
+                .unwrap()
+                .output(1);
+            if distinct {
+                b = b.distinct();
+            }
+            b.build().unwrap()
+        };
+
+        let plain = execute(&db, &g, &compile(&g, &db.schema, &base(false)).unwrap()).unwrap();
+        let dedup = execute(&db, &g, &compile(&g, &db.schema, &base(true)).unwrap()).unwrap();
+        // Distinct collapses the logical answer but must not change the
+        // physical count
+        assert_eq!(dedup.results, plain.results, "physical count is pre-dedup");
+        assert_eq!(dedup.distinct, dedup.elements.len() as u64);
+        assert_eq!(dedup.elements, plain.elements, "same logical answer");
+        assert!(dedup.results >= dedup.distinct);
+        assert!(plain.results > plain.distinct, "DEEP duplicates items under order lines");
+
+        // GroupBy: distinct = group count, physical passes through
+        let grouped = PatternBuilder::new(&g, "Qg")
+            .node("order")
+            .node("item")
+            .chain(0, 1, &["order_line"])
+            .unwrap()
+            .output(1)
+            .distinct()
+            .group_by("title")
+            .build()
+            .unwrap();
+        let gr = execute(&db, &g, &compile(&g, &db.schema, &grouped).unwrap()).unwrap();
+        assert_eq!(gr.results, plain.results, "GroupBy inherits the physical count");
+        assert!(gr.distinct >= 1, "at least one name group");
+        assert!(gr.distinct <= plain.elements.len() as u64, "no more groups than elements");
+    }
+
+    /// Adversarial plans return typed errors instead of aborting: unset
+    /// and out-of-bounds registers, kind mismatches, color mismatches, and
+    /// value joins across edges the schema does not idref-encode.
+    #[test]
+    fn malformed_plans_error_instead_of_panicking() {
+        let (g, db) = setup(Strategy::Af);
+        let country = g.node_by_name("country").unwrap();
+        let plan = |ops: Vec<Op>, output: Reg, reg_count: usize| Plan {
+            name: "adversarial".into(),
+            strategy: "AF".into(),
+            ops,
+            output,
+            reg_count,
+        };
+        let scan = Op::Scan { dst: 0, color: ColorId(0), node: country, pred: None };
+
+        // unset output register
+        let r = execute(&db, &g, &plan(vec![], 0, 1));
+        assert!(matches!(r, Err(QueryError::Exec(_))), "{r:?}");
+
+        // out-of-bounds output register
+        let r = execute(&db, &g, &plan(vec![scan.clone()], 7, 1));
+        assert!(matches!(r, Err(QueryError::Exec(_))), "{r:?}");
+
+        // Intersect over a non-occurrence register
+        let r = execute(
+            &db,
+            &g,
+            &plan(
+                vec![
+                    scan.clone(),
+                    Op::Distinct { dst: 1, src: 0 },
+                    Op::Intersect { dst: 2, a: 1, b: 0 },
+                ],
+                2,
+                3,
+            ),
+        );
+        assert!(matches!(r, Err(QueryError::Exec(_))), "{r:?}");
+
+        // Intersect with an unset input
+        let r =
+            execute(&db, &g, &plan(vec![scan.clone(), Op::Intersect { dst: 1, a: 0, b: 2 }], 1, 3));
+        assert!(matches!(r, Err(QueryError::Exec(_))), "{r:?}");
+
+        // StructSemi in a color the register does not hold
+        let r = execute(
+            &db,
+            &g,
+            &plan(
+                vec![
+                    scan.clone(),
+                    Op::StructSemi {
+                        dst: 1,
+                        src: 0,
+                        color: ColorId(9),
+                        node: country,
+                        via: vec![],
+                        dir: VDir::Down,
+                    },
+                ],
+                1,
+                2,
+            ),
+        );
+        assert!(matches!(r, Err(QueryError::Exec(_))), "{r:?}");
+
+        // ValueSemi across a structurally-realized (non-idref) edge: AF
+        // realizes every edge structurally, so no edge is idref-encoded
+        let r = execute(
+            &db,
+            &g,
+            &plan(
+                vec![
+                    scan,
+                    Op::ValueSemi {
+                        dst: 1,
+                        src: 0,
+                        edge: EdgeId(0),
+                        src_is_rel: false,
+                        enter: None,
+                    },
+                ],
+                1,
+                2,
+            ),
+        );
+        assert!(matches!(r, Err(QueryError::NotIdrefEncoded { .. })), "{r:?}");
     }
 }

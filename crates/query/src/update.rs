@@ -48,7 +48,7 @@ pub fn execute_update(
     let started = std::time::Instant::now();
     // 1. locate targets
     let plan = compile(graph, &db.schema, &spec.pattern)?;
-    let located = execute(db, graph, &plan);
+    let located = execute(db, graph, &plan)?;
     let mut metrics = located.metrics;
     let targets = located.elements;
 
@@ -148,7 +148,7 @@ fn anchor_elements(
         p.distinct = false;
         p.group_by = None;
         let plan = compile(graph, &db.schema, &p)?;
-        let r = execute(db, graph, &plan);
+        let r = execute(db, graph, &plan)?;
         anchors.push(r.elements.first().copied());
     }
     Ok(anchors)
@@ -620,7 +620,7 @@ mod tests {
                 .build()
                 .unwrap();
             let plan = compile(&g, &db.schema, &q).unwrap();
-            let r = execute(&db, &g, &plan);
+            let r = execute(&db, &g, &plan).unwrap();
             assert!(
                 r.elements.contains(&new_order),
                 "{s}: inserted order must be queryable\n{plan}"

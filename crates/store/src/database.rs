@@ -191,6 +191,12 @@ impl Database {
         self.interner.key(v)
     }
 
+    /// Non-panicking [`Database::join_key`]: `None` for text never stored
+    /// in this database (such a value can match nothing).
+    pub fn try_join_key(&self, v: &Value) -> Option<ValueKey> {
+        self.interner.try_key(v)
+    }
+
     /// The tree of one color.
     pub fn color(&self, c: ColorId) -> &ColorTree {
         &self.colors[c.idx()]

@@ -132,13 +132,18 @@ impl Interner {
     /// If `v` is a text value that was never interned — stored values are
     /// always interned by the database build/write paths.
     pub fn key(&self, v: &Value) -> ValueKey {
+        self.try_key(v).expect("text value interned at database build/write time")
+    }
+
+    /// Non-panicking [`Interner::key`]: `None` for a text value that was
+    /// never interned (a value that cannot be stored in the database, so
+    /// it can match nothing).
+    pub fn try_key(&self, v: &Value) -> Option<ValueKey> {
         match v {
-            Value::Int(i) => ValueKey::Num(*i),
-            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => ValueKey::Num(*f as i64),
-            Value::Float(f) => ValueKey::Bits(f.to_bits()),
-            Value::Text(s) => ValueKey::Sym(
-                self.get(s).expect("text value interned at database build/write time"),
-            ),
+            Value::Int(i) => Some(ValueKey::Num(*i)),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(ValueKey::Num(*f as i64)),
+            Value::Float(f) => Some(ValueKey::Bits(f.to_bits())),
+            Value::Text(s) => self.get(s).map(ValueKey::Sym),
         }
     }
 }

@@ -1,0 +1,120 @@
+//! `colorist-oracle` — drive the cross-strategy answer-equivalence oracle.
+//!
+//! ```text
+//! colorist-oracle [--seeds N] [--start S] [--scale B] [--queries K] [--threads T]
+//! colorist-oracle --replay SEED [--scale B] [--queries K]
+//! colorist-oracle --minimize SEED [--scale B] [--queries K]
+//! ```
+//!
+//! The default mode sweeps `--seeds` consecutive seeds from `--start`,
+//! printing a summary and exiting nonzero when any seed diverges (each
+//! divergent seed is auto-minimized to the smallest reproducing scale).
+//! `--replay` prints one seed's diagram, workload, per-strategy plans and
+//! counts; `--minimize` shrinks one divergent seed.
+
+use colorist_workload::oracle::{minimize, replay_text, run_seeds, OracleConfig};
+use std::process::ExitCode;
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    threads: usize,
+    replay: Option<u64>,
+    minimize: Option<u64>,
+    cfg: OracleConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: colorist-oracle [--seeds N] [--start S] [--scale B] [--queries K] [--threads T]\n\
+         \x20      colorist-oracle --replay SEED | --minimize SEED"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 64,
+        start: 0,
+        threads: colorist_workload::suite_threads(),
+        replay: None,
+        minimize: None,
+        cfg: OracleConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> u64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs a non-negative integer");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = val("--seeds"),
+            "--start" => args.start = val("--start"),
+            "--scale" => args.cfg.scale = val("--scale").max(2) as u32,
+            "--queries" => args.cfg.queries = val("--queries").max(1) as usize,
+            "--threads" => args.threads = val("--threads").max(1) as usize,
+            "--replay" => args.replay = Some(val("--replay")),
+            "--minimize" => args.minimize = Some(val("--minimize")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if let Some(seed) = args.replay {
+        print!("{}", replay_text(seed, &args.cfg));
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(seed) = args.minimize {
+        return match minimize(seed, &args.cfg) {
+            Some(m) => {
+                println!("{m}");
+                println!(
+                    "replay: colorist-oracle --replay {} --scale {} --queries {}",
+                    m.seed, m.scale, args.cfg.queries
+                );
+                ExitCode::FAILURE
+            }
+            None => {
+                println!("seed {seed}: clean at scale {} — nothing to minimize", args.cfg.scale);
+                ExitCode::SUCCESS
+            }
+        };
+    }
+
+    let report = run_seeds(args.start, args.seeds, &args.cfg, args.threads);
+    print!("{report}");
+    let divergent: Vec<u64> = {
+        let mut seeds: Vec<u64> =
+            report.reports.iter().filter(|r| !r.divergences.is_empty()).map(|r| r.seed).collect();
+        seeds.dedup();
+        seeds
+    };
+    if divergent.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    // auto-minimize the first few divergent seeds into replayable repros
+    for &seed in divergent.iter().take(5) {
+        match minimize(seed, &args.cfg) {
+            Some(m) => {
+                println!("{m}");
+                println!(
+                    "replay: colorist-oracle --replay {} --scale {} --queries {}",
+                    m.seed, m.scale, args.cfg.queries
+                );
+            }
+            None => println!("seed {seed}: diverged in the sweep but not under minimization"),
+        }
+    }
+    ExitCode::FAILURE
+}

@@ -15,10 +15,18 @@
 //! [`suite`] runs a workload against every schema of a diagram over one
 //! shared canonical instance and collects the per-query metrics, storage
 //! statistics, and geometric means that the benchmark binaries print.
+//!
+//! [`oracle`] turns the paper's information-equivalence guarantee into a
+//! differential-testing oracle: random diagrams, shared data, random
+//! queries, all seven strategies — any answer disagreement is a bug.
 
 pub mod derby;
+pub mod oracle;
 pub mod suite;
 pub mod tpcw;
 pub mod xmark;
 
+pub use oracle::{
+    run_seed, run_seeds, Divergence, MinimizedCase, OracleConfig, OracleReport, SeedReport,
+};
 pub use suite::{geo_mean, suite_threads, QueryKind, QueryRun, SuiteResult, Workload};

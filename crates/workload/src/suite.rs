@@ -114,7 +114,7 @@ pub fn suite_threads() -> usize {
 /// results in index order (a shared atomic cursor hands out indices; each
 /// result lands in its own slot, so the output is identical to the serial
 /// `(0..n).map(f)` regardless of scheduling).
-fn par_map<R: Send>(n: usize, threads: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+pub(crate) fn par_map<R: Send>(n: usize, threads: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
     if threads <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
@@ -181,7 +181,7 @@ pub fn run_suite_on_threads(
             if qi < n_reads {
                 let q = &workload.reads[qi];
                 let plan = compile(graph, &db.schema, q)?;
-                let r = execute(db, graph, &plan);
+                let r = execute(db, graph, &plan)?;
                 Ok(QueryRun {
                     name: q.name.clone(),
                     kind: QueryKind::Read,

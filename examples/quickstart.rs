@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = compile(&graph, &db.schema, &query)?;
     println!("{}", explain(&graph, &plan));
 
-    let result = execute(&db, &graph, &plan);
+    let result = execute(&db, &graph, &plan)?;
     println!(
         "{} comments found; {} structural joins, {} value joins, {} color crossings, {:?}",
         result.distinct,

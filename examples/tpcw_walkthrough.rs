@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let db = materialize(&graph, &schema, &instance);
         let st = stats(&db, &graph);
         let plan = compile(&graph, &db.schema, q1)?;
-        let r = execute(&db, &graph, &plan);
+        let r = execute(&db, &graph, &plan)?;
         println!(
             "--- {} ({} elements, {:.2} MB) -> {} orders in {:?}",
             s.label(),

@@ -46,7 +46,7 @@ fn dsl_to_answers() {
         let schema = design(&g, s).unwrap();
         let db = materialize(&g, &schema, &inst);
         let plan = compile(&g, &db.schema, &q).unwrap();
-        let r = execute(&db, &g, &plan);
+        let r = execute(&db, &g, &plan).unwrap();
         answers.push((s, r.distinct));
     }
     let first = answers[0].1;
@@ -101,7 +101,7 @@ fn non_simplified_diagrams_reduce_then_design() {
         .build()
         .unwrap();
     let plan = compile(&g, &db.schema, &q).unwrap();
-    let r = execute(&db, &g, &plan);
+    let r = execute(&db, &g, &plan).unwrap();
     assert!(r.metrics.structural_joins + r.metrics.value_joins > 0);
 }
 
@@ -168,18 +168,18 @@ fn updates_are_visible_to_subsequent_queries_on_every_schema() {
         let mut db = materialize(&g, &schema, &inst);
         let before = {
             let plan = compile(&g, &db.schema, &count_query).unwrap();
-            execute(&db, &g, &plan).distinct
+            execute(&db, &g, &plan).unwrap().distinct
         };
         execute_update(&mut db, &g, &insert).unwrap();
         let after = {
             let plan = compile(&g, &db.schema, &count_query).unwrap();
-            execute(&db, &g, &plan).distinct
+            execute(&db, &g, &plan).unwrap().distinct
         };
         assert_eq!(after, before + 1, "{s}: insert visible");
         execute_update(&mut db, &g, &delete).unwrap();
         let final_count = {
             let plan = compile(&g, &db.schema, &count_query).unwrap();
-            execute(&db, &g, &plan).distinct
+            execute(&db, &g, &plan).unwrap().distinct
         };
         assert_eq!(final_count, before, "{s}: delete visible");
     }
