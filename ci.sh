@@ -9,13 +9,21 @@ echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 echo "==> cargo clippy (-D warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets --all-features -- -D warnings
+
+echo "==> cargo doc (warning-free)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "==> cargo build --release"
 cargo build --release --workspace
 
 echo "==> cargo test"
 cargo test -q --workspace
+
+echo "==> static lint (catalog x 7 strategies: schema linter + plan verifier)"
+# S0xx schema diagnostics and P0xx plan diagnostics over the whole catalog;
+# exits non-zero on any diagnostic.
+cargo run -q --release -p colorist-workload --bin colorist-lint
 
 echo "==> oracle smoke (256 seeds, all seven strategies)"
 # Differential-testing oracle: random diagrams, shared canonical instance,

@@ -27,6 +27,8 @@
 //! Suite runs are parallel across strategies and queries
 //! (`COLORIST_THREADS`, default: available parallelism); [`summary`]
 //! persists each run to `results/bench_summary.json`.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use colorist_core::Strategy;
 use colorist_datagen::{generate, ScaleProfile};

@@ -13,7 +13,19 @@ use colorist_mct::{color_name, MctSchema, PlacementId};
 use std::fmt::Write as _;
 
 /// Render the per-color DTD-like grammars of a schema.
+///
+/// Debug builds lint the schema first: exporting a malformed schema would
+/// print a grammar that no database can satisfy.
 pub fn export_dtd(schema: &MctSchema, graph: &ErGraph) -> String {
+    #[cfg(debug_assertions)]
+    {
+        let diags = colorist_mct::lint::lint_schema(graph, schema);
+        debug_assert!(
+            diags.is_empty(),
+            "exporting schema that fails lint:\n{}",
+            diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        );
+    }
     let mut s = String::new();
     let _ = writeln!(s, "<!-- MCT schema for `{}` [{}] -->", schema.diagram, schema.strategy);
     for c in schema.colors() {

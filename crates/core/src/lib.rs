@@ -18,6 +18,8 @@
 //! variant of §6. [`properties::check`] verifies any schema against all four
 //! properties, and [`feasibility`] decides Theorem 4.1 (when a *single
 //! color* suffices for NN + AR).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod af;
 pub mod constraints;

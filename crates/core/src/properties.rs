@@ -141,6 +141,43 @@ pub fn uncovered_associations<'a>(
     eligible.iter().filter(|a| !is_directly_recoverable(schema, a)).collect()
 }
 
+/// Cross-validate this module's property checkers against the schema
+/// linter's independent recomputation ([`colorist_mct::lint::lint_model`],
+/// which works from the raw placement table with opposite walk directions).
+/// Any disagreement is reported as an `S007` diagnostic — it means one of
+/// the two implementations is wrong, not the schema.
+pub fn cross_validate(
+    schema: &MctSchema,
+    graph: &ErGraph,
+    eligible: &EligibleAssociations,
+) -> Vec<String> {
+    let checked = check(schema, graph, eligible);
+    let model = colorist_mct::lint::lint_model(graph, schema, eligible);
+    let mut diags = Vec::new();
+    let mut cmp = |what: &str, a: bool, b: bool| {
+        if a != b {
+            diags.push(format!("S007: {what} disagreement: checker says {a}, lint model says {b}"));
+        }
+    };
+    cmp("node-normal", checked.node_normal, model.node_normal);
+    cmp("edge-normal", checked.edge_normal, model.edge_normal);
+    cmp("association-recoverable", checked.association_recoverable, model.association_recoverable);
+    cmp("direct-recoverable", checked.direct_recoverable, model.direct_recoverable);
+    if checked.colors != model.colors {
+        diags.push(format!(
+            "S007: color-count disagreement: checker says {}, lint model says {}",
+            checked.colors, model.colors
+        ));
+    }
+    if checked.icics != model.icics {
+        diags.push(format!(
+            "S007: ICIC-count disagreement: checker says {}, lint model says {}",
+            checked.icics, model.icics
+        ));
+    }
+    diags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -77,8 +77,11 @@ impl fmt::Display for Strategy {
 }
 
 /// Design a schema for `graph` with the given strategy.
+///
+/// Debug builds run the static schema linter ([`colorist_mct::lint`]) and
+/// the `S007` property-checker cross-validation on every designed schema.
 pub fn design(graph: &ErGraph, strategy: Strategy) -> Result<MctSchema, SchemaError> {
-    match strategy {
+    let schema = match strategy {
         Strategy::Deep => deep::deep(graph),
         Strategy::Af => af::af(graph),
         Strategy::Shallow => shallow::shallow(graph),
@@ -86,7 +89,20 @@ pub fn design(graph: &ErGraph, strategy: Strategy) -> Result<MctSchema, SchemaEr
         Strategy::Mcmr => mcmr::mcmr(graph),
         Strategy::Dr => dumc::dumc(graph),
         Strategy::Undr => undr::undr(graph),
+    }?;
+    #[cfg(debug_assertions)]
+    {
+        let diags = colorist_mct::lint::lint_schema(graph, &schema);
+        debug_assert!(
+            diags.is_empty(),
+            "{strategy} schema failed lint:\n{}",
+            diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        );
+        let elig = colorist_er::EligibleAssociations::enumerate_default(graph);
+        let xv = crate::properties::cross_validate(&schema, graph, &elig);
+        debug_assert!(xv.is_empty(), "{strategy} property cross-validation:\n{}", xv.join("\n"));
     }
+    Ok(schema)
 }
 
 /// Design all seven schemas (the per-diagram schema family of §6).

@@ -18,6 +18,8 @@
 //! Any query answer, expressed over logical instances, is therefore
 //! identical across the seven schemas of a diagram — which the integration
 //! tests verify query-by-query.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod canonical;
 pub mod materialize;

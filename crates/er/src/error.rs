@@ -8,14 +8,24 @@ pub enum ErError {
     /// A name (entity, relationship, or attribute) was declared twice.
     DuplicateName(String),
     /// A relationship endpoint referenced a participant that does not exist.
-    UnknownParticipant { relationship: String, participant: String },
+    UnknownParticipant {
+        /// The relationship declaring the endpoint.
+        relationship: String,
+        /// The missing participant name.
+        participant: String,
+    },
     /// A relationship was declared with fewer than two participants.
     TooFewParticipants(String),
     /// The diagram is not *simplified* (binary relationships, atomic
     /// attributes) and the caller required it to be.
     NotSimplified(String),
     /// A parse error in the diagram DSL, with a 1-based line number.
-    Parse { line: usize, message: String },
+    Parse {
+        /// 1-based source line of the error.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
     /// Higher-order relationship participation forms a cycle (ill-founded).
     IllFoundedHierarchy(String),
 }

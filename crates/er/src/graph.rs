@@ -261,6 +261,29 @@ impl ErGraph {
         &self.adj[n.idx()]
     }
 
+    /// Walk an edge chain from `from`, taking each edge to its other
+    /// endpoint in order; returns the terminal node, or `None` when an edge
+    /// id is out of range or not incident to the walk's current node. The
+    /// static plan verifier uses this to check that a structural join's
+    /// `via` sequence is a connected ER path between its endpoint types.
+    pub fn chain_end(&self, from: NodeId, via: &[EdgeId]) -> Option<NodeId> {
+        let mut cur = from;
+        for &e in via {
+            if e.idx() >= self.edges.len() {
+                return None;
+            }
+            let edge = self.edge(e);
+            cur = if edge.rel == cur {
+                edge.participant
+            } else if edge.participant == cur {
+                edge.rel
+            } else {
+                return None;
+            };
+        }
+        Some(cur)
+    }
+
     /// The endpoint of `e` that is not `n`. Panics if `n` is not an endpoint.
     pub fn other_end(&self, e: EdgeId, n: NodeId) -> NodeId {
         let edge = self.edge(e);

@@ -19,6 +19,8 @@
 //! * [`catalog`] — the diagram collection used in the paper's evaluation:
 //!   TPC-W (Figure 1), a Database-Derby-like diagram, and ten textbook-style
 //!   diagrams ER1–ER10.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod associations;
 pub mod catalog;

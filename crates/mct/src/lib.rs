@@ -22,12 +22,16 @@
 //!   integrity constraints** (ICICs, §2.3);
 //! * [`path`] — colored XPath-style path expressions (each axis step is
 //!   augmented with a color, §2.2), used for query explanation.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod color;
+pub mod lint;
 pub mod path;
 pub mod schema;
 
 pub use color::{color_name, ColorId};
+pub use lint::{lint_model, lint_schema, LintModel, SchemaDiag};
 pub use path::{Axis, ColoredPath, PathStep};
 pub use schema::{
     Icic, IdrefLink, MctSchema, MctSchemaBuilder, Placement, PlacementId, SchemaError,

@@ -1,0 +1,432 @@
+//! Static schema linting: well-formedness and normal-form diagnostics.
+//!
+//! [`lint_schema`] re-derives, from a frozen [`MctSchema`]'s raw placement
+//! table alone, every invariant the builder's `finish` validation is
+//! supposed to establish *plus* the consistency of all derived indexes
+//! (children lists, roots, per-node and per-edge maps, ICICs) with the raw
+//! data — so index desync introduced by a future mutation path surfaces as
+//! a diagnostic instead of a wrong query answer. [`lint_model`] additionally
+//! recomputes the four §3 schema properties with independent algorithms,
+//! for cross-validation against `colorist-core`'s checkers (`S007` there).
+//!
+//! Diagnostic codes (`S0xx`; the plan verifier's `P0xx` codes live in
+//! `colorist_query::verify`):
+//!
+//! | code | invariant |
+//! |------|-----------|
+//! | S001 | placement forests are well-formed: parents exist, colors agree along edges, no cycles, and every derived index matches the raw placement table |
+//! | S002 | each placement edge's realizing ER edge connects the parent and child node types |
+//! | S003 | every ER node type has a placement in some color |
+//! | S004 | every ER edge is realized structurally or encoded as an idref |
+//! | S005 | no ER edge is both structural and idref-encoded, and no edge carries two idref links |
+//! | S006 | the ICIC set is exactly the edges realized in ≥ 2 colors, with their sorted color lists |
+//!
+//! `S007` (property-checker disagreement) is reported by
+//! `colorist_core::properties::cross_validate`, which compares the normal
+//! checkers against this module's [`LintModel`].
+
+use crate::schema::{MctSchema, PlacementId};
+use colorist_er::{Association, EdgeId, EligibleAssociations, ErGraph, NodeId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One diagnostic produced by the schema linter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaDiag {
+    /// Stable diagnostic code (`S001`..`S006`).
+    pub code: &'static str,
+    /// Human-readable description of the violated invariant.
+    pub msg: String,
+}
+
+impl fmt::Display for SchemaDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.msg)
+    }
+}
+
+/// Lint one frozen schema against its ER graph. Returns every diagnostic
+/// found — an empty vector means the schema is statically well-formed.
+pub fn lint_schema(graph: &ErGraph, schema: &MctSchema) -> Vec<SchemaDiag> {
+    let mut diags = Vec::new();
+    let mut diag = |code: &'static str, msg: String| diags.push(SchemaDiag { code, msg });
+    let n = schema.placements().len();
+
+    // S001: raw forest shape — bounds, color agreement, acyclicity
+    for (i, p) in schema.placements().iter().enumerate() {
+        let id = PlacementId(i as u32);
+        if p.color.idx() >= schema.color_count() {
+            diag("S001", format!("{id} in unallocated color {}", p.color));
+        }
+        if p.node.idx() >= graph.node_count() {
+            diag("S001", format!("{id} instantiates out-of-range ER node {:?}", p.node));
+            continue;
+        }
+        if let Some((parent, edge)) = p.parent {
+            if parent.idx() >= n {
+                diag("S001", format!("{id} has out-of-range parent {parent}"));
+                continue;
+            }
+            let pp = &schema.placements()[parent.idx()];
+            if pp.color != p.color {
+                diag(
+                    "S001",
+                    format!("{id} in color {} hangs under {parent} in color {}", p.color, pp.color),
+                );
+            }
+            // S002: realizing edge connects the two node types
+            if edge.idx() >= graph.edge_count() {
+                diag("S002", format!("{id} realized by out-of-range ER edge {edge:?}"));
+            } else {
+                let e = graph.edge(edge);
+                let connects = (e.rel == pp.node && e.participant == p.node)
+                    || (e.participant == pp.node && e.rel == p.node);
+                if !connects {
+                    diag(
+                        "S002",
+                        format!(
+                            "{id}: edge `{}`--`{}` does not connect `{}` to `{}`",
+                            graph.node(e.rel).name,
+                            graph.node(e.participant).name,
+                            graph.node(pp.node).name,
+                            graph.node(p.node).name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    // acyclicity: a parent chain longer than the table has a cycle
+    for i in 0..n {
+        let mut cur = PlacementId(i as u32);
+        let mut hops = 0usize;
+        while let Some((parent, _)) = schema.placements().get(cur.idx()).and_then(|p| p.parent) {
+            cur = parent;
+            hops += 1;
+            if hops > n {
+                diag("S001", format!("placement p{i} is on a parent cycle"));
+                break;
+            }
+        }
+    }
+
+    // S001: derived indexes must mirror the raw table exactly
+    for i in 0..n {
+        let id = PlacementId(i as u32);
+        let raw_children: BTreeSet<PlacementId> = schema
+            .placements()
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.parent.is_some_and(|(pp, _)| pp == id))
+            .map(|(j, _)| PlacementId(j as u32))
+            .collect();
+        let idx_children: BTreeSet<PlacementId> = schema.children(id).iter().copied().collect();
+        if raw_children != idx_children {
+            diag("S001", format!("children index of {id} desynced from the placement table"));
+        }
+    }
+    for c in schema.colors() {
+        let raw_roots: BTreeSet<PlacementId> = schema
+            .placements()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.color == c && p.parent.is_none())
+            .map(|(j, _)| PlacementId(j as u32))
+            .collect();
+        let idx_roots: BTreeSet<PlacementId> = schema.roots(c).iter().copied().collect();
+        if raw_roots != idx_roots {
+            diag("S001", format!("root index of color {c} desynced from the placement table"));
+        }
+    }
+    for node in graph.node_ids() {
+        let raw: BTreeSet<PlacementId> = schema
+            .placements()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.node == node)
+            .map(|(j, _)| PlacementId(j as u32))
+            .collect();
+        let idx: BTreeSet<PlacementId> = schema.placements_of(node).iter().copied().collect();
+        if raw != idx {
+            diag(
+                "S001",
+                format!(
+                    "per-node index of `{}` desynced from the placement table",
+                    graph.node(node).name
+                ),
+            );
+        }
+    }
+    for e in graph.edge_ids() {
+        let raw: BTreeSet<(u16, PlacementId)> = schema
+            .placements()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.parent.is_some_and(|(_, pe)| pe == e))
+            .map(|(j, p)| (p.color.0, PlacementId(j as u32)))
+            .collect();
+        let idx: BTreeSet<(u16, PlacementId)> =
+            schema.edge_realizations(e).iter().map(|&(c, p)| (c.0, p)).collect();
+        if raw != idx {
+            diag(
+                "S001",
+                format!("edge-realization index of {e} desynced from the placement table"),
+            );
+        }
+    }
+
+    // S003: node coverage
+    let mut covered = vec![false; graph.node_count()];
+    for p in schema.placements() {
+        if p.node.idx() < covered.len() {
+            covered[p.node.idx()] = true;
+        }
+    }
+    for node in graph.node_ids() {
+        if !covered[node.idx()] {
+            diag("S003", format!("ER node `{}` has no placement", graph.node(node).name));
+        }
+    }
+
+    // S004 / S005: every edge exactly-one logical realization kind
+    let mut structural = vec![false; graph.edge_count()];
+    for p in schema.placements() {
+        if let Some((_, e)) = p.parent {
+            if e.idx() < structural.len() {
+                structural[e.idx()] = true;
+            }
+        }
+    }
+    let mut idref_count = vec![0usize; graph.edge_count()];
+    for l in schema.idrefs() {
+        if l.edge.idx() >= graph.edge_count() {
+            diag("S005", format!("idref link on out-of-range ER edge {:?}", l.edge));
+            continue;
+        }
+        idref_count[l.edge.idx()] += 1;
+    }
+    for e in graph.edge_ids() {
+        let s = structural[e.idx()];
+        let v = idref_count[e.idx()];
+        if !s && v == 0 {
+            diag(
+                "S004",
+                format!(
+                    "ER edge `{}` is neither structural nor idref-encoded",
+                    edge_label(graph, e)
+                ),
+            );
+        }
+        if s && v > 0 {
+            diag(
+                "S005",
+                format!("ER edge `{}` is both structural and idref-encoded", edge_label(graph, e)),
+            );
+        }
+        if v > 1 {
+            diag("S005", format!("ER edge `{}` carries {v} idref links", edge_label(graph, e)));
+        }
+    }
+
+    // S006: ICICs are exactly the multi-color realizations
+    for e in graph.edge_ids() {
+        let mut colors: Vec<_> = schema
+            .placements()
+            .iter()
+            .filter(|p| p.parent.is_some_and(|(_, pe)| pe == e))
+            .map(|p| p.color)
+            .collect();
+        colors.sort_unstable();
+        colors.dedup();
+        let recorded = schema.icics().iter().find(|ic| ic.edge == e);
+        match (colors.len() >= 2, recorded) {
+            (true, None) => diag(
+                "S006",
+                format!(
+                    "ER edge `{}` realized in {} colors but carries no ICIC",
+                    edge_label(graph, e),
+                    colors.len()
+                ),
+            ),
+            (false, Some(_)) => diag(
+                "S006",
+                format!(
+                    "ICIC on ER edge `{}`, which is not multiply realized",
+                    edge_label(graph, e)
+                ),
+            ),
+            (true, Some(ic)) if ic.colors != colors => diag(
+                "S006",
+                format!(
+                    "ICIC color list of `{}` does not match realizations",
+                    edge_label(graph, e)
+                ),
+            ),
+            _ => {}
+        }
+    }
+
+    diags
+}
+
+/// The four §3 properties recomputed with algorithms independent of
+/// `colorist-core`'s checkers, from the raw placement table. Core's
+/// `cross_validate` compares the two and reports disagreement as `S007`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintModel {
+    /// No ER node has two placements in one color.
+    pub node_normal: bool,
+    /// No ER edge realized in more than one color.
+    pub edge_normal: bool,
+    /// Every ER edge structurally realized somewhere.
+    pub association_recoverable: bool,
+    /// Every eligible association descends a placement path in one color.
+    pub direct_recoverable: bool,
+    /// Number of colors.
+    pub colors: usize,
+    /// Number of edges realized in ≥ 2 colors (the implied ICIC count).
+    pub icics: usize,
+}
+
+/// Recompute the property profile from the raw placement table.
+pub fn lint_model(
+    graph: &ErGraph,
+    schema: &MctSchema,
+    eligible: &EligibleAssociations,
+) -> LintModel {
+    // NN: count raw placements per (node, color) pair
+    let mut pair_seen: BTreeSet<(NodeId, u16)> = BTreeSet::new();
+    let mut node_normal = true;
+    for p in schema.placements() {
+        if !pair_seen.insert((p.node, p.color.0)) {
+            node_normal = false;
+        }
+    }
+    // EN + ICIC count: distinct realizing colors per edge
+    let mut edge_colors: Vec<BTreeSet<u16>> = vec![BTreeSet::new(); graph.edge_count()];
+    for p in schema.placements() {
+        if let Some((_, e)) = p.parent {
+            if e.idx() < edge_colors.len() {
+                edge_colors[e.idx()].insert(p.color.0);
+            }
+        }
+    }
+    let icics = edge_colors.iter().filter(|cs| cs.len() >= 2).count();
+    // AR: structural somewhere
+    let association_recoverable = edge_colors.iter().all(|cs| !cs.is_empty());
+    // DR: top-down search (core's checker walks bottom-up from the target)
+    let direct_recoverable = eligible.iter().all(|a| descends_somewhere(schema, a));
+
+    LintModel {
+        node_normal,
+        edge_normal: icics == 0,
+        association_recoverable,
+        direct_recoverable,
+        colors: schema.color_count(),
+        icics,
+    }
+}
+
+/// Does some color realize `assoc` as a descending placement path? Searched
+/// top-down from every placement of the association's source, following raw
+/// parent pointers of candidate children — deliberately the opposite walk
+/// direction from `colorist-core`'s `is_directly_recoverable`.
+fn descends_somewhere(schema: &MctSchema, assoc: &Association) -> bool {
+    'sources: for (start, sp) in schema.placements().iter().enumerate() {
+        if sp.node != assoc.nodes[0] {
+            continue;
+        }
+        let mut frontier = vec![PlacementId(start as u32)];
+        for (step, &edge) in assoc.path.iter().enumerate() {
+            let want = assoc.nodes[step + 1];
+            let next: Vec<PlacementId> = schema
+                .placements()
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| {
+                    q.node == want
+                        && q.parent.is_some_and(|(pp, pe)| pe == edge && frontier.contains(&pp))
+                })
+                .map(|(j, _)| PlacementId(j as u32))
+                .collect();
+            if next.is_empty() {
+                continue 'sources;
+            }
+            frontier = next;
+        }
+        return true;
+    }
+    false
+}
+
+fn edge_label(graph: &ErGraph, e: EdgeId) -> String {
+    let edge = graph.edge(e);
+    format!("{}--{}", graph.node(edge.rel).name, graph.node(edge.participant).name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::MctSchemaBuilder;
+    use colorist_er::{Attribute, ErDiagram};
+
+    fn small_graph() -> ErGraph {
+        let mut d = ErDiagram::new("t");
+        d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+        d.add_entity("b", vec![Attribute::key("id")]).unwrap();
+        d.add_rel_1m("r", "a", "b").unwrap();
+        ErGraph::from_diagram(&d).unwrap()
+    }
+
+    fn edge(g: &ErGraph, rel: &str, part: &str) -> EdgeId {
+        let rel = g.node_by_name(rel).unwrap();
+        let part = g.node_by_name(part).unwrap();
+        g.edge_ids().find(|&e| g.edge(e).rel == rel && g.edge(e).participant == part).unwrap()
+    }
+
+    fn linear(g: &ErGraph) -> MctSchema {
+        let mut b = MctSchemaBuilder::new("t", "TEST");
+        let c = b.add_color();
+        let pa = b.add_root(c, g.node_by_name("a").unwrap());
+        let pr = b.add_child(pa, edge(g, "r", "a"), g.node_by_name("r").unwrap());
+        b.add_child(pr, edge(g, "r", "b"), g.node_by_name("b").unwrap());
+        b.finish(g).unwrap()
+    }
+
+    #[test]
+    fn well_formed_schema_lints_clean() {
+        let g = small_graph();
+        let s = linear(&g);
+        let diags = lint_schema(&g, &s);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn lint_model_matches_shape() {
+        let g = small_graph();
+        let s = linear(&g);
+        let elig = EligibleAssociations::enumerate_default(&g);
+        let m = lint_model(&g, &s, &elig);
+        assert!(m.node_normal && m.edge_normal && m.association_recoverable);
+        assert!(m.direct_recoverable);
+        assert_eq!(m.colors, 1);
+        assert_eq!(m.icics, 0);
+    }
+
+    #[test]
+    fn idref_only_edge_is_not_ar_in_the_model() {
+        let g = small_graph();
+        let mut b = MctSchemaBuilder::new("t", "TEST");
+        let c = b.add_color();
+        let pa = b.add_root(c, g.node_by_name("a").unwrap());
+        b.add_child(pa, edge(&g, "r", "a"), g.node_by_name("r").unwrap());
+        b.add_root(c, g.node_by_name("b").unwrap());
+        b.add_idref(&g, edge(&g, "r", "b"));
+        let s = b.finish(&g).unwrap();
+        assert!(lint_schema(&g, &s).is_empty());
+        let elig = EligibleAssociations::enumerate_default(&g);
+        let m = lint_model(&g, &s, &elig);
+        assert!(!m.association_recoverable);
+        assert!(!m.direct_recoverable);
+    }
+}

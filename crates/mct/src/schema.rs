@@ -80,10 +80,20 @@ pub struct Icic {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SchemaError {
     /// A child placement's color differs from its parent's.
-    ColorMismatch { parent: PlacementId, child_color: ColorId },
+    ColorMismatch {
+        /// The parent placement.
+        parent: PlacementId,
+        /// The mismatched child color.
+        child_color: ColorId,
+    },
     /// The realizing ER edge does not connect the parent and child node
     /// types.
-    EdgeMismatch { parent: PlacementId, edge: EdgeId },
+    EdgeMismatch {
+        /// The parent placement.
+        parent: PlacementId,
+        /// The offending realizing edge.
+        edge: EdgeId,
+    },
     /// An ER node type has no placement in any color (the schema would lose
     /// its instances).
     UncoveredNode(String),

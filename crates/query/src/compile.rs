@@ -28,9 +28,10 @@
 
 use crate::error::QueryError;
 use crate::pattern::Pattern;
-use crate::plan::{Op, Plan, Reg, VDir};
+use crate::plan::{Charge, Op, Plan, Reg, VDir};
 use colorist_er::{EdgeId, ErGraph, NodeId};
 use colorist_mct::{MctSchema, PlacementId};
+use colorist_store::Metrics;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Lexicographic plan cost: (incomplete runs, value joins, crossings,
@@ -102,7 +103,7 @@ struct Compiler<'a> {
 /// * it is a participant under its relationship with **total**
 ///   participation, below a full placement (every participant instance
 ///   appears in some relationship instance).
-fn completeness(graph: &ErGraph, schema: &MctSchema) -> Vec<bool> {
+pub(crate) fn completeness(graph: &ErGraph, schema: &MctSchema) -> Vec<bool> {
     let n = schema.placements().len();
     let mut full = vec![false; n];
     // placements are created parents-first, so one forward pass suffices
@@ -174,7 +175,7 @@ impl<'a> Compiler<'a> {
                         e.path.iter().rev().copied().collect(),
                     )
                 };
-                let (dist, steps) = self.multi_dijkstra(&nodes, &path, &node_costs[child]);
+                let (dist, steps) = self.multi_dijkstra(&nodes, &path, &node_costs[child])?;
                 cost_v.retain(|p, c| match dist.get(p) {
                     Some(&d) => {
                         *c = add(*c, d);
@@ -196,11 +197,15 @@ impl<'a> Compiler<'a> {
         let (&root_placement, _) = node_costs[root]
             .iter()
             .min_by_key(|&(&p, &c)| (c, p))
-            .expect("root has feasible placements");
+            .ok_or_else(|| QueryError::Internal {
+                diag: "P009 root pattern node has no feasible placement after cost propagation"
+                    .into(),
+            })?;
 
         // emit bottom-up, walking the chosen chains down the tree
         let mut ops: Vec<Op> = Vec::new();
         let mut regs = 0usize;
+        let mut charges: Vec<Charge> = Vec::new();
         let mut out = self.emit_node(
             pattern,
             &children,
@@ -209,6 +214,7 @@ impl<'a> Compiler<'a> {
             root_placement,
             &mut ops,
             &mut regs,
+            &mut charges,
         )?;
 
         if pattern.distinct && self.schema_has_copies() {
@@ -222,13 +228,30 @@ impl<'a> Compiler<'a> {
             out = r;
         }
 
-        Ok(Plan {
+        let mut plan = Plan {
             name: pattern.name.clone(),
             strategy: self.schema.strategy.clone(),
             ops,
             output: out,
             reg_count: regs,
-        })
+            metrics: Metrics::default(),
+            charges,
+        };
+        plan.metrics = plan.static_metrics();
+        debug_assert!(
+            {
+                let diags = crate::verify::verify_plan(self.graph, self.schema, &plan);
+                if !diags.is_empty() {
+                    panic!(
+                        "compiler emitted a plan the static verifier rejects:\n{}\n{plan}",
+                        diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+                    );
+                }
+                true
+            },
+            "plan verification"
+        );
+        Ok(plan)
     }
 
     /// Emit the scan + child reductions of pattern node `v` at placement
@@ -243,6 +266,7 @@ impl<'a> Compiler<'a> {
         pv: PlacementId,
         ops: &mut Vec<Op>,
         regs: &mut usize,
+        charges: &mut Vec<Charge>,
     ) -> Result<Reg, QueryError> {
         let color = self.schema.placement(pv).color;
         let mut reg = alloc(regs);
@@ -256,10 +280,25 @@ impl<'a> Compiler<'a> {
             let e = &pattern.edges[ei];
             let child = if e.from == v { e.to } else { e.from };
             let (child_placement, steps) =
-                edge_steps[ei].as_ref().expect("edge computed")[&pv].clone();
-            let child_reg =
-                self.emit_node(pattern, children, edge_steps, child, child_placement, ops, regs)?;
-            let reduced = self.emit_chain(ops, regs, child_reg, &steps)?;
+                edge_steps[ei].as_ref().and_then(|m| m.get(&pv)).cloned().ok_or_else(|| {
+                    QueryError::Internal {
+                        diag: format!(
+                            "P009 no reconstructed chain for pattern edge {ei} at placement {pv:?}"
+                        ),
+                    }
+                })?;
+            let child_reg = self.emit_node(
+                pattern,
+                children,
+                edge_steps,
+                child,
+                child_placement,
+                ops,
+                regs,
+                charges,
+            )?;
+            let reduced =
+                self.emit_chain(ops, regs, charges, child_reg, child_placement, &steps)?;
             let r = alloc(regs);
             ops.push(Op::Intersect { dst: r, a: reg, b: reduced });
             reg = r;
@@ -269,14 +308,22 @@ impl<'a> Compiler<'a> {
 
     /// Emit the op chain for one pattern edge (steps oriented child →
     /// parent); returns the register holding the parent-side occurrences.
+    /// `start` is the chain's child-side start placement; tracking the
+    /// current placement across steps lets each structural run record its
+    /// completeness [`Charge`] at the anchor the cost model charged — a
+    /// Down run at its start (top) placement, an Up run at the placement it
+    /// terminates at.
     fn emit_chain(
         &self,
         ops: &mut Vec<Op>,
         regs: &mut usize,
+        charges: &mut Vec<Charge>,
         child_reg: Reg,
+        start: PlacementId,
         steps: &[Step],
     ) -> Result<Reg, QueryError> {
         let mut reg = child_reg;
+        let mut cur = start;
         let mut i = 0usize;
         while i < steps.len() {
             match steps[i] {
@@ -289,6 +336,7 @@ impl<'a> Compiler<'a> {
                         node: self.schema.placement(to).node,
                     });
                     reg = r;
+                    cur = to;
                     i += 1;
                 }
                 Step::Value { edge, to } => {
@@ -316,6 +364,7 @@ impl<'a> Compiler<'a> {
                         enter: Some(self.schema.placement(to).color),
                     });
                     reg = r;
+                    cur = to;
                     i += 1;
                 }
                 Step::Link { edge, to } => {
@@ -330,6 +379,7 @@ impl<'a> Compiler<'a> {
                         enter: Some(self.schema.placement(to).color),
                     });
                     reg = r;
+                    cur = to;
                     i += 1;
                 }
                 Step::Struct { down, .. } => {
@@ -347,7 +397,9 @@ impl<'a> Compiler<'a> {
                             _ => break,
                         }
                     }
-                    let to = last_to.expect("non-empty run");
+                    let to = last_to.ok_or_else(|| QueryError::Internal {
+                        diag: "P009 empty structural run in reconstructed chain".into(),
+                    })?;
                     // `via` is ancestor-side-first: a Down run traverses
                     // top→bottom (already in order); an Up run traverses
                     // bottom→top (reverse it).
@@ -355,7 +407,12 @@ impl<'a> Compiler<'a> {
                     if !down {
                         via.reverse();
                     }
+                    // the run's completeness anchor: top placement — where
+                    // the cost model levied its `incomplete`/`up_exit`
+                    // charge (Down: the start; Up: the termination).
+                    let anchor = if down { cur } else { to };
                     let r = alloc(regs);
+                    charges.push(Charge { op: ops.len(), at: anchor });
                     ops.push(Op::StructSemi {
                         dst: r,
                         src: reg,
@@ -365,6 +422,7 @@ impl<'a> Compiler<'a> {
                         dir: if down { VDir::Down } else { VDir::Up },
                     });
                     reg = r;
+                    cur = to;
                     i = j;
                 }
             }
@@ -388,7 +446,7 @@ impl<'a> Compiler<'a> {
         nodes: &[NodeId],
         path: &[EdgeId],
         sources: &HashMap<PlacementId, Cost>,
-    ) -> (HashMap<PlacementId, Cost>, StepsTo) {
+    ) -> Result<(HashMap<PlacementId, Cost>, StepsTo), QueryError> {
         let mut dist: HashMap<State, Cost> = HashMap::new();
         let mut preds: HashMap<State, (State, Step)> = HashMap::new();
         let mut heap: BinaryHeap<std::cmp::Reverse<(Cost, State)>> = BinaryHeap::new();
@@ -445,7 +503,10 @@ impl<'a> Compiler<'a> {
             let e = path[layer];
             // structural realizations
             for &(_color, cp) in self.schema.edge_realizations(e) {
-                let (pp, _) = self.schema.placement(cp).parent.expect("realization has parent");
+                let (pp, _) =
+                    self.schema.placement(cp).parent.ok_or_else(|| QueryError::Internal {
+                        diag: format!("S001 edge realization {cp:?} is a root placement"),
+                    })?;
                 if pp == st.placement && self.schema.placement(cp).node == nodes[layer + 1] {
                     let run_start = st.mode != Mode::Down;
                     let sj = u64::from(run_start);
@@ -514,7 +575,10 @@ impl<'a> Compiler<'a> {
         let last = (nodes.len() - 1) as u16;
         let mut out: HashMap<PlacementId, Cost> = HashMap::new();
         let mut steps: StepsTo = HashMap::new();
-        for &t in self.schema.placements_of(*nodes.last().unwrap()) {
+        let last_node = *nodes.last().ok_or_else(|| QueryError::Internal {
+            diag: "P009 pattern edge with an empty node path".into(),
+        })?;
+        for &t in self.schema.placements_of(last_node) {
             let mut best: Option<(Cost, State)> = None;
             for mode in [Mode::Fresh, Mode::Down, Mode::Up] {
                 let st = State { layer: last, placement: t, mode };
@@ -525,7 +589,7 @@ impl<'a> Compiler<'a> {
                     } else {
                         c
                     };
-                    if best.is_none() || c < best.unwrap().0 {
+                    if best.is_none_or(|(bc, _)| c < bc) {
                         best = Some((c, st));
                     }
                 }
@@ -536,7 +600,7 @@ impl<'a> Compiler<'a> {
                 steps.insert(t, (start, chain));
             }
         }
-        (out, steps)
+        Ok((out, steps))
     }
 }
 

@@ -8,13 +8,28 @@ pub enum QueryError {
     /// A named ER node does not exist in the graph.
     UnknownNode(String),
     /// A named attribute does not exist on the node.
-    UnknownAttribute { node: String, attr: String },
+    UnknownAttribute {
+        /// The node the lookup ran against.
+        node: String,
+        /// The missing attribute name.
+        attr: String,
+    },
     /// No ER edge connects two adjacent nodes of a declared path.
-    NoSuchEdge { from: String, to: String },
+    NoSuchEdge {
+        /// Path step start node.
+        from: String,
+        /// Path step end node.
+        to: String,
+    },
     /// The compiler found no realization of a pattern edge (the schema does
     /// not cover the association structurally or by idref — impossible for
     /// schemas produced by this workspace's strategies).
-    Unreachable { from: String, to: String },
+    Unreachable {
+        /// Pattern-edge parent node.
+        from: String,
+        /// Pattern-edge child node.
+        to: String,
+    },
     /// The pattern has no nodes / invalid indices.
     Malformed(String),
     /// The executor hit a plan invariant violation: an op addressed a
@@ -27,6 +42,16 @@ pub enum QueryError {
     NotIdrefEncoded {
         /// Human-readable edge label (`relationship[participant]`).
         edge: String,
+    },
+    /// An internal invariant of the compiler or executor failed — a schema
+    /// or plan lookup that every verified plan satisfies came up empty.
+    /// Carries the static-verifier diagnostic code (`P0xx`, see
+    /// [`crate::verify`]) of the invariant that would have caught the
+    /// malformed artifact, so a verifier gap surfaces as a typed error
+    /// rather than a panic.
+    Internal {
+        /// Diagnostic code plus human-readable invariant description.
+        diag: String,
     },
 }
 
@@ -47,6 +72,9 @@ impl fmt::Display for QueryError {
             QueryError::Exec(m) => write!(f, "plan execution failed: {m}"),
             QueryError::NotIdrefEncoded { edge } => {
                 write!(f, "ER edge `{edge}` is not idref-encoded in the schema")
+            }
+            QueryError::Internal { diag } => {
+                write!(f, "internal invariant violated [{diag}]")
             }
         }
     }

@@ -651,6 +651,8 @@ mod tests {
             ops,
             output,
             reg_count,
+            metrics: Metrics::default(),
+            charges: Vec::new(),
         };
         let scan = Op::Scan { dst: 0, color: ColorId(0), node: country, pred: None };
 

@@ -23,6 +23,8 @@
 //!   (ICIC maintenance), propagate to physical copies (duplicate updates),
 //!   cascade inserts through un-normalized placements;
 //! * [`mod@explain`] — colored-XPath rendering of compiled plans.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod compile;
 pub mod error;
@@ -31,6 +33,7 @@ pub mod explain;
 pub mod pattern;
 pub mod plan;
 pub mod update;
+pub mod verify;
 
 pub use compile::compile;
 pub use error::QueryError;
@@ -40,7 +43,8 @@ pub use pattern::{
     CmpOp, InsertLink, InsertSpec, NewInstance, Partner, Pattern, PatternBuilder, PatternEdge,
     PatternNode, Predicate, UpdateAction, UpdateSpec,
 };
-pub use plan::Plan;
+pub use plan::{Charge, Op, Plan, VDir};
 pub use update::{execute_update, UpdateOutcome};
+pub use verify::{explain_abstract, verify_plan, PlanDiag};
 
 pub use colorist_store::Metrics;

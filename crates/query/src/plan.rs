@@ -16,7 +16,7 @@
 
 use crate::pattern::Predicate;
 use colorist_er::{EdgeId, NodeId};
-use colorist_mct::ColorId;
+use colorist_mct::{ColorId, PlacementId};
 use colorist_store::Metrics;
 use std::fmt;
 
@@ -153,6 +153,25 @@ impl Op {
     }
 }
 
+/// A completeness charge: the compiler's record of where one structural
+/// run's completeness obligation anchors — the placement whose extent must
+/// be full for the run to discover every logical pair. For a `Down` run
+/// the anchor is the run's start (top) placement; for an `Up` run it is
+/// the placement the run terminates at (the §4.2 top-up rule: topped-up
+/// orphans at the bottom cannot be ascended from). Every `StructSemi`
+/// carries exactly one charge; the static verifier ([`crate::verify`])
+/// re-derives the admissible anchors from the IR and the schema and
+/// rejects plans whose recorded charges are missing, duplicated, or
+/// mis-sited — e.g. anchored at the run's bottom placement, the exact
+/// shape of the pre-fix §4.2 completeness bug (`P007`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Charge {
+    /// Index into [`Plan::ops`] of the charged `StructSemi`.
+    pub op: usize,
+    /// The anchor placement whose completeness the run depends on.
+    pub at: PlacementId,
+}
+
 /// A compiled plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
@@ -166,6 +185,13 @@ pub struct Plan {
     pub output: Reg,
     /// Number of registers.
     pub reg_count: usize,
+    /// Static operation counts recorded by the compiler at emission time.
+    /// Must equal [`Plan::static_metrics`] (re-derived from the IR); the
+    /// verifier reports drift as `P008`.
+    pub metrics: Metrics,
+    /// Completeness charges recorded by the compiler, exactly one per
+    /// `StructSemi`, each anchored at its run's top placement.
+    pub charges: Vec<Charge>,
 }
 
 impl Plan {
@@ -235,7 +261,7 @@ mod tests {
 
     #[test]
     fn static_metrics_count_ops() {
-        let plan = Plan {
+        let mut plan = Plan {
             name: "t".into(),
             strategy: "EN".into(),
             ops: vec![
@@ -256,8 +282,12 @@ mod tests {
             ],
             output: 6,
             reg_count: 7,
+            metrics: Metrics::default(),
+            charges: Vec::new(),
         };
+        plan.metrics = plan.static_metrics();
         let m = plan.static_metrics();
+        assert_eq!(plan.metrics, m, "recorded metrics mirror the derivation");
         assert_eq!(m.structural_joins, 1);
         assert_eq!(m.value_joins, 1);
         assert_eq!(m.color_crossings, 1);

@@ -421,7 +421,12 @@ impl<'a> Inserter<'a> {
         let occ = db.push_occurrence(color, element, p, parent);
         let node = schema.placement(p).node;
         for &cp in schema.children(p) {
-            let (_, e) = schema.placement(cp).parent.expect("child has parent");
+            // every placement in a children index has a parent by schema
+            // construction (lint S001); skip defensively rather than panic
+            let Some((_, e)) = schema.placement(cp).parent else {
+                debug_assert!(false, "S001 child placement {cp} has no parent");
+                continue;
+            };
             for child in self.neighbors(db, who, e, node) {
                 self.add_recursive(db, schema, color, cp, child, Some(occ), bound, metrics);
             }

@@ -19,6 +19,8 @@
 //!   eliminations, …) plus wall-clock time;
 //! * [`stats`] — the storage statistics of Table 1 (elements, attributes,
 //!   content nodes, data bytes, colors).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod database;
 pub mod join;

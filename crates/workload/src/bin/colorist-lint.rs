@@ -1,0 +1,160 @@
+//! `colorist-lint` — run the static schema linter and plan verifier over
+//! the whole catalog, or over one oracle seed.
+//!
+//! ```text
+//! colorist-lint                       # catalog collection × 7 strategies
+//! colorist-lint --seed N [--queries K] [--scale B]
+//! ```
+//!
+//! Default mode designs all seven strategies for every diagram of the
+//! evaluation collection, lints each schema (`S0xx`), cross-validates the
+//! property checkers (`S007`), compiles the diagram's workload against
+//! every schema, and verifies every compiled plan (`P0xx`). `--seed` does
+//! the same over the randomly generated diagram and workload of one
+//! oracle seed. Exit code 0 means zero diagnostics.
+
+use colorist_core::{design, properties, Strategy};
+use colorist_er::{catalog, EligibleAssociations, ErGraph};
+use colorist_query::{compile, verify_plan, Pattern};
+use colorist_workload::oracle::{compile_seed, OracleConfig};
+use colorist_workload::{derby, tpcw, xmark};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: colorist-lint [--seed N] [--queries K] [--scale B]\n\
+         \x20 default: lint the full catalog under all seven strategies"
+    );
+    std::process::exit(2);
+}
+
+/// Lint one (graph, strategy) pair and verify the given read queries'
+/// plans against it. Returns the number of diagnostics printed.
+fn lint_one(label: &str, g: &ErGraph, strategy: Strategy, reads: &[Pattern]) -> usize {
+    let schema = match design(g, strategy) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("{label} [{strategy}] design failed: {e}");
+            return 1;
+        }
+    };
+    let mut n = 0;
+    for d in colorist_mct::lint_schema(g, &schema) {
+        println!("{label} [{strategy}] {d}");
+        n += 1;
+    }
+    let elig = EligibleAssociations::enumerate_default(g);
+    for d in properties::cross_validate(&schema, g, &elig) {
+        println!("{label} [{strategy}] {d}");
+        n += 1;
+    }
+    for q in reads {
+        match compile(g, &schema, q) {
+            Ok(plan) => {
+                for d in verify_plan(g, &schema, &plan) {
+                    println!("{label} [{strategy}] {}: {d}", q.name);
+                    n += 1;
+                }
+            }
+            Err(e) => {
+                println!("{label} [{strategy}] {}: compile failed: {e}", q.name);
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Read queries exercised on a catalog diagram: the XMark-emulated
+/// templates instantiate on any graph; TPC-W and Derby additionally get
+/// their native workloads.
+fn catalog_reads(name: &str, g: &ErGraph) -> Vec<Pattern> {
+    let mut reads = xmark::workload(g).reads;
+    match name {
+        "tpcw" => reads.extend(tpcw::workload(g).reads),
+        "derby" => reads.extend(derby::workload(g).reads),
+        _ => {}
+    }
+    reads
+}
+
+fn run_catalog() -> usize {
+    let mut diags = 0;
+    let mut schemas = 0;
+    let mut plans = 0;
+    for name in catalog::COLLECTION {
+        let diagram = catalog::by_name(name).expect("collection name");
+        let g = ErGraph::from_diagram(&diagram).expect("catalog diagrams build");
+        let reads = catalog_reads(name, &g);
+        for s in Strategy::ALL {
+            diags += lint_one(name, &g, s, &reads);
+            schemas += 1;
+            plans += reads.len();
+        }
+    }
+    println!("linted {schemas} schemas / verified up to {plans} plans: {diags} diagnostic(s)");
+    diags
+}
+
+fn run_seed_mode(seed: u64, cfg: &OracleConfig) -> usize {
+    let corpus = compile_seed(seed, cfg);
+    let label = format!("seed {seed}");
+    let mut diags = 0;
+    let elig = EligibleAssociations::enumerate_default(&corpus.graph);
+    for (s, schema) in &corpus.schemas {
+        for d in colorist_mct::lint_schema(&corpus.graph, schema) {
+            println!("{label} [{s}] {d}");
+            diags += 1;
+        }
+        for d in properties::cross_validate(schema, &corpus.graph, &elig) {
+            println!("{label} [{s}] {d}");
+            diags += 1;
+        }
+    }
+    for (si, qname, plan) in &corpus.plans {
+        let (s, schema) = &corpus.schemas[*si];
+        for d in verify_plan(&corpus.graph, schema, plan) {
+            println!("{label} [{s}] {qname}: {d}");
+            diags += 1;
+        }
+    }
+    println!(
+        "seed {seed}: linted {} schemas / verified {} plans: {diags} diagnostic(s)",
+        corpus.schemas.len(),
+        corpus.plans.len()
+    );
+    diags
+}
+
+fn main() -> ExitCode {
+    let mut seed: Option<u64> = None;
+    let mut cfg = OracleConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> u64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs a non-negative integer");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--seed" => seed = Some(val("--seed")),
+            "--queries" => cfg.queries = val("--queries").max(1) as usize,
+            "--scale" => cfg.scale = val("--scale").max(2) as u32,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    let diags = match seed {
+        Some(s) => run_seed_mode(s, &cfg),
+        None => run_catalog(),
+    };
+    if diags == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -19,6 +19,8 @@
 //! [`oracle`] turns the paper's information-equivalence guarantee into a
 //! differential-testing oracle: random diagrams, shared data, random
 //! queries, all seven strategies — any answer disagreement is a bug.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod derby;
 pub mod oracle;
@@ -27,6 +29,7 @@ pub mod tpcw;
 pub mod xmark;
 
 pub use oracle::{
-    run_seed, run_seeds, Divergence, MinimizedCase, OracleConfig, OracleReport, SeedReport,
+    compile_seed, run_seed, run_seeds, Divergence, MinimizedCase, OracleConfig, OracleReport,
+    SeedCorpus, SeedReport,
 };
 pub use suite::{geo_mean, suite_threads, QueryKind, QueryRun, SuiteResult, Workload};

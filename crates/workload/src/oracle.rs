@@ -22,7 +22,7 @@
 //!    (runtime operation counters must equal the plan's static counts,
 //!    physical counts never undercount logical ones).
 //!
-//! Because [`execute`](colorist_query::execute) is panic-free, the oracle
+//! Because [`execute`] is panic-free, the oracle
 //! can distinguish "engine refused" (an `Err`, reported as a divergence of
 //! its own kind) from "wrong answer" — adversarial seeds never abort a
 //! run. Every divergence found during development gets minimized
@@ -35,7 +35,10 @@ use colorist_er::{
     Attribute, Cardinality, EligibleAssociations, Endpoint, ErDiagram, ErGraph, NodeKind,
     Participation,
 };
-use colorist_query::{compile, execute, CmpOp, Pattern, PatternBuilder, Plan, QueryResult};
+use colorist_mct::MctSchema;
+use colorist_query::{
+    compile, execute, verify_plan, CmpOp, Pattern, PatternBuilder, Plan, QueryResult,
+};
 use colorist_store::{Database, Value};
 use std::fmt;
 
@@ -396,7 +399,17 @@ fn build_databases(
     let mut dbs = Vec::with_capacity(Strategy::ALL.len());
     for s in Strategy::ALL {
         match design(g, s) {
-            Ok(schema) => dbs.push((s, materialize(g, &schema, &inst))),
+            Ok(schema) => {
+                for d in colorist_mct::lint_schema(g, &schema) {
+                    divergences.push(Divergence {
+                        seed,
+                        query: "<design>".into(),
+                        strategy: s.label().into(),
+                        detail: format!("schema lint: {d}"),
+                    });
+                }
+                dbs.push((s, materialize(g, &schema, &inst)));
+            }
             Err(e) => divergences.push(Divergence {
                 seed,
                 query: "<design>".into(),
@@ -421,12 +434,30 @@ pub fn run_seed(seed: u64, cfg: &OracleConfig) -> SeedReport {
         // reference answer: the first strategy that executes the query
         let mut reference: Option<(Strategy, QueryResult)> = None;
         for (s, db) in &dbs {
-            let outcome = compile(g, &db.schema, q).and_then(|plan| {
-                let r = execute(db, g, &plan)?;
-                Ok((plan, r))
-            });
-            let (plan, r) = match outcome {
-                Ok(v) => v,
+            let plan = match compile(g, &db.schema, q) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    divergences.push(Divergence {
+                        seed,
+                        query: q.name.clone(),
+                        strategy: s.label().into(),
+                        detail: format!("engine refused: {e}"),
+                    });
+                    continue;
+                }
+            };
+            // Every compiled plan must pass the static verifier before it
+            // is trusted to execute — a diagnostic here is a compiler bug.
+            for d in verify_plan(g, &db.schema, &plan) {
+                divergences.push(Divergence {
+                    seed,
+                    query: q.name.clone(),
+                    strategy: s.label().into(),
+                    detail: format!("static verifier: {d}"),
+                });
+            }
+            let r = match execute(db, g, &plan) {
+                Ok(r) => r,
                 Err(e) => {
                     divergences.push(Divergence {
                         seed,
@@ -479,6 +510,41 @@ pub fn run_seed(seed: u64, cfg: &OracleConfig) -> SeedReport {
     }
 
     SeedReport { seed, feasible: setup.feasible, queries_run: setup.queries.len(), divergences }
+}
+
+/// One oracle seed's static artifacts: the generated graph, the designed
+/// schemas, and every plan the compiler produced for the seed's workload.
+/// This is the corpus the static-verifier mutation harness perturbs — no
+/// data is materialized and nothing executes, so a seed is cheap.
+#[derive(Debug, Clone)]
+pub struct SeedCorpus {
+    /// The generated ER graph.
+    pub graph: ErGraph,
+    /// Designed schema per strategy (design failures are skipped).
+    pub schemas: Vec<(Strategy, MctSchema)>,
+    /// Compiled plans: (index into `schemas`, query name, plan).
+    pub plans: Vec<(usize, String, Plan)>,
+}
+
+/// Generate one oracle seed and compile its whole workload against every
+/// strategy, without materializing or executing anything.
+pub fn compile_seed(seed: u64, cfg: &OracleConfig) -> SeedCorpus {
+    let setup = setup_seed(seed, cfg);
+    let mut schemas = Vec::new();
+    for s in Strategy::ALL {
+        if let Ok(schema) = design(&setup.graph, s) {
+            schemas.push((s, schema));
+        }
+    }
+    let mut plans = Vec::new();
+    for (si, (_, schema)) in schemas.iter().enumerate() {
+        for q in &setup.queries {
+            if let Ok(plan) = compile(&setup.graph, schema, q) {
+                plans.push((si, q.name.clone(), plan));
+            }
+        }
+    }
+    SeedCorpus { graph: setup.graph, schemas, plans }
 }
 
 /// Run `count` seeds starting at `start` on up to `threads` workers.
@@ -587,6 +653,11 @@ pub fn replay_text(seed: u64, cfg: &OracleConfig) -> String {
                         r.metrics.color_crossings
                     );
                     let _ = write!(s, "{}", indent(&plan.to_string(), "    "));
+                    let _ = write!(
+                        s,
+                        "{}",
+                        indent(&colorist_query::explain_abstract(g, &db.schema, &plan), "    ")
+                    );
                 }
                 Err(e) => {
                     let _ = writeln!(s, "  {:7} REFUSED: {e}", st.label());

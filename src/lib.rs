@@ -1,4 +1,7 @@
 //! Umbrella crate re-exporting the whole `colorist` workspace.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use colorist_core as core;
 pub use colorist_datagen as datagen;
 pub use colorist_er as er;
