@@ -31,10 +31,27 @@ echo "==> oracle smoke (256 seeds, all seven strategies)"
 # under a minute; exits non-zero on any divergence.
 cargo run -q --release -p colorist-workload --bin colorist-oracle -- --seeds 256
 
-echo "==> table1 smoke (COLORIST_SCALE=20)"
-COLORIST_SCALE=20 COLORIST_SUMMARY="results/bench_summary_ci.json" \
-    cargo run -q --release -p colorist-bench --bin table1 >/dev/null
+echo "==> table1 bench (COLORIST_SCALE=300, traced)"
+# Full-scale run with span collection: the summary feeds the perf gate, the
+# chrome-trace JSON is validated for shape (hierarchy, ids, thread nesting).
+COLORIST_SCALE=300 COLORIST_SEED=42 \
+    COLORIST_SUMMARY="results/bench_summary_ci.json" \
+    cargo run -q --release -p colorist-bench --bin table1 -- \
+    --trace results/trace_ci.json >/dev/null
 test -s results/bench_summary_ci.json
-rm -f results/bench_summary_ci.json
+
+echo "==> perfgate: validate emitted trace"
+cargo run -q --release -p colorist-bench --bin colorist-perfgate -- \
+    --validate-trace results/trace_ci.json
+
+echo "==> perfgate: diff against committed baseline"
+# Deterministic operation counts must match the committed baseline exactly
+# (any drift hard-fails); wall-clock is warn-only — CI hardware is shared
+# and noisy, so time regressions inform rather than block here.
+cargo run -q --release -p colorist-bench --bin colorist-perfgate -- \
+    --baseline results/bench_baseline.json \
+    --current results/bench_summary_ci.json \
+    --wall-warn-only
+rm -f results/bench_summary_ci.json results/trace_ci.json
 
 echo "==> ci.sh: all checks passed"

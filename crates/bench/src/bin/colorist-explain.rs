@@ -1,0 +1,122 @@
+//! `EXPLAIN ANALYZE` from the command line (DESIGN.md §9.3).
+//!
+//! ```text
+//! colorist-explain [--diagram tpcw] [--query Q12] [--strategy DR] [--static]
+//! ```
+//!
+//! Compiles and executes every selected read query of the diagram's
+//! workload under every selected strategy, printing each plan annotated
+//! with the **measured** per-operator metrics (rows in/out, elements
+//! scanned, join probes, bytes touched, wall time) next to the compiler's
+//! static operation counts. Scale and seed come from `COLORIST_SCALE` /
+//! `COLORIST_SEED` as for every bench binary. `--static` prints the
+//! colored-XPath sketch instead of executing.
+//!
+//! Updates (U1–U3) are mutations, not plans, and are skipped.
+
+use colorist_core::{design, Strategy};
+use colorist_datagen::{generate, materialize, ScaleProfile};
+use colorist_er::{catalog, ErGraph};
+use colorist_query::{compile, execute_profiled, explain, explain_analyze};
+use colorist_workload::{derby, tpcw, xmark};
+
+fn main() {
+    let mut diagram = "tpcw".to_string();
+    let mut query: Option<String> = None;
+    let mut strategy: Option<Strategy> = None;
+    let mut static_only = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("colorist-explain: {flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--diagram" => diagram = value("--diagram"),
+            "--query" => query = Some(value("--query")),
+            "--strategy" => {
+                let v = value("--strategy");
+                strategy = Some(Strategy::parse(&v).unwrap_or_else(|| {
+                    eprintln!("colorist-explain: unknown strategy `{v}`");
+                    std::process::exit(2);
+                }));
+            }
+            "--static" => static_only = true,
+            _ => {
+                eprintln!(
+                    "usage: colorist-explain [--diagram NAME] [--query QN] \
+                     [--strategy LABEL] [--static]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let Some(d) = catalog::by_name(&diagram) else {
+        eprintln!("colorist-explain: unknown diagram `{diagram}` (try: {:?})", catalog::COLLECTION);
+        std::process::exit(2);
+    };
+    let g = ErGraph::from_diagram(&d).expect("catalog diagram builds");
+    let w = match diagram.as_str() {
+        "tpcw" => tpcw::workload(&g),
+        "derby" => derby::workload(&g),
+        _ => xmark::workload(&g),
+    };
+    let scale = colorist_bench::scale();
+    let seed = colorist_bench::seed();
+    let profile = if diagram == "tpcw" {
+        ScaleProfile::tpcw(&g, scale)
+    } else {
+        ScaleProfile::uniform(&g, scale)
+    };
+    let instance = generate(&g, &profile, seed);
+
+    let strategies: Vec<Strategy> = match strategy {
+        Some(s) => vec![s],
+        None => Strategy::ALL.to_vec(),
+    };
+    let reads: Vec<_> = w
+        .reads
+        .iter()
+        .filter(|p| query.as_deref().is_none_or(|q| q.eq_ignore_ascii_case(&p.name)))
+        .collect();
+    if reads.is_empty() {
+        eprintln!(
+            "colorist-explain: no read query matches {:?} in {diagram} (updates cannot be \
+             explained)",
+            query
+        );
+        std::process::exit(2);
+    }
+
+    println!("diagram {diagram}, scale {scale}, seed {seed}");
+    for s in strategies {
+        let schema = design(&g, s).expect("strategy designs the diagram");
+        let db = (!static_only).then(|| materialize(&g, &schema, &instance));
+        for q in &reads {
+            let plan = match compile(&g, &schema, q) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("colorist-explain: {}/{s}: {e}", q.name);
+                    std::process::exit(1);
+                }
+            };
+            if let Some(db) = &db {
+                let (result, prof) = match execute_profiled(db, &g, &plan) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("colorist-explain: {}/{s}: {e}", q.name);
+                        std::process::exit(1);
+                    }
+                };
+                print!("{}", explain_analyze(&g, &plan, &result, &prof));
+            } else {
+                print!("{}", explain(&g, &plan));
+            }
+            println!();
+        }
+    }
+}

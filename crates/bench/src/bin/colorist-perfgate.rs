@@ -1,0 +1,111 @@
+//! The performance-regression gate (DESIGN.md §9.4).
+//!
+//! ```text
+//! colorist-perfgate --baseline results/bench_baseline.json \
+//!                   --current  results/bench_summary.json \
+//!                   [--max-wall-regress 0.25] [--wall-warn-only] \
+//!                   [--max-op-regress 0.0]
+//! colorist-perfgate --validate-trace trace.json
+//! ```
+//!
+//! Exit status: `0` pass, `1` regression (or invalid trace), `2` usage
+//! error / non-comparable documents.
+
+use colorist_bench::{compare, validate_trace, GateConfig};
+use colorist_trace::Json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: colorist-perfgate --baseline FILE --current FILE \
+         [--max-wall-regress F] [--wall-warn-only] [--max-op-regress F]\n\
+         \x20      colorist-perfgate --validate-trace FILE"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perfgate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("perfgate: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut baseline = None;
+    let mut current = None;
+    let mut trace = None;
+    let mut cfg = GateConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("perfgate: {flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")),
+            "--current" => current = Some(value("--current")),
+            "--validate-trace" => trace = Some(value("--validate-trace")),
+            "--wall-warn-only" => cfg.wall_warn_only = true,
+            "--max-wall-regress" | "--max-op-regress" => {
+                let v: f64 = value(&a).parse().unwrap_or_else(|_| {
+                    eprintln!("perfgate: {a} expects a fraction like 0.25");
+                    std::process::exit(2);
+                });
+                if a == "--max-wall-regress" {
+                    cfg.max_wall_regress = v;
+                } else {
+                    cfg.max_op_regress = v;
+                }
+            }
+            _ => usage(),
+        }
+    }
+
+    if let Some(path) = trace {
+        if baseline.is_some() || current.is_some() {
+            usage();
+        }
+        match validate_trace(&load(&path)) {
+            Ok(()) => {
+                println!("perfgate: trace {path} is well-formed");
+                return;
+            }
+            Err(e) => {
+                eprintln!("perfgate: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let (Some(bpath), Some(cpath)) = (baseline, current) else { usage() };
+    match compare(&load(&bpath), &load(&cpath), &cfg) {
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            std::process::exit(2);
+        }
+        Ok(report) => {
+            for w in &report.warnings {
+                eprintln!("perfgate: warning: {w}");
+            }
+            for f in &report.failures {
+                eprintln!("perfgate: FAIL: {f}");
+            }
+            if report.pass() {
+                println!(
+                    "perfgate: pass ({} warning(s)) — {cpath} vs {bpath}",
+                    report.warnings.len()
+                );
+            } else {
+                eprintln!("perfgate: {} regression(s)", report.failures.len());
+                std::process::exit(1);
+            }
+        }
+    }
+}

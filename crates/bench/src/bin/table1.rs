@@ -1,8 +1,48 @@
 //! Table 1: TPC-W data statistics and query processing time for the seven
 //! schemas (DEEP, AF, SHALLOW, EN, MCMR, DR, UNDR).
+//!
+//! `--trace out.json` additionally records a hierarchical span trace of the
+//! whole run (design, materialization, every query on every worker) and
+//! writes it in chrome-trace format — open it in `chrome://tracing` or
+//! Perfetto.
 
 fn main() {
+    let trace_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trace" => match args.next() {
+                    Some(p) => path = Some(p),
+                    None => {
+                        eprintln!("--trace requires an output path");
+                        std::process::exit(2);
+                    }
+                },
+                other => {
+                    eprintln!("unknown argument `{other}`; usage: table1 [--trace out.json]");
+                    std::process::exit(2);
+                }
+            }
+        }
+        path
+    };
+    if trace_path.is_some() {
+        colorist_trace::collect_start();
+    }
+
     let (_g, w, results, serial_wall) = colorist_bench::tpcw_suite_with_baseline();
+
+    if let Some(path) = &trace_path {
+        let trace = colorist_trace::collect_stop();
+        match std::fs::write(path, colorist_trace::chrome_trace_json(&trace)) {
+            Ok(()) => eprintln!("trace: {} spans -> {path}", trace.spans.len()),
+            Err(e) => {
+                eprintln!("trace write failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     println!(
         "Table 1 — TPC-W data statistics and query processing time (scale: {} customers, seed {})",

@@ -12,6 +12,12 @@
 //! | `fig12`–`fig14` | Figures 12–14 — geometric means of the three metrics over the ER collection |
 //! | `collection_summary` | §6.2's prose numbers: 66-schema sweep, color counts, query counts |
 //!
+//! Two observability tools ride along (DESIGN.md §9): `colorist-explain`
+//! prints `EXPLAIN ANALYZE` for any catalog query × strategy, and
+//! `colorist-perfgate` ([`perfgate`]) diffs two `bench_summary.json`
+//! documents and fails on regressions. `table1 --trace out.json` captures a
+//! chrome-trace of the whole suite.
+//!
 //! Scale is controlled by `COLORIST_SCALE` (default 300 TPC-W customers /
 //! 120 instances per collection entity) and `COLORIST_SEED` (default 42).
 //! Absolute sizes are far below the paper's 2.6M-element database — this is
@@ -37,9 +43,11 @@ use colorist_workload::{derby, suite, tpcw, xmark, SuiteResult, Workload};
 use std::time::Duration;
 
 pub mod micro;
+pub mod perfgate;
 pub mod summary;
 
-pub use summary::{bench_summary_json, write_bench_summary, SummaryMeta};
+pub use perfgate::{compare, validate_trace, GateConfig, GateReport};
+pub use summary::{bench_summary_json, write_bench_summary, SummaryMeta, SCHEMA_VERSION};
 
 /// TPC-W customers at scale 1.
 pub fn scale() -> u32 {

@@ -1,0 +1,399 @@
+//! The performance-regression gate behind `colorist-perfgate`.
+//!
+//! Diffs two [`bench_summary.json`](crate::summary) documents — a committed
+//! baseline and the current run — and classifies the differences:
+//!
+//! * **meta mismatches** (schema version, bench name, scale, seed) are
+//!   usage errors — the two documents do not describe comparable runs;
+//! * **operation-count drift** (structural/value joins, crossings,
+//!   dup-eliminations, group-bys, scans, probes, bytes, result counts) is a
+//!   **failure** when the current count regresses past the allowed factor,
+//!   and a **warning** when it *improves* — improvements mean the baseline
+//!   is stale and should be refreshed, not that the build is broken. The
+//!   counters are deterministic (same scale + seed ⇒ same counts), so the
+//!   default tolerance is zero: any growth fails;
+//! * **wall-clock regression** (`suite_wall_ms`) past the allowed fraction
+//!   is a failure by default, downgradeable to a warning with
+//!   [`GateConfig::wall_warn_only`] for shared/noisy CI hardware.
+//!
+//! The module also hosts [`validate_trace`], the shape checker for
+//! chrome-trace documents emitted by `--trace`.
+
+use crate::summary::SCHEMA_VERSION;
+use colorist_trace::Json;
+use std::collections::BTreeMap;
+
+/// What the gate tolerates before failing.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Allowed fractional growth in `suite_wall_ms` (e.g. `0.25` = +25%).
+    pub max_wall_regress: f64,
+    /// Downgrade wall-clock failures to warnings (shared CI hardware).
+    pub wall_warn_only: bool,
+    /// Allowed fractional growth in any deterministic counter. `0.0`
+    /// demands byte-exact counts.
+    pub max_op_regress: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { max_wall_regress: 0.25, wall_warn_only: false, max_op_regress: 0.0 }
+    }
+}
+
+/// The gate's verdict: failures block, warnings inform.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Regressions past the configured tolerances.
+    pub failures: Vec<String>,
+    /// Improvements and downgraded wall-clock regressions.
+    pub warnings: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when nothing blocks.
+    pub fn pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The deterministic per-query counters the gate compares exactly.
+const OP_FIELDS: [&str; 12] = [
+    "logical",
+    "physical",
+    "structural_joins",
+    "value_joins",
+    "color_crossings",
+    "dup_eliminations",
+    "group_bys",
+    "duplicate_updates",
+    "icic_maintenance",
+    "elements_scanned",
+    "join_probes",
+    "bytes_touched",
+];
+
+fn require_u64(doc: &Json, key: &str, what: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{what}: missing or non-integer `{key}`"))
+}
+
+fn require_str<'a>(doc: &'a Json, key: &str, what: &str) -> Result<&'a str, String> {
+    doc.get(key).and_then(Json::as_str).ok_or_else(|| format!("{what}: missing `{key}`"))
+}
+
+/// Index a document's strategies as `strategy -> query -> counters`.
+#[allow(clippy::type_complexity)]
+fn index<'a>(
+    doc: &'a Json,
+    what: &str,
+) -> Result<BTreeMap<String, BTreeMap<String, &'a Json>>, String> {
+    let mut out = BTreeMap::new();
+    let strategies = doc
+        .get("strategies")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what}: missing `strategies` array"))?;
+    for s in strategies {
+        let label = require_str(s, "strategy", what)?.to_string();
+        let queries = s
+            .get("queries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{what}: strategy {label} missing `queries`"))?;
+        let mut by_name = BTreeMap::new();
+        for q in queries {
+            by_name.insert(require_str(q, "name", what)?.to_string(), q);
+        }
+        out.insert(label, by_name);
+    }
+    Ok(out)
+}
+
+/// Diff `current` against `baseline` under `cfg`.
+///
+/// `Err` means the documents are not comparable (wrong schema version,
+/// different bench/scale/seed, malformed JSON shape) — a usage error, not a
+/// regression. `Ok` carries the [`GateReport`].
+pub fn compare(baseline: &Json, current: &Json, cfg: &GateConfig) -> Result<GateReport, String> {
+    for (doc, what) in [(baseline, "baseline"), (current, "current")] {
+        let v = require_u64(doc, "schema_version", what)?;
+        if v != SCHEMA_VERSION {
+            return Err(format!(
+                "{what}: schema_version {v} != supported {SCHEMA_VERSION}; \
+                 regenerate the document with this build"
+            ));
+        }
+    }
+    for key in ["bench", "scale", "seed"] {
+        let b = baseline.get(key);
+        let c = current.get(key);
+        if b != c {
+            return Err(format!(
+                "meta mismatch on `{key}`: baseline {b:?} vs current {c:?} — \
+                 the runs are not comparable"
+            ));
+        }
+    }
+
+    let mut report = GateReport::default();
+
+    // wall clock
+    let b_wall = baseline.get("suite_wall_ms").and_then(Json::as_f64);
+    let c_wall = current.get("suite_wall_ms").and_then(Json::as_f64);
+    if let (Some(b), Some(c)) = (b_wall, c_wall) {
+        if b > 0.0 && c > b * (1.0 + cfg.max_wall_regress) {
+            let msg = format!(
+                "suite_wall_ms regressed {:.1}% ({b:.3} -> {c:.3} ms; allowed +{:.0}%)",
+                (c / b - 1.0) * 100.0,
+                cfg.max_wall_regress * 100.0
+            );
+            if cfg.wall_warn_only {
+                report.warnings.push(format!("{msg} [wall-warn-only]"));
+            } else {
+                report.failures.push(msg);
+            }
+        }
+    }
+
+    // deterministic counters
+    let base = index(baseline, "baseline")?;
+    let cur = index(current, "current")?;
+    for label in base.keys() {
+        if !cur.contains_key(label) {
+            report.failures.push(format!("strategy {label} disappeared from the current run"));
+        }
+    }
+    for (label, cur_queries) in &cur {
+        let Some(base_queries) = base.get(label) else {
+            report.warnings.push(format!("strategy {label} is new (not in the baseline)"));
+            continue;
+        };
+        for name in base_queries.keys() {
+            if !cur_queries.contains_key(name) {
+                report.failures.push(format!("{label}/{name} disappeared from the current run"));
+            }
+        }
+        for (name, cq) in cur_queries {
+            let Some(bq) = base_queries.get(name) else {
+                report.warnings.push(format!("{label}/{name} is new (not in the baseline)"));
+                continue;
+            };
+            for field in OP_FIELDS {
+                let what = format!("{label}/{name}");
+                let b = require_u64(bq, field, &format!("baseline {what}"))?;
+                let c = require_u64(cq, field, &format!("current {what}"))?;
+                let allowed = (b as f64 * (1.0 + cfg.max_op_regress)).floor() as u64;
+                if c > allowed.max(b) {
+                    report.failures.push(format!(
+                        "{what}: {field} regressed {b} -> {c} (allowed <= {})",
+                        allowed.max(b)
+                    ));
+                } else if c < b {
+                    report.warnings.push(format!(
+                        "{what}: {field} improved {b} -> {c} — refresh the baseline"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Validate the shape of a chrome-trace document emitted by `--trace`:
+/// a `traceEvents` array whose `X` events carry `name`/`cat`/`pid`/`tid`,
+/// non-negative `ts`/`dur`, unique `args.id`, and whose `args.parent`
+/// references an existing span on the same thread that contains the child's
+/// interval (with a small µs-rounding slack).
+pub fn validate_trace(doc: &Json) -> Result<(), String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("trace: missing `traceEvents` array")?;
+    // (id -> (tid, start, end)); slack for the ns -> µs {:.3} rounding
+    let mut spans: BTreeMap<u64, (u64, f64, f64)> = BTreeMap::new();
+    let mut xs = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = require_str(e, "ph", &format!("trace event {i}"))?;
+        for key in ["name", "cat"] {
+            if ph == "X" {
+                require_str(e, key, &format!("trace event {i}"))?;
+            }
+        }
+        require_u64(e, "pid", &format!("trace event {i}"))?;
+        let tid = require_u64(e, "tid", &format!("trace event {i}"))?;
+        if ph != "X" {
+            continue;
+        }
+        xs += 1;
+        let ts = e.get("ts").and_then(Json::as_f64).ok_or(format!("trace event {i}: no ts"))?;
+        let dur = e.get("dur").and_then(Json::as_f64).ok_or(format!("trace event {i}: no dur"))?;
+        if ts < 0.0 || dur < 0.0 {
+            return Err(format!("trace event {i}: negative ts/dur"));
+        }
+        let args = e.get("args").ok_or(format!("trace event {i}: no args"))?;
+        let id = require_u64(args, "id", &format!("trace event {i} args"))?;
+        if spans.insert(id, (tid, ts, ts + dur)).is_some() {
+            return Err(format!("trace: duplicate span id {id}"));
+        }
+    }
+    if xs == 0 {
+        return Err("trace: no X (complete) events".to_string());
+    }
+    const SLACK: f64 = 0.01; // µs
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let args = e.get("args").expect("checked above");
+        let Some(parent) = args.get("parent").and_then(Json::as_u64) else { continue };
+        let id = args.get("id").and_then(Json::as_u64).expect("checked above");
+        let &(ctid, cs, ce) = spans.get(&id).expect("indexed above");
+        let Some(&(ptid, ps, pe)) = spans.get(&parent) else {
+            return Err(format!("trace: span {id} has unknown parent {parent}"));
+        };
+        if ptid != ctid {
+            return Err(format!("trace: span {id} and parent {parent} on different threads"));
+        }
+        if cs + SLACK < ps || ce > pe + SLACK {
+            return Err(format!(
+                "trace: span {id} [{cs}, {ce}] escapes parent {parent} [{ps}, {pe}]"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::{bench_summary_json, SummaryMeta};
+    use colorist_core::Strategy;
+    use colorist_datagen::ScaleProfile;
+    use colorist_er::{catalog, ErGraph};
+    use colorist_workload::{suite, tpcw};
+
+    fn small_summary() -> String {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).expect("tpcw builds");
+        let w = tpcw::workload(&g);
+        let profile = ScaleProfile::tpcw(&g, 20);
+        let results = suite::run_suite(&g, &[Strategy::Af, Strategy::Dr], &w, &profile, 7)
+            .expect("suite runs");
+        let meta =
+            SummaryMeta { bench: "gate-test", scale: 20, seed: 7, threads: 1, serial_wall: None };
+        bench_summary_json(&meta, &results)
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let j = small_summary();
+        let doc = Json::parse(&j).expect("summary parses");
+        let report = compare(&doc, &doc, &GateConfig::default()).expect("comparable");
+        assert!(report.pass(), "{:?}", report.failures);
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn injected_double_op_count_fails() {
+        let j = small_summary();
+        let base = Json::parse(&j).expect("parses");
+        // double every structural_joins count in the current document
+        let mut cur = base.clone();
+        fn double(j: &mut Json) {
+            match j {
+                Json::Obj(m) => {
+                    for (k, v) in m.iter_mut() {
+                        if k == "structural_joins" {
+                            if let Json::Num(n) = v {
+                                *n *= 2.0;
+                            }
+                        } else {
+                            double(v);
+                        }
+                    }
+                }
+                Json::Arr(v) => v.iter_mut().for_each(double),
+                _ => {}
+            }
+        }
+        double(&mut cur);
+        let report = compare(&base, &cur, &GateConfig::default()).expect("comparable");
+        assert!(!report.pass());
+        assert!(
+            report.failures.iter().any(|f| f.contains("structural_joins regressed")),
+            "{:?}",
+            report.failures
+        );
+        // and the reverse direction is a warning, not a failure
+        let rev = compare(&cur, &base, &GateConfig::default()).expect("comparable");
+        assert!(rev.pass(), "{:?}", rev.failures);
+        assert!(rev.warnings.iter().any(|w| w.contains("improved")), "{:?}", rev.warnings);
+    }
+
+    #[test]
+    fn wall_regression_respects_warn_only() {
+        let j = small_summary();
+        let base = Json::parse(&j).expect("parses");
+        let mut cur = base.clone();
+        if let Json::Obj(m) = &mut cur {
+            for (k, v) in m.iter_mut() {
+                if k == "suite_wall_ms" {
+                    if let Json::Num(n) = v {
+                        *n = *n * 10.0 + 1000.0;
+                    }
+                }
+            }
+        }
+        let hard = compare(&base, &cur, &GateConfig::default()).expect("comparable");
+        assert!(!hard.pass());
+        let soft =
+            compare(&base, &cur, &GateConfig { wall_warn_only: true, ..GateConfig::default() })
+                .expect("comparable");
+        assert!(soft.pass());
+        assert!(soft.warnings.iter().any(|w| w.contains("wall-warn-only")), "{:?}", soft.warnings);
+    }
+
+    #[test]
+    fn meta_mismatch_is_a_usage_error() {
+        let j = small_summary();
+        let base = Json::parse(&j).expect("parses");
+        let mut cur = base.clone();
+        if let Json::Obj(m) = &mut cur {
+            for (k, v) in m.iter_mut() {
+                if k == "seed" {
+                    *v = Json::Num(999.0);
+                }
+            }
+        }
+        assert!(compare(&base, &cur, &GateConfig::default()).is_err());
+        // wrong schema version too
+        let mut old = base.clone();
+        if let Json::Obj(m) = &mut old {
+            for (k, v) in m.iter_mut() {
+                if k == "schema_version" {
+                    *v = Json::Num(1.0);
+                }
+            }
+        }
+        assert!(compare(&old, &base, &GateConfig::default()).is_err());
+    }
+
+    #[test]
+    fn validates_a_real_trace_and_rejects_shapes() {
+        colorist_trace::collect_start();
+        {
+            let mut outer = colorist_trace::span("t", "outer");
+            outer.counter("k", 1);
+            let _inner = colorist_trace::span("t", "inner");
+        }
+        let trace = colorist_trace::collect_stop();
+        let doc = Json::parse(&colorist_trace::chrome_trace_json(&trace)).expect("parses");
+        validate_trace(&doc).expect("well-formed trace validates");
+
+        assert!(validate_trace(&Json::parse("{}").unwrap()).is_err());
+        let orphan = r#"{"traceEvents": [
+            {"ph": "X", "name": "a", "cat": "t", "pid": 1, "tid": 0,
+             "ts": 0.0, "dur": 1.0, "args": {"id": 0, "parent": 99}}
+        ]}"#;
+        assert!(validate_trace(&Json::parse(orphan).unwrap()).is_err());
+    }
+}

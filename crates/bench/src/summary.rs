@@ -7,11 +7,43 @@
 //! commits and machines without re-parsing stdout. The format is
 //! hand-rolled — the workspace is buildable offline with no external
 //! crates — and kept flat enough for `jq` one-liners.
+//!
+//! The document is versioned: [`SCHEMA_VERSION`] bumps whenever a field is
+//! added, removed, or changes meaning, and `colorist-perfgate` refuses to
+//! diff documents whose versions disagree. Every field is documented in
+//! EXPERIMENTS.md ("The `bench_summary.json` schema").
 
 use colorist_workload::{QueryKind, SuiteResult};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
+
+/// Version stamped into every summary document as `"schema_version"`.
+///
+/// History: 1 — the original unversioned layout (no `schema_version`,
+/// `git_rev`, `join_probes` or `bytes_touched`); 2 — adds those four fields.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The git revision to stamp into the document: `COLORIST_GIT_REV` if set,
+/// else `git rev-parse --short=12 HEAD`, else `"unknown"` (e.g. when built
+/// from a tarball).
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("COLORIST_GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
 
 /// Run metadata stamped into the summary document.
 #[derive(Debug, Clone)]
@@ -54,6 +86,8 @@ fn esc(s: &str) -> String {
 pub fn bench_summary_json(meta: &SummaryMeta, results: &[SuiteResult]) -> String {
     let mut j = String::new();
     let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(j, "  \"git_rev\": \"{}\",", esc(&git_rev()));
     let _ = writeln!(j, "  \"bench\": \"{}\",", esc(meta.bench));
     let _ = writeln!(j, "  \"scale\": {},", meta.scale);
     let _ = writeln!(j, "  \"seed\": {},", meta.seed);
@@ -93,7 +127,8 @@ pub fn bench_summary_json(meta: &SummaryMeta, results: &[SuiteResult]) -> String
                  \"structural_joins\": {}, \"value_joins\": {}, \
                  \"color_crossings\": {}, \"dup_eliminations\": {}, \
                  \"group_bys\": {}, \"duplicate_updates\": {}, \
-                 \"icic_maintenance\": {}, \"elements_scanned\": {}}}",
+                 \"icic_maintenance\": {}, \"elements_scanned\": {}, \
+                 \"join_probes\": {}, \"bytes_touched\": {}}}",
                 esc(&q.name),
                 m.elapsed.as_micros(),
                 q.logical,
@@ -106,6 +141,8 @@ pub fn bench_summary_json(meta: &SummaryMeta, results: &[SuiteResult]) -> String
                 m.duplicate_updates,
                 m.icic_maintenance,
                 m.elements_scanned,
+                m.join_probes,
+                m.bytes_touched,
             );
             let _ = writeln!(j, "{}", if qi + 1 < r.runs.len() { "," } else { "" });
         }
@@ -161,6 +198,8 @@ mod tests {
         };
         let j = bench_summary_json(&meta, &[]);
         assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(j.contains("\"git_rev\": \""));
         assert!(j.contains("\"bench\": \"t\""));
         assert!(j.contains("\"threads\": 3"));
         assert!(j.contains("\"serial_wall_ms\": 10.000"));

@@ -31,6 +31,7 @@ use std::collections::HashSet;
 
 /// Materialize `instance` under `schema`.
 pub fn materialize(graph: &ErGraph, schema: &MctSchema, instance: &CanonicalInstance) -> Database {
+    let mut span = colorist_trace::span("materialize", "materialize");
     let mut b = DatabaseBuilder::new(schema.clone(), graph.node_count());
     b.set_links(
         graph
@@ -112,7 +113,12 @@ pub fn materialize(graph: &ErGraph, schema: &MctSchema, instance: &CanonicalInst
         }
     }
 
-    b.finish()
+    let db = b.finish();
+    if span.is_recording() {
+        span.counter("elements", db.element_count() as u64);
+        span.counter("colors", db.color_count() as u64);
+    }
+    db
 }
 
 #[allow(clippy::too_many_arguments)]

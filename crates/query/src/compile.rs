@@ -81,6 +81,7 @@ struct State {
 
 /// Compile `pattern` against `schema`.
 pub fn compile(graph: &ErGraph, schema: &MctSchema, pattern: &Pattern) -> Result<Plan, QueryError> {
+    let _span = colorist_trace::span("compile", format!("compile:{}", pattern.name));
     let full = completeness(graph, schema);
     Compiler { graph, schema, full }.run(pattern)
 }

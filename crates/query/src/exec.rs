@@ -18,9 +18,35 @@ use colorist_store::{
     SemiSide, ValueKey,
 };
 use std::collections::HashSet;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The outcome of executing one query plan.
+///
+/// ```
+/// use colorist_core::{design, Strategy};
+/// use colorist_datagen::{generate, materialize, ScaleProfile};
+/// use colorist_er::{catalog, ErGraph};
+/// use colorist_query::{compile, execute, PatternBuilder};
+///
+/// let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+/// let schema = design(&g, Strategy::Af).unwrap();
+/// let instance = generate(&g, &ScaleProfile::tpcw(&g, 20), 42);
+/// let db = materialize(&g, &schema, &instance);
+///
+/// let q = PatternBuilder::new(&g, "Q")
+///     .node("country")
+///     .node("customer")
+///     .chain(0, 1, &["in", "address", "has"])
+///     .unwrap()
+///     .output(1)
+///     .build()
+///     .unwrap();
+/// let plan = compile(&g, &db.schema, &q).unwrap();
+/// let r = execute(&db, &g, &plan).unwrap();
+/// assert_eq!(r.results, r.distinct, "AF is node normal: no physical copies");
+/// assert_eq!(r.distinct, r.elements.len() as u64);
+/// assert_eq!(r.metrics.value_joins, 0, "AF recovers this chain structurally");
+/// ```
 #[derive(Debug, Clone)]
 pub struct QueryResult {
     /// Physical result tuples — includes copies on un-normalized schemas
@@ -32,6 +58,42 @@ pub struct QueryResult {
     pub elements: Vec<ElementId>,
     /// Measured metrics (plan ops + volumes + wall time).
     pub metrics: Metrics,
+}
+
+/// The measured cost of one plan operator during one execution — the
+/// `EXPLAIN ANALYZE` row for that operator.
+#[derive(Debug, Clone)]
+pub struct OpProfile {
+    /// Index into [`Plan::ops`].
+    pub op: usize,
+    /// The [`Metrics`] delta this operator charged: deterministic counters
+    /// only (`elapsed` inside is always zero; the measured wall time lives
+    /// in [`OpProfile::elapsed`]). Summed over a plan's profiles, the
+    /// deltas reproduce the query's top-level counter totals exactly.
+    pub metrics: Metrics,
+    /// Physical tuples entering the operator (both sides for `Intersect`,
+    /// 0 for `Scan`, whose input is storage itself).
+    pub rows_in: u64,
+    /// Physical tuples the operator produced (group count for `GroupBy`).
+    pub rows_out: u64,
+    /// Measured wall time of this operator alone (machine-dependent, unlike
+    /// every other field).
+    pub elapsed: Duration,
+}
+
+/// The short kind label of an operator, used in span names and
+/// `EXPLAIN ANALYZE` rows.
+pub fn op_kind(op: &Op) -> &'static str {
+    match op {
+        Op::Scan { .. } => "scan",
+        Op::StructSemi { .. } => "struct_semi",
+        Op::ValueSemi { .. } => "value_semi",
+        Op::LinkSemi { .. } => "link_semi",
+        Op::Cross { .. } => "cross",
+        Op::Intersect { .. } => "intersect",
+        Op::Distinct { .. } => "distinct",
+        Op::GroupBy { .. } => "group_by",
+    }
 }
 
 /// A register value during execution.
@@ -62,6 +124,77 @@ impl SetVal {
 /// so `results >= distinct` always, with equality on schemas that store
 /// no copies of the output node.
 pub fn execute(db: &Database, graph: &ErGraph, plan: &Plan) -> Result<QueryResult, QueryError> {
+    run(db, graph, plan, None)
+}
+
+/// Execute a compiled plan, additionally attributing every metric to the
+/// operator that charged it — the measurement side of `EXPLAIN ANALYZE`
+/// (rendered by [`crate::explain::explain_analyze`]).
+///
+/// The profile's counter deltas partition the query totals exactly: summing
+/// [`OpProfile::metrics`] over all operators reproduces every counter of
+/// `QueryResult::metrics` (`results`, `distinct_results` and `elapsed` are
+/// query-level and stay zero in the deltas).
+///
+/// ```
+/// use colorist_core::{design, Strategy};
+/// use colorist_datagen::{generate, materialize, ScaleProfile};
+/// use colorist_er::{catalog, ErGraph};
+/// use colorist_query::{compile, execute_profiled, PatternBuilder};
+///
+/// let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+/// let schema = design(&g, Strategy::Shallow).unwrap();
+/// let instance = generate(&g, &ScaleProfile::tpcw(&g, 20), 42);
+/// let db = materialize(&g, &schema, &instance);
+///
+/// let q = PatternBuilder::new(&g, "Q")
+///     .node("country")
+///     .node("customer")
+///     .chain(0, 1, &["in", "address", "has"])
+///     .unwrap()
+///     .output(1)
+///     .build()
+///     .unwrap();
+/// let plan = compile(&g, &db.schema, &q).unwrap();
+/// let (r, profile) = execute_profiled(&db, &g, &plan).unwrap();
+///
+/// assert_eq!(profile.len(), plan.ops.len(), "one profile row per operator");
+/// let probes: u64 = profile.iter().map(|p| p.metrics.join_probes).sum();
+/// assert_eq!(probes, r.metrics.join_probes, "deltas sum to the totals");
+/// ```
+pub fn execute_profiled(
+    db: &Database,
+    graph: &ErGraph,
+    plan: &Plan,
+) -> Result<(QueryResult, Vec<OpProfile>), QueryError> {
+    let mut profiles = Vec::with_capacity(plan.ops.len());
+    let r = run(db, graph, plan, Some(&mut profiles))?;
+    Ok((r, profiles))
+}
+
+/// Physical tuples entering `op`, given the current register contents.
+fn rows_in(regs: &[Option<SetVal>], op: &Op) -> u64 {
+    let phys = |r: Reg| regs.get(r).and_then(Option::as_ref).map_or(0, SetVal::physical_len);
+    match op {
+        Op::Scan { .. } => 0,
+        Op::StructSemi { src, .. }
+        | Op::ValueSemi { src, .. }
+        | Op::LinkSemi { src, .. }
+        | Op::Cross { src, .. }
+        | Op::Distinct { src, .. }
+        | Op::GroupBy { src, .. } => phys(*src),
+        Op::Intersect { a, b, .. } => phys(*a) + phys(*b),
+    }
+}
+
+fn run(
+    db: &Database,
+    graph: &ErGraph,
+    plan: &Plan,
+    mut profile: Option<&mut Vec<OpProfile>>,
+) -> Result<QueryResult, QueryError> {
+    let mut query_span =
+        colorist_trace::span("query", format!("execute:{}:{}", plan.name, plan.strategy));
     let start = Instant::now();
     let mut metrics = Metrics::default();
     let mut regs: Vec<Option<SetVal>> = vec![None; plan.reg_count];
@@ -71,7 +204,13 @@ pub fn execute(db: &Database, graph: &ErGraph, plan: &Plan) -> Result<QueryResul
     // parenthesized duplicate counts of Table 1)
     let mut phys: Vec<u64> = vec![0; plan.reg_count];
 
-    for op in &plan.ops {
+    for (oi, op) in plan.ops.iter().enumerate() {
+        // observation is opt-in per call (profiling) or per process
+        // (tracing); the plain path pays no clock reads or snapshots
+        let observing = profile.is_some() || query_span.is_recording();
+        let before = observing.then(|| (metrics, rows_in(&regs, op), Instant::now()));
+        let mut op_span = colorist_trace::span("op", op_kind(op));
+
         let dst = op.dst();
         let val = eval(db, graph, &mut metrics, &regs, op)?;
         if dst >= regs.len() {
@@ -84,7 +223,37 @@ pub fn execute(db: &Database, graph: &ErGraph, plan: &Plan) -> Result<QueryResul
             Op::Distinct { src, .. } | Op::GroupBy { src, .. } => phys[*src],
             _ => val.physical_len(),
         };
+        let rows_out = match &val {
+            SetVal::Groups { count, .. } => *count as u64,
+            v => v.physical_len(),
+        };
         regs[dst] = Some(val);
+
+        if let Some((snapshot, rows_in, op_start)) = before {
+            let delta = metrics.since(&snapshot);
+            let elapsed = op_start.elapsed();
+            if op_span.is_recording() {
+                for (key, value) in [
+                    ("rows_in", rows_in),
+                    ("rows_out", rows_out),
+                    ("elements_scanned", delta.elements_scanned),
+                    ("join_probes", delta.join_probes),
+                    ("bytes_touched", delta.bytes_touched),
+                    ("structural_joins", delta.structural_joins),
+                    ("value_joins", delta.value_joins),
+                    ("color_crossings", delta.color_crossings),
+                    ("dup_eliminations", delta.dup_eliminations),
+                    ("group_bys", delta.group_bys),
+                ] {
+                    if value > 0 {
+                        op_span.counter(key, value);
+                    }
+                }
+            }
+            if let Some(p) = profile.as_deref_mut() {
+                p.push(OpProfile { op: oi, metrics: delta, rows_in, rows_out, elapsed });
+            }
+        }
     }
 
     let out = match regs.get_mut(plan.output).map(Option::take) {
@@ -103,6 +272,17 @@ pub fn execute(db: &Database, graph: &ErGraph, plan: &Plan) -> Result<QueryResul
     metrics.results = results;
     metrics.distinct_results = distinct;
     metrics.elapsed = start.elapsed();
+    if query_span.is_recording() {
+        for (key, value) in [
+            ("results", results),
+            ("distinct", distinct),
+            ("elements_scanned", metrics.elements_scanned),
+            ("join_probes", metrics.join_probes),
+            ("bytes_touched", metrics.bytes_touched),
+        ] {
+            query_span.counter(key, value);
+        }
+    }
     Ok(QueryResult { results, distinct, elements, metrics })
 }
 
@@ -118,6 +298,7 @@ fn eval(
             let tree = color_tree(db, *color, "Scan")?;
             let all = tree.of_node(*node);
             metrics.elements_scanned += all.len() as u64;
+            metrics.bytes_touched += std::mem::size_of_val(all) as u64;
             let occs: Vec<OccId> = match pred {
                 None => all.to_vec(),
                 Some(p) => {
@@ -227,6 +408,9 @@ fn eval(
             metrics.structural_joins += 1;
             let src_elems = to_elems(db, regs, *src, "LinkSemi")?;
             metrics.elements_scanned += src_elems.len() as u64;
+            // one adjacency lookup per source element
+            metrics.join_probes += src_elems.len() as u64;
+            metrics.bytes_touched += (src_elems.len() * std::mem::size_of::<ElementId>()) as u64;
             let e = check_edge(graph, *edge, "LinkSemi")?;
             let mut out: Vec<ElementId> = if *src_is_rel {
                 src_elems
@@ -257,6 +441,7 @@ fn eval(
             metrics.color_crossings += 1;
             let elems = to_elems(db, regs, *src, "Cross")?;
             metrics.elements_scanned += elems.len() as u64;
+            metrics.bytes_touched += (elems.len() * std::mem::size_of::<ElementId>()) as u64;
             color_tree(db, *color, "Cross")?;
             Ok(SetVal::Occs { color: *color, occs: elems_to_occs(db, *color, &elems) })
         }
@@ -291,6 +476,7 @@ fn eval(
         Op::Distinct { src, .. } => {
             metrics.dup_eliminations += 1;
             let elems = to_elems(db, regs, *src, "Distinct")?;
+            metrics.bytes_touched += (elems.len() * std::mem::size_of::<ElementId>()) as u64;
             Ok(SetVal::Elems(elems))
         }
 
@@ -298,6 +484,7 @@ fn eval(
             metrics.group_bys += 1;
             let elems = to_elems(db, regs, *src, "GroupBy")?;
             metrics.elements_scanned += elems.len() as u64;
+            metrics.bytes_touched += (elems.len() * std::mem::size_of::<ValueKey>()) as u64;
             // Copy keys + sort/dedup: no hashing, no per-element String
             let mut keys: Vec<ValueKey> = Vec::with_capacity(elems.len());
             for &e in &elems {

@@ -10,10 +10,12 @@
 //!
 //! versus SHALLOW's value-join chains.
 
+use crate::exec::{op_kind, OpProfile, QueryResult};
 use crate::pattern::CmpOp;
 use crate::plan::{Op, Plan, VDir};
 use colorist_er::ErGraph;
 use colorist_mct::color_name;
+use colorist_store::Metrics;
 use std::fmt::Write as _;
 
 /// Render a plan as an annotated colored-XPath sketch, one line per
@@ -89,12 +91,150 @@ pub fn explain(graph: &ErGraph, plan: &Plan) -> String {
     s
 }
 
+/// One-line description of an operator with element/color names resolved.
+fn op_desc(graph: &ErGraph, op: &Op) -> String {
+    let edge_ends = |e: colorist_er::EdgeId| {
+        let ed = graph.edge(e);
+        format!("{}[{}]", graph.node(ed.rel).name, graph.node(ed.participant).name)
+    };
+    match op {
+        Op::Scan { color, node, pred, .. } => {
+            let p = if pred.is_some() { " [pred]" } else { "" };
+            format!("scan {}::{}{p}", color_name(*color), graph.node(*node).name)
+        }
+        Op::StructSemi { color, node, via, dir, .. } => format!(
+            "struct{} {}::{} via {} edge(s)",
+            if *dir == VDir::Down { "↓" } else { "↑" },
+            color_name(*color),
+            graph.node(*node).name,
+            via.len()
+        ),
+        Op::ValueSemi { edge, .. } => format!("valuejoin across {}", edge_ends(*edge)),
+        Op::LinkSemi { edge, .. } => format!("linkjoin across {}", edge_ends(*edge)),
+        Op::Cross { color, node, .. } => {
+            format!("cross -> {}::{}", color_name(*color), graph.node(*node).name)
+        }
+        Op::Intersect { a, b, .. } => format!("intersect r{a} ∩ r{b}"),
+        Op::Distinct { .. } => "distinct".to_string(),
+        Op::GroupBy { attr, .. } => format!("group by @{attr}"),
+    }
+}
+
+/// The operation counts a single operator contributes statically (its slice
+/// of [`Plan::static_metrics`]).
+fn op_static(op: &Op) -> Metrics {
+    let mut m = Metrics::default();
+    match op {
+        Op::Scan { .. } | Op::Intersect { .. } => {}
+        Op::StructSemi { .. } | Op::LinkSemi { .. } => m.structural_joins += 1,
+        Op::ValueSemi { .. } => m.value_joins += 1,
+        Op::Cross { .. } => m.color_crossings += 1,
+        Op::Distinct { .. } => m.dup_eliminations += 1,
+        Op::GroupBy { .. } => m.group_bys += 1,
+    }
+    m
+}
+
+/// Do the *operation-count* fields of `measured` match `expected`? (Volume
+/// counters — scans, probes, bytes — have no static prediction.)
+fn op_counts_match(measured: &Metrics, expected: &Metrics) -> bool {
+    (
+        measured.structural_joins,
+        measured.value_joins,
+        measured.color_crossings,
+        measured.dup_eliminations,
+        measured.group_bys,
+    ) == (
+        expected.structural_joins,
+        expected.value_joins,
+        expected.color_crossings,
+        expected.dup_eliminations,
+        expected.group_bys,
+    )
+}
+
+/// Render `EXPLAIN ANALYZE` output: the plan, one row per operator, each
+/// annotated with its **static** operation counts (what the compiler
+/// predicted at emission time) and its **measured** per-operator metrics
+/// from one [`execute_profiled`](crate::exec::execute_profiled) run — rows
+/// in/out, elements scanned, join probes, bytes touched, and wall time.
+/// Rows where the measured operation counts drift from the static
+/// prediction are flagged `<< DRIFT`; the trailer reconciles the per-op
+/// deltas against the query's top-level totals.
+pub fn explain_analyze(
+    graph: &ErGraph,
+    plan: &Plan,
+    result: &QueryResult,
+    profile: &[OpProfile],
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "EXPLAIN ANALYZE {} [{}]  wall {:.1}µs  rows {} ({} distinct)",
+        plan.name,
+        plan.strategy,
+        result.metrics.elapsed.as_secs_f64() * 1e6,
+        result.results,
+        result.distinct,
+    );
+    let mut sum = Metrics::default();
+    for p in profile {
+        let Some(op) = plan.ops.get(p.op) else { continue };
+        sum += p.metrics;
+        let mut line = format!(
+            "  r{} = {:<42} {:>8} -> {:<8}",
+            op.dst(),
+            op_desc(graph, op),
+            p.rows_in,
+            p.rows_out
+        );
+        let m = &p.metrics;
+        for (key, v) in
+            [("scanned", m.elements_scanned), ("probes", m.join_probes), ("bytes", m.bytes_touched)]
+        {
+            if v > 0 {
+                let _ = write!(line, " {key}={v}");
+            }
+        }
+        let _ = write!(line, " {:.1}µs", p.elapsed.as_secs_f64() * 1e6);
+        if !op_counts_match(m, &op_static(op)) {
+            let _ = write!(line, "  << DRIFT: measured op counts differ from static");
+        }
+        let _ = writeln!(s, "{}  [{}]", line, op_kind(op));
+    }
+    let t = &result.metrics;
+    let _ = writeln!(
+        s,
+        "  totals: {} structural, {} value, {} crossings, {} dup-elim, {} group-by; \
+         scanned {} probes {} bytes {}{}",
+        t.structural_joins,
+        t.value_joins,
+        t.color_crossings,
+        t.dup_eliminations,
+        t.group_bys,
+        t.elements_scanned,
+        t.join_probes,
+        t.bytes_touched,
+        if op_counts_match(&sum, t)
+            && (sum.elements_scanned, sum.join_probes, sum.bytes_touched)
+                == (t.elements_scanned, t.join_probes, t.bytes_touched)
+        {
+            "  (per-op deltas sum exactly)"
+        } else {
+            "  << DRIFT: per-op deltas do not sum to the totals"
+        },
+    );
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::compile::compile;
+    use crate::exec::execute_profiled;
     use crate::pattern::PatternBuilder;
     use colorist_core::{design, Strategy};
+    use colorist_datagen::{generate, materialize, ScaleProfile};
     use colorist_er::catalog;
     use colorist_store::Value;
 
@@ -116,6 +256,37 @@ mod tests {
         assert!(text.contains("blue::country[@name='Japan']"), "{text}");
         assert!(text.contains("structural join"), "{text}");
         assert!(!text.contains("value join"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_reconciles_exactly() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let inst = generate(&g, &ScaleProfile::tpcw(&g, 40), 42);
+        for strategy in [Strategy::Af, Strategy::Shallow, Strategy::Dr] {
+            let schema = design(&g, strategy).unwrap();
+            let db = materialize(&g, &schema, &inst);
+            let q1 = PatternBuilder::new(&g, "Q1")
+                .node("country")
+                .pred_eq("name", Value::Text("Japan".into()))
+                .node("order")
+                .chain(0, 1, &["in", "address", "has", "customer", "make"])
+                .unwrap()
+                .output(1)
+                .build()
+                .unwrap();
+            let plan = compile(&g, &schema, &q1).unwrap();
+            let (result, profile) = execute_profiled(&db, &g, &plan).unwrap();
+            let text = explain_analyze(&g, &plan, &result, &profile);
+            assert!(text.contains("EXPLAIN ANALYZE Q1"), "{text}");
+            assert!(text.contains("per-op deltas sum exactly"), "{text}");
+            assert!(!text.contains("DRIFT"), "{text}");
+            // one rendered row per executed operator
+            assert_eq!(
+                text.lines().filter(|l| l.trim_start().starts_with('r')).count(),
+                plan.ops.len(),
+                "{text}"
+            );
+        }
     }
 
     #[test]

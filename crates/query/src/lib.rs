@@ -37,8 +37,8 @@ pub mod verify;
 
 pub use compile::compile;
 pub use error::QueryError;
-pub use exec::{execute, QueryResult};
-pub use explain::explain;
+pub use exec::{execute, execute_profiled, op_kind, OpProfile, QueryResult};
+pub use explain::{explain, explain_analyze};
 pub use pattern::{
     CmpOp, InsertLink, InsertSpec, NewInstance, Partner, Pattern, PatternBuilder, PatternEdge,
     PatternNode, Predicate, UpdateAction, UpdateSpec,

@@ -45,6 +45,7 @@ pub fn execute_update(
     graph: &ErGraph,
     spec: &UpdateSpec,
 ) -> Result<UpdateOutcome, QueryError> {
+    let _span = colorist_trace::span("update", format!("update:{}", spec.name));
     let started = std::time::Instant::now();
     // 1. locate targets
     let plan = compile(graph, &db.schema, &spec.pattern)?;

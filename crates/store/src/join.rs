@@ -71,6 +71,7 @@ pub fn structural_join(
 ) -> Vec<(OccId, OccId)> {
     metrics.structural_joins += 1;
     metrics.elements_scanned += (anc.len() + desc.len()) as u64;
+    metrics.bytes_touched += ((anc.len() + desc.len()) * std::mem::size_of::<Occurrence>()) as u64;
     let tree = db.color(c);
     let occ = |o: OccId| -> &Occurrence { tree.occ(o) };
 
@@ -100,6 +101,7 @@ pub fn structural_join(
                 break;
             }
         }
+        metrics.join_probes += stack.len() as u64;
         for &a in stack.iter() {
             let ao = occ(a);
             if ao.start < d.start && d.end <= ao.end {
@@ -131,6 +133,7 @@ pub fn value_join(
 ) -> Vec<(ElementId, ElementId)> {
     metrics.value_joins += 1;
     metrics.elements_scanned += (left.len() + right.len()) as u64;
+    metrics.bytes_touched += ((left.len() + right.len()) * std::mem::size_of::<ValueKey>()) as u64;
     // build on the smaller side
     let (build, build_attr, probe, probe_attr, swapped) = if left.len() <= right.len() {
         (left, left_attr, right, right_attr, false)
@@ -142,6 +145,7 @@ pub fn value_join(
         table.entry(attr_key(db, e, build_attr)).or_default().push(e);
     }
     let mut out = Vec::new();
+    metrics.join_probes += probe.len() as u64;
     for &e in probe {
         // keys are Copy (text is interned): no per-probe String allocation
         if let Some(matches) = table.get(&attr_key(db, e, probe_attr)) {
@@ -185,6 +189,7 @@ pub fn structural_semi_join(
 ) -> Vec<OccId> {
     metrics.structural_joins += 1;
     metrics.elements_scanned += (anc.len() + desc.len()) as u64;
+    metrics.bytes_touched += ((anc.len() + desc.len()) * std::mem::size_of::<Occurrence>()) as u64;
     let tree = db.color(c);
     let occ = |o: OccId| -> &Occurrence { tree.occ(o) };
     let level_ok = |a: &Occurrence, d: &Occurrence| {
@@ -222,6 +227,7 @@ pub fn structural_semi_join(
         match keep {
             SemiSide::Descendant => {
                 for &(a, _) in stack.iter() {
+                    metrics.join_probes += 1;
                     let ao = occ(a);
                     if ao.start < d.start && d.end <= ao.end && level_ok(ao, d) {
                         out.push(desc[di]);
@@ -231,6 +237,7 @@ pub fn structural_semi_join(
             }
             SemiSide::Ancestor => {
                 for (a, emitted) in stack.iter_mut() {
+                    metrics.join_probes += 1;
                     if *emitted {
                         continue;
                     }

@@ -36,6 +36,16 @@ pub struct Metrics {
     pub icic_maintenance: u64,
     /// Elements touched (scan + probe volume).
     pub elements_scanned: u64,
+    /// Candidate tests performed inside the join kernels: containment tests
+    /// against the ancestor stack for structural (semi-)joins, hash-table
+    /// probes for value joins, adjacency lookups for link joins. A finer
+    /// work surrogate than `structural_joins`/`value_joins` (which count
+    /// operator invocations) — deterministic for a given plan and database.
+    pub join_probes: u64,
+    /// Bytes of stored data moved through the operators: occurrence records
+    /// merged by structural joins, join keys hashed by value joins, element
+    /// ids crossed/deduplicated. A proxy for memory traffic; deterministic.
+    pub bytes_touched: u64,
     /// Tuples produced by the final operator.
     pub results: u64,
     /// Distinct logical results (differs from `results` when a
@@ -56,8 +66,46 @@ pub struct Metrics {
 
 impl Metrics {
     /// Figure 9's combined metric.
+    ///
+    /// ```
+    /// let m = colorist_store::Metrics { value_joins: 2, color_crossings: 3, ..Default::default() };
+    /// assert_eq!(m.value_joins_plus_crossings(), 5);
+    /// ```
     pub fn value_joins_plus_crossings(&self) -> u64 {
         self.value_joins + self.color_crossings
+    }
+
+    /// The field-wise difference `self - earlier`: what was charged between
+    /// two snapshots of an accumulating counter set. Every count saturates
+    /// at zero, so a stale (larger) `earlier` cannot underflow. This is how
+    /// the executor attributes per-operator costs in `EXPLAIN ANALYZE`: a
+    /// snapshot before and after each operator, and the deltas sum back to
+    /// the query totals exactly.
+    ///
+    /// ```
+    /// use colorist_store::Metrics;
+    /// let before = Metrics { structural_joins: 1, elements_scanned: 100, ..Default::default() };
+    /// let after = Metrics { structural_joins: 2, elements_scanned: 250, ..Default::default() };
+    /// let delta = after.since(&before);
+    /// assert_eq!(delta.structural_joins, 1);
+    /// assert_eq!(delta.elements_scanned, 150);
+    /// ```
+    pub fn since(&self, earlier: &Metrics) -> Metrics {
+        Metrics {
+            structural_joins: self.structural_joins.saturating_sub(earlier.structural_joins),
+            value_joins: self.value_joins.saturating_sub(earlier.value_joins),
+            color_crossings: self.color_crossings.saturating_sub(earlier.color_crossings),
+            dup_eliminations: self.dup_eliminations.saturating_sub(earlier.dup_eliminations),
+            group_bys: self.group_bys.saturating_sub(earlier.group_bys),
+            duplicate_updates: self.duplicate_updates.saturating_sub(earlier.duplicate_updates),
+            icic_maintenance: self.icic_maintenance.saturating_sub(earlier.icic_maintenance),
+            elements_scanned: self.elements_scanned.saturating_sub(earlier.elements_scanned),
+            join_probes: self.join_probes.saturating_sub(earlier.join_probes),
+            bytes_touched: self.bytes_touched.saturating_sub(earlier.bytes_touched),
+            results: self.results.saturating_sub(earlier.results),
+            distinct_results: self.distinct_results.saturating_sub(earlier.distinct_results),
+            elapsed: self.elapsed.saturating_sub(earlier.elapsed),
+        }
     }
 
     /// Figure 10's combined metric.
@@ -81,6 +129,8 @@ impl AddAssign for Metrics {
         self.duplicate_updates += rhs.duplicate_updates;
         self.icic_maintenance += rhs.icic_maintenance;
         self.elements_scanned += rhs.elements_scanned;
+        self.join_probes += rhs.join_probes;
+        self.bytes_touched += rhs.bytes_touched;
         self.results += rhs.results;
         self.distinct_results += rhs.distinct_results;
         self.elapsed += rhs.elapsed;

@@ -1,0 +1,407 @@
+//! The span model and the global collector.
+//!
+//! A **span** is one timed region of work on one thread: it has a category
+//! (`design`, `materialize`, `compile`, `query`, `op`, …), a name, a
+//! wall-clock interval, and a bag of integer counters. Spans form a forest
+//! per thread: a span opened while another span is open on the same thread
+//! becomes its child (RAII nesting), so dropping guards in LIFO order —
+//! the only order safe Rust scoping produces — yields a well-formed tree.
+//!
+//! Collection is **global and off by default**: when no collection session
+//! is active, [`span()`] returns an inert guard whose construction costs one
+//! relaxed atomic load and no clock read, so instrumented hot paths stay
+//! free. [`collect_start`] opens a session on every thread at once;
+//! [`collect_stop`] closes it and returns the [`Trace`]. Guards opened in
+//! an earlier session (or before the session started) never leak records
+//! into a later one.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span, as stored in a [`Trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Process-unique span id (monotonically assigned across threads).
+    pub id: u64,
+    /// Id of the innermost span that was open on the same thread when this
+    /// one started, if any.
+    pub parent: Option<u64>,
+    /// Trace-local thread id: 0 for the first thread that ever recorded,
+    /// then densely increasing per new OS thread.
+    pub tid: u32,
+    /// Span category (`"design"`, `"op"`, …) — the chrome `cat` field.
+    pub cat: &'static str,
+    /// Human-readable span name (e.g. `"execute:Q12:DR"`).
+    pub name: String,
+    /// Start offset in nanoseconds since the process trace epoch (the
+    /// first [`collect_start`] of the process).
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Operator-local counters, in insertion order. Repeated
+    /// [`Span::counter`] calls with the same key accumulate into one entry.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl SpanRecord {
+    /// End offset in nanoseconds since the trace epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+
+    /// The value of counter `key`, if recorded on this span.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+}
+
+/// A completed collection session: every span recorded between one
+/// [`collect_start`]/[`collect_stop`] pair, in completion order.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The recorded spans. Ordered by span *end* time per thread (spans are
+    /// recorded when their guard drops), interleaved across threads.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    /// Spans of one category, in recorded order.
+    pub fn of_cat(&self, cat: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.cat == cat).collect()
+    }
+
+    /// Sum of counter `key` over every span that carries it.
+    pub fn total(&self, key: &str) -> u64 {
+        self.spans.iter().filter_map(|s| s.counter(key)).sum()
+    }
+
+    /// Check structural well-formedness: span ids are unique, every parent
+    /// exists, children run on their parent's thread strictly within its
+    /// interval, and same-parent same-thread siblings never partially
+    /// overlap. Returns the first violation as a human-readable message.
+    ///
+    /// Violations are impossible with RAII guard scoping on one session;
+    /// this check exists to pin that invariant in tests and to vet traces
+    /// that crossed a serialization boundary.
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        let mut by_id = std::collections::HashMap::with_capacity(self.spans.len());
+        for (i, s) in self.spans.iter().enumerate() {
+            if by_id.insert(s.id, i).is_some() {
+                return Err(format!("span id {} recorded twice", s.id));
+            }
+        }
+        for s in &self.spans {
+            let Some(pid) = s.parent else { continue };
+            let Some(&pi) = by_id.get(&pid) else {
+                return Err(format!(
+                    "span {} `{}`: parent {pid} is not in the trace",
+                    s.id, s.name
+                ));
+            };
+            let p = &self.spans[pi];
+            if p.tid != s.tid {
+                return Err(format!(
+                    "span {} `{}` on tid {} has parent {} on tid {}",
+                    s.id, s.name, s.tid, p.id, p.tid
+                ));
+            }
+            if s.start_ns < p.start_ns || s.end_ns() > p.end_ns() {
+                return Err(format!(
+                    "span {} `{}` [{}, {}] escapes parent {} `{}` [{}, {}]",
+                    s.id,
+                    s.name,
+                    s.start_ns,
+                    s.end_ns(),
+                    p.id,
+                    p.name,
+                    p.start_ns,
+                    p.end_ns()
+                ));
+            }
+        }
+        // same-(tid, parent) siblings must be disjoint (RAII: a second
+        // sibling can only open after the first guard dropped)
+        let mut groups: std::collections::HashMap<(u32, Option<u64>), Vec<&SpanRecord>> =
+            std::collections::HashMap::new();
+        for s in &self.spans {
+            groups.entry((s.tid, s.parent)).or_default().push(s);
+        }
+        for sibs in groups.values_mut() {
+            sibs.sort_by_key(|s| (s.start_ns, s.end_ns()));
+            for w in sibs.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if b.start_ns < a.end_ns() {
+                    return Err(format!(
+                        "sibling spans {} `{}` and {} `{}` overlap on tid {}",
+                        a.id, a.name, b.id, b.name, a.tid
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Collector {
+    collecting: AtomicBool,
+    session: AtomicU64,
+    next_id: AtomicU64,
+    next_tid: AtomicU32,
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+static COLLECTOR: Collector = Collector {
+    collecting: AtomicBool::new(false),
+    session: AtomicU64::new(0),
+    next_id: AtomicU64::new(0),
+    next_tid: AtomicU32::new(0),
+    records: Mutex::new(Vec::new()),
+};
+
+/// The process trace epoch: set by the first [`collect_start`] and shared
+/// by every later session, so `start_ns` offsets are comparable within a
+/// process lifetime.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static TID: Cell<Option<u32>> = const { Cell::new(None) };
+    // (session, span id) of every open span on this thread, innermost last
+    static STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn tid() -> u32 {
+    TID.with(|t| match t.get() {
+        Some(id) => id,
+        None => {
+            let id = COLLECTOR.next_tid.fetch_add(1, Ordering::Relaxed);
+            t.set(Some(id));
+            id
+        }
+    })
+}
+
+/// Is a collection session active? One relaxed atomic load.
+pub fn is_collecting() -> bool {
+    COLLECTOR.collecting.load(Ordering::Relaxed)
+}
+
+/// Start a global collection session, discarding any records a previous
+/// unfinished session left behind. Spans opened by any thread while the
+/// session is active are recorded when their guard drops.
+pub fn collect_start() {
+    EPOCH.get_or_init(Instant::now);
+    let mut recs = COLLECTOR.records.lock().expect("trace record buffer");
+    recs.clear();
+    COLLECTOR.session.fetch_add(1, Ordering::SeqCst);
+    COLLECTOR.collecting.store(true, Ordering::SeqCst);
+}
+
+/// Stop the active session and return everything it recorded. Spans still
+/// open are discarded when they eventually drop (they belong to no
+/// session), so stop only after the instrumented work has joined.
+pub fn collect_stop() -> Trace {
+    COLLECTOR.collecting.store(false, Ordering::SeqCst);
+    let mut recs = COLLECTOR.records.lock().expect("trace record buffer");
+    Trace { spans: std::mem::take(&mut *recs) }
+}
+
+struct ActiveSpan {
+    session: u64,
+    id: u64,
+    parent: Option<u64>,
+    tid: u32,
+    cat: &'static str,
+    name: String,
+    start: Instant,
+    counters: Vec<(&'static str, u64)>,
+}
+
+/// An RAII span guard: the span covers the guard's lifetime. Inert (and
+/// nearly free) when no collection session is active.
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+/// Open a span. The span's parent is the innermost span currently open on
+/// this thread; its interval closes when the returned guard drops.
+pub fn span(cat: &'static str, name: impl Into<String>) -> Span {
+    if !is_collecting() {
+        return Span { active: None };
+    }
+    let session = COLLECTOR.session.load(Ordering::SeqCst);
+    let id = COLLECTOR.next_id.fetch_add(1, Ordering::Relaxed);
+    let tid = tid();
+    let parent = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.iter().rev().find(|&&(ss, _)| ss == session).map(|&(_, id)| id);
+        s.push((session, id));
+        parent
+    });
+    Span {
+        active: Some(ActiveSpan {
+            session,
+            id,
+            parent,
+            tid,
+            cat,
+            name: name.into(),
+            start: Instant::now(),
+            counters: Vec::new(),
+        }),
+    }
+}
+
+impl Span {
+    /// Is this guard actually recording? False outside a session.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Add `value` to counter `key` on this span (accumulating across
+    /// repeated calls with the same key). A no-op on an inert guard.
+    pub fn counter(&mut self, key: &'static str, value: u64) {
+        if let Some(a) = &mut self.active {
+            match a.counters.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => *v += value,
+                None => a.counters.push((key, value)),
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let dur = a.start.elapsed();
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s.iter().rposition(|&(ss, id)| ss == a.session && id == a.id) {
+                s.remove(pos);
+            }
+        });
+        // record only if the guard's own session is still the active one
+        if !is_collecting() || COLLECTOR.session.load(Ordering::SeqCst) != a.session {
+            return;
+        }
+        let epoch = EPOCH.get().copied().unwrap_or(a.start);
+        let start_ns = a.start.saturating_duration_since(epoch).as_nanos() as u64;
+        let rec = SpanRecord {
+            id: a.id,
+            parent: a.parent,
+            tid: a.tid,
+            cat: a.cat,
+            name: a.name,
+            start_ns,
+            dur_ns: dur.as_nanos() as u64,
+            counters: a.counters,
+        };
+        COLLECTOR.records.lock().expect("trace record buffer").push(rec);
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _l = test_lock();
+        assert!(!is_collecting());
+        let mut s = span("test", "off");
+        assert!(!s.is_recording());
+        s.counter("k", 1);
+        drop(s);
+    }
+
+    #[test]
+    fn nesting_and_counters() {
+        let _l = test_lock();
+        collect_start();
+        {
+            let mut outer = span("test", "outer");
+            outer.counter("n", 2);
+            outer.counter("n", 3);
+            {
+                let _inner = span("test", "inner");
+            }
+        }
+        let t = collect_stop();
+        assert_eq!(t.spans.len(), 2);
+        // completion order: inner drops first
+        assert_eq!(t.spans[0].name, "inner");
+        assert_eq!(t.spans[1].name, "outer");
+        assert_eq!(t.spans[0].parent, Some(t.spans[1].id));
+        assert_eq!(t.spans[1].counter("n"), Some(5));
+        assert_eq!(t.total("n"), 5);
+        t.check_well_formed().expect("RAII nesting is well-formed");
+    }
+
+    #[test]
+    fn cross_thread_spans_get_distinct_tids() {
+        let _l = test_lock();
+        collect_start();
+        {
+            let _root = span("test", "main-side");
+            std::thread::scope(|s| {
+                for i in 0..2 {
+                    s.spawn(move || {
+                        let _w = span("test", format!("worker-{i}"));
+                    });
+                }
+            });
+        }
+        let t = collect_stop();
+        assert_eq!(t.spans.len(), 3);
+        t.check_well_formed().expect("per-thread forests are well-formed");
+        let main_tid = t.spans.iter().find(|s| s.name == "main-side").unwrap().tid;
+        for s in t.spans.iter().filter(|s| s.name.starts_with("worker")) {
+            assert_ne!(s.tid, main_tid, "worker spans carry their own tid");
+            assert_eq!(s.parent, None, "no cross-thread parenting");
+        }
+    }
+
+    #[test]
+    fn stale_session_guards_do_not_leak() {
+        let _l = test_lock();
+        collect_start();
+        let stale = span("test", "stale");
+        let _ = collect_stop();
+        collect_start();
+        drop(stale); // belongs to the closed session: must not record
+        let fresh = span("test", "fresh");
+        drop(fresh);
+        let t = collect_stop();
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].name, "fresh");
+    }
+
+    #[test]
+    fn well_formedness_rejects_orphans_and_overlaps() {
+        let rec = |id, parent, start_ns, dur_ns| SpanRecord {
+            id,
+            parent,
+            tid: 0,
+            cat: "t",
+            name: format!("s{id}"),
+            start_ns,
+            dur_ns,
+            counters: vec![],
+        };
+        let orphan = Trace { spans: vec![rec(1, Some(99), 0, 10)] };
+        assert!(orphan.check_well_formed().is_err());
+        let escape = Trace { spans: vec![rec(1, None, 0, 10), rec(2, Some(1), 5, 10)] };
+        assert!(escape.check_well_formed().is_err());
+        let overlap = Trace { spans: vec![rec(1, None, 0, 10), rec(2, None, 5, 10)] };
+        assert!(overlap.check_well_formed().is_err());
+        let ok = Trace { spans: vec![rec(1, None, 0, 10), rec(2, Some(1), 2, 5)] };
+        ok.check_well_formed().expect("nested interval is fine");
+    }
+}

@@ -11,6 +11,10 @@
 //! divergent seed is auto-minimized to the smallest reproducing scale).
 //! `--replay` prints one seed's diagram, workload, per-strategy plans and
 //! counts; `--minimize` shrinks one divergent seed.
+//!
+//! `--trace out.json` records a hierarchical span trace of the run (every
+//! design, materialization and query, on every worker thread) in
+//! chrome-trace format — open it in `chrome://tracing` or Perfetto.
 
 use colorist_workload::oracle::{minimize, replay_text, run_seeds, OracleConfig};
 use std::process::ExitCode;
@@ -21,12 +25,14 @@ struct Args {
     threads: usize,
     replay: Option<u64>,
     minimize: Option<u64>,
+    trace: Option<String>,
     cfg: OracleConfig,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: colorist-oracle [--seeds N] [--start S] [--scale B] [--queries K] [--threads T]\n\
+        "usage: colorist-oracle [--seeds N] [--start S] [--scale B] [--queries K] [--threads T] \
+         [--trace OUT.json]\n\
          \x20      colorist-oracle --replay SEED | --minimize SEED"
     );
     std::process::exit(2);
@@ -39,6 +45,7 @@ fn parse_args() -> Args {
         threads: colorist_workload::suite_threads(),
         replay: None,
         minimize: None,
+        trace: None,
         cfg: OracleConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -57,6 +64,12 @@ fn parse_args() -> Args {
             "--threads" => args.threads = val("--threads").max(1) as usize,
             "--replay" => args.replay = Some(val("--replay")),
             "--minimize" => args.minimize = Some(val("--minimize")),
+            "--trace" => {
+                args.trace = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--trace needs an output path");
+                    usage()
+                }))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -67,9 +80,27 @@ fn parse_args() -> Args {
     args
 }
 
+fn write_trace(path: &str) {
+    let trace = colorist_trace::collect_stop();
+    match std::fs::write(path, colorist_trace::chrome_trace_json(&trace)) {
+        Ok(()) => eprintln!("trace: {} spans -> {path}", trace.spans.len()),
+        Err(e) => eprintln!("trace write failed: {e}"),
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.trace.is_some() {
+        colorist_trace::collect_start();
+    }
+    let code = run(&args);
+    if let Some(path) = &args.trace {
+        write_trace(path);
+    }
+    code
+}
 
+fn run(args: &Args) -> ExitCode {
     if let Some(seed) = args.replay {
         print!("{}", replay_text(seed, &args.cfg));
         return ExitCode::SUCCESS;

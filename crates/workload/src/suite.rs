@@ -159,11 +159,13 @@ pub fn run_suite_on_threads(
     instance: &CanonicalInstance,
     threads: usize,
 ) -> Result<Vec<SuiteResult>, QueryError> {
+    let _suite_span = colorist_trace::span("suite", format!("suite:{}", workload.name));
     let start = Instant::now();
 
     // phase A: design + materialize every strategy — independent, so each
     // strategy is one task
     let dbs = par_map(strategies.len(), threads, |i| {
+        let _span = colorist_trace::span("suite", format!("setup:{}", strategies[i]));
         let schema = design(graph, strategies[i]).expect("strategy designs the diagram");
         materialize(graph, &schema, instance)
     });
@@ -178,6 +180,12 @@ pub fn run_suite_on_threads(
         par_map(strategies.len() * n_q, threads, |t| {
             let (si, qi) = (t / n_q, t % n_q);
             let db = &dbs[si];
+            let qname = if qi < n_reads {
+                &workload.reads[qi].name
+            } else {
+                &workload.updates[qi - n_reads].name
+            };
+            let _span = colorist_trace::span("suite", format!("{}:{}", strategies[si], qname));
             if qi < n_reads {
                 let q = &workload.reads[qi];
                 let plan = compile(graph, &db.schema, q)?;

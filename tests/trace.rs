@@ -1,0 +1,135 @@
+//! Observability-layer integration tests (DESIGN.md §9): span nesting
+//! well-formedness over a traced suite run, chrome-trace round-tripping
+//! through the in-tree JSON parser, counter determinism across worker
+//! counts, and the per-op/total reconciliation contract of
+//! `execute_profiled` + `explain_analyze`.
+
+use colorist::core::{design, Strategy};
+use colorist::datagen::{generate, materialize, ScaleProfile};
+use colorist::er::{catalog, ErGraph};
+use colorist::query::{compile, execute, execute_profiled, explain_analyze, Metrics};
+use colorist::trace::{self, Json, Trace};
+use colorist::workload::{suite::run_suite_on_threads, tpcw};
+use std::sync::{Mutex, MutexGuard};
+
+/// The trace collector is process-global; tests that collect must not
+/// overlap.
+fn collector_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn traced_suite(threads: usize) -> Trace {
+    let _guard = collector_lock();
+    let g = ErGraph::from_diagram(&catalog::tpcw()).expect("tpcw builds");
+    let w = tpcw::workload(&g);
+    let instance = generate(&g, &ScaleProfile::tpcw(&g, 20), 7);
+    trace::collect_start();
+    run_suite_on_threads(&g, &Strategy::ALL, &w, &instance, threads).expect("suite runs");
+    trace::collect_stop()
+}
+
+#[test]
+fn traced_suite_is_well_formed() {
+    let t = traced_suite(4);
+    t.check_well_formed().expect("hierarchy holds");
+    // every pipeline stage shows up as its own span category
+    for cat in ["suite", "design", "materialize", "compile", "query", "op", "update"] {
+        assert!(!t.of_cat(cat).is_empty(), "no `{cat}` spans in {} total", t.spans.len());
+    }
+    // one suite span per (strategy, query) task, all nested under setup or
+    // the top-level suite span's thread family
+    let per_query = t.of_cat("suite").iter().filter(|s| s.name.contains(':')).count();
+    assert!(per_query >= 7 * 16, "{per_query} task spans");
+}
+
+#[test]
+fn chrome_trace_round_trips_through_the_json_parser() {
+    let t = traced_suite(2);
+    let json = trace::chrome_trace_json(&t);
+    let doc = Json::parse(&json).expect("chrome export parses");
+    assert_eq!(doc.get("displayTimeUnit").and_then(Json::as_str), Some("ms"));
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    let xs: Vec<_> =
+        events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).collect();
+    assert_eq!(xs.len(), t.spans.len(), "one X event per span");
+    // spot-check: ids survive, counters are attached as args (the export
+    // reorders events by thread and start time, so match spans by id)
+    let by_id: std::collections::BTreeMap<u64, _> = t.spans.iter().map(|s| (s.id, s)).collect();
+    for e in &xs {
+        let id = e.get("args").and_then(|a| a.get("id")).and_then(Json::as_u64).expect("id");
+        let s = by_id.get(&id).expect("event id maps to a span");
+        assert_eq!(e.get("name").and_then(Json::as_str), Some(s.name.as_str()));
+        for &(k, v) in &s.counters {
+            assert_eq!(
+                e.get("args").and_then(|a| a.get(k)).and_then(Json::as_u64),
+                Some(v),
+                "counter {k} of span {}",
+                s.name
+            );
+        }
+    }
+    // metadata names every thread
+    let tids: std::collections::BTreeSet<u32> = t.spans.iter().map(|s| s.tid).collect();
+    let meta = events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("M")).count();
+    assert_eq!(meta, tids.len(), "one thread_name record per tid");
+}
+
+#[test]
+fn span_counters_are_deterministic_across_worker_counts() {
+    let serial = traced_suite(1);
+    let parallel = traced_suite(4);
+    // wall-clock, ids and thread assignment legitimately differ; the
+    // multiset of (cat, name, counters) must not
+    type SpanKey = (String, String, Vec<(&'static str, u64)>);
+    let key = |t: &Trace| {
+        let mut v: Vec<SpanKey> = t
+            .spans
+            .iter()
+            .map(|s| {
+                let mut c = s.counters.clone();
+                c.sort_unstable();
+                (s.cat.to_string(), s.name.clone(), c)
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(key(&serial), key(&parallel));
+}
+
+#[test]
+fn per_op_deltas_sum_exactly_on_every_query_and_strategy() {
+    let g = ErGraph::from_diagram(&catalog::tpcw()).expect("tpcw builds");
+    let w = tpcw::workload(&g);
+    let instance = generate(&g, &ScaleProfile::tpcw(&g, 20), 7);
+    for strategy in Strategy::ALL {
+        let schema = design(&g, strategy).expect("designs");
+        let db = materialize(&g, &schema, &instance);
+        for q in &w.reads {
+            let plan = compile(&g, &schema, q).expect("compiles");
+            let (result, profile) = execute_profiled(&db, &g, &plan).expect("runs");
+            assert_eq!(profile.len(), plan.ops.len(), "{}/{strategy}", q.name);
+
+            // profiled execution returns the same answer as plain execution
+            let plain = execute(&db, &g, &plan).expect("runs");
+            assert_eq!((plain.results, plain.distinct), (result.results, result.distinct));
+
+            // the per-op metric deltas partition the query totals exactly;
+            // results/distinct_results and elapsed are query-level (stamped
+            // once at the end, attributed to no single operator)
+            let mut sum = Metrics::default();
+            for p in &profile {
+                sum += p.metrics;
+            }
+            sum.results = result.metrics.results;
+            sum.distinct_results = result.metrics.distinct_results;
+            let norm = |m: &Metrics| Metrics { elapsed: Default::default(), ..*m };
+            assert_eq!(norm(&sum), norm(&result.metrics), "{}/{strategy}", q.name);
+
+            let text = explain_analyze(&g, &plan, &result, &profile);
+            assert!(text.contains("per-op deltas sum exactly"), "{text}");
+            assert!(!text.contains("DRIFT"), "{}/{strategy}:\n{text}", q.name);
+        }
+    }
+}
