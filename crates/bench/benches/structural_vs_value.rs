@@ -2,15 +2,20 @@
 //! stack-merge) versus value joins (hash build + probe over id/idref
 //! values), at growing extents — "structural joins … have been shown to be
 //! much more efficient than value-based joins". Also times the semi-join
-//! variant, which returns one side with no pair materialization.
+//! variant, which returns one side with no pair materialization, the
+//! gallop-skipping kernels against the merge reference at growing side
+//! asymmetry, and index-accelerated predicated scans against the linear
+//! reference path.
 
 use colorist_bench::micro;
 use colorist_core::{design, Strategy};
 use colorist_datagen::{generate, materialize, ScaleProfile};
 use colorist_er::{catalog, ErGraph};
 use colorist_mct::ColorId;
+use colorist_query::{compile, execute, CmpOp, PatternBuilder};
 use colorist_store::{
-    structural_join, structural_semi_join, value_join, AttrRef, Axis, Database, Metrics, SemiSide,
+    structural_join, structural_join_merge, structural_semi_join, structural_semi_join_merge,
+    value_join, AttrRef, Axis, Database, Metrics, SemiSide, Value,
 };
 
 fn setup(customers: u32, strategy: Strategy) -> (ErGraph, Database) {
@@ -51,6 +56,72 @@ fn main() {
         micro::case(&format!("value_join/{customers}"), || {
             let mut m = Metrics::default();
             value_join(&db, &left, AttrRef::Attr(idref), &right, AttrRef::Id, &mut m)
+        });
+    }
+
+    // merge vs gallop at growing side asymmetry: ancestor (customer)
+    // prefixes of |desc| / ratio occurrences against the full order list.
+    // At 4x the dispatcher stays on merge (parity row); past GALLOP_RATIO
+    // the few ancestors cover few orders, and gallop binary-searches past
+    // the non-joining runs the merge walk must scan one by one.
+    println!("merge vs gallop — |anc| = |desc| / ratio (1600 customers)");
+    let (g, db) = setup(1600, Strategy::Af);
+    let color = ColorId(0);
+    let anc_all = db.color(color).of_node(g.node_by_name("customer").unwrap()).to_vec();
+    let desc = db.color(color).of_node(g.node_by_name("order").unwrap()).to_vec();
+    for &ratio in &[4usize, 64, 512] {
+        let anc = &anc_all[..anc_all.len().min((desc.len() / ratio).max(1))];
+        micro::case(&format!("join_merge/x{ratio}"), || {
+            let mut m = Metrics::default();
+            structural_join_merge(&db, color, anc, &desc, Axis::Descendant, &mut m)
+        });
+        micro::case(&format!("join_auto/x{ratio}"), || {
+            let mut m = Metrics::default();
+            structural_join(&db, color, anc, &desc, Axis::Descendant, &mut m)
+        });
+        micro::case(&format!("semi_merge/x{ratio}"), || {
+            let mut m = Metrics::default();
+            structural_semi_join_merge(&db, color, anc, &desc, SemiSide::Descendant, None, &mut m)
+        });
+        micro::case(&format!("semi_auto/x{ratio}"), || {
+            let mut m = Metrics::default();
+            structural_semi_join(&db, color, anc, &desc, SemiSide::Descendant, None, &mut m)
+        });
+    }
+
+    // indexed vs linear predicated scan: the same compiled plan run with
+    // the value index live and with the reference kernels pinned, at the
+    // two ends of the selectivity spectrum — a point probe (one id) and
+    // the tpcw Q3 half-the-extent range
+    println!("indexed vs linear predicated scan (point and range selectivity)");
+    for &customers in &[100u32, 400, 1600] {
+        let (g, mut db) = setup(customers, Strategy::Shallow);
+        let point = PatternBuilder::new(&g, "scan_point")
+            .node("item")
+            .pred_eq("id", Value::Int(5))
+            .output(0)
+            .build()
+            .unwrap();
+        let range = PatternBuilder::new(&g, "scan_range")
+            .node("item")
+            .pred("cost", CmpOp::Lt, Value::Float(500.0))
+            .output(0)
+            .build()
+            .unwrap();
+        let point_plan = compile(&g, &db.schema, &point).unwrap();
+        let range_plan = compile(&g, &db.schema, &range).unwrap();
+        micro::case(&format!("scan_indexed_point/{customers}"), || {
+            execute(&db, &g, &point_plan).unwrap()
+        });
+        micro::case(&format!("scan_indexed_range/{customers}"), || {
+            execute(&db, &g, &range_plan).unwrap()
+        });
+        db.set_reference_kernels(true);
+        micro::case(&format!("scan_linear_point/{customers}"), || {
+            execute(&db, &g, &point_plan).unwrap()
+        });
+        micro::case(&format!("scan_linear_range/{customers}"), || {
+            execute(&db, &g, &range_plan).unwrap()
         });
     }
 }

@@ -58,7 +58,7 @@ impl GateReport {
 }
 
 /// The deterministic per-query counters the gate compares exactly.
-const OP_FIELDS: [&str; 12] = [
+const OP_FIELDS: [&str; 14] = [
     "logical",
     "physical",
     "structural_joins",
@@ -71,6 +71,44 @@ const OP_FIELDS: [&str; 12] = [
     "elements_scanned",
     "join_probes",
     "bytes_touched",
+    "index_lookups",
+    "elements_skipped",
+];
+
+/// Counter keys a span of a known category may carry in its `args` (beside
+/// the structural `id`/`parent` links). Spans of categories not listed here
+/// (`compile`, `suite`, …) emit no counters today and are unconstrained.
+const SPAN_COUNTERS: [(&str, &[&str]); 3] = [
+    (
+        "op",
+        &[
+            "rows_in",
+            "rows_out",
+            "elements_scanned",
+            "join_probes",
+            "bytes_touched",
+            "structural_joins",
+            "value_joins",
+            "color_crossings",
+            "dup_eliminations",
+            "group_bys",
+            "index_lookups",
+            "elements_skipped",
+        ],
+    ),
+    (
+        "query",
+        &[
+            "results",
+            "distinct",
+            "elements_scanned",
+            "join_probes",
+            "bytes_touched",
+            "index_lookups",
+            "elements_skipped",
+        ],
+    ),
+    ("materialize", &["elements", "colors"]),
 ];
 
 fn require_u64(doc: &Json, key: &str, what: &str) -> Result<u64, String> {
@@ -201,9 +239,12 @@ pub fn compare(baseline: &Json, current: &Json, cfg: &GateConfig) -> Result<Gate
 
 /// Validate the shape of a chrome-trace document emitted by `--trace`:
 /// a `traceEvents` array whose `X` events carry `name`/`cat`/`pid`/`tid`,
-/// non-negative `ts`/`dur`, unique `args.id`, and whose `args.parent`
+/// non-negative `ts`/`dur`, unique `args.id`, whose `args.parent`
 /// references an existing span on the same thread that contains the child's
-/// interval (with a small µs-rounding slack).
+/// interval (with a small µs-rounding slack), and whose counters are
+/// restricted to the per-category whitelist (e.g. only `op` and `query`
+/// spans may carry `index_lookups`/`elements_skipped`) with non-negative
+/// integer values.
 pub fn validate_trace(doc: &Json) -> Result<(), String> {
     let events = doc
         .get("traceEvents")
@@ -234,6 +275,28 @@ pub fn validate_trace(doc: &Json) -> Result<(), String> {
         let id = require_u64(args, "id", &format!("trace event {i} args"))?;
         if spans.insert(id, (tid, ts, ts + dur)).is_some() {
             return Err(format!("trace: duplicate span id {id}"));
+        }
+        // counter keys are cat-scoped: an `op` span may not carry a
+        // `query`-level counter (or a typo'd one), and every counter must
+        // be a non-negative integer
+        let cat = e.get("cat").and_then(Json::as_str).expect("checked above");
+        if let Some((_, allowed)) = SPAN_COUNTERS.iter().find(|(c, _)| *c == cat) {
+            let pairs = args.as_obj().ok_or(format!("trace event {i}: args not an object"))?;
+            for (key, value) in pairs {
+                if key == "id" || key == "parent" {
+                    continue;
+                }
+                if !allowed.contains(&key.as_str()) {
+                    return Err(format!(
+                        "trace: span {id} (cat {cat}) carries unknown counter `{key}`"
+                    ));
+                }
+                if value.as_u64().is_none() {
+                    return Err(format!(
+                        "trace: span {id} counter `{key}` is not a non-negative integer"
+                    ));
+                }
+            }
         }
     }
     if xs == 0 {
@@ -395,5 +458,36 @@ mod tests {
              "ts": 0.0, "dur": 1.0, "args": {"id": 0, "parent": 99}}
         ]}"#;
         assert!(validate_trace(&Json::parse(orphan).unwrap()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_and_non_integer_span_counters() {
+        // a known counter on a known category validates
+        let ok = r#"{"traceEvents": [
+            {"ph": "X", "name": "scan", "cat": "op", "pid": 1, "tid": 0,
+             "ts": 0.0, "dur": 1.0, "args": {"id": 0, "index_lookups": 3,
+             "elements_skipped": 40}}
+        ]}"#;
+        validate_trace(&Json::parse(ok).unwrap()).expect("whitelisted counters pass");
+        // an unknown key on an `op` span is rejected
+        let unknown = r#"{"traceEvents": [
+            {"ph": "X", "name": "scan", "cat": "op", "pid": 1, "tid": 0,
+             "ts": 0.0, "dur": 1.0, "args": {"id": 0, "index_lookup": 3}}
+        ]}"#;
+        let err = validate_trace(&Json::parse(unknown).unwrap()).unwrap_err();
+        assert!(err.contains("unknown counter"), "{err}");
+        // a query-level counter is not valid on an `op` span
+        let wrong_cat = r#"{"traceEvents": [
+            {"ph": "X", "name": "scan", "cat": "op", "pid": 1, "tid": 0,
+             "ts": 0.0, "dur": 1.0, "args": {"id": 0, "results": 3}}
+        ]}"#;
+        assert!(validate_trace(&Json::parse(wrong_cat).unwrap()).is_err());
+        // counters must be non-negative integers
+        let float = r#"{"traceEvents": [
+            {"ph": "X", "name": "q", "cat": "query", "pid": 1, "tid": 0,
+             "ts": 0.0, "dur": 1.0, "args": {"id": 0, "results": 1.5}}
+        ]}"#;
+        let err = validate_trace(&Json::parse(float).unwrap()).unwrap_err();
+        assert!(err.contains("non-negative integer"), "{err}");
     }
 }

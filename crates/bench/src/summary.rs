@@ -21,8 +21,10 @@ use std::time::Duration;
 /// Version stamped into every summary document as `"schema_version"`.
 ///
 /// History: 1 — the original unversioned layout (no `schema_version`,
-/// `git_rev`, `join_probes` or `bytes_touched`); 2 — adds those four fields.
-pub const SCHEMA_VERSION: u64 = 2;
+/// `git_rev`, `join_probes` or `bytes_touched`); 2 — adds those four
+/// fields; 3 — adds per-query `index_lookups` and `elements_skipped`
+/// (the index/gallop kernel counters).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The git revision to stamp into the document: `COLORIST_GIT_REV` if set,
 /// else `git rev-parse --short=12 HEAD`, else `"unknown"` (e.g. when built
@@ -128,7 +130,8 @@ pub fn bench_summary_json(meta: &SummaryMeta, results: &[SuiteResult]) -> String
                  \"color_crossings\": {}, \"dup_eliminations\": {}, \
                  \"group_bys\": {}, \"duplicate_updates\": {}, \
                  \"icic_maintenance\": {}, \"elements_scanned\": {}, \
-                 \"join_probes\": {}, \"bytes_touched\": {}}}",
+                 \"join_probes\": {}, \"bytes_touched\": {}, \
+                 \"index_lookups\": {}, \"elements_skipped\": {}}}",
                 esc(&q.name),
                 m.elapsed.as_micros(),
                 q.logical,
@@ -143,6 +146,8 @@ pub fn bench_summary_json(meta: &SummaryMeta, results: &[SuiteResult]) -> String
                 m.elements_scanned,
                 m.join_probes,
                 m.bytes_touched,
+                m.index_lookups,
+                m.elements_skipped,
             );
             let _ = writeln!(j, "{}", if qi + 1 < r.runs.len() { "," } else { "" });
         }

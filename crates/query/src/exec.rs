@@ -10,13 +10,16 @@
 //! oracle — return `Err` instead of aborting the process.
 
 use crate::error::QueryError;
+use crate::pattern::CmpOp;
 use crate::plan::{Op, Plan, Reg, VDir};
 use colorist_er::{EdgeId, ErEdge, ErGraph, NodeId};
 use colorist_mct::{ColorId, PlacementId};
 use colorist_store::{
-    structural_semi_join, value_join, AttrRef, ColorTree, Database, ElementId, Metrics, OccId,
-    SemiSide, ValueKey,
+    attr_key, kmerge_sorted, structural_semi_join, value_join, AttrRef, ColorTree, Database,
+    ElementId, Metrics, OccId, SemiSide, ValueKey,
 };
+use std::borrow::Cow;
+use std::cmp::Ordering;
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -96,15 +99,19 @@ pub fn op_kind(op: &Op) -> &'static str {
     }
 }
 
-/// A register value during execution.
+/// A register value during execution. Sets borrow storage (`'d` is the
+/// database borrow) whenever an operator selects an existing document-order
+/// list wholesale — an unpredicated `Scan` returns the node's occurrence
+/// list without copying it — and own their backing only when an operator
+/// actually computed a new set.
 #[derive(Debug, Clone)]
-enum SetVal {
-    Occs { color: ColorId, occs: Vec<OccId> },
-    Elems(Vec<ElementId>),
-    Groups { count: usize, elems: Vec<ElementId> },
+enum SetVal<'d> {
+    Occs { color: ColorId, occs: Cow<'d, [OccId]> },
+    Elems(Cow<'d, [ElementId]>),
+    Groups { count: usize, elems: Cow<'d, [ElementId]> },
 }
 
-impl SetVal {
+impl SetVal<'_> {
     /// Physical tuples this value holds directly (copies included for
     /// occurrence sets; groups report their backing elements).
     fn physical_len(&self) -> u64 {
@@ -244,6 +251,8 @@ fn run(
                     ("color_crossings", delta.color_crossings),
                     ("dup_eliminations", delta.dup_eliminations),
                     ("group_bys", delta.group_bys),
+                    ("index_lookups", delta.index_lookups),
+                    ("elements_skipped", delta.elements_skipped),
                 ] {
                     if value > 0 {
                         op_span.counter(key, value);
@@ -265,8 +274,8 @@ fn run(
     let results = phys[plan.output];
     let (elements, count_groups) = match out {
         SetVal::Occs { color, occs } => (occs_to_canonical_inner(db, db.color(color), &occs), None),
-        SetVal::Elems(elems) => (elems, None),
-        SetVal::Groups { count, elems } => (elems, Some(count as u64)),
+        SetVal::Elems(elems) => (elems.into_owned(), None),
+        SetVal::Groups { count, elems } => (elems.into_owned(), Some(count as u64)),
     };
     let distinct = count_groups.unwrap_or(elements.len() as u64);
     metrics.results = results;
@@ -279,6 +288,8 @@ fn run(
             ("elements_scanned", metrics.elements_scanned),
             ("join_probes", metrics.join_probes),
             ("bytes_touched", metrics.bytes_touched),
+            ("index_lookups", metrics.index_lookups),
+            ("elements_skipped", metrics.elements_skipped),
         ] {
             query_span.counter(key, value);
         }
@@ -286,22 +297,82 @@ fn run(
     Ok(QueryResult { results, distinct, elements, metrics })
 }
 
-fn eval(
-    db: &Database,
+fn eval<'d>(
+    db: &'d Database,
     graph: &ErGraph,
     metrics: &mut Metrics,
-    regs: &[Option<SetVal>],
+    regs: &[Option<SetVal<'d>>],
     op: &Op,
-) -> Result<SetVal, QueryError> {
+) -> Result<SetVal<'d>, QueryError> {
     match op {
         Op::Scan { color, node, pred, .. } => {
             let tree = color_tree(db, *color, "Scan")?;
             let all = tree.of_node(*node);
-            metrics.elements_scanned += all.len() as u64;
-            metrics.bytes_touched += std::mem::size_of_val(all) as u64;
-            let occs: Vec<OccId> = match pred {
-                None => all.to_vec(),
+            let occs: Cow<'d, [OccId]> = match pred {
+                None => {
+                    // the stored document-order list IS the answer: borrow
+                    metrics.elements_scanned += all.len() as u64;
+                    metrics.bytes_touched += std::mem::size_of_val(all) as u64;
+                    Cow::Borrowed(all)
+                }
+                Some(p) if !db.reference_kernels() => {
+                    // index probe: resolve matching canonical elements from
+                    // the sorted value index, then expand to occurrences in
+                    // this color (copies mirror their canonical's
+                    // attributes, so the element-level index is complete)
+                    if let Some(&o) = all.first() {
+                        // attribute arity is uniform per node type, so the
+                        // linear walk's per-element bounds check reduces to
+                        // one representative
+                        let el = db.element(tree.occ(o).element);
+                        if el.attrs.get(p.attr).is_none() {
+                            return Err(QueryError::Exec(format!(
+                                "Scan: predicate attribute #{} out of range for `{}`",
+                                p.attr,
+                                graph.node(el.node).name
+                            )));
+                        }
+                    }
+                    let index = db.value_index();
+                    let mut elems: Vec<ElementId> = Vec::new();
+                    match p.op {
+                        CmpOp::Eq => {
+                            metrics.index_lookups += 1;
+                            if let Some(k) = db.try_join_key(&p.value) {
+                                elems.extend(
+                                    index.matching(*node, p.attr, k).iter().map(|en| en.element),
+                                );
+                            } // never-interned text matches nothing
+                        }
+                        CmpOp::Lt | CmpOp::Gt => {
+                            // one key comparison per distinct stored value,
+                            // taking whole groups — never per element
+                            let want = match p.op {
+                                CmpOp::Lt => Ordering::Less,
+                                _ => Ordering::Greater,
+                            };
+                            for (key, group) in index.groups(*node, p.attr) {
+                                metrics.index_lookups += 1;
+                                if db.interner().key_value_cmp(key, &p.value) == want {
+                                    elems.extend(group.iter().map(|en| en.element));
+                                }
+                            }
+                        }
+                    }
+                    let mut v: Vec<OccId> = Vec::with_capacity(elems.len());
+                    for e in elems {
+                        v.extend(db.occurrences_of_logical(*color, e).iter().copied());
+                    }
+                    v.sort_unstable();
+                    metrics.elements_scanned += v.len() as u64;
+                    metrics.elements_skipped += (all.len() as u64).saturating_sub(v.len() as u64);
+                    metrics.bytes_touched += std::mem::size_of_val(v.as_slice()) as u64;
+                    Cow::Owned(v)
+                }
                 Some(p) => {
+                    // reference path: linear walk of the node's extent
+                    metrics.elements_scanned += all.len() as u64;
+                    metrics.bytes_touched += std::mem::size_of_val(all) as u64;
                     let mut v = Vec::new();
                     for &o in all {
                         let el = db.element(tree.occ(o).element);
@@ -316,7 +387,7 @@ fn eval(
                             v.push(o);
                         }
                     }
-                    v
+                    Cow::Owned(v)
                 }
             };
             Ok(SetVal::Occs { color: *color, occs })
@@ -337,11 +408,19 @@ fn eval(
             match dir {
                 VDir::Down => {
                     // descendants at path-valid placements, exactly k below
-                    // — a single semi-join pass, no pair materialization
+                    // — a single semi-join pass, no pair materialization.
+                    // The per-placement lists are already sorted and
+                    // pairwise disjoint: a k-way merge unions them without
+                    // the flat_map + full re-sort (and without copying at
+                    // all when a single placement is valid)
                     let valid = valid_desc_placements(db, *color, *node, via);
-                    let mut targets: Vec<OccId> =
-                        valid.iter().flat_map(|&p| tree.of_placement(p).iter().copied()).collect();
-                    targets.sort_unstable();
+                    let lists: Vec<&[OccId]> =
+                        valid.iter().map(|&p| tree.of_placement(p)).collect();
+                    let targets = kmerge_sorted(&lists);
+                    if let Cow::Owned(_) = targets {
+                        // the union materialized: charge the ids it moved
+                        metrics.bytes_touched += std::mem::size_of_val(targets.as_ref()) as u64;
+                    }
                     let out = structural_semi_join(
                         db,
                         *color,
@@ -351,7 +430,7 @@ fn eval(
                         Some(k),
                         metrics,
                     );
-                    Ok(SetVal::Occs { color: *color, occs: out })
+                    Ok(SetVal::Occs { color: *color, occs: Cow::Owned(out) })
                 }
                 VDir::Up => {
                     // ancestors exactly k above, along the matching chain
@@ -361,17 +440,16 @@ fn eval(
                         .copied()
                         .filter(|&o| valid.contains(&tree.occ(o).placement))
                         .collect();
-                    let anc = tree.of_node(*node).to_vec();
                     let out = structural_semi_join(
                         db,
                         *color,
-                        &anc,
+                        tree.of_node(*node),
                         &desc,
                         SemiSide::Ancestor,
                         Some(k),
                         metrics,
                     );
-                    Ok(SetVal::Occs { color: *color, occs: out })
+                    Ok(SetVal::Occs { color: *color, occs: Cow::Owned(out) })
                 }
             }
         }
@@ -382,19 +460,77 @@ fn eval(
             let idref_idx = db
                 .idref_attr_index(graph, *edge)
                 .ok_or_else(|| QueryError::NotIdrefEncoded { edge: edge_label(graph, *edge) })?;
-            let matched: Vec<ElementId> = if *src_is_rel {
-                // src holds relationship elements; probe participant ids
-                let extent = db.extent(e.participant).to_vec();
-                value_join(db, &src_elems, AttrRef::Attr(idref_idx), &extent, AttrRef::Id, metrics)
+            let matched: Vec<ElementId> = if db.reference_kernels() {
+                // reference path: per-op hash join against the full extent
+                if *src_is_rel {
+                    // src holds relationship elements; probe participant ids
+                    let extent = db.extent(e.participant);
+                    value_join(
+                        db,
+                        &src_elems,
+                        AttrRef::Attr(idref_idx),
+                        extent,
+                        AttrRef::Id,
+                        metrics,
+                    )
                     .into_iter()
                     .map(|(_, r)| r)
                     .collect()
-            } else {
-                let extent = db.extent(e.rel).to_vec();
-                value_join(db, &extent, AttrRef::Attr(idref_idx), &src_elems, AttrRef::Id, metrics)
+                } else {
+                    let extent = db.extent(e.rel);
+                    value_join(
+                        db,
+                        extent,
+                        AttrRef::Attr(idref_idx),
+                        &src_elems,
+                        AttrRef::Id,
+                        metrics,
+                    )
                     .into_iter()
                     .map(|(l, _)| l)
                     .collect()
+                }
+            } else if *src_is_rel {
+                // forward direction: each relationship's idref value names
+                // a participant ordinal, and the extent is ordinal-dense
+                // (`extent[k].ordinal == k`) — the extent IS the persistent
+                // id→element index, no hash table to build
+                metrics.value_joins += 1;
+                let extent = db.extent(e.participant);
+                metrics.join_probes += src_elems.len() as u64;
+                metrics.index_lookups += src_elems.len() as u64;
+                metrics.elements_skipped += extent.len() as u64;
+                metrics.bytes_touched += (src_elems.len() * std::mem::size_of::<ValueKey>()) as u64;
+                let mut out = Vec::with_capacity(src_elems.len());
+                for &w in src_elems.iter() {
+                    if let ValueKey::Num(k) = attr_key(db, w, AttrRef::Attr(idref_idx)) {
+                        if let Ok(i) = usize::try_from(k) {
+                            if let Some(&p) = extent.get(i) {
+                                out.push(p);
+                            }
+                        }
+                    } // non-numeric idref values reference no id
+                }
+                metrics.elements_scanned += (src_elems.len() + out.len()) as u64;
+                out
+            } else {
+                // reverse direction: which relationship elements reference
+                // these ids? — one sorted-index probe per source ordinal
+                // instead of hashing the whole relationship extent
+                metrics.value_joins += 1;
+                let extent_len = db.extent(e.rel).len();
+                metrics.join_probes += src_elems.len() as u64;
+                metrics.index_lookups += src_elems.len() as u64;
+                metrics.elements_skipped += extent_len as u64;
+                metrics.bytes_touched += (src_elems.len() * std::mem::size_of::<ValueKey>()) as u64;
+                let index = db.value_index();
+                let mut out = Vec::new();
+                for &x in src_elems.iter() {
+                    let key = ValueKey::Num(db.element(x).ordinal as i64);
+                    out.extend(index.matching(e.rel, idref_idx, key).iter().map(|en| en.element));
+                }
+                metrics.elements_scanned += (src_elems.len() + out.len()) as u64;
+                out
             };
             let mut elems = matched;
             elems.sort_unstable();
@@ -443,7 +579,7 @@ fn eval(
             metrics.elements_scanned += elems.len() as u64;
             metrics.bytes_touched += (elems.len() * std::mem::size_of::<ElementId>()) as u64;
             color_tree(db, *color, "Cross")?;
-            Ok(SetVal::Occs { color: *color, occs: elems_to_occs(db, *color, &elems) })
+            Ok(SetVal::Occs { color: *color, occs: Cow::Owned(elems_to_occs(db, *color, &elems)) })
         }
 
         Op::Intersect { a, b, .. } => {
@@ -470,14 +606,15 @@ fn eval(
                     }
                 }
             }
-            Ok(SetVal::Occs { color: ca, occs: out })
+            Ok(SetVal::Occs { color: ca, occs: Cow::Owned(out) })
         }
 
         Op::Distinct { src, .. } => {
             metrics.dup_eliminations += 1;
             let elems = to_elems(db, regs, *src, "Distinct")?;
             metrics.bytes_touched += (elems.len() * std::mem::size_of::<ElementId>()) as u64;
-            Ok(SetVal::Elems(elems))
+            // the result must outlive the source register it may borrow
+            Ok(SetVal::Elems(Cow::Owned(elems.into_owned())))
         }
 
         Op::GroupBy { src, attr, .. } => {
@@ -487,7 +624,7 @@ fn eval(
             metrics.bytes_touched += (elems.len() * std::mem::size_of::<ValueKey>()) as u64;
             // Copy keys + sort/dedup: no hashing, no per-element String
             let mut keys: Vec<ValueKey> = Vec::with_capacity(elems.len());
-            for &e in &elems {
+            for &e in elems.iter() {
                 let el = db.element(e);
                 let Some(v) = el.attrs.get(*attr) else {
                     return Err(QueryError::Exec(format!(
@@ -504,25 +641,25 @@ fn eval(
             }
             keys.sort_unstable();
             keys.dedup();
-            Ok(SetVal::Groups { count: keys.len(), elems })
+            Ok(SetVal::Groups { count: keys.len(), elems: Cow::Owned(elems.into_owned()) })
         }
     }
 }
 
 /// Wrap a semi-join's element output, re-entering a colored tree when the
 /// plan continues structurally.
-fn reenter(
-    db: &Database,
+fn reenter<'d>(
+    db: &'d Database,
     enter: Option<ColorId>,
     elems: Vec<ElementId>,
     who: &str,
-) -> Result<SetVal, QueryError> {
+) -> Result<SetVal<'d>, QueryError> {
     match enter {
         Some(c) => {
             color_tree(db, c, who)?;
-            Ok(SetVal::Occs { color: c, occs: elems_to_occs(db, c, &elems) })
+            Ok(SetVal::Occs { color: c, occs: Cow::Owned(elems_to_occs(db, c, &elems)) })
         }
-        None => Ok(SetVal::Elems(elems)),
+        None => Ok(SetVal::Elems(Cow::Owned(elems))),
     }
 }
 
@@ -564,7 +701,11 @@ fn edge_label(graph: &ErGraph, e: EdgeId) -> String {
 
 /// The set value in register `r`, or a typed error when the register is
 /// out of bounds or unset.
-fn get_reg<'v>(regs: &'v [Option<SetVal>], r: Reg, who: &str) -> Result<&'v SetVal, QueryError> {
+fn get_reg<'v, 'd>(
+    regs: &'v [Option<SetVal<'d>>],
+    r: Reg,
+    who: &str,
+) -> Result<&'v SetVal<'d>, QueryError> {
     match regs.get(r) {
         Some(Some(v)) => Ok(v),
         Some(None) => Err(QueryError::Exec(format!("{who}: register r{r} is unset"))),
@@ -576,8 +717,8 @@ fn get_reg<'v>(regs: &'v [Option<SetVal>], r: Reg, who: &str) -> Result<&'v SetV
 }
 
 /// The occurrence set in register `r`, which must be in `color`.
-fn expect_occs<'v>(
-    regs: &'v [Option<SetVal>],
+fn expect_occs<'v, 'd>(
+    regs: &'v [Option<SetVal<'d>>],
     r: Reg,
     color: ColorId,
     who: &str,
@@ -596,19 +737,20 @@ fn expect_occs<'v>(
 }
 
 /// Canonical (logical) elements behind register `r`, sorted distinct.
-fn to_elems(
+/// Borrows the register's slice when it already holds elements.
+fn to_elems<'v, 'd>(
     db: &Database,
-    regs: &[Option<SetVal>],
+    regs: &'v [Option<SetVal<'d>>],
     r: Reg,
     who: &str,
-) -> Result<Vec<ElementId>, QueryError> {
+) -> Result<Cow<'v, [ElementId]>, QueryError> {
     Ok(match get_reg(regs, r, who)? {
         SetVal::Occs { color, occs } => {
             let tree = color_tree(db, *color, who)?;
-            occs_to_canonical_inner(db, tree, occs)
+            Cow::Owned(occs_to_canonical_inner(db, tree, occs))
         }
-        SetVal::Elems(e) => e.clone(),
-        SetVal::Groups { elems, .. } => elems.clone(),
+        SetVal::Elems(e) => Cow::Borrowed(e.as_ref()),
+        SetVal::Groups { elems, .. } => Cow::Borrowed(elems.as_ref()),
     })
 }
 
@@ -634,14 +776,19 @@ fn elems_to_occs(db: &Database, color: ColorId, elems: &[ElementId]) -> Vec<OccI
 }
 
 /// Widen `occs` to every occurrence (copies included) of the same logical
-/// instances in `color`. Identity when the occurrences' node has a single
-/// placement in the color, so node-normal schemas pay nothing.
-fn expand_to_logical_occs(db: &Database, color: ColorId, occs: &[OccId]) -> Vec<OccId> {
+/// instances in `color`. Identity (borrowed, zero-copy) when the
+/// occurrences' node has a single placement in the color, so node-normal
+/// schemas pay nothing.
+fn expand_to_logical_occs<'v>(
+    db: &Database,
+    color: ColorId,
+    occs: &'v [OccId],
+) -> Cow<'v, [OccId]> {
     let tree = db.color(color);
     if let Some(&o) = occs.first() {
         let node = db.schema.placement(tree.occ(o).placement).node;
         if db.schema.placements_of_in_color(node, color).len() <= 1 {
-            return occs.to_vec();
+            return Cow::Borrowed(occs);
         }
     }
     let mut out: Vec<OccId> = occs
@@ -650,7 +797,7 @@ fn expand_to_logical_occs(db: &Database, color: ColorId, occs: &[OccId]) -> Vec<
         .collect();
     out.sort_unstable();
     out.dedup();
-    out
+    Cow::Owned(out)
 }
 
 /// Placements of `node` in `color` whose upward chain realizes exactly

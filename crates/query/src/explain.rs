@@ -189,9 +189,13 @@ pub fn explain_analyze(
             p.rows_out
         );
         let m = &p.metrics;
-        for (key, v) in
-            [("scanned", m.elements_scanned), ("probes", m.join_probes), ("bytes", m.bytes_touched)]
-        {
+        for (key, v) in [
+            ("scanned", m.elements_scanned),
+            ("probes", m.join_probes),
+            ("bytes", m.bytes_touched),
+            ("idx", m.index_lookups),
+            ("skipped", m.elements_skipped),
+        ] {
             if v > 0 {
                 let _ = write!(line, " {key}={v}");
             }
@@ -206,7 +210,7 @@ pub fn explain_analyze(
     let _ = writeln!(
         s,
         "  totals: {} structural, {} value, {} crossings, {} dup-elim, {} group-by; \
-         scanned {} probes {} bytes {}{}",
+         scanned {} probes {} bytes {} idx {} skipped {}{}",
         t.structural_joins,
         t.value_joins,
         t.color_crossings,
@@ -215,9 +219,22 @@ pub fn explain_analyze(
         t.elements_scanned,
         t.join_probes,
         t.bytes_touched,
+        t.index_lookups,
+        t.elements_skipped,
         if op_counts_match(&sum, t)
-            && (sum.elements_scanned, sum.join_probes, sum.bytes_touched)
-                == (t.elements_scanned, t.join_probes, t.bytes_touched)
+            && (
+                sum.elements_scanned,
+                sum.join_probes,
+                sum.bytes_touched,
+                sum.index_lookups,
+                sum.elements_skipped,
+            ) == (
+                t.elements_scanned,
+                t.join_probes,
+                t.bytes_touched,
+                t.index_lookups,
+                t.elements_skipped,
+            )
         {
             "  (per-op deltas sum exactly)"
         } else {

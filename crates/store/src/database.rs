@@ -15,6 +15,7 @@
 //! `a.start < d.start && d.end <= a.end` — the primitive behind structural
 //! joins.
 
+use crate::index::{IndexEntry, ValueIndex};
 use crate::value::{Interner, Value, ValueKey};
 use colorist_er::{ErGraph, NodeId};
 use colorist_mct::{ColorId, MctSchema, PlacementId};
@@ -151,6 +152,18 @@ pub struct Database {
     /// Text symbol table: every stored text attribute value is interned, so
     /// join keys are `Copy` (see [`crate::value::ValueKey`]).
     interner: Interner,
+    /// Sorted `(node, attr, key, element)` postings over canonical
+    /// elements — the persistent attribute/id value index (DESIGN.md §10).
+    /// Built at `finish`, maintained by [`Database::write_attr`] and
+    /// [`Database::insert_element`]; invariant under relabels and deletes
+    /// because it is keyed by element, not occurrence.
+    value_index: ValueIndex,
+    /// When set, the executor and the structural-join dispatchers take the
+    /// reference paths (linear extent walks, stack-merge joins, per-op hash
+    /// builds) instead of the index/gallop fast paths. The differential
+    /// property tests and the oracle sweep flip this to pin fast ≡
+    /// reference on the same database.
+    reference_kernels: bool,
 }
 
 impl Database {
@@ -164,19 +177,50 @@ impl Database {
         &self.elements[e.idx()]
     }
 
-    /// Mutable element access (updates). Prefer [`Database::write_attr`]
-    /// for attribute writes — it keeps the text symbol table in sync.
-    pub fn element_mut(&mut self, e: ElementId) -> &mut Element {
-        &mut self.elements[e.idx()]
-    }
-
     /// Write one attribute value, interning text so the value stays
-    /// joinable through the `Copy` key path.
+    /// joinable through the `Copy` key path, and (for canonical elements)
+    /// moving the value-index posting from the old key to the new one.
+    /// This is the **only** attribute write path — there is deliberately no
+    /// raw mutable element access, so the index cannot go stale.
     pub fn write_attr(&mut self, e: ElementId, attr: usize, v: Value) {
         if let Value::Text(s) = &v {
             self.interner.intern(s);
         }
-        self.elements[e.idx()].attrs[attr] = v;
+        let new_key = self.interner.key(&v);
+        let el = &mut self.elements[e.idx()];
+        let old = std::mem::replace(&mut el.attrs[attr], v);
+        if el.canonical == e {
+            let node = el.node;
+            // stored values are always interned, but stay total if not
+            if let Some(old_key) = self.interner.try_key(&old) {
+                self.value_index.reindex(node, attr, e, old_key, new_key);
+            } else {
+                self.value_index.insert(IndexEntry {
+                    node,
+                    attr: attr as u32,
+                    key: new_key,
+                    element: e,
+                });
+            }
+        }
+    }
+
+    /// The persistent attribute/id value index.
+    pub fn value_index(&self) -> &ValueIndex {
+        &self.value_index
+    }
+
+    /// Whether execution is pinned to the reference kernels (linear scans,
+    /// stack-merge joins, per-op hash builds) instead of the index/gallop
+    /// fast paths. Answers must be byte-identical either way; the
+    /// differential tests and the oracle sweep compare both.
+    pub fn reference_kernels(&self) -> bool {
+        self.reference_kernels
+    }
+
+    /// Pin (or unpin) execution to the reference kernels.
+    pub fn set_reference_kernels(&mut self, on: bool) {
+        self.reference_kernels = on;
     }
 
     /// The text symbol table.
@@ -306,7 +350,8 @@ impl Database {
     }
 
     /// Insert a new canonical element, returning its id. The caller must
-    /// add occurrences (then relabel) to make it reachable.
+    /// add occurrences (then relabel) to make it reachable. Adds one value
+    /// index posting per attribute.
     pub fn insert_element(&mut self, node: NodeId, attrs: Vec<Value>) -> ElementId {
         for v in &attrs {
             if let Value::Text(s) = v {
@@ -315,6 +360,14 @@ impl Database {
         }
         let id = ElementId(self.elements.len() as u32);
         let ordinal = self.extents[node.idx()].len() as u32;
+        for (a, v) in attrs.iter().enumerate() {
+            self.value_index.insert(IndexEntry {
+                node,
+                attr: a as u32,
+                key: self.interner.key(v),
+                element: id,
+            });
+        }
         self.elements.push(Element { node, ordinal, canonical: id, attrs });
         self.extents[node.idx()].push(id);
         id
@@ -479,7 +532,8 @@ impl DatabaseBuilder {
     }
 
     /// Label every color and freeze. Interns every stored text attribute
-    /// value so join keys are `Copy` from here on.
+    /// value so join keys are `Copy` from here on, and builds the
+    /// persistent attribute/id value index over the canonical elements.
     pub fn finish(mut self) -> Database {
         let mut interner = Interner::default();
         for e in &self.elements {
@@ -489,6 +543,7 @@ impl DatabaseBuilder {
                 }
             }
         }
+        let value_index = ValueIndex::build(&self.elements, &interner);
         let mut logical_occs = Vec::with_capacity(self.colors.len());
         for (ci, tree) in self.colors.iter_mut().enumerate() {
             relabel(&mut tree.occs);
@@ -515,6 +570,8 @@ impl DatabaseBuilder {
             links: self.links,
             rev_links,
             interner,
+            value_index,
+            reference_kernels: false,
         }
     }
 }

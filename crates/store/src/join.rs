@@ -11,11 +11,25 @@
 //! hashes attribute values, which is the cost asymmetry the paper's whole
 //! design space is about (and which `benches/structural_vs_value.rs`
 //! measures).
+//!
+//! Each structural kernel comes in two interchangeable implementations:
+//! the stack **merge** (`*_merge`), which walks both inputs end to end, and
+//! a **gallop** variant that binary-searches past non-joining runs when one
+//! side is much smaller — the small side drives, and each of its
+//! occurrences either probes the large side's `start`-sorted window
+//! (ancestors driving) or climbs its parent chain and membership-tests the
+//! ancestor list (descendants driving). [`structural_join`] and
+//! [`structural_semi_join`] dispatch between them on the side-size ratio
+//! ([`GALLOP_RATIO`]) unless the database pins
+//! `Database::reference_kernels`. Both produce byte-identical output; only
+//! the deterministic cost counters differ (gallop charges what it examined
+//! and credits `elements_skipped` with what it leapt over).
 
 use crate::database::{Database, ElementId, OccId, Occurrence};
 use crate::metrics::Metrics;
 use crate::value::{Value, ValueKey};
 use colorist_mct::ColorId;
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// What a value join compares on one side.
@@ -56,12 +70,52 @@ pub enum Axis {
     Descendant,
 }
 
-/// Stack-based structural join: all `(ancestor, descendant)` pairs from
-/// `anc × desc` under interval containment in color `c`.
+/// Side-size ratio beyond which the structural-join dispatchers switch
+/// from the stack merge to the gallop kernel: gallop runs when
+/// `min(|anc|, |desc|) * GALLOP_RATIO < max(|anc|, |desc|)`. The merge
+/// costs `O(|anc| + |desc|)` regardless of asymmetry while gallop costs
+/// `O(small · (log large + matches))`, so the crossover is where the
+/// small side's per-element binary search beats walking the large side;
+/// 16 keeps the decision purely size-based (deterministic) with a wide
+/// safety margin over the `log`-factor constant.
+pub const GALLOP_RATIO: usize = 16;
+
+/// Deterministic, size-only gallop dispatch decision.
+fn gallop_applies(db: &Database, anc: usize, desc: usize) -> bool {
+    if db.reference_kernels() {
+        return false;
+    }
+    let (small, large) = if anc <= desc { (anc, desc) } else { (desc, anc) };
+    small.saturating_mul(GALLOP_RATIO) < large
+}
+
+/// Structural join: all `(ancestor, descendant)` pairs from `anc × desc`
+/// under interval containment in color `c`.
 ///
 /// Both inputs must be sorted by `start` (document order) — as produced by
 /// [`crate::database::ColorTree::of_placement`] and by upstream joins.
+/// Dispatches to [`structural_join_gallop`] when the side-size ratio
+/// crosses [`GALLOP_RATIO`] (and the database does not pin the reference
+/// kernels), otherwise to [`structural_join_merge`]; the output is
+/// identical either way.
 pub fn structural_join(
+    db: &Database,
+    c: ColorId,
+    anc: &[OccId],
+    desc: &[OccId],
+    axis: Axis,
+    metrics: &mut Metrics,
+) -> Vec<(OccId, OccId)> {
+    if gallop_applies(db, anc.len(), desc.len()) {
+        structural_join_gallop(db, c, anc, desc, axis, metrics)
+    } else {
+        structural_join_merge(db, c, anc, desc, axis, metrics)
+    }
+}
+
+/// The stack-merge reference implementation of [`structural_join`]:
+/// a single `O(|anc| + |desc| + |output|)` pass over both inputs.
+pub fn structural_join_merge(
     db: &Database,
     c: ColorId,
     anc: &[OccId],
@@ -121,6 +175,95 @@ pub fn structural_join(
     out
 }
 
+/// Gallop-skipping implementation of [`structural_join`]: the smaller side
+/// drives and the larger side is entered by binary search, so runs of the
+/// large input with no partner are never touched (they are credited to
+/// `Metrics::elements_skipped`). Output is byte-identical to
+/// [`structural_join_merge`] — descendant-major document order.
+///
+/// With few ancestors, each ancestor binary-searches the descendants for
+/// its `(start, end)` window and scans only that window (interval nesting
+/// within one color tree makes every window entry a true descendant). With
+/// few descendants, each descendant climbs its parent chain and
+/// membership-tests the chain against the ancestor list (document order is
+/// `OccId` order after relabelling, so membership is a binary search).
+pub fn structural_join_gallop(
+    db: &Database,
+    c: ColorId,
+    anc: &[OccId],
+    desc: &[OccId],
+    axis: Axis,
+    metrics: &mut Metrics,
+) -> Vec<(OccId, OccId)> {
+    metrics.structural_joins += 1;
+    let tree = db.color(c);
+    let occ = |o: OccId| -> &Occurrence { tree.occ(o) };
+    let mut out = Vec::new();
+    let mut examined: u64 = 0;
+    if anc.len() <= desc.len() {
+        for &a in anc {
+            let ao = occ(a);
+            let lo = desc.partition_point(|&d| occ(d).start <= ao.start);
+            for &d in &desc[lo..] {
+                let dd = occ(d);
+                if dd.start >= ao.end {
+                    break;
+                }
+                examined += 1;
+                metrics.join_probes += 1;
+                if dd.end <= ao.end {
+                    match axis {
+                        Axis::Descendant => out.push((a, d)),
+                        Axis::Child => {
+                            if ao.level + 1 == dd.level {
+                                out.push((a, d));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        charge_gallop(metrics, anc.len(), desc.len(), examined);
+    } else {
+        for &d in desc {
+            let dd = *occ(d);
+            let mut cur = dd.parent;
+            while let Some(p) = cur {
+                examined += 1;
+                metrics.join_probes += 1;
+                let po = occ(p);
+                if anc.binary_search(&p).is_ok() {
+                    match axis {
+                        Axis::Descendant => out.push((p, d)),
+                        Axis::Child => {
+                            if po.level + 1 == dd.level {
+                                out.push((p, d));
+                            }
+                        }
+                    }
+                }
+                if axis == Axis::Child {
+                    break; // only the immediate parent can qualify
+                }
+                cur = po.parent;
+            }
+        }
+        charge_gallop(metrics, desc.len(), anc.len(), examined);
+    }
+    // restore the merge kernel's descendant-major document order
+    out.sort_unstable_by_key(|&(a, d)| (d, a));
+    out
+}
+
+/// Gallop cost accounting: the driving (small) side plus everything the
+/// large side actually exposed is scanned; the rest of the large side was
+/// proven irrelevant without being touched.
+fn charge_gallop(metrics: &mut Metrics, small: usize, large: usize, examined: u64) {
+    metrics.elements_scanned += small as u64 + examined;
+    metrics.elements_skipped += (large as u64).saturating_sub(examined);
+    metrics.bytes_touched += (small as u64 + examined) * std::mem::size_of::<Occurrence>() as u64;
+}
+
 /// Hash value join: pairs `(l, r)` with `l.attrs[left_attr]` matching
 /// `r.attrs[right_attr]`.
 pub fn value_join(
@@ -166,19 +309,42 @@ pub enum SemiSide {
     Descendant,
 }
 
-/// Stack-based structural **semi**-join: the subset of one side with at
-/// least one containment partner on the other, in color `c`.
+/// Structural **semi**-join: the subset of one side with at least one
+/// containment partner on the other, in color `c`.
 ///
 /// Unlike [`structural_join`] this never materializes `(anc, desc)` pairs —
-/// each kept occurrence is emitted exactly once, with early exit as soon as
-/// its first partner is found — so the output is at most one side's input,
-/// not the cross product. `depth` of `Some(k)` additionally requires the
-/// level distance to be exactly `k` (so `Some(1)` is [`Axis::Child`]);
-/// `None` accepts any ancestor-descendant distance.
+/// each kept occurrence is emitted exactly once — so the output is at most
+/// one side's input, not the cross product. `depth` of `Some(k)`
+/// additionally requires the level distance to be exactly `k` (so
+/// `Some(1)` is [`Axis::Child`]); `None` accepts any ancestor-descendant
+/// distance.
 ///
 /// Both inputs must be sorted by `start` (document order). The output is in
-/// document order and duplicate-free.
+/// document order and duplicate-free. Dispatches to
+/// [`structural_semi_join_gallop`] when the side-size ratio crosses
+/// [`GALLOP_RATIO`] (and the database does not pin the reference kernels),
+/// otherwise to [`structural_semi_join_merge`]; the output is identical
+/// either way.
 pub fn structural_semi_join(
+    db: &Database,
+    c: ColorId,
+    anc: &[OccId],
+    desc: &[OccId],
+    keep: SemiSide,
+    depth: Option<u16>,
+    metrics: &mut Metrics,
+) -> Vec<OccId> {
+    if gallop_applies(db, anc.len(), desc.len()) {
+        structural_semi_join_gallop(db, c, anc, desc, keep, depth, metrics)
+    } else {
+        structural_semi_join_merge(db, c, anc, desc, keep, depth, metrics)
+    }
+}
+
+/// The stack-merge reference implementation of [`structural_semi_join`]:
+/// one pass over both inputs, with early exit as soon as a kept
+/// occurrence's first partner is found.
+pub fn structural_semi_join_merge(
     db: &Database,
     c: ColorId,
     anc: &[OccId],
@@ -257,6 +423,135 @@ pub fn structural_semi_join(
         out.sort_unstable();
     }
     out
+}
+
+/// Gallop-skipping implementation of [`structural_semi_join`]: same
+/// driving-side strategy as [`structural_join_gallop`], with the
+/// semi-join's early exits (an ancestor stops scanning its window at the
+/// first qualifying descendant; a descendant stops climbing at the first
+/// qualifying ancestor). Output is byte-identical to
+/// [`structural_semi_join_merge`] — document order, duplicate-free.
+pub fn structural_semi_join_gallop(
+    db: &Database,
+    c: ColorId,
+    anc: &[OccId],
+    desc: &[OccId],
+    keep: SemiSide,
+    depth: Option<u16>,
+    metrics: &mut Metrics,
+) -> Vec<OccId> {
+    metrics.structural_joins += 1;
+    let tree = db.color(c);
+    let occ = |o: OccId| -> &Occurrence { tree.occ(o) };
+    let level_ok = |a: &Occurrence, d: &Occurrence| {
+        depth.is_none_or(|k| a.level as u32 + k as u32 == d.level as u32)
+    };
+    let mut out = Vec::new();
+    let mut examined: u64 = 0;
+    if anc.len() <= desc.len() {
+        // ancestors drive: window-scan the descendants per ancestor
+        for &a in anc {
+            let ao = occ(a);
+            let lo = desc.partition_point(|&d| occ(d).start <= ao.start);
+            for &d in &desc[lo..] {
+                let dd = occ(d);
+                if dd.start >= ao.end {
+                    break;
+                }
+                examined += 1;
+                metrics.join_probes += 1;
+                if dd.end <= ao.end && level_ok(ao, dd) {
+                    match keep {
+                        SemiSide::Ancestor => {
+                            out.push(a);
+                            break; // early exit: one partner suffices
+                        }
+                        // nested ancestors may both expose the same
+                        // descendant; dedup below
+                        SemiSide::Descendant => out.push(d),
+                    }
+                }
+            }
+        }
+        if keep == SemiSide::Descendant {
+            out.sort_unstable();
+            out.dedup();
+        }
+        charge_gallop(metrics, anc.len(), desc.len(), examined);
+    } else {
+        // descendants drive: climb the parent chain, membership-test `anc`
+        for &d in desc {
+            let dd = *occ(d);
+            let mut cur = dd.parent;
+            let mut dist: u16 = 1;
+            while let Some(p) = cur {
+                examined += 1;
+                let po = occ(p);
+                // with an exact depth only the k-th parent can qualify, so
+                // the chain is climbed without probing until that level
+                if depth.is_none_or(|k| k == dist) {
+                    metrics.join_probes += 1;
+                    if anc.binary_search(&p).is_ok() {
+                        match keep {
+                            SemiSide::Descendant => {
+                                out.push(d);
+                                break; // early exit: one partner suffices
+                            }
+                            SemiSide::Ancestor => out.push(p),
+                        }
+                    }
+                }
+                if depth.is_some_and(|k| dist >= k) {
+                    break;
+                }
+                cur = po.parent;
+                dist = dist.saturating_add(1);
+            }
+        }
+        if keep == SemiSide::Ancestor {
+            // several descendants may share an ancestor
+            out.sort_unstable();
+            out.dedup();
+        }
+        charge_gallop(metrics, desc.len(), anc.len(), examined);
+    }
+    out
+}
+
+/// K-way merge of sorted, pairwise-disjoint occurrence lists (e.g. the
+/// per-placement document-order lists of one node in one color) into one
+/// sorted list. Borrows when at most one input is non-empty, so the
+/// single-placement case of a `Down` step allocates nothing. Inputs being
+/// disjoint, no deduplication is performed.
+pub fn kmerge_sorted<'a>(lists: &[&'a [OccId]]) -> Cow<'a, [OccId]> {
+    let live: Vec<&'a [OccId]> = lists.iter().copied().filter(|l| !l.is_empty()).collect();
+    match live.len() {
+        0 => Cow::Owned(Vec::new()),
+        1 => Cow::Borrowed(live[0]),
+        _ => {
+            // repeated min-pick over the heads: the fan-in is the number of
+            // placements of one node in one color, which is tiny
+            let total = live.iter().map(|l| l.len()).sum();
+            let mut heads = vec![0usize; live.len()];
+            let mut out: Vec<OccId> = Vec::with_capacity(total);
+            loop {
+                let mut best: Option<usize> = None;
+                for (i, l) in live.iter().enumerate() {
+                    if heads[i] < l.len() && best.is_none_or(|b| l[heads[i]] < live[b][heads[b]]) {
+                        best = Some(i);
+                    }
+                }
+                match best {
+                    Some(i) => {
+                        out.push(live[i][heads[i]]);
+                        heads[i] += 1;
+                    }
+                    None => break,
+                }
+            }
+            Cow::Owned(out)
+        }
+    }
 }
 
 /// Reference implementations used by property tests: quadratic nested-loop
@@ -584,5 +879,120 @@ mod tests {
             assert_eq!(db.element(l).node, b);
             assert_eq!(db.element(r).node, a);
         }
+    }
+
+    /// Both gallop driving directions (small-ancestor windows and
+    /// small-descendant chain climbs) must reproduce the merge kernels'
+    /// output byte for byte, for the pair join and every semi-join shape.
+    #[test]
+    fn gallop_kernels_match_merge_kernels() {
+        let (g, db) = chain_db(40, 4);
+        let c = ColorId(0);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let pa = db.schema.placements_of_in_color(a, c)[0];
+        let pr = db.schema.placements_of_in_color(r, c)[0];
+        let pb = db.schema.placements_of_in_color(b, c)[0];
+        let every =
+            |occs: &[OccId], k: usize| -> Vec<OccId> { occs.iter().copied().step_by(k).collect() };
+        let anc_sets = [
+            db.color(c).of_placement(pa).to_vec(),
+            every(db.color(c).of_placement(pa), 13),
+            vec![db.color(c).of_placement(pa)[7]],
+            db.color(c).of_placement(pr).to_vec(),
+            Vec::new(),
+        ];
+        let desc_sets = [
+            db.color(c).of_placement(pb).to_vec(),
+            every(db.color(c).of_placement(pb), 11),
+            db.color(c).of_placement(pr).to_vec(),
+            vec![db.color(c).of_placement(pb)[3]],
+            Vec::new(),
+        ];
+        for anc in &anc_sets {
+            for desc in &desc_sets {
+                let mut m = Metrics::default();
+                for axis in [Axis::Descendant, Axis::Child] {
+                    assert_eq!(
+                        structural_join_gallop(&db, c, anc, desc, axis, &mut m),
+                        structural_join_merge(&db, c, anc, desc, axis, &mut m),
+                        "pair {axis:?} |anc|={} |desc|={}",
+                        anc.len(),
+                        desc.len()
+                    );
+                }
+                for keep in [SemiSide::Ancestor, SemiSide::Descendant] {
+                    for depth in [None, Some(1), Some(2), Some(9)] {
+                        assert_eq!(
+                            structural_semi_join_gallop(&db, c, anc, desc, keep, depth, &mut m),
+                            structural_semi_join_merge(&db, c, anc, desc, keep, depth, &mut m),
+                            "semi {keep:?} depth {depth:?} |anc|={} |desc|={}",
+                            anc.len(),
+                            desc.len()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The dispatchers go gallop only past the size ratio, never when the
+    /// database pins the reference kernels, and the gallop cost model
+    /// credits `elements_skipped` for the untouched large-side remainder.
+    #[test]
+    fn dispatch_ratio_and_reference_pin() {
+        let (g, mut db) = chain_db(40, 4);
+        let c = ColorId(0);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let pa = db.schema.placements_of_in_color(a, c)[0];
+        let pb = db.schema.placements_of_in_color(b, c)[0];
+        let one_a = vec![db.color(c).of_placement(pa)[7]];
+        let all_b = db.color(c).of_placement(pb).to_vec(); // 160 ≫ 16·1
+        let mut gallop_m = Metrics::default();
+        let out =
+            structural_semi_join(&db, c, &one_a, &all_b, SemiSide::Descendant, None, &mut gallop_m);
+        assert_eq!(out.len(), 4, "one a owns 4 bs");
+        assert!(gallop_m.elements_skipped > 0, "dispatcher chose gallop");
+        assert!(
+            gallop_m.elements_scanned < (one_a.len() + all_b.len()) as u64,
+            "gallop scans less than the merge walk"
+        );
+
+        db.set_reference_kernels(true);
+        let mut ref_m = Metrics::default();
+        let ref_out =
+            structural_semi_join(&db, c, &one_a, &all_b, SemiSide::Descendant, None, &mut ref_m);
+        assert_eq!(ref_out, out, "pinning the reference path never changes answers");
+        assert_eq!(ref_m.elements_skipped, 0, "merge skips nothing");
+        assert_eq!(ref_m.elements_scanned, (one_a.len() + all_b.len()) as u64);
+        db.set_reference_kernels(false);
+
+        // balanced sides stay on the merge even unpinned
+        let mut bal_m = Metrics::default();
+        let all_a = db.color(c).of_placement(pa).to_vec(); // 40 vs 160 < ratio 16
+        structural_semi_join(&db, c, &all_a, &all_b, SemiSide::Descendant, None, &mut bal_m);
+        assert_eq!(bal_m.elements_skipped, 0);
+        assert_eq!(bal_m.elements_scanned, (all_a.len() + all_b.len()) as u64);
+    }
+
+    #[test]
+    fn kmerge_sorted_merges_disjoint_lists_and_borrows_trivial_cases() {
+        let (g, db) = chain_db(6, 2);
+        let c = ColorId(0);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let la = db.color(c).of_placement(db.schema.placements_of_in_color(a, c)[0]);
+        let lb = db.color(c).of_placement(db.schema.placements_of_in_color(b, c)[0]);
+        let merged = kmerge_sorted(&[la, lb]);
+        let mut expected: Vec<OccId> = la.iter().chain(lb.iter()).copied().collect();
+        expected.sort_unstable();
+        assert_eq!(merged.as_ref(), expected.as_slice());
+        assert!(matches!(kmerge_sorted(&[la, lb]), std::borrow::Cow::Owned(_)));
+        assert!(matches!(kmerge_sorted(&[la]), std::borrow::Cow::Borrowed(_)));
+        assert!(matches!(kmerge_sorted(&[la, &[]]), std::borrow::Cow::Borrowed(_)));
+        assert!(kmerge_sorted(&[]).is_empty());
+        assert!(kmerge_sorted(&[&[], &[]]).is_empty());
     }
 }

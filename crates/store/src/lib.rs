@@ -13,7 +13,12 @@
 //! * [`join`] — the two join primitives whose cost asymmetry drives the
 //!   paper's entire design space: stack-based interval **structural joins**
 //!   (cheap; Al-Khalifa et al., ICDE 2002) and hash-based **value joins**
-//!   over id/idref attributes (expensive);
+//!   over id/idref attributes (expensive), with gallop-skipping structural
+//!   variants that binary-search past non-joining runs when one side is
+//!   much smaller;
+//! * [`index`] — the persistent attribute/id value index over canonical
+//!   elements, which turns selective predicate scans and idref probes into
+//!   index lookups (TIMBER never scans a document linearly);
 //! * [`metrics`] — the operation counters the paper reports in Figures 8–10
 //!   (structural joins, value joins, color crossings, duplicate
 //!   eliminations, …) plus wall-clock time;
@@ -23,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod index;
 pub mod join;
 pub mod metrics;
 pub mod stats;
@@ -30,9 +36,11 @@ pub mod value;
 pub mod xml;
 
 pub use database::{ColorTree, Database, DatabaseBuilder, Element, ElementId, OccId, Occurrence};
+pub use index::{IndexEntry, ValueIndex};
 pub use join::{
-    attr_key, attr_value, structural_join, structural_semi_join, value_join, AttrRef, Axis,
-    SemiSide,
+    attr_key, attr_value, kmerge_sorted, structural_join, structural_join_merge,
+    structural_semi_join, structural_semi_join_merge, value_join, AttrRef, Axis, SemiSide,
+    GALLOP_RATIO,
 };
 pub use metrics::Metrics;
 pub use stats::Stats;

@@ -46,6 +46,19 @@ pub struct Metrics {
     /// merged by structural joins, join keys hashed by value joins, element
     /// ids crossed/deduplicated. A proxy for memory traffic; deterministic.
     pub bytes_touched: u64,
+    /// Probes answered by the persistent index layer: one per key lookup in
+    /// the attribute value index (`Scan` with an equality predicate), one
+    /// per distinct key group examined by a range predicate, and one per
+    /// source element resolved through the id→element index (`ValueSemi`).
+    /// Zero on the reference (linear/merge) kernels — deterministic for a
+    /// given plan and database.
+    pub index_lookups: u64,
+    /// Elements the index layer and the gallop-skipping join kernels proved
+    /// irrelevant *without touching them*: extent entries an index probe
+    /// avoided walking, and occurrence-list runs a gallop join leapt over by
+    /// binary search. The complement of `elements_scanned` relative to the
+    /// reference kernels' full walks; deterministic.
+    pub elements_skipped: u64,
     /// Tuples produced by the final operator.
     pub results: u64,
     /// Distinct logical results (differs from `results` when a
@@ -102,6 +115,8 @@ impl Metrics {
             elements_scanned: self.elements_scanned.saturating_sub(earlier.elements_scanned),
             join_probes: self.join_probes.saturating_sub(earlier.join_probes),
             bytes_touched: self.bytes_touched.saturating_sub(earlier.bytes_touched),
+            index_lookups: self.index_lookups.saturating_sub(earlier.index_lookups),
+            elements_skipped: self.elements_skipped.saturating_sub(earlier.elements_skipped),
             results: self.results.saturating_sub(earlier.results),
             distinct_results: self.distinct_results.saturating_sub(earlier.distinct_results),
             elapsed: self.elapsed.saturating_sub(earlier.elapsed),
@@ -131,6 +146,8 @@ impl AddAssign for Metrics {
         self.elements_scanned += rhs.elements_scanned;
         self.join_probes += rhs.join_probes;
         self.bytes_touched += rhs.bytes_touched;
+        self.index_lookups += rhs.index_lookups;
+        self.elements_skipped += rhs.elements_skipped;
         self.results += rhs.results;
         self.distinct_results += rhs.distinct_results;
         self.elapsed += rhs.elapsed;

@@ -146,6 +146,31 @@ impl Interner {
             Value::Text(s) => self.get(s).map(ValueKey::Sym),
         }
     }
+
+    /// Order a stored join key against a comparison constant, agreeing with
+    /// `stored.total_cmp(constant)` on every value the key path can store:
+    /// numeric variants promote to `f64` against floats, text resolves
+    /// through the symbol table, and text sorts greatest (the
+    /// [`Value::total_cmp`] variant order). This is what lets the sorted
+    /// value index answer `<`/`>` predicates per distinct-key group without
+    /// materializing the stored [`Value`]s.
+    ///
+    /// The one divergence from `total_cmp` is inherited from [`ValueKey`]
+    /// itself: a stored `-0.0` keys as `Num(0)` and therefore compares
+    /// *equal* to integer zero here, where `f64::total_cmp` would order it
+    /// below `+0.0` (join keys already unify the two, so the index stays
+    /// consistent with the hash-join path).
+    pub fn key_value_cmp(&self, k: ValueKey, v: &Value) -> Ordering {
+        match (k, v) {
+            (ValueKey::Num(a), Value::Int(b)) => a.cmp(b),
+            (ValueKey::Num(a), Value::Float(b)) => (a as f64).total_cmp(b),
+            (ValueKey::Bits(a), Value::Int(b)) => f64::from_bits(a).total_cmp(&(*b as f64)),
+            (ValueKey::Bits(a), Value::Float(b)) => f64::from_bits(a).total_cmp(b),
+            (ValueKey::Num(_) | ValueKey::Bits(_), Value::Text(_)) => Ordering::Less,
+            (ValueKey::Sym(s), Value::Text(t)) => self.resolve(s).cmp(t.as_str()),
+            (ValueKey::Sym(_), Value::Int(_) | Value::Float(_)) => Ordering::Greater,
+        }
+    }
 }
 
 impl fmt::Display for Value {
@@ -204,5 +229,43 @@ mod tests {
     fn byte_sizes() {
         assert_eq!(Value::Int(1).byte_size(), 8);
         assert_eq!(Value::Text("abcd".into()).byte_size(), 4);
+    }
+
+    /// `key_value_cmp(key(stored), constant)` must reproduce
+    /// `stored.total_cmp(constant)` — the contract the index range path
+    /// relies on — across every variant pairing.
+    #[test]
+    fn key_value_cmp_agrees_with_total_cmp() {
+        let mut it = Interner::default();
+        for s in ["alpha", "beta", "2020-01-05"] {
+            it.intern(s);
+        }
+        let stored = [
+            Value::Int(-3),
+            Value::Int(0),
+            Value::Int(7),
+            Value::Float(2.5),
+            Value::Float(7.0),
+            Value::Float(-1.25),
+            Value::Text("alpha".into()),
+            Value::Text("beta".into()),
+            Value::Text("2020-01-05".into()),
+        ];
+        let constants = [
+            Value::Int(-3),
+            Value::Int(2),
+            Value::Int(7),
+            Value::Float(2.5),
+            Value::Float(6.9),
+            Value::Text("alpha".into()),
+            Value::Text("aztec".into()),
+            Value::Text("2020-01-09".into()),
+        ];
+        for s in &stored {
+            let k = it.key(s);
+            for c in &constants {
+                assert_eq!(it.key_value_cmp(k, c), s.total_cmp(c), "{s} vs {c}");
+            }
+        }
     }
 }

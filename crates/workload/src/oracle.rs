@@ -20,7 +20,11 @@
 //!    every schema, and
 //! 5. asserts pairwise logical-answer equivalence plus metrics sanity
 //!    (runtime operation counters must equal the plan's static counts,
-//!    physical counts never undercount logical ones).
+//!    physical counts never undercount logical ones), and
+//! 6. re-executes every query with the reference kernels pinned
+//!    ([`Database::set_reference_kernels`]) and asserts the
+//!    index-accelerated and gallop-skipping paths return identical
+//!    answers, so every CI seed differentially tests both kernel families.
 //!
 //! Because [`execute`] is panic-free, the oracle
 //! can distinguish "engine refused" (an `Err`, reported as a divergence of
@@ -428,12 +432,13 @@ pub fn run_seed(seed: u64, cfg: &OracleConfig) -> SeedReport {
     let setup = setup_seed(seed, cfg);
     let g = &setup.graph;
     let mut divergences = Vec::new();
-    let dbs = build_databases(&setup, seed, cfg, &mut divergences);
+    let mut dbs = build_databases(&setup, seed, cfg, &mut divergences);
 
     for q in &setup.queries {
         // reference answer: the first strategy that executes the query
         let mut reference: Option<(Strategy, QueryResult)> = None;
-        for (s, db) in &dbs {
+        for (s, db) in dbs.iter_mut() {
+            let s: &Strategy = s;
             let plan = match compile(g, &db.schema, q) {
                 Ok(plan) => plan,
                 Err(e) => {
@@ -475,6 +480,38 @@ pub fn run_seed(seed: u64, cfg: &OracleConfig) -> SeedReport {
                     strategy: s.label().into(),
                     detail: format!("metrics sanity: {violation}"),
                 });
+            }
+            // Kernel sweep: the index-accelerated / gallop-skipping kernels
+            // must be answer-identical to the linear/merge/hash reference
+            // paths on every seed, query, and strategy — so each CI seed
+            // exercises both code paths differentially.
+            db.set_reference_kernels(true);
+            let ref_run = execute(db, g, &plan);
+            db.set_reference_kernels(false);
+            match ref_run {
+                Ok(rr) => {
+                    if rr.elements != r.elements
+                        || rr.results != r.results
+                        || rr.distinct != r.distinct
+                    {
+                        divergences.push(Divergence {
+                            seed,
+                            query: q.name.clone(),
+                            strategy: s.label().into(),
+                            detail: format!(
+                                "kernel divergence: indexed kernels gave {}/{} (physical/logical), \
+                                 reference kernels gave {}/{}",
+                                r.results, r.distinct, rr.results, rr.distinct
+                            ),
+                        });
+                    }
+                }
+                Err(e) => divergences.push(Divergence {
+                    seed,
+                    query: q.name.clone(),
+                    strategy: s.label().into(),
+                    detail: format!("kernel divergence: reference kernels refused: {e}"),
+                }),
             }
             match &reference {
                 None => reference = Some((*s, r)),

@@ -98,6 +98,43 @@ fn span_counters_are_deterministic_across_worker_counts() {
     assert_eq!(key(&serial), key(&parallel));
 }
 
+/// The PR-5 index/gallop counters flow through the span layer like the
+/// PR-4 volume counters: present on `query` (and `op`) spans wherever the
+/// kernels engaged, and — being deterministic functions of (scale, seed) —
+/// identical between a serial and a 4-worker run.
+#[test]
+fn index_and_skip_counters_are_present_and_deterministic() {
+    let serial = traced_suite(1);
+    let parallel = traced_suite(4);
+    for key in ["index_lookups", "elements_skipped"] {
+        let query_total =
+            |t: &Trace| -> u64 { t.of_cat("query").iter().filter_map(|s| s.counter(key)).sum() };
+        let op_total =
+            |t: &Trace| -> u64 { t.of_cat("op").iter().filter_map(|s| s.counter(key)).sum() };
+        assert!(query_total(&serial) > 0, "no query span carries `{key}`");
+        assert!(op_total(&serial) > 0, "no op span carries `{key}`");
+        assert_eq!(query_total(&serial), query_total(&parallel), "`{key}` differs across workers");
+        assert_eq!(op_total(&serial), op_total(&parallel), "`{key}` differs across workers");
+    }
+    // and per-query spans (not just totals) agree counter-for-counter
+    let per_query = |t: &Trace| {
+        let mut v: Vec<(String, u64, u64)> = t
+            .of_cat("query")
+            .iter()
+            .map(|s| {
+                (
+                    s.name.clone(),
+                    s.counter("index_lookups").unwrap_or(0),
+                    s.counter("elements_skipped").unwrap_or(0),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(per_query(&serial), per_query(&parallel));
+}
+
 #[test]
 fn per_op_deltas_sum_exactly_on_every_query_and_strategy() {
     let g = ErGraph::from_diagram(&catalog::tpcw()).expect("tpcw builds");
