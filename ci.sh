@@ -44,14 +44,18 @@ echo "==> perfgate: validate emitted trace"
 cargo run -q --release -p colorist-bench --bin colorist-perfgate -- \
     --validate-trace results/trace_ci.json
 
-echo "==> perfgate: diff against committed baseline"
+echo "==> perfgate: diff against committed baseline + optimizer-quality gate"
 # Deterministic operation counts must match the committed baseline exactly
 # (any drift hard-fails); wall-clock is warn-only — CI hardware is shared
-# and noisy, so time regressions inform rather than block here.
+# and noisy, so time regressions inform rather than block here. The same
+# diff enforces the optimizer-quality gate on both documents: no query's
+# cost-based gate sum may exceed its heuristic twin's, and estimate-vs-
+# measured drift must stay within the committed q-error budget.
 cargo run -q --release -p colorist-bench --bin colorist-perfgate -- \
     --baseline results/bench_baseline.json \
     --current results/bench_summary_ci.json \
-    --wall-warn-only
+    --wall-warn-only \
+    --q-error-budget 8.0
 rm -f results/bench_summary_ci.json results/trace_ci.json
 
 echo "==> ci.sh: all checks passed"

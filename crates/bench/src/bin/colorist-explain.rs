@@ -17,7 +17,7 @@
 use colorist_core::{design, Strategy};
 use colorist_datagen::{generate, materialize, ScaleProfile};
 use colorist_er::{catalog, ErGraph};
-use colorist_query::{compile, execute_profiled, explain, explain_analyze};
+use colorist_query::{compile, execute_profiled, explain, explain_analyze, optimize};
 use colorist_workload::{derby, tpcw, xmark};
 
 fn main() {
@@ -97,13 +97,19 @@ fn main() {
         let schema = design(&g, s).expect("strategy designs the diagram");
         let db = (!static_only).then(|| materialize(&g, &schema, &instance));
         for q in &reads {
-            let plan = match compile(&g, &schema, q) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("colorist-explain: {}/{s}: {e}", q.name);
-                    std::process::exit(1);
-                }
-            };
+            // executed plans come from the cost-based optimizer so the
+            // estimate-vs-measured drift columns are populated; the
+            // --static sketch keeps the heuristic compiler (no database,
+            // hence no statistics, to estimate from)
+            let plan =
+                match db.as_ref().map_or_else(|| compile(&g, &schema, q), |db| optimize(db, &g, q))
+                {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("colorist-explain: {}/{s}: {e}", q.name);
+                        std::process::exit(1);
+                    }
+                };
             if let Some(db) = &db {
                 let (result, prof) = match execute_profiled(db, &g, &plan) {
                     Ok(r) => r,

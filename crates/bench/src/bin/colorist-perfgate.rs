@@ -4,7 +4,7 @@
 //! colorist-perfgate --baseline results/bench_baseline.json \
 //!                   --current  results/bench_summary.json \
 //!                   [--max-wall-regress 0.25] [--wall-warn-only] \
-//!                   [--max-op-regress 0.0]
+//!                   [--max-op-regress 0.0] [--q-error-budget 8.0]
 //! colorist-perfgate --validate-trace trace.json
 //! ```
 //!
@@ -17,7 +17,8 @@ use colorist_trace::Json;
 fn usage() -> ! {
     eprintln!(
         "usage: colorist-perfgate --baseline FILE --current FILE \
-         [--max-wall-regress F] [--wall-warn-only] [--max-op-regress F]\n\
+         [--max-wall-regress F] [--wall-warn-only] [--max-op-regress F] \
+         [--q-error-budget F]\n\
          \x20      colorist-perfgate --validate-trace FILE"
     );
     std::process::exit(2);
@@ -53,15 +54,15 @@ fn main() {
             "--current" => current = Some(value("--current")),
             "--validate-trace" => trace = Some(value("--validate-trace")),
             "--wall-warn-only" => cfg.wall_warn_only = true,
-            "--max-wall-regress" | "--max-op-regress" => {
+            "--max-wall-regress" | "--max-op-regress" | "--q-error-budget" => {
                 let v: f64 = value(&a).parse().unwrap_or_else(|_| {
-                    eprintln!("perfgate: {a} expects a fraction like 0.25");
+                    eprintln!("perfgate: {a} expects a number like 0.25");
                     std::process::exit(2);
                 });
-                if a == "--max-wall-regress" {
-                    cfg.max_wall_regress = v;
-                } else {
-                    cfg.max_op_regress = v;
+                match a.as_str() {
+                    "--max-wall-regress" => cfg.max_wall_regress = v,
+                    "--max-op-regress" => cfg.max_op_regress = v,
+                    _ => cfg.q_error_budget = v,
                 }
             }
             _ => usage(),

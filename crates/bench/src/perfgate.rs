@@ -14,7 +14,14 @@
 //!   default tolerance is zero: any growth fails;
 //! * **wall-clock regression** (`suite_wall_ms`) past the allowed fraction
 //!   is a failure by default, downgradeable to a warning with
-//!   [`GateConfig::wall_warn_only`] for shared/noisy CI hardware.
+//!   [`GateConfig::wall_warn_only`] for shared/noisy CI hardware;
+//! * **optimizer quality** (schema v4): on every query of *both*
+//!   documents, the cost-based planner's measured gate sum
+//!   (`elements_scanned + join_probes + bytes_touched`) must not exceed
+//!   the heuristic twin's (`heur_*`) — the optimizer never loses to the
+//!   planner it replaced — and where estimates are recorded, the q-error
+//!   between estimated and measured gate sums must stay within
+//!   [`GateConfig::q_error_budget`].
 //!
 //! The module also hosts [`validate_trace`], the shape checker for
 //! chrome-trace documents emitted by `--trace`.
@@ -33,11 +40,21 @@ pub struct GateConfig {
     /// Allowed fractional growth in any deterministic counter. `0.0`
     /// demands byte-exact counts.
     pub max_op_regress: f64,
+    /// Largest tolerated q-error (`max(est+1, meas+1) / min(est+1, meas+1)`)
+    /// between a query's estimated and measured gate sums. Histograms are
+    /// equi-depth with 16 buckets, so single-predicate estimates land well
+    /// inside this; the budget mainly bounds drift on multi-join chains.
+    pub q_error_budget: f64,
 }
 
 impl Default for GateConfig {
     fn default() -> Self {
-        GateConfig { max_wall_regress: 0.25, wall_warn_only: false, max_op_regress: 0.0 }
+        GateConfig {
+            max_wall_regress: 0.25,
+            wall_warn_only: false,
+            max_op_regress: 0.0,
+            q_error_budget: 8.0,
+        }
     }
 }
 
@@ -57,8 +74,10 @@ impl GateReport {
     }
 }
 
-/// The deterministic per-query counters the gate compares exactly.
-const OP_FIELDS: [&str; 14] = [
+/// The deterministic per-query counters the gate compares exactly. The
+/// `heur_*` counters come from the heuristic-planner twin run and are
+/// just as deterministic as the primary ones.
+const OP_FIELDS: [&str; 17] = [
     "logical",
     "physical",
     "structural_joins",
@@ -73,6 +92,9 @@ const OP_FIELDS: [&str; 14] = [
     "bytes_touched",
     "index_lookups",
     "elements_skipped",
+    "heur_scanned",
+    "heur_probes",
+    "heur_bytes",
 ];
 
 /// Counter keys a span of a known category may carry in its `args` (beside
@@ -234,7 +256,64 @@ pub fn compare(baseline: &Json, current: &Json, cfg: &GateConfig) -> Result<Gate
             }
         }
     }
+
+    // optimizer quality: domination and estimate drift, on both documents
+    // (the committed baseline must satisfy its own gate, not just the run
+    // under test)
+    for (doc, what) in [(baseline, "baseline"), (current, "current")] {
+        optimizer_gate(doc, what, cfg, &mut report)?;
+    }
     Ok(report)
+}
+
+/// Check one document's optimizer-quality invariants (schema v4):
+///
+/// * **domination** — on every query, the measured gate sum
+///   (`elements_scanned + join_probes + bytes_touched`) under cost-based
+///   planning must not exceed the heuristic twin's `heur_*` sum;
+/// * **drift** — where a query records estimates (`est_*`), the q-error
+///   between estimated and measured gate sums must stay within
+///   [`GateConfig::q_error_budget`].
+fn optimizer_gate(
+    doc: &Json,
+    what: &str,
+    cfg: &GateConfig,
+    report: &mut GateReport,
+) -> Result<(), String> {
+    for (label, queries) in index(doc, what)? {
+        for (name, q) in queries {
+            let ctx = format!("{what} {label}/{name}");
+            let measured: u64 = ["elements_scanned", "join_probes", "bytes_touched"]
+                .iter()
+                .map(|f| require_u64(q, f, &ctx))
+                .sum::<Result<u64, _>>()?;
+            let heuristic: u64 = ["heur_scanned", "heur_probes", "heur_bytes"]
+                .iter()
+                .map(|f| require_u64(q, f, &ctx))
+                .sum::<Result<u64, _>>()?;
+            if measured > heuristic {
+                report.failures.push(format!(
+                    "{ctx}: optimized gate sum {measured} exceeds heuristic {heuristic} \
+                     — the cost-based plan lost to the heuristic one"
+                ));
+            }
+            if q.get("est_scanned").is_some() {
+                let est: u64 = ["est_scanned", "est_probes", "est_bytes"]
+                    .iter()
+                    .map(|f| require_u64(q, f, &ctx))
+                    .sum::<Result<u64, _>>()?;
+                let q_err = colorist_query::q_error(est as f64, measured as f64);
+                if q_err > cfg.q_error_budget {
+                    report.failures.push(format!(
+                        "{ctx}: estimate drift q-error {q_err:.2} exceeds budget {:.2} \
+                         (estimated gate sum {est}, measured {measured})",
+                        cfg.q_error_budget
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Validate the shape of a chrome-trace document emitted by `--trace`:
@@ -390,6 +469,58 @@ mod tests {
         let rev = compare(&cur, &base, &GateConfig::default()).expect("comparable");
         assert!(rev.pass(), "{:?}", rev.failures);
         assert!(rev.warnings.iter().any(|w| w.contains("improved")), "{:?}", rev.warnings);
+    }
+
+    #[test]
+    fn optimizer_gate_rejects_domination_and_drift_violations() {
+        let j = small_summary();
+        let base = Json::parse(&j).expect("parses");
+        // the real run passes its own optimizer gate
+        let clean = compare(&base, &base, &GateConfig::default()).expect("comparable");
+        assert!(clean.pass(), "{:?}", clean.failures);
+
+        // shrink every heur_* counter to zero: the measured counters now
+        // exceed the heuristic twin → domination failure
+        fn patch(j: &mut Json, key: &str, value: f64) {
+            match j {
+                Json::Obj(m) => {
+                    for (k, v) in m.iter_mut() {
+                        if k == key {
+                            *v = Json::Num(value);
+                        } else {
+                            patch(v, key, value);
+                        }
+                    }
+                }
+                Json::Arr(v) => v.iter_mut().for_each(|x| patch(x, key, value)),
+                _ => {}
+            }
+        }
+        let mut lost = base.clone();
+        for key in ["heur_scanned", "heur_probes", "heur_bytes"] {
+            patch(&mut lost, key, 0.0);
+        }
+        let report = compare(&lost, &lost, &GateConfig::default()).expect("comparable");
+        assert!(
+            report.failures.iter().any(|f| f.contains("exceeds heuristic")),
+            "{:?}",
+            report.failures
+        );
+
+        // inflate every estimate far past the measured gate sum → the
+        // q-error drift gate trips
+        let mut drifted = base.clone();
+        patch(&mut drifted, "est_scanned", 1e12);
+        let report = compare(&drifted, &drifted, &GateConfig::default()).expect("comparable");
+        assert!(
+            report.failures.iter().any(|f| f.contains("estimate drift")),
+            "{:?}",
+            report.failures
+        );
+        // a generous budget accepts the same drift
+        let lax = GateConfig { q_error_budget: f64::INFINITY, ..GateConfig::default() };
+        let report = compare(&drifted, &drifted, &lax).expect("comparable");
+        assert!(!report.failures.iter().any(|f| f.contains("estimate drift")));
     }
 
     #[test]

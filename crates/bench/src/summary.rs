@@ -23,8 +23,12 @@ use std::time::Duration;
 /// History: 1 — the original unversioned layout (no `schema_version`,
 /// `git_rev`, `join_probes` or `bytes_touched`); 2 — adds those four
 /// fields; 3 — adds per-query `index_lookups` and `elements_skipped`
-/// (the index/gallop kernel counters).
-pub const SCHEMA_VERSION: u64 = 3;
+/// (the index/gallop kernel counters); 4 — adds the optimizer fields:
+/// `heur_scanned`/`heur_probes`/`heur_bytes` (measured gate counters of
+/// the heuristic-planner twin run on every query) and, on read queries,
+/// `est_scanned`/`est_probes`/`est_bytes`/`est_index_lookups` (the
+/// cost-based planner's estimates, rounded to integers).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The git revision to stamp into the document: `COLORIST_GIT_REV` if set,
 /// else `git rev-parse --short=12 HEAD`, else `"unknown"` (e.g. when built
@@ -122,6 +126,15 @@ pub fn bench_summary_json(meta: &SummaryMeta, results: &[SuiteResult]) -> String
                 QueryKind::Update => "update",
             };
             let m = &q.metrics;
+            // The heuristic-planner twin runs every query; a missing twin
+            // (never produced by the suite today) degrades to the measured
+            // counters so the domination gate trivially holds.
+            let (hs, hp, hb) = q
+                .heuristic
+                .as_ref()
+                .map_or((m.elements_scanned, m.join_probes, m.bytes_touched), |h| {
+                    (h.elements_scanned, h.join_probes, h.bytes_touched)
+                });
             let _ = write!(
                 j,
                 "        {{\"name\": \"{}\", \"kind\": \"{kind}\", \
@@ -131,7 +144,9 @@ pub fn bench_summary_json(meta: &SummaryMeta, results: &[SuiteResult]) -> String
                  \"group_bys\": {}, \"duplicate_updates\": {}, \
                  \"icic_maintenance\": {}, \"elements_scanned\": {}, \
                  \"join_probes\": {}, \"bytes_touched\": {}, \
-                 \"index_lookups\": {}, \"elements_skipped\": {}}}",
+                 \"index_lookups\": {}, \"elements_skipped\": {}, \
+                 \"heur_scanned\": {hs}, \"heur_probes\": {hp}, \
+                 \"heur_bytes\": {hb}",
                 esc(&q.name),
                 m.elapsed.as_micros(),
                 q.logical,
@@ -149,6 +164,15 @@ pub fn bench_summary_json(meta: &SummaryMeta, results: &[SuiteResult]) -> String
                 m.index_lookups,
                 m.elements_skipped,
             );
+            if let Some(est) = &q.est {
+                let _ = write!(
+                    j,
+                    ", \"est_scanned\": {}, \"est_probes\": {}, \
+                     \"est_bytes\": {}, \"est_index_lookups\": {}",
+                    est.scanned, est.probes, est.bytes, est.index_lookups,
+                );
+            }
+            let _ = write!(j, "}}");
             let _ = writeln!(j, "{}", if qi + 1 < r.runs.len() { "," } else { "" });
         }
         let _ = writeln!(j, "      ]");

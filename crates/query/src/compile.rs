@@ -31,8 +31,18 @@ use crate::pattern::Pattern;
 use crate::plan::{Charge, Op, Plan, Reg, VDir};
 use colorist_er::{EdgeId, ErGraph, NodeId};
 use colorist_mct::{MctSchema, PlacementId};
-use colorist_store::Metrics;
 use std::collections::{BinaryHeap, HashMap};
+
+/// A child-ordering hook for [`compile_with`]: given a pattern node index
+/// and its child pattern-edge indices (in syntactic order), returns the
+/// order in which the compiler should emit and intersect the child
+/// reductions. Must return a permutation of its input; anything else falls
+/// back to syntactic order. Reordering is always answer- and
+/// counter-neutral — `Intersect` charges no runtime counters and each child
+/// block's ops are self-contained — but it changes which intermediate set
+/// the next `Intersect` narrows first, which the cost-based optimizer uses
+/// to keep intermediate registers small.
+pub type ChildOrder<'o> = &'o dyn Fn(usize, &[usize]) -> Vec<usize>;
 
 /// Lexicographic plan cost: (incomplete runs, value joins, crossings,
 /// structural joins). The leading component penalizes structural runs whose
@@ -79,11 +89,25 @@ struct State {
     mode: Mode,
 }
 
-/// Compile `pattern` against `schema`.
+/// Compile `pattern` against `schema` in syntactic child order.
 pub fn compile(graph: &ErGraph, schema: &MctSchema, pattern: &Pattern) -> Result<Plan, QueryError> {
+    compile_with(graph, schema, pattern, None)
+}
+
+/// Compile `pattern` against `schema`, letting `order` (when given) pick
+/// the emission order of each pattern node's child reductions. The
+/// placement DP, kernel selection, charge siting, and static metrics are
+/// identical either way — only the sequence of per-child op blocks (and
+/// hence register numbering) moves.
+pub fn compile_with(
+    graph: &ErGraph,
+    schema: &MctSchema,
+    pattern: &Pattern,
+    order: Option<ChildOrder<'_>>,
+) -> Result<Plan, QueryError> {
     let _span = colorist_trace::span("compile", format!("compile:{}", pattern.name));
     let full = completeness(graph, schema);
-    Compiler { graph, schema, full }.run(pattern)
+    Compiler { graph, schema, full, order }.run(pattern)
 }
 
 struct Compiler<'a> {
@@ -92,6 +116,8 @@ struct Compiler<'a> {
     /// Per placement: is its occurrence set statically the full extent of
     /// its node type?
     full: Vec<bool>,
+    /// Optional child-ordering hook (the cost-based optimizer's handle).
+    order: Option<ChildOrder<'a>>,
 }
 
 /// Static completeness analysis. A placement holds the full extent when:
@@ -229,16 +255,8 @@ impl<'a> Compiler<'a> {
             out = r;
         }
 
-        let mut plan = Plan {
-            name: pattern.name.clone(),
-            strategy: self.schema.strategy.clone(),
-            ops,
-            output: out,
-            reg_count: regs,
-            metrics: Metrics::default(),
-            charges,
-        };
-        plan.metrics = plan.static_metrics();
+        let plan =
+            Plan::new(pattern.name.clone(), self.schema.strategy.clone(), ops, out, regs, charges);
         debug_assert!(
             {
                 let diags = crate::verify::verify_plan(self.graph, self.schema, &plan);
@@ -277,7 +295,8 @@ impl<'a> Compiler<'a> {
             node: pattern.nodes[v].node,
             pred: pattern.nodes[v].predicate.clone(),
         });
-        for &ei in &children[v] {
+        let child_order = self.child_order(v, &children[v]);
+        for &ei in &child_order {
             let e = &pattern.edges[ei];
             let child = if e.from == v { e.to } else { e.from };
             let (child_placement, steps) =
@@ -429,6 +448,22 @@ impl<'a> Compiler<'a> {
             }
         }
         Ok(reg)
+    }
+
+    /// The emission order of `v`'s child edges: the hook's answer when it
+    /// is a permutation of the syntactic list, else the syntactic list.
+    fn child_order(&self, v: usize, edges: &[usize]) -> Vec<usize> {
+        if let Some(f) = self.order {
+            let picked = f(v, edges);
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            let mut syntactic = edges.to_vec();
+            syntactic.sort_unstable();
+            if sorted == syntactic {
+                return picked;
+            }
+        }
+        edges.to_vec()
     }
 
     fn schema_has_copies(&self) -> bool {

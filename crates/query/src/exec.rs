@@ -803,7 +803,7 @@ fn expand_to_logical_occs<'v>(
 /// Placements of `node` in `color` whose upward chain realizes exactly
 /// `via` (ancestor-side-first) — the valid landing spots of a path-exact
 /// descent.
-fn valid_desc_placements(
+pub(crate) fn valid_desc_placements(
     db: &Database,
     color: ColorId,
     node: colorist_er::NodeId,
@@ -817,7 +817,7 @@ fn valid_desc_placements(
 }
 
 /// For ascents: the set of source placements whose upward chain matches.
-fn valid_desc_placement_set(
+pub(crate) fn valid_desc_placement_set(
     db: &Database,
     _color: ColorId,
     _node: colorist_er::NodeId,
@@ -987,6 +987,7 @@ mod tests {
             reg_count,
             metrics: Metrics::default(),
             charges: Vec::new(),
+            costs: Vec::new(),
         };
         let scan = Op::Scan { dst: 0, color: ColorId(0), node: country, pred: None };
 

@@ -153,6 +153,19 @@ fn op_counts_match(measured: &Metrics, expected: &Metrics) -> bool {
     )
 }
 
+/// Symmetric relative error between an estimate and a measurement, with
+/// +1 smoothing so empty operators compare cleanly: `max(a,b)/min(a,b)`
+/// over the smoothed values. 1.0 is a perfect estimate.
+pub fn q_error(est: f64, measured: f64) -> f64 {
+    let a = est.max(0.0) + 1.0;
+    let b = measured.max(0.0) + 1.0;
+    if a >= b {
+        a / b
+    } else {
+        b / a
+    }
+}
+
 /// Render `EXPLAIN ANALYZE` output: the plan, one row per operator, each
 /// annotated with its **static** operation counts (what the compiler
 /// predicted at emission time) and its **measured** per-operator metrics
@@ -160,7 +173,10 @@ fn op_counts_match(measured: &Metrics, expected: &Metrics) -> bool {
 /// in/out, elements scanned, join probes, bytes touched, and wall time.
 /// Rows where the measured operation counts drift from the static
 /// prediction are flagged `<< DRIFT`; the trailer reconciles the per-op
-/// deltas against the query's top-level totals.
+/// deltas against the query's top-level totals. Cost-annotated plans (the
+/// optimizer's output) additionally show each operator's estimated rows
+/// and counter charges with the per-op q-error, plus a trailer comparing
+/// the predicted and measured gate sums.
 pub fn explain_analyze(
     graph: &ErGraph,
     plan: &Plan,
@@ -201,10 +217,36 @@ pub fn explain_analyze(
             }
         }
         let _ = write!(line, " {:.1}µs", p.elapsed.as_secs_f64() * 1e6);
+        if let Some(c) = plan.costs.get(p.op).filter(|c| c.op == p.op) {
+            // the optimizer's prediction for this operator, in the same
+            // units as the measured counters above
+            let _ = write!(
+                line,
+                "  ~est rows {:.0} scanned {:.0} probes {:.0} bytes {:.0} idx {:.0} ({:?}, q={:.2})",
+                c.rows,
+                c.scanned,
+                c.probes,
+                c.bytes,
+                c.index_lookups,
+                c.kernel,
+                q_error(c.gate_sum(), (m.elements_scanned + m.join_probes + m.bytes_touched) as f64),
+            );
+        }
         if !op_counts_match(m, &op_static(op)) {
             let _ = write!(line, "  << DRIFT: measured op counts differ from static");
         }
         let _ = writeln!(s, "{}  [{}]", line, op_kind(op));
+    }
+    if !plan.costs.is_empty() {
+        let est: f64 = plan.costs.iter().map(|c| c.gate_sum()).sum();
+        let meas = (result.metrics.elements_scanned
+            + result.metrics.join_probes
+            + result.metrics.bytes_touched) as f64;
+        let _ = writeln!(
+            s,
+            "  estimates: gate sum {est:.0} predicted vs {meas:.0} measured (q-error {:.2})",
+            q_error(est, meas)
+        );
     }
     let t = &result.metrics;
     let _ = writeln!(
@@ -304,6 +346,31 @@ mod tests {
                 "{text}"
             );
         }
+    }
+
+    #[test]
+    fn explain_analyze_shows_estimates_for_optimized_plans() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).unwrap();
+        let inst = generate(&g, &ScaleProfile::tpcw(&g, 40), 42);
+        let schema = design(&g, Strategy::Af).unwrap();
+        let db = materialize(&g, &schema, &inst);
+        let q1 = PatternBuilder::new(&g, "Q1")
+            .node("country")
+            .pred_eq("name", Value::Text("Japan".into()))
+            .node("order")
+            .chain(0, 1, &["in", "address", "has", "customer", "make"])
+            .unwrap()
+            .output(1)
+            .build()
+            .unwrap();
+        let plan = crate::optimize::optimize(&db, &g, &q1).unwrap();
+        assert!(!plan.costs.is_empty());
+        let (result, profile) = execute_profiled(&db, &g, &plan).unwrap();
+        let text = explain_analyze(&g, &plan, &result, &profile);
+        assert!(text.contains("~est rows"), "{text}");
+        assert!(text.contains("estimates: gate sum"), "{text}");
+        assert!(!text.contains("DRIFT"), "{text}");
+        assert!(q_error(10.0, 10.0) == 1.0 && q_error(0.0, 9.0) == 10.0);
     }
 
     #[test]

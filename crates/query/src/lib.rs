@@ -19,6 +19,9 @@
 //!   counts (exactly the Figures 8–10 metrics);
 //! * [`exec`] — the interpreter: structural joins / value joins / crossings
 //!   against a [`colorist_store::Database`], with measured [`Metrics`];
+//! * [`mod@optimize`] — the cost-based optimizer: statistics-driven child
+//!   ordering plus per-operator cost estimates in counter units, checked
+//!   against measurement by `explain_analyze` and the perfgate;
 //! * [`update`] — update execution: locate targets, mutate every color
 //!   (ICIC maintenance), propagate to physical copies (duplicate updates),
 //!   cascade inserts through un-normalized placements;
@@ -30,20 +33,22 @@ pub mod compile;
 pub mod error;
 pub mod exec;
 pub mod explain;
+pub mod optimize;
 pub mod pattern;
 pub mod plan;
 pub mod update;
 pub mod verify;
 
-pub use compile::compile;
+pub use compile::{compile, compile_with, ChildOrder};
 pub use error::QueryError;
 pub use exec::{execute, execute_profiled, op_kind, OpProfile, QueryResult};
-pub use explain::{explain, explain_analyze};
+pub use explain::{explain, explain_analyze, q_error};
+pub use optimize::{annotate_costs, optimize};
 pub use pattern::{
     CmpOp, InsertLink, InsertSpec, NewInstance, Partner, Pattern, PatternBuilder, PatternEdge,
     PatternNode, Predicate, UpdateAction, UpdateSpec,
 };
-pub use plan::{Charge, Op, Plan, VDir};
+pub use plan::{Charge, CostEst, KernelChoice, Op, Plan, VDir};
 pub use update::{execute_update, UpdateOutcome};
 pub use verify::{explain_abstract, verify_plan, PlanDiag};
 

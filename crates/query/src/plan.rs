@@ -172,6 +172,63 @@ pub struct Charge {
     pub at: PlacementId,
 }
 
+/// The physical kernel the optimizer predicts an operator will run on.
+///
+/// Recorded in [`CostEst::kernel`] so `explain_analyze` can show which
+/// dispatch decision each estimate backed, and so the static verifier can
+/// reject annotations whose kernel is inapplicable to the annotated
+/// operator kind (`P010`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// No kernel alternative exists for this operator (Cross, Intersect,
+    /// Distinct, GroupBy, LinkSemi's single path, …).
+    Default,
+    /// Predicate scan satisfied by a value-index probe.
+    IndexProbe,
+    /// Predicate scan satisfied by a linear extent walk (reference path).
+    LinearScan,
+    /// Structural semi-join on the stack-merge kernel.
+    Merge,
+    /// Structural semi-join on the gallop-skipping kernel.
+    Gallop,
+    /// Value semi-join on the reference hash-join kernel.
+    HashJoin,
+    /// Value semi-join probing participants by ordinal id (idref→id).
+    OrdinalProbe,
+    /// Value semi-join probing relationship idrefs via the index (id→idref).
+    ReverseProbe,
+}
+
+/// The optimizer's per-operator cost estimate, in the same units as the
+/// deterministic runtime counters so estimate-vs-measured drift is directly
+/// comparable. An empty [`Plan::costs`] means the plan was built by the
+/// heuristic compiler and carries no estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEst {
+    /// Index into [`Plan::ops`] of the annotated operator.
+    pub op: usize,
+    /// Estimated output cardinality (rows in the destination register).
+    pub rows: f64,
+    /// Estimated `elements_scanned` charged by this operator.
+    pub scanned: f64,
+    /// Estimated `join_probes` charged by this operator.
+    pub probes: f64,
+    /// Estimated `bytes_touched` charged by this operator.
+    pub bytes: f64,
+    /// Estimated `index_lookups` charged by this operator.
+    pub index_lookups: f64,
+    /// The kernel the estimate assumes the operator dispatches to.
+    pub kernel: KernelChoice,
+}
+
+impl CostEst {
+    /// The estimate's contribution to the perfgate domination sum
+    /// (`elements_scanned + join_probes + bytes_touched`).
+    pub fn gate_sum(&self) -> f64 {
+        self.scanned + self.probes + self.bytes
+    }
+}
+
 /// A compiled plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
@@ -192,9 +249,37 @@ pub struct Plan {
     /// Completeness charges recorded by the compiler, exactly one per
     /// `StructSemi`, each anchored at its run's top placement.
     pub charges: Vec<Charge>,
+    /// The optimizer's per-operator cost estimates, one per op in op
+    /// order, or empty for heuristic plans. Audited by `P010`.
+    pub costs: Vec<CostEst>,
 }
 
 impl Plan {
+    /// Construct a plan from its IR, deriving the recorded static metrics
+    /// from the operator list (so `P008` holds by construction) and leaving
+    /// the cost annotations empty. The compiler and optimizer both build
+    /// plans through here; the optimizer then fills [`Plan::costs`].
+    pub fn new(
+        name: String,
+        strategy: String,
+        ops: Vec<Op>,
+        output: Reg,
+        reg_count: usize,
+        charges: Vec<Charge>,
+    ) -> Plan {
+        let mut plan = Plan {
+            name,
+            strategy,
+            ops,
+            output,
+            reg_count,
+            metrics: Metrics::default(),
+            charges,
+            costs: Vec::new(),
+        };
+        plan.metrics = plan.static_metrics();
+        plan
+    }
     /// The plan-level operation counts (Figures 8–10): these are exactly
     /// what execution will report, since every operator runs once.
     pub fn static_metrics(&self) -> Metrics {
@@ -284,6 +369,7 @@ mod tests {
             reg_count: 7,
             metrics: Metrics::default(),
             charges: Vec::new(),
+            costs: Vec::new(),
         };
         plan.metrics = plan.static_metrics();
         let m = plan.static_metrics();

@@ -18,7 +18,6 @@
 //!   materializer (this is why U1 writes 67 physical elements on DEEP for
 //!   10 logical ones in Table 1).
 
-use crate::compile::compile;
 use crate::error::QueryError;
 use crate::exec::execute;
 use crate::pattern::{Partner, UpdateAction, UpdateSpec};
@@ -47,8 +46,9 @@ pub fn execute_update(
 ) -> Result<UpdateOutcome, QueryError> {
     let _span = colorist_trace::span("update", format!("update:{}", spec.name));
     let started = std::time::Instant::now();
-    // 1. locate targets
-    let plan = compile(graph, &db.schema, &spec.pattern)?;
+    // 1. locate targets (cost-based when the database runs the
+    // cost-model dispatch; plain compile under the heuristic modes)
+    let plan = crate::optimize::optimize(db, graph, &spec.pattern)?;
     let located = execute(db, graph, &plan)?;
     let mut metrics = located.metrics;
     let targets = located.elements;
@@ -148,7 +148,7 @@ fn anchor_elements(
         p.output = i;
         p.distinct = false;
         p.group_by = None;
-        let plan = compile(graph, &db.schema, &p)?;
+        let plan = crate::optimize::optimize(db, graph, &p)?;
         let r = execute(db, graph, &plan)?;
         anchors.push(r.elements.first().copied());
     }
@@ -446,6 +446,7 @@ fn default_value(a: &colorist_er::Attribute) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compile::compile;
     use crate::pattern::{InsertLink, InsertSpec, NewInstance, PatternBuilder};
     use colorist_core::{design, Strategy};
     use colorist_datagen::{generate, materialize, CanonicalInstance, ScaleProfile};

@@ -16,11 +16,37 @@
 //! joins.
 
 use crate::index::{IndexEntry, ValueIndex};
+use crate::statistics::{Cardinality, CmpKind, Statistics};
 use crate::value::{Interner, Value, ValueKey};
 use colorist_er::{ErGraph, NodeId};
 use colorist_mct::{ColorId, MctSchema, PlacementId};
 use std::collections::HashMap;
 use std::fmt;
+
+/// How the executor and the join dispatchers pick kernels, and — because
+/// the planner must never vary independently of the kernels in a
+/// differential run — which planner the query layer uses.
+///
+/// * [`CostModel`](KernelDispatch::CostModel) (the default): index/gallop
+///   fast paths chosen by the statistics cost model
+///   ([`crate::statistics::gallop_cost_wins`]), cost-based planning.
+/// * [`Ratio`](KernelDispatch::Ratio): fast paths chosen by the fixed
+///   [`crate::join::GALLOP_RATIO`] side-size ratio — the statistics-free
+///   fallback — heuristic planning. The "one variable at a time" partner
+///   for optimizer differentials.
+/// * [`Reference`](KernelDispatch::Reference): linear extent walks,
+///   stack-merge joins, per-op hash builds, heuristic planning. The partner
+///   for kernel differentials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelDispatch {
+    /// Statistics cost-model dispatch + cost-based planning.
+    #[default]
+    CostModel,
+    /// Fixed-ratio dispatch + heuristic planning.
+    Ratio,
+    /// Reference kernels + heuristic planning.
+    Reference,
+}
 
 /// Identifier of a stored element.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -158,12 +184,15 @@ pub struct Database {
     /// [`Database::insert_element`]; invariant under relabels and deletes
     /// because it is keyed by element, not occurrence.
     value_index: ValueIndex,
-    /// When set, the executor and the structural-join dispatchers take the
-    /// reference paths (linear extent walks, stack-merge joins, per-op hash
-    /// builds) instead of the index/gallop fast paths. The differential
-    /// property tests and the oracle sweep flip this to pin fast ≡
-    /// reference on the same database.
-    reference_kernels: bool,
+    /// Statistics catalog: column histograms/distinct counts, extent
+    /// cardinalities, per-placement occurrence counts (DESIGN.md §11).
+    /// Built at `finish`, maintained by the same choke points as the value
+    /// index plus [`Database::relabel_color`].
+    statistics: Statistics,
+    /// Kernel-dispatch and planner mode; see [`KernelDispatch`]. The
+    /// differential property tests and the oracle sweep flip this to pin
+    /// fast ≡ reference on the same database.
+    dispatch: KernelDispatch,
 }
 
 impl Database {
@@ -202,7 +231,31 @@ impl Database {
                     element: e,
                 });
             }
+            // the statistics catalog rides the same choke point: the
+            // changed column is recomputed from the index, so the catalog
+            // never drifts from a from-scratch build
+            self.statistics.refresh_column(node, attr, &self.value_index, &self.interner);
         }
+    }
+
+    /// The statistics catalog (DESIGN.md §11): column histograms, distinct
+    /// counts, extent cardinalities, per-placement occurrence counts.
+    pub fn statistics(&self) -> &Statistics {
+        &self.statistics
+    }
+
+    /// Estimated number of canonical `node` elements whose attribute `attr`
+    /// satisfies `<op> value`, from the column histogram. The absolute
+    /// error is bounded by `statistics().max_bucket_rows(node, attr)`.
+    pub fn estimate_predicate_matches(
+        &self,
+        node: NodeId,
+        attr: usize,
+        kind: CmpKind,
+        value: &Value,
+    ) -> Cardinality {
+        self.statistics
+            .estimate_matches(node, attr, kind, |k| self.interner.key_value_cmp(k, value))
     }
 
     /// The persistent attribute/id value index.
@@ -215,12 +268,29 @@ impl Database {
     /// fast paths. Answers must be byte-identical either way; the
     /// differential tests and the oracle sweep compare both.
     pub fn reference_kernels(&self) -> bool {
-        self.reference_kernels
+        self.dispatch == KernelDispatch::Reference
     }
 
-    /// Pin (or unpin) execution to the reference kernels.
+    /// Pin (or unpin) execution to the reference kernels. Pinning **also
+    /// pins the planner to heuristic mode** (the query layer's `optimize`
+    /// consults [`Database::kernel_dispatch`]), so a reference differential
+    /// compares exactly one variable — the kernels — never kernels and plan
+    /// shape at once. Unpinning restores the cost-model default.
     pub fn set_reference_kernels(&mut self, on: bool) {
-        self.reference_kernels = on;
+        self.dispatch = if on { KernelDispatch::Reference } else { KernelDispatch::CostModel };
+    }
+
+    /// The kernel-dispatch / planner mode.
+    pub fn kernel_dispatch(&self) -> KernelDispatch {
+        self.dispatch
+    }
+
+    /// Set the kernel-dispatch / planner mode directly — e.g.
+    /// [`KernelDispatch::Ratio`] for an optimizer differential (heuristic
+    /// planning, fixed-ratio gallop dispatch) against the cost-model
+    /// default.
+    pub fn set_kernel_dispatch(&mut self, dispatch: KernelDispatch) {
+        self.dispatch = dispatch;
     }
 
     /// The text symbol table.
@@ -347,6 +417,9 @@ impl Database {
         let tree = &mut self.colors[c.idx()];
         relabel(&mut tree.occs);
         rebuild_tree_indexes(tree, c, &self.elements, &mut self.logical_occs);
+        // structural updates funnel through here, so this is the one
+        // maintenance point the placement-occurrence summaries need
+        self.statistics.set_placement_occs(placement_occ_counts(&self.schema, &self.colors));
     }
 
     /// Insert a new canonical element, returning its id. The caller must
@@ -368,8 +441,13 @@ impl Database {
                 element: id,
             });
         }
+        let arity = attrs.len();
         self.elements.push(Element { node, ordinal, canonical: id, attrs });
         self.extents[node.idx()].push(id);
+        self.statistics.note_insert(node);
+        for a in 0..arity {
+            self.statistics.refresh_column(node, a, &self.value_index, &self.interner);
+        }
         id
     }
 
@@ -561,6 +639,15 @@ impl DatabaseBuilder {
             }
             rev_links.push(rv);
         }
+        let extent_rows = self.extents.iter().map(|e| e.len() as u64).collect();
+        let statistics = Statistics::build(
+            self.extents.len(),
+            |n| self.extents[n].first().map_or(0, |&e| self.elements[e.idx()].attrs.len()),
+            extent_rows,
+            placement_occ_counts(&self.schema, &self.colors),
+            &value_index,
+            &interner,
+        );
         Database {
             schema: self.schema,
             elements: self.elements,
@@ -571,9 +658,22 @@ impl DatabaseBuilder {
             rev_links,
             interner,
             value_index,
-            reference_kernels: false,
+            statistics,
+            dispatch: KernelDispatch::default(),
         }
     }
+}
+
+/// Occurrence count per schema placement, over every color tree — the raw
+/// material of the catalog's parent-fanout summaries.
+fn placement_occ_counts(schema: &MctSchema, colors: &[ColorTree]) -> Vec<u64> {
+    let mut counts = vec![0u64; schema.placements().len()];
+    for tree in colors {
+        for o in &tree.occs {
+            counts[o.placement.idx()] += 1;
+        }
+    }
+    counts
 }
 
 /// Assign `(start, end, level)` by DFS over the parent arrays; reorders the

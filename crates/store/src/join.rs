@@ -70,23 +70,30 @@ pub enum Axis {
     Descendant,
 }
 
-/// Side-size ratio beyond which the structural-join dispatchers switch
-/// from the stack merge to the gallop kernel: gallop runs when
-/// `min(|anc|, |desc|) * GALLOP_RATIO < max(|anc|, |desc|)`. The merge
-/// costs `O(|anc| + |desc|)` regardless of asymmetry while gallop costs
-/// `O(small · (log large + matches))`, so the crossover is where the
-/// small side's per-element binary search beats walking the large side;
-/// 16 keeps the decision purely size-based (deterministic) with a wide
-/// safety margin over the `log`-factor constant.
+/// Statistics-free fallback for the merge-vs-gallop dispatch: under
+/// [`KernelDispatch::Ratio`](crate::database::KernelDispatch::Ratio),
+/// gallop runs when `min(|anc|, |desc|) * GALLOP_RATIO < max(|anc|,
+/// |desc|)`. The merge costs `O(|anc| + |desc|)` regardless of asymmetry
+/// while gallop costs `O(small · (log large + matches))`, so the crossover
+/// is where the small side's per-element binary search beats walking the
+/// large side; 16 approximates the `log`-factor with a wide safety margin.
+/// The default dispatch
+/// ([`CostModel`](crate::database::KernelDispatch::CostModel)) replaces
+/// the fixed ratio with the estimator's crossover,
+/// [`gallop_cost_wins`](crate::statistics::gallop_cost_wins), which tracks
+/// the actual `⌈log₂ large⌉` instead of a constant.
 pub const GALLOP_RATIO: usize = 16;
 
-/// Deterministic, size-only gallop dispatch decision.
+/// Deterministic, size-only gallop dispatch decision, per the database's
+/// [`KernelDispatch`](crate::database::KernelDispatch) mode.
 fn gallop_applies(db: &Database, anc: usize, desc: usize) -> bool {
-    if db.reference_kernels() {
-        return false;
-    }
+    use crate::database::KernelDispatch;
     let (small, large) = if anc <= desc { (anc, desc) } else { (desc, anc) };
-    small.saturating_mul(GALLOP_RATIO) < large
+    match db.kernel_dispatch() {
+        KernelDispatch::Reference => false,
+        KernelDispatch::Ratio => small.saturating_mul(GALLOP_RATIO) < large,
+        KernelDispatch::CostModel => crate::statistics::gallop_cost_wins(small, large),
+    }
 }
 
 /// Structural join: all `(ancestor, descendant)` pairs from `anc × desc`
@@ -738,7 +745,11 @@ mod tests {
 
     #[test]
     fn structural_semi_join_matches_filtered_pair_join() {
-        let (g, db) = chain_db(5, 3);
+        let (g, mut db) = chain_db(5, 3);
+        // Pin the ratio fallback: the assertions below spell out the merge
+        // kernel's exact charging, which the cost model would trade away by
+        // galloping the single-ancestor cases.
+        db.set_kernel_dispatch(crate::database::KernelDispatch::Ratio);
         let c = ColorId(0);
         let a = g.node_by_name("a").unwrap();
         let b = g.node_by_name("b").unwrap();
@@ -971,10 +982,47 @@ mod tests {
 
         // balanced sides stay on the merge even unpinned
         let mut bal_m = Metrics::default();
-        let all_a = db.color(c).of_placement(pa).to_vec(); // 40 vs 160 < ratio 16
+        let all_a = db.color(c).of_placement(pa).to_vec(); // 40·⌈log₂ 160⌉ = 320 ≥ 160
         structural_semi_join(&db, c, &all_a, &all_b, SemiSide::Descendant, None, &mut bal_m);
         assert_eq!(bal_m.elements_skipped, 0);
         assert_eq!(bal_m.elements_scanned, (all_a.len() + all_b.len()) as u64);
+
+        // 19 vs 160 separates the two non-reference dispatchers: the cost
+        // model gallops (19·⌈log₂ 160⌉ = 152 < 160) while the ratio fallback
+        // merges (19·16 = 304 ≥ 160).
+        let nineteen_a = all_a[..19].to_vec();
+        assert_eq!(db.kernel_dispatch(), crate::database::KernelDispatch::CostModel);
+        let mut cost_m = Metrics::default();
+        let cost_out = structural_semi_join(
+            &db,
+            c,
+            &nineteen_a,
+            &all_b,
+            SemiSide::Descendant,
+            None,
+            &mut cost_m,
+        );
+        assert!(cost_m.elements_skipped > 0, "cost model chose gallop");
+
+        db.set_kernel_dispatch(crate::database::KernelDispatch::Ratio);
+        let mut ratio_m = Metrics::default();
+        let ratio_out = structural_semi_join(
+            &db,
+            c,
+            &nineteen_a,
+            &all_b,
+            SemiSide::Descendant,
+            None,
+            &mut ratio_m,
+        );
+        assert_eq!(ratio_out, cost_out, "dispatch mode never changes answers");
+        assert_eq!(ratio_m.elements_skipped, 0, "ratio fallback stayed on the merge");
+        assert_eq!(ratio_m.elements_scanned, (nineteen_a.len() + all_b.len()) as u64);
+        assert!(
+            cost_m.elements_scanned + cost_m.join_probes + cost_m.bytes_touched
+                <= ratio_m.elements_scanned + ratio_m.join_probes + ratio_m.bytes_touched,
+            "cost dispatch never exceeds the fallback's gate sum here"
+        );
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   (structural joins, value joins, color crossings, duplicate
 //!   eliminations, …) plus wall-clock time;
 //! * [`stats`] — the storage statistics of Table 1 (elements, attributes,
-//!   content nodes, data bytes, colors).
+//!   content nodes, data bytes, colors);
+//! * [`statistics`] — the optimizer's statistics catalog: per-(node, attr)
+//!   distinct counts and equi-depth histograms built from the value index,
+//!   extent cardinalities, and per-placement occurrence counts, feeding
+//!   cardinality/selectivity estimation and the cost-model kernel dispatch.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -31,11 +35,14 @@ pub mod database;
 pub mod index;
 pub mod join;
 pub mod metrics;
+pub mod statistics;
 pub mod stats;
 pub mod value;
 pub mod xml;
 
-pub use database::{ColorTree, Database, DatabaseBuilder, Element, ElementId, OccId, Occurrence};
+pub use database::{
+    ColorTree, Database, DatabaseBuilder, Element, ElementId, KernelDispatch, OccId, Occurrence,
+};
 pub use index::{IndexEntry, ValueIndex};
 pub use join::{
     attr_key, attr_value, kmerge_sorted, structural_join, structural_join_merge,
@@ -43,6 +50,10 @@ pub use join::{
     GALLOP_RATIO,
 };
 pub use metrics::Metrics;
+pub use statistics::{
+    gallop_cost_wins, key_order, Bucket, Cardinality, CmpKind, ColumnStats, Selectivity,
+    Statistics, HISTOGRAM_BUCKETS,
+};
 pub use stats::Stats;
 pub use value::{Interner, Value, ValueKey};
 pub use xml::to_xml;

@@ -24,7 +24,13 @@
 //! 6. re-executes every query with the reference kernels pinned
 //!    ([`Database::set_reference_kernels`]) and asserts the
 //!    index-accelerated and gallop-skipping paths return identical
-//!    answers, so every CI seed differentially tests both kernel families.
+//!    answers, so every CI seed differentially tests both kernel
+//!    families, and
+//! 7. re-plans every query with the cost-based optimizer
+//!    ([`colorist_query::optimize()`]), statically verifies the optimized
+//!    plan (including its `P010` cost annotations), executes it, and
+//!    asserts answer equality with the heuristic plan — every CI seed
+//!    differentially tests both planners too.
 //!
 //! Because [`execute`] is panic-free, the oracle
 //! can distinguish "engine refused" (an `Err`, reported as a divergence of
@@ -41,7 +47,7 @@ use colorist_er::{
 };
 use colorist_mct::MctSchema;
 use colorist_query::{
-    compile, execute, verify_plan, CmpOp, Pattern, PatternBuilder, Plan, QueryResult,
+    compile, execute, optimize, verify_plan, CmpOp, Pattern, PatternBuilder, Plan, QueryResult,
 };
 use colorist_store::{Database, Value};
 use std::fmt;
@@ -511,6 +517,54 @@ pub fn run_seed(seed: u64, cfg: &OracleConfig) -> SeedReport {
                     query: q.name.clone(),
                     strategy: s.label().into(),
                     detail: format!("kernel divergence: reference kernels refused: {e}"),
+                }),
+            }
+            // Planner sweep: the cost-based optimizer must plan every query
+            // the heuristic compiler can plan, pass the static verifier
+            // (including the P010 cost-annotation audit), and return the
+            // same logical answer — so each CI seed also differentially
+            // tests both planners.
+            match optimize(db, g, q) {
+                Ok(opt_plan) => {
+                    for d in verify_plan(g, &db.schema, &opt_plan) {
+                        divergences.push(Divergence {
+                            seed,
+                            query: q.name.clone(),
+                            strategy: s.label().into(),
+                            detail: format!("optimizer static verifier: {d}"),
+                        });
+                    }
+                    match execute(db, g, &opt_plan) {
+                        Ok(or) => {
+                            if or.elements != r.elements
+                                || or.results != r.results
+                                || or.distinct != r.distinct
+                            {
+                                divergences.push(Divergence {
+                                    seed,
+                                    query: q.name.clone(),
+                                    strategy: s.label().into(),
+                                    detail: format!(
+                                        "planner divergence: optimized plan gave {}/{} \
+                                         (physical/logical), heuristic plan gave {}/{}",
+                                        or.results, or.distinct, r.results, r.distinct
+                                    ),
+                                });
+                            }
+                        }
+                        Err(e) => divergences.push(Divergence {
+                            seed,
+                            query: q.name.clone(),
+                            strategy: s.label().into(),
+                            detail: format!("planner divergence: optimized plan refused: {e}"),
+                        }),
+                    }
+                }
+                Err(e) => divergences.push(Divergence {
+                    seed,
+                    query: q.name.clone(),
+                    strategy: s.label().into(),
+                    detail: format!("planner divergence: optimizer refused: {e}"),
                 }),
             }
             match &reference {

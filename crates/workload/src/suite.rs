@@ -4,8 +4,8 @@
 use colorist_core::{design, Strategy};
 use colorist_datagen::{generate, materialize, CanonicalInstance, ScaleProfile};
 use colorist_er::ErGraph;
-use colorist_query::{compile, execute, execute_update, Pattern, QueryError, UpdateSpec};
-use colorist_store::{stats::stats, Metrics, Stats};
+use colorist_query::{execute, execute_update, optimize, Pattern, Plan, QueryError, UpdateSpec};
+use colorist_store::{stats::stats, KernelDispatch, Metrics, Stats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -45,6 +45,44 @@ impl Workload {
     }
 }
 
+/// The optimizer's estimated counter totals for one query's plan, summed
+/// over the per-operator [`CostEst`](colorist_query::CostEst) annotations
+/// and rounded — the numbers the perfgate's q-error budget compares
+/// against measurement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EstTotals {
+    /// Estimated `elements_scanned`.
+    pub scanned: u64,
+    /// Estimated `join_probes`.
+    pub probes: u64,
+    /// Estimated `bytes_touched`.
+    pub bytes: u64,
+    /// Estimated `index_lookups`.
+    pub index_lookups: u64,
+}
+
+impl EstTotals {
+    /// Sum a plan's cost annotations; `None` for un-annotated plans.
+    pub fn of_plan(plan: &Plan) -> Option<EstTotals> {
+        if plan.costs.is_empty() {
+            return None;
+        }
+        let mut t = EstTotals::default();
+        for c in &plan.costs {
+            t.scanned += c.scanned.max(0.0).round() as u64;
+            t.probes += c.probes.max(0.0).round() as u64;
+            t.bytes += c.bytes.max(0.0).round() as u64;
+            t.index_lookups += c.index_lookups.max(0.0).round() as u64;
+        }
+        Some(t)
+    }
+
+    /// The perfgate domination sum (`scanned + probes + bytes`).
+    pub fn gate_sum(&self) -> u64 {
+        self.scanned + self.probes + self.bytes
+    }
+}
+
 /// Result of one query against one schema.
 #[derive(Debug, Clone)]
 pub struct QueryRun {
@@ -52,12 +90,20 @@ pub struct QueryRun {
     pub name: String,
     /// Read or update.
     pub kind: QueryKind,
-    /// Measured metrics (plan ops, volumes, wall time).
+    /// Measured metrics (plan ops, volumes, wall time) under the default
+    /// cost-model planning and dispatch.
     pub metrics: Metrics,
     /// Logical results / elements updated.
     pub logical: u64,
     /// Physical results incl. duplicates (the parenthesized numbers).
     pub physical: u64,
+    /// The optimizer's estimated counter totals for this query's plan
+    /// (`None` for updates' apply phase and un-annotated plans).
+    pub est: Option<EstTotals>,
+    /// Measured metrics of the same query under heuristic planning and
+    /// ratio dispatch — the optimizer's differential partner, used by the
+    /// perfgate's counter-domination check.
+    pub heuristic: Option<Metrics>,
 }
 
 /// One schema's complete evaluation.
@@ -163,11 +209,17 @@ pub fn run_suite_on_threads(
     let start = Instant::now();
 
     // phase A: design + materialize every strategy — independent, so each
-    // strategy is one task
+    // strategy is one task. Each task also prepares the strategy's
+    // heuristic twin: the same database pinned to ratio dispatch, whose
+    // plans come from the plain compiler — the optimizer's differential
+    // partner for the perfgate's counter-domination check.
     let dbs = par_map(strategies.len(), threads, |i| {
         let _span = colorist_trace::span("suite", format!("setup:{}", strategies[i]));
         let schema = design(graph, strategies[i]).expect("strategy designs the diagram");
-        materialize(graph, &schema, instance)
+        let db = materialize(graph, &schema, instance);
+        let mut heuristic = db.clone();
+        heuristic.set_kernel_dispatch(KernelDispatch::Ratio);
+        (db, heuristic)
     });
 
     // phase B: one task per (strategy, query) pair; reads share the
@@ -179,7 +231,7 @@ pub fn run_suite_on_threads(
     let results: Vec<Result<QueryRun, QueryError>> =
         par_map(strategies.len() * n_q, threads, |t| {
             let (si, qi) = (t / n_q, t % n_q);
-            let db = &dbs[si];
+            let (db, heur) = &dbs[si];
             let qname = if qi < n_reads {
                 &workload.reads[qi].name
             } else {
@@ -188,25 +240,51 @@ pub fn run_suite_on_threads(
             let _span = colorist_trace::span("suite", format!("{}:{}", strategies[si], qname));
             if qi < n_reads {
                 let q = &workload.reads[qi];
-                let plan = compile(graph, &db.schema, q)?;
+                let plan = optimize(db, graph, q)?;
                 let r = execute(db, graph, &plan)?;
+                let hplan = optimize(heur, graph, q)?;
+                let h = execute(heur, graph, &hplan)?;
+                if (h.distinct, h.results) != (r.distinct, r.results) {
+                    return Err(QueryError::Internal {
+                        diag: format!(
+                            "optimizer differential: `{}` on {} answers {}/{} optimized \
+                             vs {}/{} heuristic",
+                            q.name, strategies[si], r.distinct, r.results, h.distinct, h.results
+                        ),
+                    });
+                }
                 Ok(QueryRun {
                     name: q.name.clone(),
                     kind: QueryKind::Read,
                     metrics: r.metrics,
                     logical: r.distinct,
                     physical: r.results,
+                    est: EstTotals::of_plan(&plan),
+                    heuristic: Some(h.metrics),
                 })
             } else {
                 let u = &workload.updates[qi - n_reads];
                 let mut dbu = db.clone();
                 let o = execute_update(&mut dbu, graph, u)?;
+                let mut dbh = heur.clone();
+                let oh = execute_update(&mut dbh, graph, u)?;
+                if (oh.logical, oh.physical) != (o.logical, o.physical) {
+                    return Err(QueryError::Internal {
+                        diag: format!(
+                            "optimizer differential: `{}` on {} touches {}/{} optimized \
+                             vs {}/{} heuristic",
+                            u.name, strategies[si], o.logical, o.physical, oh.logical, oh.physical
+                        ),
+                    });
+                }
                 Ok(QueryRun {
                     name: u.name.clone(),
                     kind: QueryKind::Update,
                     metrics: o.metrics,
                     logical: o.logical,
                     physical: o.physical,
+                    est: None,
+                    heuristic: Some(oh.metrics),
                 })
             }
         });
@@ -222,8 +300,8 @@ pub fn run_suite_on_threads(
             .collect::<Result<Vec<_>, _>>()?;
         out.push(SuiteResult {
             strategy: s,
-            stats: stats(&dbs[si], graph),
-            colors: dbs[si].color_count(),
+            stats: stats(&dbs[si].0, graph),
+            colors: dbs[si].0.color_count(),
             runs,
             suite_wall,
         });
@@ -274,6 +352,8 @@ mod tests {
                 assert_eq!(x.kind, y.kind);
                 assert_eq!((x.logical, x.physical), (y.logical, y.physical), "{}", x.name);
                 assert_eq!(norm(x.metrics), norm(y.metrics), "{}", x.name);
+                assert_eq!(x.est, y.est, "{}", x.name);
+                assert_eq!(x.heuristic.map(norm), y.heuristic.map(norm), "{}", x.name);
             }
         }
     }

@@ -1,0 +1,158 @@
+//! Property tests for the cost-based optimizer (PR-6): the statistics
+//! catalog's estimates against measured cardinalities on randomized data,
+//! counter domination of optimized plans over the heuristic planner across
+//! the whole TPC-W workload and all seven strategies, and a plan-mutation
+//! harness driving the static verifier's `P010` cost-annotation audit.
+//! Randomness comes from the repository's own deterministic
+//! [`Rng`](colorist::datagen::Rng); build with `--features fuzz` to
+//! multiply the case count.
+
+use colorist::core::{design, Strategy};
+use colorist::datagen::{generate, materialize, Rng, ScaleProfile};
+use colorist::er::{catalog, ErGraph};
+use colorist::query::{
+    compile, execute, optimize, verify_plan, CmpOp, KernelChoice, PatternBuilder,
+};
+use colorist::store::{CmpKind, KernelDispatch, Value};
+use colorist::workload::tpcw;
+
+fn cases() -> u64 {
+    if cfg!(feature = "fuzz") {
+        48
+    } else {
+        8
+    }
+}
+
+/// The histogram estimator's contract: on any instance and any comparison
+/// constant, a single-predicate estimate deviates from the true matching
+/// count by at most one bucket's depth ([`max_bucket_rows`] — equi-depth
+/// buckets never split a distinct key, so only the straddling or containing
+/// bucket can be misjudged). Verified against measured answers over random
+/// scales, data seeds, and constants.
+#[test]
+fn histogram_estimates_stay_within_one_bucket_of_truth() {
+    let g = ErGraph::from_diagram(&catalog::tpcw()).expect("tpcw builds");
+    let schema = design(&g, Strategy::Af).expect("AF designs");
+    for case in 0..cases() {
+        let mut rng = Rng::new(0xE57_0001u64.wrapping_add(case));
+        let scale = 20 + rng.below(120) as u32;
+        let inst = generate(&g, &ScaleProfile::tpcw(&g, scale), 1000 + case);
+        let db = materialize(&g, &schema, &inst);
+        let preds: [(&str, &str, CmpOp, Value); 4] = [
+            ("item", "cost", CmpOp::Lt, Value::Float(rng.below(10_000) as f64 / 10.0)),
+            ("customer", "discount", CmpOp::Gt, Value::Float(rng.below(10_000) as f64)),
+            ("customer", "id", CmpOp::Eq, Value::Int(rng.below(2 * scale as u64) as i64)),
+            ("order", "id", CmpOp::Lt, Value::Int(rng.below(4 * scale as u64) as i64)),
+        ];
+        for (entity, attr, op, value) in preds {
+            let q = PatternBuilder::new(&g, "probe")
+                .node(entity)
+                .pred(attr, op, value.clone())
+                .output(0)
+                .build()
+                .expect("probe pattern builds");
+            let plan = compile(&g, &db.schema, &q).expect("probe compiles");
+            let truth = execute(&db, &g, &plan).expect("probe executes").distinct as f64;
+            let node = q.nodes[0].node;
+            let attr_ix = q.nodes[0].predicate.as_ref().expect("probe has a predicate").attr;
+            let kind = match op {
+                CmpOp::Eq => CmpKind::Eq,
+                CmpOp::Lt => CmpKind::Lt,
+                CmpOp::Gt => CmpKind::Gt,
+            };
+            let est = db.estimate_predicate_matches(node, attr_ix, kind, &value).0;
+            let bound = db.statistics().max_bucket_rows(node, attr_ix) as f64;
+            assert!(
+                (est - truth).abs() <= bound + 1e-9,
+                "case {case}: {entity}.{attr} {op:?} {value:?} at scale {scale}: \
+                 estimated {est}, measured {truth}, bucket bound {bound}"
+            );
+        }
+    }
+}
+
+/// The optimizer's domination contract on the committed workload: for every
+/// TPC-W read query on every strategy, the cost-based plan answers
+/// identically to the heuristic plan and never increases the perf-gate sum
+/// `elements_scanned + join_probes + bytes_touched`.
+#[test]
+fn optimized_plans_dominate_heuristic_on_tpcw() {
+    let g = ErGraph::from_diagram(&catalog::tpcw()).expect("tpcw builds");
+    let w = tpcw::workload(&g);
+    let inst = generate(&g, &ScaleProfile::tpcw(&g, 60), 42);
+    for s in Strategy::ALL {
+        let schema = design(&g, s).expect("strategy designs tpcw");
+        let db = materialize(&g, &schema, &inst);
+        let mut heur = db.clone();
+        heur.set_kernel_dispatch(KernelDispatch::Ratio);
+        for q in &w.reads {
+            let opt_plan = optimize(&db, &g, q).expect("optimizer plans");
+            let diags = verify_plan(&g, &db.schema, &opt_plan);
+            assert!(diags.is_empty(), "{}/{}: {diags:?}", s.label(), q.name);
+            assert!(!opt_plan.costs.is_empty(), "{}/{} carries no estimates", s.label(), q.name);
+            let r = execute(&db, &g, &opt_plan).expect("optimized plan executes");
+            let h_plan = compile(&g, &heur.schema, q).expect("heuristic plan compiles");
+            let h = execute(&heur, &g, &h_plan).expect("heuristic plan executes");
+            assert_eq!(r.elements, h.elements, "{}/{}: answers differ", s.label(), q.name);
+            assert_eq!(r.distinct, h.distinct, "{}/{}: counts differ", s.label(), q.name);
+            let opt_gate =
+                r.metrics.elements_scanned + r.metrics.join_probes + r.metrics.bytes_touched;
+            let heur_gate =
+                h.metrics.elements_scanned + h.metrics.join_probes + h.metrics.bytes_touched;
+            assert!(
+                opt_gate <= heur_gate,
+                "{}/{}: optimized gate sum {opt_gate} exceeds heuristic {heur_gate}",
+                s.label(),
+                q.name
+            );
+        }
+    }
+}
+
+/// The `P010` audit catches every way a cost annotation can lie about the
+/// plan it rides on: wrong annotation count, mis-targeted op index,
+/// non-finite or negative estimates, and a kernel the annotated operator
+/// cannot dispatch to — while the optimizer's own output passes clean.
+#[test]
+fn mutated_cost_annotations_are_rejected_as_p010() {
+    let g = ErGraph::from_diagram(&catalog::tpcw()).expect("tpcw builds");
+    let w = tpcw::workload(&g);
+    let inst = generate(&g, &ScaleProfile::tpcw(&g, 30), 7);
+    let schema = design(&g, Strategy::Deep).expect("DEEP designs");
+    let db = materialize(&g, &schema, &inst);
+    let q8 = w.reads.iter().find(|q| q.name == "Q8").expect("Q8 exists");
+    let clean = optimize(&db, &g, q8).expect("optimizer plans Q8");
+    assert!(verify_plan(&g, &db.schema, &clean).is_empty(), "clean plan must verify");
+    assert!(clean.costs.len() == clean.ops.len(), "one estimate per op");
+
+    let mut truncated = clean.clone();
+    truncated.costs.pop();
+    let mut mistargeted = clean.clone();
+    mistargeted.costs[0].op = 1;
+    let mut nan = clean.clone();
+    nan.costs[0].rows = f64::NAN;
+    let mut negative = clean.clone();
+    negative.costs[0].scanned = -1.0;
+    let mut wrong_kernel = clean.clone();
+    // op 0 is a scan; Gallop only applies to structural semi-joins
+    wrong_kernel.costs[0].kernel = KernelChoice::Gallop;
+
+    for (what, mutant) in [
+        ("truncated annotation list", truncated),
+        ("mis-targeted op index", mistargeted),
+        ("NaN estimate", nan),
+        ("negative estimate", negative),
+        ("inapplicable kernel", wrong_kernel),
+    ] {
+        let diags = verify_plan(&g, &db.schema, &mutant);
+        assert!(
+            diags.iter().any(|d| d.code == "P010"),
+            "{what}: expected a P010 diagnostic, got {diags:?}"
+        );
+        assert!(
+            diags.iter().all(|d| d.code == "P010"),
+            "{what}: mutation must only trip the cost audit, got {diags:?}"
+        );
+    }
+}
