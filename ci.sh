@@ -31,6 +31,26 @@ echo "==> oracle smoke (256 seeds, all seven strategies)"
 # under a minute; exits non-zero on any divergence.
 cargo run -q --release -p colorist-workload --bin colorist-oracle -- --seeds 256
 
+echo "==> batch oracle (128 seeds: atomic batches, snapshot reads, traced)"
+# Replays randomized update batches (attribute writes + delete-closed
+# deletes) under all seven strategies: snapshot answers must match the
+# pre-batch serial run, indexed kernels must match reference, and all
+# strategies must agree both mid-batch and post-batch. The emitted trace
+# is shape-validated so the batch/snapshot span categories stay within
+# the perfgate vocabulary.
+cargo run -q --release -p colorist-workload --bin colorist-oracle -- \
+    --batch-seeds 128 --trace results/trace_batch_ci.json
+cargo run -q --release -p colorist-bench --bin colorist-perfgate -- \
+    --validate-trace results/trace_batch_ci.json
+rm -f results/trace_batch_ci.json
+
+echo "==> delete/batch torture (release): snapshot isolation under concurrent commit"
+# tests/deletes.rs: delete-then-query differentials across kernel
+# dispatches, DEEP/UNDR copy-delete regression, and concurrent snapshot
+# readers racing a committing batch. Runs in the debug suite above too;
+# the release rerun exercises the race without debug_assert pacing.
+cargo test -q --release --test deletes
+
 echo "==> table1 bench (COLORIST_SCALE=300, traced)"
 # Full-scale run with span collection: the summary feeds the perf gate, the
 # chrome-trace JSON is validated for shape (hierarchy, ids, thread nesting).

@@ -100,7 +100,7 @@ const OP_FIELDS: [&str; 17] = [
 /// Counter keys a span of a known category may carry in its `args` (beside
 /// the structural `id`/`parent` links). Spans of categories not listed here
 /// (`compile`, `suite`, …) emit no counters today and are unconstrained.
-const SPAN_COUNTERS: [(&str, &[&str]); 3] = [
+const SPAN_COUNTERS: [(&str, &[&str]); 5] = [
     (
         "op",
         &[
@@ -131,6 +131,8 @@ const SPAN_COUNTERS: [(&str, &[&str]); 3] = [
         ],
     ),
     ("materialize", &["elements", "colors"]),
+    ("batch", &["batch_ops"]),
+    ("snapshot", &["snapshot_reads"]),
 ];
 
 fn require_u64(doc: &Json, key: &str, what: &str) -> Result<u64, String> {
@@ -620,5 +622,19 @@ mod tests {
         ]}"#;
         let err = validate_trace(&Json::parse(float).unwrap()).unwrap_err();
         assert!(err.contains("non-negative integer"), "{err}");
+        // the batch/snapshot categories carry exactly their own counters
+        let mutation = r#"{"traceEvents": [
+            {"ph": "X", "name": "apply", "cat": "batch", "pid": 1, "tid": 0,
+             "ts": 0.0, "dur": 1.0, "args": {"id": 0, "batch_ops": 7}},
+            {"ph": "X", "name": "query:q1", "cat": "snapshot", "pid": 1,
+             "tid": 0, "ts": 2.0, "dur": 1.0,
+             "args": {"id": 1, "snapshot_reads": 1}}
+        ]}"#;
+        validate_trace(&Json::parse(mutation).unwrap()).expect("batch/snapshot counters pass");
+        let crossed = r#"{"traceEvents": [
+            {"ph": "X", "name": "apply", "cat": "batch", "pid": 1, "tid": 0,
+             "ts": 0.0, "dur": 1.0, "args": {"id": 0, "snapshot_reads": 1}}
+        ]}"#;
+        assert!(validate_trace(&Json::parse(crossed).unwrap()).is_err());
     }
 }

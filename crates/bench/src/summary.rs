@@ -27,8 +27,13 @@ use std::time::Duration;
 /// `heur_scanned`/`heur_probes`/`heur_bytes` (measured gate counters of
 /// the heuristic-planner twin run on every query) and, on read queries,
 /// `est_scanned`/`est_probes`/`est_bytes`/`est_index_lookups` (the
-/// cost-based planner's estimates, rounded to integers).
-pub const SCHEMA_VERSION: u64 = 4;
+/// cost-based planner's estimates, rounded to integers); 5 — the trace
+/// vocabulary gains the `batch`/`snapshot` span categories with their
+/// `batch_ops`/`snapshot_reads` counters (emitted by
+/// `UpdateBatch::apply` and `execute_snapshot`), which
+/// `colorist-perfgate --validate-trace` now whitelists; the summary
+/// fields themselves are unchanged.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// The git revision to stamp into the document: `COLORIST_GIT_REV` if set,
 /// else `git rev-parse --short=12 HEAD`, else `"unknown"` (e.g. when built

@@ -16,7 +16,7 @@ use colorist_er::{EdgeId, ErEdge, ErGraph, NodeId};
 use colorist_mct::{ColorId, PlacementId};
 use colorist_store::{
     attr_key, kmerge_sorted, structural_semi_join, value_join, AttrRef, ColorTree, Database,
-    ElementId, Metrics, OccId, SemiSide, ValueKey,
+    ElementId, Metrics, OccId, SemiSide, Snapshot, ValueKey,
 };
 use std::borrow::Cow;
 use std::cmp::Ordering;
@@ -132,6 +132,25 @@ impl SetVal<'_> {
 /// no copies of the output node.
 pub fn execute(db: &Database, graph: &ErGraph, plan: &Plan) -> Result<QueryResult, QueryError> {
     run(db, graph, plan, None)
+}
+
+/// Execute a compiled plan against a consistent [`Snapshot`].
+///
+/// A snapshot pins the copy-on-write version of every structure a kernel
+/// reads (extents, color trees, value index, statistics catalog), so the
+/// answer equals what [`execute`] returned against the database at
+/// snapshot time — byte for byte — no matter what batches have committed
+/// since. Emits a `snapshot` span carrying the deterministic
+/// `snapshot_reads` counter so traced runs account snapshot traffic
+/// separately from live reads.
+pub fn execute_snapshot(
+    snap: &Snapshot,
+    graph: &ErGraph,
+    plan: &Plan,
+) -> Result<QueryResult, QueryError> {
+    let mut span = colorist_trace::span("snapshot", format!("query:{}", plan.name));
+    span.counter("snapshot_reads", 1);
+    run(snap.database(), graph, plan, None)
 }
 
 /// Execute a compiled plan, additionally attributing every metric to the
@@ -492,20 +511,19 @@ fn eval<'d>(
                 }
             } else if *src_is_rel {
                 // forward direction: each relationship's idref value names
-                // a participant ordinal, and the extent is ordinal-dense
-                // (`extent[k].ordinal == k`) — the extent IS the persistent
-                // id→element index, no hash table to build
+                // a participant ordinal, resolved through the persistent
+                // ordinal index (tombstones make deleted targets dangle
+                // safely) — no hash table to build
                 metrics.value_joins += 1;
-                let extent = db.extent(e.participant);
                 metrics.join_probes += src_elems.len() as u64;
                 metrics.index_lookups += src_elems.len() as u64;
-                metrics.elements_skipped += extent.len() as u64;
+                metrics.elements_skipped += db.extent(e.participant).len() as u64;
                 metrics.bytes_touched += (src_elems.len() * std::mem::size_of::<ValueKey>()) as u64;
                 let mut out = Vec::with_capacity(src_elems.len());
                 for &w in src_elems.iter() {
                     if let ValueKey::Num(k) = attr_key(db, w, AttrRef::Attr(idref_idx)) {
-                        if let Ok(i) = usize::try_from(k) {
-                            if let Some(&p) = extent.get(i) {
+                        if let Ok(i) = u32::try_from(k) {
+                            if let Some(p) = db.canonical_by_ordinal(e.participant, i) {
                                 out.push(p);
                             }
                         }
@@ -553,7 +571,7 @@ fn eval<'d>(
                     .iter()
                     .filter_map(|&w| {
                         let ro = db.element(w).ordinal;
-                        db.link(*edge, ro).map(|po| db.extent(e.participant)[po as usize])
+                        db.link(*edge, ro).and_then(|po| db.canonical_by_ordinal(e.participant, po))
                     })
                     .collect()
             } else {
@@ -563,7 +581,7 @@ fn eval<'d>(
                         let po = db.element(x).ordinal;
                         db.linked_rels(*edge, po)
                             .into_iter()
-                            .map(|ro| db.extent(e.rel)[ro as usize])
+                            .filter_map(|ro| db.canonical_by_ordinal(e.rel, ro))
                             .collect::<Vec<_>>()
                     })
                     .collect()

@@ -41,7 +41,7 @@ pub mod verify;
 
 pub use compile::{compile, compile_with, ChildOrder};
 pub use error::QueryError;
-pub use exec::{execute, execute_profiled, op_kind, OpProfile, QueryResult};
+pub use exec::{execute, execute_profiled, execute_snapshot, op_kind, OpProfile, QueryResult};
 pub use explain::{explain, explain_analyze, q_error};
 pub use optimize::{annotate_costs, optimize};
 pub use pattern::{

@@ -74,8 +74,12 @@ pub fn execute_update(
             let copies = copies_map(db);
             let mut physical = 0u64;
             for &t in &targets {
-                kill_links_of(db, graph, t);
+                db.kill_links_of(graph, t);
                 physical += db.remove_element_occurrences(t) as u64;
+                // the canonical delete already removed every copy's
+                // occurrences; these per-copy calls are now no-ops kept for
+                // the duplicate-maintenance accounting (one duplicate write
+                // per physical copy, exactly as on the write path)
                 for &c in copies.get(&t).map(Vec::as_slice).unwrap_or(&[]) {
                     physical += db.remove_element_occurrences(c) as u64;
                     metrics.duplicate_updates += 1;
@@ -97,31 +101,6 @@ pub fn execute_update(
     metrics.distinct_results = logical;
     metrics.elapsed = started.elapsed();
     Ok(UpdateOutcome { logical, physical, metrics })
-}
-
-/// Invalidate the link entries touching a deleted element: a relationship
-/// loses its own links; a participant kills the links of every relationship
-/// instance referencing it (those relationship elements' subtrees are about
-/// to be removed structurally as well).
-fn kill_links_of(db: &mut Database, graph: &ErGraph, t: ElementId) {
-    let el = db.element(t);
-    let (node, ordinal) = (el.node, el.ordinal);
-    for &(e, _) in graph.incident(node) {
-        let edge = graph.edge(e);
-        if edge.rel == node {
-            db.kill_link(e, ordinal);
-        } else {
-            for ro in db.linked_rels(e, ordinal) {
-                // kill the whole relationship instance (both edges)
-                let rel = edge.rel;
-                for &(e2, _) in graph.incident(rel) {
-                    if graph.edge(e2).rel == rel {
-                        db.kill_link(e2, ro);
-                    }
-                }
-            }
-        }
-    }
 }
 
 /// Physical copies per canonical element.
@@ -201,9 +180,7 @@ impl<'a> Inserter<'a> {
             let _ = ii;
             for l in &inst.links {
                 for e in [l.self_edge, l.partner_edge] {
-                    me.watermarks
-                        .entry(e)
-                        .or_insert_with(|| db.extent(graph.edge(e).rel).len() as u32);
+                    me.watermarks.entry(e).or_insert_with(|| db.ordinal_count(graph.edge(e).rel));
                 }
             }
         }
@@ -225,9 +202,9 @@ impl<'a> Inserter<'a> {
                     }
                     Partner::New(j) => Who::New(j),
                     Partner::ByOrdinal(node, ordinal) => {
-                        Who::Existing(db.extent(node).get(ordinal as usize).copied().ok_or_else(
-                            || QueryError::Malformed("insert partner ordinal out of range".into()),
-                        )?)
+                        Who::Existing(db.canonical_by_ordinal(node, ordinal).ok_or_else(|| {
+                            QueryError::Malformed("insert partner ordinal out of range".into())
+                        })?)
                     }
                 };
                 let idx = me.new_nodes.len();
@@ -364,7 +341,8 @@ impl<'a> Inserter<'a> {
                 Who::Existing(el) => {
                     let ordinal = db.element(el).ordinal;
                     db.link(e, ordinal)
-                        .map(|p| Who::Existing(db.extent(edge.participant)[p as usize]))
+                        .and_then(|p| db.canonical_by_ordinal(edge.participant, p))
+                        .map(Who::Existing)
                         .into_iter()
                         .collect()
                 }
@@ -384,7 +362,9 @@ impl<'a> Inserter<'a> {
                     if r >= new_floor {
                         continue;
                     }
-                    out.push(Who::Existing(db.extent(edge.rel)[r as usize]));
+                    if let Some(rel) = db.canonical_by_ordinal(edge.rel, r) {
+                        out.push(Who::Existing(rel));
+                    }
                 }
             }
             out

@@ -1,0 +1,737 @@
+//! Atomic update batches over [`Database`].
+//!
+//! An [`UpdateBatch`] collects many logical operations — attribute writes,
+//! instance deletes, element inserts, occurrence edits — validates them
+//! *together* against the pre-batch database (cross-op conflict detection,
+//! arity and placement checks, per-color coverage so inter-color
+//! constraints cannot be half-satisfied), and applies them atomically:
+//! every mutation lands on a staged clone of the database's copy-on-write
+//! state, and the live database only advances to the staged state when the
+//! whole batch has succeeded. A reader holding a
+//! [`Snapshot`](crate::database::Snapshot) taken before
+//! [`UpdateBatch::apply`] keeps the pre-batch version of every structure
+//! (extents, color trees, value index, statistics catalog) and never
+//! observes a half-applied batch — the shape GroveDB's `batch.rs` gives
+//! its merkle subtrees, transplanted onto MCT color forests.
+//!
+//! Duplicate maintenance is included: an attribute write fans out to every
+//! physical copy of the instance, and a delete removes the occurrences of
+//! the canonical element *and* of all its copies, retracting the extent
+//! entry, value-index postings and statistics contribution through the
+//! audited [`Database::remove_element_occurrences`] path.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use colorist_er::{EdgeId, ErGraph, NodeId};
+use colorist_mct::{ColorId, PlacementId};
+
+use crate::database::{Database, ElementId, OccId};
+use crate::value::Value;
+
+/// Where a newly inserted element (or a new occurrence of an existing one)
+/// goes in one color's forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPosition {
+    /// The color receiving the occurrence.
+    pub color: ColorId,
+    /// The schema placement instantiated by the occurrence.
+    pub placement: PlacementId,
+    /// Parent occurrence in that color's tree (pre-batch id); `None` for
+    /// roots of the color's forest.
+    pub parent: Option<OccId>,
+}
+
+/// One link-table entry recorded alongside an inserted relationship
+/// element: the participant instance on `edge` that the new relationship
+/// instance references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchLink {
+    /// The ER edge being linked (its `rel` must be the inserted node).
+    pub edge: EdgeId,
+    /// Ordinal of the participant instance on the edge's participant node.
+    pub participant_ordinal: u32,
+}
+
+/// One logical operation inside an [`UpdateBatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOp {
+    /// Overwrite one attribute of a logical instance. Applies to the
+    /// canonical element and every physical copy (duplicate maintenance),
+    /// whichever of them `element` names.
+    WriteAttr {
+        /// Canonical element or any copy of the instance to write.
+        element: ElementId,
+        /// Attribute index within the element.
+        attr: usize,
+        /// The new value.
+        value: Value,
+    },
+    /// Delete a logical instance everywhere: every occurrence of its
+    /// canonical element and of every copy leaves every color, and the
+    /// extent / value-index / statistics contributions retract.
+    Delete {
+        /// Canonical element or any copy of the doomed instance.
+        element: ElementId,
+    },
+    /// Insert a new canonical element with occurrences at the given
+    /// positions (the first position binds the canonical element, later
+    /// positions bind fresh physical copies, mirroring the materializer)
+    /// and link-table entries for its relationship edges.
+    Insert {
+        /// The ER node type of the new instance.
+        node: NodeId,
+        /// Full stored attribute vector: declared attributes followed by
+        /// one idref slot per idref edge on this node, in schema order.
+        attrs: Vec<Value>,
+        /// Occurrence positions; must cover every color whose forest
+        /// places `node` (the coverage half of the ICIC obligations).
+        positions: Vec<BatchPosition>,
+        /// Link-table entries (for relationship nodes).
+        links: Vec<BatchLink>,
+    },
+    /// Add one more occurrence of an existing instance (a physical copy if
+    /// the canonical element is already placed somewhere).
+    AddOccurrence {
+        /// Canonical element or any copy of the instance.
+        element: ElementId,
+        /// Where the new occurrence goes.
+        position: BatchPosition,
+    },
+    /// Remove specific occurrences (pre-batch ids) from one color;
+    /// descendants are removed transitively.
+    RemoveOccurrences {
+        /// The color to edit.
+        color: ColorId,
+        /// Pre-batch occurrence ids to remove.
+        occs: Vec<OccId>,
+    },
+}
+
+/// Why a batch was rejected. Validation runs before any mutation, so a
+/// rejected batch leaves the database untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// An op referenced an element id outside the store.
+    UnknownElement(ElementId),
+    /// An op referenced an instance that was already deleted.
+    Deleted(ElementId),
+    /// An attribute index out of range for the element.
+    BadAttr {
+        /// The element written.
+        element: ElementId,
+        /// The out-of-range attribute index.
+        attr: usize,
+    },
+    /// An insert's attribute vector does not match the node's stored arity
+    /// (declared attributes plus idref slots).
+    Arity {
+        /// The inserted node type.
+        node: NodeId,
+        /// The arity the schema requires.
+        expected: usize,
+        /// The arity the op supplied.
+        got: usize,
+    },
+    /// An insert misses a color whose forest places the node — applying it
+    /// would leave the inter-color constraints half-satisfied.
+    IcicIncomplete {
+        /// The inserted node type.
+        node: NodeId,
+        /// The color with no position.
+        color: ColorId,
+    },
+    /// A position's placement/color/parent combination is inconsistent
+    /// with the schema.
+    BadPosition(String),
+    /// A `RemoveOccurrences` op referenced an occurrence outside the
+    /// color's tree.
+    UnknownOccurrence {
+        /// The color edited.
+        color: ColorId,
+        /// The out-of-range occurrence id.
+        occ: OccId,
+    },
+    /// An insert's link entry is inconsistent (wrong edge, or a
+    /// participant ordinal that resolves to no live instance).
+    BadLink(String),
+    /// Two ops in the batch contend for the same target (double write of
+    /// one attribute, delete of a written instance, …).
+    Conflict(String),
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::UnknownElement(e) => write!(f, "unknown element {e}"),
+            BatchError::Deleted(e) => write!(f, "element {e} is deleted"),
+            BatchError::BadAttr { element, attr } => {
+                write!(f, "attribute {attr} out of range for element {element}")
+            }
+            BatchError::Arity { node, expected, got } => {
+                write!(f, "node {} expects arity {expected}, got {got}", node.0)
+            }
+            BatchError::IcicIncomplete { node, color } => {
+                write!(f, "insert of node {} misses color {}", node.0, color.0)
+            }
+            BatchError::BadPosition(msg) => write!(f, "bad position: {msg}"),
+            BatchError::UnknownOccurrence { color, occ } => {
+                write!(f, "unknown occurrence {occ:?} in color {}", color.0)
+            }
+            BatchError::BadLink(msg) => write!(f, "bad link: {msg}"),
+            BatchError::Conflict(msg) => write!(f, "conflicting ops: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// What a committed batch did, for callers and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReceipt {
+    /// Number of ops applied.
+    pub ops: usize,
+    /// Canonical element ids created by `Insert` ops, in op order.
+    pub inserted: Vec<ElementId>,
+    /// Physical duplicate writes performed by attribute fan-out (one per
+    /// copy written beyond the canonical element).
+    pub duplicate_writes: u64,
+    /// Occurrences removed by deletes and occurrence edits (subtrees
+    /// included).
+    pub occurrences_removed: u64,
+    /// The database epoch after the commit.
+    pub epoch: u64,
+}
+
+/// A validated-then-atomic collection of update operations.
+///
+/// ```text
+/// let mut batch = UpdateBatch::new();
+/// batch.write_attr(e, 0, Value::Int(7));
+/// batch.delete(stale);
+/// let receipt = batch.apply(&mut db, &graph)?;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UpdateBatch {
+    ops: Vec<BatchOp>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        UpdateBatch::default()
+    }
+
+    /// Number of queued ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The queued ops, in application order.
+    pub fn ops(&self) -> &[BatchOp] {
+        &self.ops
+    }
+
+    /// Queue an arbitrary op.
+    pub fn push(&mut self, op: BatchOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Queue an attribute write (canonical + all copies).
+    pub fn write_attr(&mut self, element: ElementId, attr: usize, value: Value) -> &mut Self {
+        self.push(BatchOp::WriteAttr { element, attr, value })
+    }
+
+    /// Queue an instance delete.
+    pub fn delete(&mut self, element: ElementId) -> &mut Self {
+        self.push(BatchOp::Delete { element })
+    }
+
+    /// Queue an element insert.
+    pub fn insert(
+        &mut self,
+        node: NodeId,
+        attrs: Vec<Value>,
+        positions: Vec<BatchPosition>,
+        links: Vec<BatchLink>,
+    ) -> &mut Self {
+        self.push(BatchOp::Insert { node, attrs, positions, links })
+    }
+
+    /// Validate every op against `db` without mutating anything.
+    pub fn validate(&self, db: &Database, graph: &ErGraph) -> Result<(), BatchError> {
+        let schema = &db.schema;
+        // canonical instances doomed by Delete ops, for conflict checks
+        let mut doomed: HashSet<ElementId> = HashSet::new();
+        for op in &self.ops {
+            if let BatchOp::Delete { element } = op {
+                let canon = self.resolve_live(db, *element)?;
+                if !doomed.insert(canon) {
+                    return Err(BatchError::Conflict(format!("instance {canon} deleted twice")));
+                }
+            }
+        }
+        let mut written: HashSet<(ElementId, usize)> = HashSet::new();
+        for op in &self.ops {
+            match op {
+                BatchOp::Delete { .. } => {}
+                BatchOp::WriteAttr { element, attr, .. } => {
+                    let canon = self.resolve_live(db, *element)?;
+                    if db.element(canon).attrs.len() <= *attr {
+                        return Err(BatchError::BadAttr { element: canon, attr: *attr });
+                    }
+                    if doomed.contains(&canon) {
+                        return Err(BatchError::Conflict(format!(
+                            "instance {canon} both written and deleted"
+                        )));
+                    }
+                    if !written.insert((canon, *attr)) {
+                        return Err(BatchError::Conflict(format!(
+                            "attribute {attr} of {canon} written twice"
+                        )));
+                    }
+                }
+                BatchOp::Insert { node, attrs, positions, links } => {
+                    let expected = graph.node(*node).attributes.len()
+                        + schema
+                            .idrefs()
+                            .iter()
+                            .filter(|x| graph.edge(x.edge).rel == *node)
+                            .count();
+                    if attrs.len() != expected {
+                        return Err(BatchError::Arity { node: *node, expected, got: attrs.len() });
+                    }
+                    for c in schema.colors() {
+                        if !schema.placements_of_in_color(*node, c).is_empty()
+                            && !positions.iter().any(|p| p.color == c)
+                        {
+                            return Err(BatchError::IcicIncomplete { node: *node, color: c });
+                        }
+                    }
+                    for p in positions {
+                        self.check_position(db, &doomed, *node, p)?;
+                    }
+                    for l in links {
+                        let edge = graph.edge(l.edge);
+                        if edge.rel != *node {
+                            return Err(BatchError::BadLink(format!(
+                                "edge {:?} is not a relationship edge of node {}",
+                                l.edge, node.0
+                            )));
+                        }
+                        let target = db
+                            .canonical_by_ordinal(edge.participant, l.participant_ordinal)
+                            .ok_or_else(|| {
+                                BatchError::BadLink(format!(
+                                    "participant ordinal {} of node {} resolves to no live \
+                                     instance",
+                                    l.participant_ordinal, edge.participant.0
+                                ))
+                            })?;
+                        if doomed.contains(&target) {
+                            return Err(BatchError::Conflict(format!(
+                                "insert links to instance {target} deleted in the same batch"
+                            )));
+                        }
+                    }
+                }
+                BatchOp::AddOccurrence { element, position } => {
+                    let canon = self.resolve_live(db, *element)?;
+                    if doomed.contains(&canon) {
+                        return Err(BatchError::Conflict(format!(
+                            "occurrence added for instance {canon} deleted in the same batch"
+                        )));
+                    }
+                    self.check_position(db, &doomed, db.element(canon).node, position)?;
+                }
+                BatchOp::RemoveOccurrences { color, occs } => {
+                    if color.idx() >= db.color_count() {
+                        return Err(BatchError::BadPosition(format!(
+                            "color {} out of range",
+                            color.0
+                        )));
+                    }
+                    let len = db.color(*color).occs().len();
+                    for &o in occs {
+                        if o.idx() >= len {
+                            return Err(BatchError::UnknownOccurrence { color: *color, occ: o });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate, then apply atomically. On `Ok` the database has advanced
+    /// by the whole batch (and its epoch has moved); on `Err` it is
+    /// byte-identical to before the call. Readers holding a [`Snapshot`]
+    /// taken earlier keep the pre-batch state either way.
+    ///
+    /// [`Snapshot`]: crate::database::Snapshot
+    pub fn apply(&self, db: &mut Database, graph: &ErGraph) -> Result<BatchReceipt, BatchError> {
+        let mut span = colorist_trace::span("batch", "apply");
+        span.counter("batch_ops", self.ops.len() as u64);
+        self.validate(db, graph)?;
+
+        // all mutations land on the staged clone; the live database only
+        // advances when the whole batch has gone through (the clone is
+        // cheap: every bulk structure is behind an Arc)
+        let mut staged = db.clone();
+        let mut receipt = BatchReceipt {
+            ops: self.ops.len(),
+            inserted: Vec::new(),
+            duplicate_writes: 0,
+            occurrences_removed: 0,
+            epoch: 0,
+        };
+
+        // copies per canonical element, for duplicate maintenance
+        let mut copies: HashMap<ElementId, Vec<ElementId>> = HashMap::new();
+        for (i, el) in staged.elements().iter().enumerate() {
+            let id = ElementId(i as u32);
+            if el.canonical != id {
+                copies.entry(el.canonical).or_default().push(id);
+            }
+        }
+
+        let mut touched_colors: HashSet<ColorId> = HashSet::new();
+
+        // 1. attribute writes (fan out to copies)
+        for op in &self.ops {
+            if let BatchOp::WriteAttr { element, attr, value } = op {
+                let canon = staged.element(*element).canonical;
+                staged.write_attr(canon, *attr, value.clone());
+                for &c in copies.get(&canon).map(Vec::as_slice).unwrap_or(&[]) {
+                    staged.write_attr(c, *attr, value.clone());
+                    receipt.duplicate_writes += 1;
+                }
+            }
+        }
+
+        // 2. inserts, then extra occurrences — both only append to the
+        // color trees, so pre-batch occurrence ids stay valid throughout
+        for op in &self.ops {
+            match op {
+                BatchOp::Insert { node, attrs, positions, links } => {
+                    let id = staged.insert_element(*node, attrs.clone());
+                    receipt.inserted.push(id);
+                    let ordinal = staged.element(id).ordinal;
+                    for l in links {
+                        staged.push_link(l.edge, ordinal, l.participant_ordinal);
+                    }
+                    for (i, p) in positions.iter().enumerate() {
+                        // first occurrence binds the canonical element,
+                        // later ones bind fresh copies (materializer rule)
+                        let el = if i == 0 { id } else { staged.insert_copy(id) };
+                        staged.push_occurrence(p.color, el, p.placement, p.parent);
+                        touched_colors.insert(p.color);
+                    }
+                }
+                BatchOp::AddOccurrence { element, position } => {
+                    let canon = staged.element(*element).canonical;
+                    let placed = (0..staged.color_count()).any(|c| {
+                        let c = ColorId(c as u16);
+                        staged.color(c).occs().iter().any(|o| o.element == canon)
+                    });
+                    let el = if placed { staged.insert_copy(canon) } else { canon };
+                    staged.push_occurrence(position.color, el, position.placement, position.parent);
+                    touched_colors.insert(position.color);
+                }
+                _ => {}
+            }
+        }
+
+        // 3. explicit occurrence removals (pre-batch ids; still valid)
+        for op in &self.ops {
+            if let BatchOp::RemoveOccurrences { color, occs } = op {
+                receipt.occurrences_removed += staged.remove_occurrences(*color, occs) as u64;
+                touched_colors.insert(*color);
+            }
+        }
+
+        // 4. one relabel per structurally edited color
+        let mut touched: Vec<ColorId> = touched_colors.into_iter().collect();
+        touched.sort_unstable_by_key(|c| c.0);
+        for c in touched {
+            staged.relabel_color(c);
+        }
+
+        // 5. deletes last (they relabel the colors they empty themselves)
+        for op in &self.ops {
+            if let BatchOp::Delete { element } = op {
+                staged.kill_links_of(graph, *element);
+                receipt.occurrences_removed += staged.remove_element_occurrences(*element) as u64;
+            }
+        }
+
+        debug_assert_eq!(staged.check_integrity(), Ok(()));
+        receipt.epoch = staged.epoch();
+        // the commit point: readers that cloned the Arcs earlier keep the
+        // pre-batch version, everyone after sees the whole batch
+        *db = staged;
+        Ok(receipt)
+    }
+
+    /// Resolve `e` to its live canonical instance.
+    fn resolve_live(&self, db: &Database, e: ElementId) -> Result<ElementId, BatchError> {
+        if e.idx() >= db.element_count() {
+            return Err(BatchError::UnknownElement(e));
+        }
+        let canon = db.element(e).canonical;
+        if !db.is_live(canon) {
+            return Err(BatchError::Deleted(canon));
+        }
+        Ok(canon)
+    }
+
+    /// Placement/color/parent consistency for one position.
+    fn check_position(
+        &self,
+        db: &Database,
+        doomed: &HashSet<ElementId>,
+        node: NodeId,
+        p: &BatchPosition,
+    ) -> Result<(), BatchError> {
+        let schema = &db.schema;
+        if p.placement.idx() >= schema.placements().len() {
+            return Err(BatchError::BadPosition(format!("placement {} unknown", p.placement)));
+        }
+        let pl = schema.placement(p.placement);
+        if pl.node != node {
+            return Err(BatchError::BadPosition(format!(
+                "placement {} is of node {}, not {}",
+                p.placement, pl.node.0, node.0
+            )));
+        }
+        if pl.color != p.color {
+            return Err(BatchError::BadPosition(format!(
+                "placement {} belongs to color {}, not {}",
+                p.placement, pl.color.0, p.color.0
+            )));
+        }
+        match (pl.parent, p.parent) {
+            (None, None) => Ok(()),
+            (None, Some(_)) => Err(BatchError::BadPosition(format!(
+                "placement {} is a root but a parent occurrence was given",
+                p.placement
+            ))),
+            (Some(_), None) => Err(BatchError::BadPosition(format!(
+                "placement {} requires a parent occurrence",
+                p.placement
+            ))),
+            (Some((pp, _)), Some(occ)) => {
+                if occ.idx() >= db.color(p.color).occs().len() {
+                    return Err(BatchError::UnknownOccurrence { color: p.color, occ });
+                }
+                let parent = db.color(p.color).occ(occ);
+                if parent.placement != pp {
+                    return Err(BatchError::BadPosition(format!(
+                        "parent occurrence sits at {}, placement {} requires parent {}",
+                        parent.placement, p.placement, pp
+                    )));
+                }
+                let parent_canon = db.element(parent.element).canonical;
+                if doomed.contains(&parent_canon) {
+                    return Err(BatchError::Conflict(format!(
+                        "parent instance {parent_canon} is deleted in the same batch"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::DatabaseBuilder;
+    use colorist_er::{Attribute, ErDiagram};
+    use colorist_mct::ColorId;
+
+    fn tiny() -> (ErGraph, crate::database::Database) {
+        let mut d = ErDiagram::new("t");
+        d.add_entity("a", vec![Attribute::key("id")]).unwrap();
+        d.add_entity("b", vec![Attribute::key("id"), Attribute::text("x")]).unwrap();
+        d.add_rel_1m("r", "a", "b").unwrap();
+        let g = ErGraph::from_diagram(&d).unwrap();
+        let s = colorist_core::design(&g, colorist_core::Strategy::En).unwrap();
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let c = ColorId(0);
+        let pa = s.placements_of_in_color(a, c)[0];
+        let pr = s.placements_of_in_color(r, c)[0];
+        let pb = s.placements_of_in_color(b, c)[0];
+        let mut bd = DatabaseBuilder::new(s.clone(), g.node_count());
+        let ea0 = bd.add_canonical(a, vec![Value::Int(0)]);
+        let _ea1 = bd.add_canonical(a, vec![Value::Int(1)]);
+        let er0 = bd.add_canonical(r, vec![]);
+        let er1 = bd.add_canonical(r, vec![]);
+        let eb0 = bd.add_canonical(b, vec![Value::Int(0), Value::Text("u".into())]);
+        let eb1 = bd.add_canonical(b, vec![Value::Int(1), Value::Text("v".into())]);
+        let oa0 = bd.add_occurrence(c, ea0, pa, None);
+        let _oa1 = bd.add_occurrence(c, _ea1, pa, None);
+        let or0 = bd.add_occurrence(c, er0, pr, Some(oa0));
+        let or1 = bd.add_occurrence(c, er1, pr, Some(oa0));
+        bd.add_occurrence(c, eb0, pb, Some(or0));
+        bd.add_occurrence(c, eb1, pb, Some(or1));
+        (g, bd.finish())
+    }
+
+    #[test]
+    fn batch_commits_atomically_and_reports() {
+        let (g, mut db) = tiny();
+        let b = g.node_by_name("b").unwrap();
+        let eb0 = db.extent(b)[0];
+        let eb1 = db.extent(b)[1];
+        let mut batch = UpdateBatch::new();
+        batch.write_attr(eb0, 1, Value::Text("patched".into()));
+        batch.delete(eb1);
+        let epoch0 = db.epoch();
+        let receipt = batch.apply(&mut db, &g).expect("valid batch");
+        assert_eq!(receipt.ops, 2);
+        assert_eq!(receipt.occurrences_removed, 1);
+        assert_eq!(receipt.epoch, db.epoch());
+        assert!(db.epoch() > epoch0);
+        assert_eq!(db.element(eb0).attrs[1], Value::Text("patched".into()));
+        assert!(!db.is_live(eb1));
+        assert_eq!(db.extent(b).len(), 1);
+        assert_eq!(db.check_integrity(), Ok(()));
+    }
+
+    #[test]
+    fn rejected_batch_mutates_nothing() {
+        let (g, mut db) = tiny();
+        let b = g.node_by_name("b").unwrap();
+        let eb0 = db.extent(b)[0];
+        let before = db.clone();
+        let cases: Vec<(UpdateBatch, BatchError)> = vec![
+            (
+                {
+                    let mut x = UpdateBatch::new();
+                    x.write_attr(eb0, 1, Value::Int(1)).write_attr(eb0, 1, Value::Int(2));
+                    x.clone()
+                },
+                BatchError::Conflict(format!("attribute 1 of {eb0} written twice")),
+            ),
+            (
+                {
+                    let mut x = UpdateBatch::new();
+                    x.write_attr(eb0, 1, Value::Int(1)).delete(eb0);
+                    x.clone()
+                },
+                BatchError::Conflict(format!("instance {eb0} both written and deleted")),
+            ),
+            (
+                {
+                    let mut x = UpdateBatch::new();
+                    x.delete(ElementId(999));
+                    x.clone()
+                },
+                BatchError::UnknownElement(ElementId(999)),
+            ),
+            (
+                {
+                    let mut x = UpdateBatch::new();
+                    x.write_attr(eb0, 7, Value::Int(1));
+                    x.clone()
+                },
+                BatchError::BadAttr { element: eb0, attr: 7 },
+            ),
+        ];
+        for (batch, want) in cases {
+            let got = batch.apply(&mut db, &g).expect_err("must reject");
+            assert_eq!(got, want);
+            assert_eq!(db.epoch(), before.epoch(), "rejection must not move the epoch");
+            assert_eq!(db.extent(b), before.extent(b));
+        }
+    }
+
+    #[test]
+    fn insert_validates_arity_coverage_and_positions() {
+        let (g, mut db) = tiny();
+        let b = g.node_by_name("b").unwrap();
+        let c = ColorId(0);
+        let pb = db.schema.placements_of_in_color(b, c)[0];
+        // wrong arity
+        let mut batch = UpdateBatch::new();
+        batch.insert(b, vec![Value::Int(9)], vec![], vec![]);
+        assert_eq!(
+            batch.apply(&mut db, &g),
+            Err(BatchError::Arity { node: b, expected: 2, got: 1 })
+        );
+        // no position for the only color
+        let mut batch = UpdateBatch::new();
+        batch.insert(b, vec![Value::Int(9), Value::Text("w".into())], vec![], vec![]);
+        assert_eq!(batch.apply(&mut db, &g), Err(BatchError::IcicIncomplete { node: b, color: c }));
+        // a non-root placement needs a parent occurrence
+        let mut batch = UpdateBatch::new();
+        batch.insert(
+            b,
+            vec![Value::Int(9), Value::Text("w".into())],
+            vec![BatchPosition { color: c, placement: pb, parent: None }],
+            vec![],
+        );
+        assert!(matches!(batch.apply(&mut db, &g), Err(BatchError::BadPosition(_))));
+        // and with a correct parent the insert lands everywhere
+        let r = g.node_by_name("r").unwrap();
+        let pr = db.schema.placements_of_in_color(r, c)[0];
+        let parent = db.color(c).of_placement(pr)[0];
+        let mut batch = UpdateBatch::new();
+        batch.insert(
+            b,
+            vec![Value::Int(9), Value::Text("w".into())],
+            vec![BatchPosition { color: c, placement: pb, parent: Some(parent) }],
+            vec![],
+        );
+        let receipt = batch.apply(&mut db, &g).expect("valid insert");
+        let id = receipt.inserted[0];
+        assert!(db.is_live(id));
+        assert_eq!(db.extent(b).len(), 3);
+        assert_eq!(db.occurrences_of_logical(c, id).len(), 1);
+        assert_eq!(db.check_integrity(), Ok(()));
+    }
+
+    #[test]
+    fn writes_fan_out_to_copies() {
+        let (g, mut db) = tiny();
+        let b = g.node_by_name("b").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let c = ColorId(0);
+        let eb0 = db.extent(b)[0];
+        let copy = db.insert_copy(eb0);
+        let pb = db.schema.placements_of_in_color(b, c)[0];
+        let parent = db.color(c).of_placement(db.schema.placements_of_in_color(r, c)[0])[1];
+        db.push_occurrence(c, copy, pb, Some(parent));
+        db.relabel_color(c);
+        let mut batch = UpdateBatch::new();
+        batch.write_attr(copy, 1, Value::Text("both".into()));
+        let receipt = batch.apply(&mut db, &g).expect("valid batch");
+        assert_eq!(receipt.duplicate_writes, 1);
+        assert_eq!(db.element(eb0).attrs[1], Value::Text("both".into()));
+        assert_eq!(db.element(copy).attrs[1], Value::Text("both".into()));
+        assert_eq!(db.check_integrity(), Ok(()));
+    }
+
+    #[test]
+    fn snapshot_survives_a_commit() {
+        let (g, mut db) = tiny();
+        let b = g.node_by_name("b").unwrap();
+        let eb1 = db.extent(b)[1];
+        let snap = db.snapshot();
+        let mut batch = UpdateBatch::new();
+        batch.delete(eb1);
+        batch.apply(&mut db, &g).expect("valid batch");
+        assert_eq!(snap.extent(b).len(), 2, "snapshot must keep the pre-batch extent");
+        assert!(snap.is_live(eb1));
+        assert!(!db.is_live(eb1));
+    }
+}

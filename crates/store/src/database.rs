@@ -22,6 +22,13 @@ use colorist_er::{ErGraph, NodeId};
 use colorist_mct::{ColorId, MctSchema, PlacementId};
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Tombstone marker in the ordinal index: this ordinal's instance was
+/// deleted. Ordinals are never reused, so a stale link or idref value can
+/// only resolve to `None`, never to a different element.
+const TOMBSTONE: ElementId = ElementId(u32::MAX);
 
 /// How the executor and the join dispatchers pick kernels, and — because
 /// the planner must never vary independently of the kernels in a
@@ -156,43 +163,105 @@ impl ColorTree {
     }
 }
 
+/// Per color, the occurrences of each logical instance `(node, ordinal)`.
+type LogicalOccs = Vec<HashMap<(NodeId, u32), Vec<OccId>>>;
+
 /// A complete stored database over one schema.
+///
+/// Every bulk structure sits behind an [`Arc`], so cloning a database —
+/// and therefore taking a [`Snapshot`] — costs a handful of refcount bumps
+/// plus a schema clone, never a data copy. Mutators go through
+/// [`Arc::make_mut`]: while no snapshot shares a structure the write lands
+/// in place; once a snapshot does, the structure is copied first
+/// (copy-on-write), so every outstanding snapshot keeps reading the exact
+/// pre-write version of the extents, color trees, value index and
+/// statistics catalog it was taken over. The [`Database::epoch`] counter
+/// stamps committed mutations so versions are distinguishable.
 #[derive(Debug, Clone)]
 pub struct Database {
     /// The schema this database conforms to.
     pub schema: MctSchema,
-    elements: Vec<Element>,
-    colors: Vec<ColorTree>,
-    /// Canonical elements per ER node type (the extent).
-    extents: Vec<Vec<ElementId>>,
+    elements: Arc<Vec<Element>>,
+    colors: Arc<Vec<ColorTree>>,
+    /// **Live** canonical elements per ER node type (the extent), in
+    /// ascending `ElementId` order (which is also insertion order).
+    /// Deletes retract their entry — scans and reference joins walk live
+    /// instances only.
+    extents: Arc<Vec<Vec<ElementId>>>,
+    /// Per ER node type: ordinal → canonical element, the id→element index
+    /// behind link/idref resolution. Append-only and dense —
+    /// `by_ordinal[n][k]` is the instance with ordinal `k` — it never
+    /// shrinks: deletes tombstone the slot (see [`Database::canonical_by_ordinal`])
+    /// so ordinals are never reused.
+    by_ordinal: Arc<Vec<Vec<ElementId>>>,
     /// Per color: occurrences of each logical instance `(node, ordinal)`.
-    logical_occs: Vec<HashMap<(NodeId, u32), Vec<OccId>>>,
+    logical_occs: Arc<LogicalOccs>,
     /// Per ER edge: participant ordinal per relationship ordinal — the
     /// parent-child adjacency the trees encode, stored explicitly so that
     /// link (parent-child) joins stay exact under any schema and so that
     /// update cascades can follow existing links. `u32::MAX` marks a
     /// deleted link.
-    links: Vec<Vec<u32>>,
+    links: Arc<Vec<Vec<u32>>>,
     /// Per ER edge: relationship ordinals per participant ordinal.
-    rev_links: Vec<Vec<Vec<u32>>>,
+    rev_links: Arc<Vec<Vec<Vec<u32>>>>,
     /// Text symbol table: every stored text attribute value is interned, so
     /// join keys are `Copy` (see [`crate::value::ValueKey`]).
-    interner: Interner,
+    interner: Arc<Interner>,
     /// Sorted `(node, attr, key, element)` postings over canonical
     /// elements — the persistent attribute/id value index (DESIGN.md §10).
-    /// Built at `finish`, maintained by [`Database::write_attr`] and
-    /// [`Database::insert_element`]; invariant under relabels and deletes
+    /// Built at `finish`, maintained by [`Database::write_attr`],
+    /// [`Database::insert_element`] and
+    /// [`Database::remove_element_occurrences`]; invariant under relabels
     /// because it is keyed by element, not occurrence.
-    value_index: ValueIndex,
+    value_index: Arc<ValueIndex>,
     /// Statistics catalog: column histograms/distinct counts, extent
     /// cardinalities, per-placement occurrence counts (DESIGN.md §11).
     /// Built at `finish`, maintained by the same choke points as the value
     /// index plus [`Database::relabel_color`].
-    statistics: Statistics,
+    statistics: Arc<Statistics>,
     /// Kernel-dispatch and planner mode; see [`KernelDispatch`]. The
     /// differential property tests and the oracle sweep flip this to pin
     /// fast ≡ reference on the same database.
     dispatch: KernelDispatch,
+    /// Version counter: bumped by every committed mutation (writes,
+    /// inserts, deletes, occurrence edits, link edits, relabels).
+    epoch: u64,
+}
+
+/// A consistent read view of a [`Database`] at one [`epoch`](Database::epoch).
+///
+/// Cheap to take ([`Database::snapshot`] clones `Arc` handles, not data)
+/// and independent of the source afterwards: a writer mutating the
+/// database copies any shared structure before touching it, so every
+/// kernel family — reference, indexed, cost-based — executed against the
+/// snapshot answers from exactly the pre-mutation version. `Snapshot`
+/// derefs to [`Database`], so the whole read API (and the query layer's
+/// `compile`/`optimize`/`execute`) accepts `&snapshot` wherever it accepts
+/// `&Database`. A snapshot is `Send + Sync`: concurrent readers on other
+/// threads keep answering from it while the writer proceeds.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    db: Database,
+}
+
+impl Snapshot {
+    /// The epoch the snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.db.epoch
+    }
+
+    /// The frozen database version.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+impl Deref for Snapshot {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.db
+    }
 }
 
 impl Database {
@@ -213,18 +282,18 @@ impl Database {
     /// raw mutable element access, so the index cannot go stale.
     pub fn write_attr(&mut self, e: ElementId, attr: usize, v: Value) {
         if let Value::Text(s) = &v {
-            self.interner.intern(s);
+            Arc::make_mut(&mut self.interner).intern(s);
         }
         let new_key = self.interner.key(&v);
-        let el = &mut self.elements[e.idx()];
+        let el = &mut Arc::make_mut(&mut self.elements)[e.idx()];
         let old = std::mem::replace(&mut el.attrs[attr], v);
-        if el.canonical == e {
-            let node = el.node;
+        let (node, is_canonical) = (el.node, el.canonical == e);
+        if is_canonical {
             // stored values are always interned, but stay total if not
             if let Some(old_key) = self.interner.try_key(&old) {
-                self.value_index.reindex(node, attr, e, old_key, new_key);
+                Arc::make_mut(&mut self.value_index).reindex(node, attr, e, old_key, new_key);
             } else {
-                self.value_index.insert(IndexEntry {
+                Arc::make_mut(&mut self.value_index).insert(IndexEntry {
                     node,
                     attr: attr as u32,
                     key: new_key,
@@ -234,8 +303,14 @@ impl Database {
             // the statistics catalog rides the same choke point: the
             // changed column is recomputed from the index, so the catalog
             // never drifts from a from-scratch build
-            self.statistics.refresh_column(node, attr, &self.value_index, &self.interner);
+            Arc::make_mut(&mut self.statistics).refresh_column(
+                node,
+                attr,
+                &self.value_index,
+                &self.interner,
+            );
         }
+        self.epoch += 1;
     }
 
     /// The statistics catalog (DESIGN.md §11): column histograms, distinct
@@ -321,9 +396,52 @@ impl Database {
         self.colors.len()
     }
 
-    /// Canonical elements (the logical extent) of an ER node type.
+    /// **Live** canonical elements (the logical extent) of an ER node
+    /// type, in ascending id order. Deleted instances are absent — use
+    /// [`Database::canonical_by_ordinal`] to resolve stored ordinals.
     pub fn extent(&self, node: NodeId) -> &[ElementId] {
         &self.extents[node.idx()]
+    }
+
+    /// The canonical element of logical instance `(node, ordinal)`, or
+    /// `None` when the ordinal was never assigned or the instance has been
+    /// deleted. Ordinals are append-only and never reused, so a stored
+    /// link or idref value can only resolve to the element it always named
+    /// — or to nothing.
+    pub fn canonical_by_ordinal(&self, node: NodeId, ordinal: u32) -> Option<ElementId> {
+        let &e = self.by_ordinal.get(node.idx())?.get(ordinal as usize)?;
+        (e != TOMBSTONE).then_some(e)
+    }
+
+    /// Number of ordinals ever assigned for `node` — the ordinal the next
+    /// insert receives, and the watermark insert cascades compare link
+    /// ordinals against. Unlike `extent(node).len()`, this never
+    /// decreases.
+    pub fn ordinal_count(&self, node: NodeId) -> u32 {
+        self.by_ordinal.get(node.idx()).map_or(0, |v| v.len() as u32)
+    }
+
+    /// Whether the logical instance behind `e` (canonical or copy) is
+    /// live, i.e. has not been deleted.
+    pub fn is_live(&self, e: ElementId) -> bool {
+        let canon = self.element(e).canonical;
+        let el = self.element(canon);
+        self.canonical_by_ordinal(el.node, el.ordinal) == Some(canon)
+    }
+
+    /// The version counter: bumped by every committed mutation. A
+    /// [`Snapshot`] with the same epoch as a database derived from it holds
+    /// byte-identical data.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Take a consistent read snapshot of the current version — a few
+    /// `Arc` bumps plus a schema clone, never a data copy. Writers
+    /// proceeding on `self` copy shared structures before mutating them,
+    /// so the snapshot keeps answering from the pre-write version.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { db: self.clone() }
     }
 
     /// Occurrences of the logical instance behind `e` in color `c` — the
@@ -387,26 +505,57 @@ impl Database {
     /// Record a new relationship instance's link (insert maintenance).
     /// `rel_ordinal` must be the next dense ordinal for the edge.
     pub fn push_link(&mut self, edge: colorist_er::EdgeId, rel_ordinal: u32, participant: u32) {
-        if self.links.len() <= edge.idx() {
-            self.links.resize(edge.idx() + 1, Vec::new());
-            self.rev_links.resize(edge.idx() + 1, Vec::new());
+        let links = Arc::make_mut(&mut self.links);
+        let rev_links = Arc::make_mut(&mut self.rev_links);
+        if links.len() <= edge.idx() {
+            links.resize(edge.idx() + 1, Vec::new());
+            rev_links.resize(edge.idx() + 1, Vec::new());
         }
-        let v = &mut self.links[edge.idx()];
+        let v = &mut links[edge.idx()];
         assert_eq!(v.len(), rel_ordinal as usize, "link ordinals must stay dense");
         v.push(participant);
-        let rv = &mut self.rev_links[edge.idx()];
+        let rv = &mut rev_links[edge.idx()];
         if rv.len() <= participant as usize {
             rv.resize(participant as usize + 1, Vec::new());
         }
         rv[participant as usize].push(rel_ordinal);
+        self.epoch += 1;
     }
 
     /// Invalidate a relationship instance's link (delete maintenance).
     pub fn kill_link(&mut self, edge: colorist_er::EdgeId, rel_ordinal: u32) {
-        if let Some(v) =
-            self.links.get_mut(edge.idx()).and_then(|l| l.get_mut(rel_ordinal as usize))
+        if let Some(v) = Arc::make_mut(&mut self.links)
+            .get_mut(edge.idx())
+            .and_then(|l| l.get_mut(rel_ordinal as usize))
         {
             *v = u32::MAX;
+        }
+        self.epoch += 1;
+    }
+
+    /// Invalidate every link entry touching a deleted instance: a
+    /// relationship loses its own links; a participant kills the links of
+    /// every relationship instance referencing it (those relationship
+    /// elements are about to lose their occurrences as well, structurally
+    /// or through their own delete op).
+    pub fn kill_links_of(&mut self, graph: &ErGraph, t: ElementId) {
+        let el = self.element(t);
+        let (node, ordinal) = (el.node, el.ordinal);
+        for &(e, _) in graph.incident(node) {
+            let edge = graph.edge(e);
+            if edge.rel == node {
+                self.kill_link(e, ordinal);
+            } else {
+                for ro in self.linked_rels(e, ordinal) {
+                    // kill the whole relationship instance (both edges)
+                    let rel = edge.rel;
+                    for &(e2, _) in graph.incident(rel) {
+                        if graph.edge(e2).rel == rel {
+                            self.kill_link(e2, ro);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -414,49 +563,76 @@ impl Database {
     /// (Linear; the engine relabels eagerly after each update batch, which
     /// is charged to update cost like TIMBER's index maintenance.)
     pub fn relabel_color(&mut self, c: ColorId) {
-        let tree = &mut self.colors[c.idx()];
-        relabel(&mut tree.occs);
-        rebuild_tree_indexes(tree, c, &self.elements, &mut self.logical_occs);
+        {
+            let colors = Arc::make_mut(&mut self.colors);
+            let tree = &mut colors[c.idx()];
+            relabel(&mut tree.occs);
+            let logical_occs = Arc::make_mut(&mut self.logical_occs);
+            rebuild_tree_indexes(tree, c, &self.elements, logical_occs);
+        }
         // structural updates funnel through here, so this is the one
         // maintenance point the placement-occurrence summaries need
-        self.statistics.set_placement_occs(placement_occ_counts(&self.schema, &self.colors));
+        let occs = placement_occ_counts(&self.schema, &self.colors);
+        Arc::make_mut(&mut self.statistics).set_placement_occs(occs);
+        self.epoch += 1;
     }
 
     /// Insert a new canonical element, returning its id. The caller must
     /// add occurrences (then relabel) to make it reachable. Adds one value
-    /// index posting per attribute.
+    /// index posting per attribute. The new instance's ordinal comes from
+    /// the append-only ordinal index, **not** from the extent length — the
+    /// two diverge once anything has been deleted.
     pub fn insert_element(&mut self, node: NodeId, attrs: Vec<Value>) -> ElementId {
-        for v in &attrs {
-            if let Value::Text(s) = v {
-                self.interner.intern(s);
+        {
+            let interner = Arc::make_mut(&mut self.interner);
+            for v in &attrs {
+                if let Value::Text(s) = v {
+                    interner.intern(s);
+                }
             }
         }
         let id = ElementId(self.elements.len() as u32);
-        let ordinal = self.extents[node.idx()].len() as u32;
-        for (a, v) in attrs.iter().enumerate() {
-            self.value_index.insert(IndexEntry {
-                node,
-                attr: a as u32,
-                key: self.interner.key(v),
-                element: id,
-            });
+        let ordinal = self.by_ordinal[node.idx()].len() as u32;
+        {
+            let index = Arc::make_mut(&mut self.value_index);
+            for (a, v) in attrs.iter().enumerate() {
+                index.insert(IndexEntry {
+                    node,
+                    attr: a as u32,
+                    key: self.interner.key(v),
+                    element: id,
+                });
+            }
         }
         let arity = attrs.len();
-        self.elements.push(Element { node, ordinal, canonical: id, attrs });
-        self.extents[node.idx()].push(id);
-        self.statistics.note_insert(node);
+        Arc::make_mut(&mut self.elements).push(Element { node, ordinal, canonical: id, attrs });
+        Arc::make_mut(&mut self.extents)[node.idx()].push(id);
+        Arc::make_mut(&mut self.by_ordinal)[node.idx()].push(id);
+        let statistics = Arc::make_mut(&mut self.statistics);
+        statistics.note_insert(node);
         for a in 0..arity {
-            self.statistics.refresh_column(node, a, &self.value_index, &self.interner);
+            statistics.refresh_column(node, a, &self.value_index, &self.interner);
         }
+        self.epoch += 1;
         id
     }
 
     /// Insert a copy of an existing element (un-normalized maintenance).
+    ///
+    /// Copies are **occurrence-only**: they are reachable exclusively
+    /// through the color trees. The extent, the ordinal index, the value
+    /// index and the statistics catalog all track canonical elements only
+    /// — the same invariant [`DatabaseBuilder::add_copy`] maintains and
+    /// [`Database::check_integrity`] audits (S008) — so a copy registers
+    /// in none of them; its attribute values mirror the canonical's
+    /// postings.
     pub fn insert_copy(&mut self, of: ElementId) -> ElementId {
         let canon = self.element(of).canonical;
+        debug_assert!(self.is_live(canon), "insert_copy of a deleted instance");
         let src = self.element(canon).clone();
         let id = ElementId(self.elements.len() as u32);
-        self.elements.push(Element { canonical: canon, ..src });
+        Arc::make_mut(&mut self.elements).push(Element { canonical: canon, ..src });
+        self.epoch += 1;
         id
     }
 
@@ -469,9 +645,10 @@ impl Database {
         placement: PlacementId,
         parent: Option<OccId>,
     ) -> OccId {
-        let tree = &mut self.colors[c.idx()];
+        let tree = &mut Arc::make_mut(&mut self.colors)[c.idx()];
         let id = OccId(tree.occs.len() as u32);
         tree.occs.push(Occurrence { element, placement, parent, start: 0, end: 0, level: 0 });
+        self.epoch += 1;
         id
     }
 
@@ -480,7 +657,8 @@ impl Database {
     /// Returns the number removed (descendants of removed occurrences are
     /// removed transitively).
     pub fn remove_occurrences(&mut self, c: ColorId, remove: &[OccId]) -> usize {
-        let tree = &mut self.colors[c.idx()];
+        self.epoch += 1;
+        let tree = &mut Arc::make_mut(&mut self.colors)[c.idx()];
         let n = tree.occs.len();
         let mut dead = vec![false; n];
         for &o in remove {
@@ -517,18 +695,33 @@ impl Database {
         removed
     }
 
-    /// Remove an element entirely (all colors, with subtrees), e.g. for
-    /// delete updates. Relabels every affected color. Returns the number of
-    /// occurrences removed.
+    /// Delete the logical instance behind `e` (canonical or copy): every
+    /// occurrence of its canonical element **and of every physical copy**
+    /// leaves every color (subtrees included), and the derived structures
+    /// retract with it — the extent entry, the per-attribute value-index
+    /// postings, and the statistics contribution (`note_delete` plus a
+    /// `refresh_column` per attribute) — mirroring
+    /// [`Database::insert_element`]'s maintenance so deletes go through
+    /// one audited path just like [`Database::write_attr`]. The ordinal
+    /// slot is tombstoned, never reused: stale links and idref values
+    /// resolve to `None` from then on.
+    ///
+    /// Idempotent: a second call for the same instance (or for one of its
+    /// copies) removes nothing and retracts nothing. Relabels every
+    /// affected color. Returns the number of occurrences removed.
     pub fn remove_element_occurrences(&mut self, e: ElementId) -> usize {
+        let canon = self.element(e).canonical;
         let mut total = 0;
         for c in 0..self.colors.len() {
             let c = ColorId(c as u16);
+            // match the whole logical instance — copies carry their own
+            // ElementId, so matching `o.element == e` would leave their
+            // occurrences behind on DEEP/UNDR
             let doomed: Vec<OccId> = self.colors[c.idx()]
                 .occs
                 .iter()
                 .enumerate()
-                .filter(|(_, o)| o.element == e)
+                .filter(|(_, o)| self.elements[o.element.idx()].canonical == canon)
                 .map(|(i, _)| OccId(i as u32))
                 .collect();
             if !doomed.is_empty() {
@@ -536,7 +729,131 @@ impl Database {
                 self.relabel_color(c);
             }
         }
+        let (node, ordinal) = {
+            let el = self.element(canon);
+            (el.node, el.ordinal)
+        };
+        if self.canonical_by_ordinal(node, ordinal) == Some(canon) {
+            // first delete of this instance: retract the derived structures
+            Arc::make_mut(&mut self.by_ordinal)[node.idx()][ordinal as usize] = TOMBSTONE;
+            let extent = &mut Arc::make_mut(&mut self.extents)[node.idx()];
+            if let Ok(pos) = extent.binary_search(&canon) {
+                extent.remove(pos);
+            }
+            let arity = self.element(canon).attrs.len();
+            {
+                let index = Arc::make_mut(&mut self.value_index);
+                for a in 0..arity {
+                    // stored values are always interned, but stay total
+                    if let Some(key) = self.interner.try_key(&self.elements[canon.idx()].attrs[a]) {
+                        index.remove(IndexEntry { node, attr: a as u32, key, element: canon });
+                    }
+                }
+            }
+            let statistics = Arc::make_mut(&mut self.statistics);
+            statistics.note_delete(node);
+            for a in 0..arity {
+                statistics.refresh_column(node, a, &self.value_index, &self.interner);
+            }
+            self.epoch += 1;
+        }
         total
+    }
+
+    /// S008 — extent/element/index desync audit. Checks the invariants the
+    /// mutation choke points maintain: extents list exactly the live
+    /// canonical elements of their node in ascending order; every live
+    /// ordinal slot round-trips through its element; copies are
+    /// unreachable from extents, the ordinal index, and the value index;
+    /// no color tree holds an occurrence of a deleted instance; value-index
+    /// postings cover live canonicals exactly once per attribute; and the
+    /// statistics catalog's extent cardinalities match the extents.
+    /// Returns the first violation as `Err("S008: …")`.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        let fail = |msg: String| Err(format!("S008: {msg}"));
+        for (n, extent) in self.extents.iter().enumerate() {
+            let node = NodeId(n as u32);
+            for w in extent.windows(2) {
+                if w[0] >= w[1] {
+                    return fail(format!("extent of node {n} is not in ascending id order"));
+                }
+            }
+            for &e in extent {
+                let el = self.element(e);
+                if el.canonical != e {
+                    return fail(format!("extent of node {n} lists copy {e}"));
+                }
+                if el.node != node {
+                    return fail(format!("extent of node {n} lists {e} of node {}", el.node.0));
+                }
+                if self.canonical_by_ordinal(node, el.ordinal) != Some(e) {
+                    return fail(format!(
+                        "extent of node {n} lists {e} but ordinal {} does not resolve to it",
+                        el.ordinal
+                    ));
+                }
+            }
+            if self.statistics.extent_rows(node) != extent.len() as u64 {
+                return fail(format!(
+                    "statistics extent_rows of node {n} is {} but the extent holds {}",
+                    self.statistics.extent_rows(node),
+                    extent.len()
+                ));
+            }
+            if let Some(&e0) = extent.first() {
+                for a in 0..self.element(e0).attrs.len() {
+                    let postings = self.value_index.of_attr(node, a).len();
+                    if postings != extent.len() {
+                        return fail(format!(
+                            "value index holds {postings} postings for (node {n}, attr {a}) \
+                             over an extent of {}",
+                            extent.len()
+                        ));
+                    }
+                }
+            }
+        }
+        for (n, slots) in self.by_ordinal.iter().enumerate() {
+            let node = NodeId(n as u32);
+            for (k, &e) in slots.iter().enumerate() {
+                if e == TOMBSTONE {
+                    continue;
+                }
+                let el = self.element(e);
+                if el.node != node || el.ordinal as usize != k || el.canonical != e {
+                    return fail(format!("ordinal slot ({n}, {k}) holds mismatched element {e}"));
+                }
+                if self.extents[n].binary_search(&e).is_err() {
+                    return fail(format!("live ordinal slot ({n}, {k}) missing from the extent"));
+                }
+            }
+        }
+        for (ci, tree) in self.colors.iter().enumerate() {
+            for o in &tree.occs {
+                if !self.is_live(o.element) {
+                    return fail(format!(
+                        "color {ci} holds an occurrence of deleted element {}",
+                        o.element
+                    ));
+                }
+            }
+        }
+        for en in self.value_index.entries() {
+            let el = self.element(en.element);
+            if el.canonical != en.element {
+                return fail(format!("value index posts copy {}", en.element));
+            }
+            if el.node != en.node {
+                return fail(format!(
+                    "value index posting for {} names the wrong node",
+                    en.element
+                ));
+            }
+            if !self.is_live(en.element) {
+                return fail(format!("value index posts deleted element {}", en.element));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -648,18 +965,23 @@ impl DatabaseBuilder {
             &value_index,
             &interner,
         );
+        // at build time every ordinal is live, so the ordinal index starts
+        // as a copy of the extents and only ever diverges through deletes
+        let by_ordinal = self.extents.clone();
         Database {
             schema: self.schema,
-            elements: self.elements,
-            colors: self.colors,
-            extents: self.extents,
-            logical_occs,
-            links: self.links,
-            rev_links,
-            interner,
-            value_index,
-            statistics,
+            elements: Arc::new(self.elements),
+            colors: Arc::new(self.colors),
+            extents: Arc::new(self.extents),
+            by_ordinal: Arc::new(by_ordinal),
+            logical_occs: Arc::new(logical_occs),
+            links: Arc::new(self.links),
+            rev_links: Arc::new(rev_links),
+            interner: Arc::new(interner),
+            value_index: Arc::new(value_index),
+            statistics: Arc::new(statistics),
             dispatch: KernelDispatch::default(),
+            epoch: 0,
         }
     }
 }
@@ -896,5 +1218,122 @@ mod tests {
         let n = db.remove_element_occurrences(eb0);
         assert_eq!(n, 1);
         assert_eq!(db.color(ColorId(0)).occs().len(), 5);
+    }
+
+    #[test]
+    fn delete_retracts_extent_index_and_statistics() {
+        let (g, s) = tiny();
+        let mut db = build(&g, &s);
+        let b = g.node_by_name("b").unwrap();
+        let eb0 = db.extent(b)[0];
+        let key = db.join_key(&Value::Int(0));
+        assert_eq!(db.value_index().matching(b, 0, key).len(), 1);
+        db.remove_element_occurrences(eb0);
+        // extent, ordinal resolution, postings and cardinality all retract
+        assert_eq!(db.extent(b).len(), 1);
+        assert!(!db.extent(b).contains(&eb0));
+        assert_eq!(db.canonical_by_ordinal(b, 0), None);
+        assert!(!db.is_live(eb0));
+        assert!(db.value_index().matching(b, 0, key).is_empty());
+        assert_eq!(db.statistics().extent_rows(b), 1);
+        assert_eq!(db.check_integrity(), Ok(()));
+        // ordinals are never reused: a later insert gets a fresh one
+        let fresh = db.insert_element(b, vec![Value::Int(9), Value::Text("w".into())]);
+        assert_eq!(db.element(fresh).ordinal, 2);
+        assert_eq!(db.ordinal_count(b), 3);
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let (g, s) = tiny();
+        let mut db = build(&g, &s);
+        let b = g.node_by_name("b").unwrap();
+        let eb0 = db.extent(b)[0];
+        assert_eq!(db.remove_element_occurrences(eb0), 1);
+        let epoch = db.epoch();
+        assert_eq!(db.remove_element_occurrences(eb0), 0);
+        assert_eq!(db.epoch(), epoch, "repeat delete must be a no-op");
+        assert_eq!(db.statistics().extent_rows(b), 1);
+        assert_eq!(db.check_integrity(), Ok(()));
+    }
+
+    #[test]
+    fn delete_of_canonical_removes_copy_occurrences() {
+        // the DEEP/UNDR shape: a duplicated placement holds a *copy*, and
+        // deleting the instance (by canonical or copy id) must remove it
+        let (g, s) = tiny();
+        let mut db = build(&g, &s);
+        let b = g.node_by_name("b").unwrap();
+        let r = g.node_by_name("r").unwrap();
+        let c = ColorId(0);
+        let eb0 = db.extent(b)[0];
+        let copy = db.insert_copy(eb0);
+        let pb = db.schema.placements_of_in_color(b, c)[0];
+        let parent = db.color(c).of_placement(db.schema.placements_of_in_color(r, c)[0])[1];
+        db.push_occurrence(c, copy, pb, Some(parent));
+        db.relabel_color(c);
+        assert_eq!(db.occurrences_of_logical(c, eb0).len(), 2);
+        // deleting via the copy's id resolves to the whole instance
+        let n = db.remove_element_occurrences(copy);
+        assert_eq!(n, 2, "canonical and copy occurrences must both go");
+        assert!(db.color(c).occs().iter().all(|o| db.element(o.element).canonical != eb0));
+        assert_eq!(db.check_integrity(), Ok(()));
+    }
+
+    #[test]
+    fn snapshot_pins_the_pre_mutation_state() {
+        let (g, s) = tiny();
+        let mut db = build(&g, &s);
+        let b = g.node_by_name("b").unwrap();
+        let eb0 = db.extent(b)[0];
+        let snap = db.snapshot();
+        let epoch0 = db.epoch();
+        db.write_attr(eb0, 1, Value::Text("changed".into()));
+        db.remove_element_occurrences(db.extent(b)[1]);
+        assert!(db.epoch() > epoch0);
+        // the snapshot still sees both instances, the old value, the old
+        // postings, and the old statistics
+        assert_eq!(snap.epoch(), epoch0);
+        assert_eq!(snap.extent(b).len(), 2);
+        assert_eq!(snap.element(eb0).attrs[1], Value::Text("u".into()));
+        assert_eq!(snap.statistics().extent_rows(b), 2);
+        assert_eq!(snap.color(ColorId(0)).occs().len(), 6);
+        assert_eq!(snap.check_integrity(), Ok(()));
+        // and the live database moved on
+        assert_eq!(db.extent(b).len(), 1);
+        assert_eq!(db.element(eb0).attrs[1], Value::Text("changed".into()));
+    }
+
+    #[test]
+    fn integrity_audit_reports_desync() {
+        let (g, s) = tiny();
+        let db = build(&g, &s);
+        assert_eq!(db.check_integrity(), Ok(()));
+        let b = g.node_by_name("b").unwrap();
+        // manufacture each desync class the S008 audit exists for
+        // 1. statistics retraction without a matching extent retraction
+        {
+            let mut broken = db.clone();
+            Arc::make_mut(&mut broken.statistics).note_delete(b);
+            let err = broken.check_integrity().unwrap_err();
+            assert!(err.starts_with("S008"), "{err}");
+        }
+        // 2. a tombstoned ordinal whose extent entry survives (the pre-fix
+        //    delete shape inverted: ordinal index and extent disagree)
+        {
+            let mut broken = db.clone();
+            Arc::make_mut(&mut broken.by_ordinal)[b.idx()][0] = TOMBSTONE;
+            let err = broken.check_integrity().unwrap_err();
+            assert!(err.starts_with("S008"), "{err}");
+        }
+        // 3. a copy reachable from an extent
+        {
+            let mut broken = db.clone();
+            let eb0 = broken.extent(b)[0];
+            let copy = broken.insert_copy(eb0);
+            Arc::make_mut(&mut broken.extents)[b.idx()].push(copy);
+            let err = broken.check_integrity().unwrap_err();
+            assert!(err.starts_with("S008"), "{err}");
+        }
     }
 }

@@ -11,10 +11,13 @@
 //!
 //! Keying by element rather than occurrence makes the index invariant under
 //! the operations that churn occurrence ids: `relabel_color` remaps every
-//! `OccId` after a structural update, and deletes remove occurrences while
-//! elements stay in their extents forever. Neither touches this index. The
-//! only maintenance points are attribute writes and element inserts, both
-//! of which funnel through `Database::write_attr` / `insert_element`.
+//! `OccId` after a structural update without touching this index. The
+//! maintenance points are attribute writes, element inserts, and logical
+//! deletes, all of which funnel through `Database::write_attr` /
+//! `insert_element` / `remove_element_occurrences` — a delete retracts the
+//! instance's postings along with its extent entry and statistics
+//! contribution, so index probes never see ghost elements that scans no
+//! longer return.
 //!
 //! Lookups are two `partition_point` binary searches (equality probes) or a
 //! bounded group walk (range predicates, which must compare stored keys to
@@ -83,6 +86,12 @@ impl ValueIndex {
     /// Number of postings.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Every posting, in sort order — the raw material of the S008
+    /// integrity audit (`Database::check_integrity`).
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
     }
 
     /// Whether the index holds no postings.

@@ -27,10 +27,14 @@
 //! * [`statistics`] — the optimizer's statistics catalog: per-(node, attr)
 //!   distinct counts and equi-depth histograms built from the value index,
 //!   extent cardinalities, and per-placement occurrence counts, feeding
-//!   cardinality/selectivity estimation and the cost-model kernel dispatch.
+//!   cardinality/selectivity estimation and the cost-model kernel dispatch;
+//! * [`batch`] — atomic update batches: cross-op validation up front, one
+//!   copy-on-write commit point, so readers holding a
+//!   [`database::Snapshot`] never observe a half-applied batch.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod database;
 pub mod index;
 pub mod join;
@@ -40,8 +44,10 @@ pub mod stats;
 pub mod value;
 pub mod xml;
 
+pub use batch::{BatchError, BatchLink, BatchOp, BatchPosition, BatchReceipt, UpdateBatch};
 pub use database::{
     ColorTree, Database, DatabaseBuilder, Element, ElementId, KernelDispatch, OccId, Occurrence,
+    Snapshot,
 };
 pub use index::{IndexEntry, ValueIndex};
 pub use join::{

@@ -236,6 +236,14 @@ impl Statistics {
         self.extent_rows[node.idx()] += 1;
     }
 
+    /// Record one deleted canonical instance (element-delete maintenance) —
+    /// the retraction mirror of [`Statistics::note_insert`].
+    pub fn note_delete(&mut self, node: NodeId) {
+        if let Some(rows) = self.extent_rows.get_mut(node.idx()) {
+            *rows = rows.saturating_sub(1);
+        }
+    }
+
     /// Replace the per-placement occurrence counts (relabel maintenance).
     pub fn set_placement_occs(&mut self, occs: Vec<u64>) {
         self.placement_occs = occs;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! colorist-oracle [--seeds N] [--start S] [--scale B] [--queries K] [--threads T]
+//! colorist-oracle --batch-seeds N [--start S] [--scale B] [--queries K] [--threads T]
 //! colorist-oracle --replay SEED [--scale B] [--queries K]
 //! colorist-oracle --minimize SEED [--scale B] [--queries K]
 //! ```
@@ -10,17 +11,23 @@
 //! printing a summary and exiting nonzero when any seed diverges (each
 //! divergent seed is auto-minimized to the smallest reproducing scale).
 //! `--replay` prints one seed's diagram, workload, per-strategy plans and
-//! counts; `--minimize` shrinks one divergent seed.
+//! counts; `--minimize` shrinks one divergent seed. `--batch-seeds` sweeps
+//! the *batch-replay* oracle instead: every seed derives one randomized
+//! atomic update batch (attribute writes + a delete-closed delete set),
+//! commits it half at a time under all seven strategies, and asserts
+//! answer equivalence mid-batch and post-batch, snapshot immunity, and
+//! indexed-vs-reference kernel agreement after the deletes.
 //!
 //! `--trace out.json` records a hierarchical span trace of the run (every
 //! design, materialization and query, on every worker thread) in
 //! chrome-trace format — open it in `chrome://tracing` or Perfetto.
 
-use colorist_workload::oracle::{minimize, replay_text, run_seeds, OracleConfig};
+use colorist_workload::oracle::{minimize, replay_text, run_batch_seeds, run_seeds, OracleConfig};
 use std::process::ExitCode;
 
 struct Args {
     seeds: u64,
+    batch_seeds: Option<u64>,
     start: u64,
     threads: usize,
     replay: Option<u64>,
@@ -31,8 +38,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: colorist-oracle [--seeds N] [--start S] [--scale B] [--queries K] [--threads T] \
-         [--trace OUT.json]\n\
+        "usage: colorist-oracle [--seeds N | --batch-seeds N] [--start S] [--scale B] \
+         [--queries K] [--threads T] [--trace OUT.json]\n\
          \x20      colorist-oracle --replay SEED | --minimize SEED"
     );
     std::process::exit(2);
@@ -41,6 +48,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         seeds: 64,
+        batch_seeds: None,
         start: 0,
         threads: colorist_workload::suite_threads(),
         replay: None,
@@ -58,6 +66,7 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--seeds" => args.seeds = val("--seeds"),
+            "--batch-seeds" => args.batch_seeds = Some(val("--batch-seeds")),
             "--start" => args.start = val("--start"),
             "--scale" => args.cfg.scale = val("--scale").max(2) as u32,
             "--queries" => args.cfg.queries = val("--queries").max(1) as usize,
@@ -121,6 +130,12 @@ fn run(args: &Args) -> ExitCode {
                 ExitCode::SUCCESS
             }
         };
+    }
+
+    if let Some(n) = args.batch_seeds {
+        let report = run_batch_seeds(args.start, n, &args.cfg, args.threads);
+        print!("batch {report}");
+        return if report.divergences().is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
     let report = run_seeds(args.start, args.seeds, &args.cfg, args.threads);

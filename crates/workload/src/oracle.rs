@@ -42,14 +42,16 @@ use crate::suite::par_map;
 use colorist_core::{design, single_color_feasibility, Strategy};
 use colorist_datagen::{generate, materialize, Rng, ScaleProfile};
 use colorist_er::{
-    Attribute, Cardinality, EligibleAssociations, Endpoint, ErDiagram, ErGraph, NodeKind,
+    Attribute, Cardinality, EligibleAssociations, Endpoint, ErDiagram, ErGraph, NodeId, NodeKind,
     Participation,
 };
-use colorist_mct::MctSchema;
+use colorist_mct::{ColorId, MctSchema};
 use colorist_query::{
-    compile, execute, optimize, verify_plan, CmpOp, Pattern, PatternBuilder, Plan, QueryResult,
+    compile, execute, execute_snapshot, optimize, verify_plan, CmpOp, Pattern, PatternBuilder,
+    Plan, QueryResult,
 };
-use colorist_store::{Database, Value};
+use colorist_store::{Database, UpdateBatch, Value};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Stream-splitting constant: keeps oracle randomness decorrelated from
@@ -769,6 +771,345 @@ pub fn replay_text(seed: u64, cfg: &OracleConfig) -> String {
 
 fn indent(text: &str, pad: &str) -> String {
     text.lines().map(|l| format!("{pad}{l}\n")).collect()
+}
+
+/// One randomized update batch in *logical* coordinates — `(node,
+/// ordinal)` pairs name the same instance in every strategy's database,
+/// even though the physical `ElementId`s differ. Writes touch entity
+/// attributes; deletes are **delete-closed** (see [`delete_closure`]) so
+/// that applying them leaves all seven databases logically identical.
+#[derive(Debug, Clone)]
+struct LogicalBatch {
+    /// `(node, ordinal, attr, value)` attribute writes.
+    writes: Vec<(NodeId, u32, usize, Value)>,
+    /// Doomed logical instances, sorted for deterministic application.
+    deletes: Vec<(NodeId, u32)>,
+}
+
+impl LogicalBatch {
+    /// Resolve the logical ops against one database's physical ids.
+    fn resolve(&self, db: &Database) -> UpdateBatch {
+        let mut b = UpdateBatch::new();
+        for (node, ordinal, attr, value) in &self.writes {
+            if let Some(e) = db.canonical_by_ordinal(*node, *ordinal) {
+                b.write_attr(e, *attr, value.clone());
+            }
+        }
+        for (node, ordinal) in &self.deletes {
+            if let Some(e) = db.canonical_by_ordinal(*node, *ordinal) {
+                b.delete(e);
+            }
+        }
+        b
+    }
+}
+
+/// Close a set of doomed logical instances under the two rules that make
+/// a batch of deletes strategy-equivalent:
+///
+/// 1. **link closure** — a relationship instance referencing a doomed
+///    participant is doomed (its links die with the participant, and in
+///    schemas nesting the relationship under that participant its subtree
+///    vanishes structurally);
+/// 2. **subtree closure** — if *any* schema places an instance's
+///    occurrence inside a doomed instance's subtree, the instance is
+///    doomed everywhere (XML deletes remove whole subtrees, and different
+///    strategies nest different nodes under each other).
+///
+/// Iterates to fixpoint, so the returned set can be deleted under all
+/// seven strategies and leave logically identical databases.
+fn delete_closure(
+    g: &ErGraph,
+    dbs: &[(Strategy, Database)],
+    seeds: &BTreeSet<(NodeId, u32)>,
+) -> BTreeSet<(NodeId, u32)> {
+    let mut doomed = seeds.clone();
+    loop {
+        let before = doomed.len();
+        // 1. relationship instances linked to doomed participants (the
+        //    link tables are shared canonical-instance data, identical in
+        //    every database — any one serves)
+        if let Some((_, db0)) = dbs.first() {
+            for (node, ordinal) in doomed.clone() {
+                for &(e, _) in g.incident(node) {
+                    let edge = g.edge(e);
+                    if edge.participant == node {
+                        for ro in db0.linked_rels(e, ordinal) {
+                            doomed.insert((edge.rel, ro));
+                        }
+                    }
+                }
+            }
+        }
+        // 2. occurrences inside a doomed subtree, in any schema
+        for (_, db) in dbs {
+            for ci in 0..db.color_count() {
+                let tree = db.color(ColorId(ci as u16));
+                let occs = tree.occs();
+                // document order puts parents before children, so one
+                // forward pass propagates doom down every parent chain
+                let mut dead = vec![false; occs.len()];
+                for i in 0..occs.len() {
+                    let el = db.element(db.element(occs[i].element).canonical);
+                    dead[i] = doomed.contains(&(el.node, el.ordinal))
+                        || occs[i].parent.is_some_and(|p| dead[p.idx()]);
+                }
+                for (i, o) in occs.iter().enumerate() {
+                    if dead[i] {
+                        let el = db.element(db.element(o.element).canonical);
+                        doomed.insert((el.node, el.ordinal));
+                    }
+                }
+            }
+        }
+        if doomed.len() == before {
+            return doomed;
+        }
+    }
+}
+
+/// Execute every query of the seed's workload on one database (compiling
+/// fresh, so post-update statistics drive the kernel dispatch), returning
+/// per-query outcomes comparable across strategies: canonical element
+/// ids are allocated identically by every materialization, so equal
+/// answers are `Vec`-equal.
+fn batch_answers(
+    db: &Database,
+    g: &ErGraph,
+    queries: &[Pattern],
+) -> Vec<Result<QueryResult, String>> {
+    queries
+        .iter()
+        .map(|q| {
+            compile(g, &db.schema, q)
+                .and_then(|plan| execute(db, g, &plan))
+                .map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+/// Compare two answer vectors; push a divergence per mismatch. With
+/// `physical` the physical tuple counts must match too (same-strategy
+/// comparisons: snapshot vs serial, indexed vs reference kernels);
+/// without it only the logical answer must (cross-strategy comparisons,
+/// where copy counts legitimately differ).
+#[allow(clippy::too_many_arguments)]
+fn compare_answers(
+    seed: u64,
+    phase: &str,
+    strategy: &str,
+    reference: &str,
+    physical: bool,
+    queries: &[Pattern],
+    got: &[Result<QueryResult, String>],
+    want: &[Result<QueryResult, String>],
+    divergences: &mut Vec<Divergence>,
+) {
+    for (i, q) in queries.iter().enumerate() {
+        let ok = match (&got[i], &want[i]) {
+            (Ok(a), Ok(b)) => {
+                a.elements == b.elements
+                    && a.distinct == b.distinct
+                    && a.results >= a.distinct
+                    && (!physical || a.results == b.results)
+            }
+            (Err(a), Err(b)) => a == b,
+            _ => false,
+        };
+        if !ok {
+            let render = |r: &Result<QueryResult, String>| match r {
+                Ok(r) => format!("{} logical / {} physical", r.distinct, r.results),
+                Err(e) => format!("refused: {e}"),
+            };
+            divergences.push(Divergence {
+                seed,
+                query: format!("{}@{phase}", q.name),
+                strategy: strategy.into(),
+                detail: format!(
+                    "{phase} answer diverges from {reference}: {} vs {}",
+                    render(&got[i]),
+                    render(&want[i])
+                ),
+            });
+        }
+    }
+}
+
+/// Replay one randomized update batch under all seven strategies and
+/// assert equivalence at every observation point:
+///
+/// * the batch (attribute writes + a delete-closed delete set, derived in
+///   logical coordinates and resolved per database) commits **half at a
+///   time**, and after each half all strategies must agree on every
+///   workload query — the mid-batch state is a real state;
+/// * a [`Snapshot`](colorist_store::Snapshot) taken before the first half
+///   must keep returning the pre-batch answers, byte for byte, after both
+///   commits;
+/// * after the full batch, the index-accelerated answers must equal the
+///   reference-kernel answers on every strategy (the delete-path
+///   stale-index differential), and [`Database::check_integrity`] (S008)
+///   must hold on every database.
+pub fn run_batch_seed(seed: u64, cfg: &OracleConfig) -> SeedReport {
+    let setup = setup_seed(seed, cfg);
+    let g = &setup.graph;
+    let mut divergences = Vec::new();
+    let mut dbs = build_databases(&setup, seed, cfg, &mut divergences);
+    for (s, db) in &dbs {
+        if let Err(e) = db.check_integrity() {
+            divergences.push(Divergence {
+                seed,
+                query: "<build>".into(),
+                strategy: s.label().into(),
+                detail: format!("integrity: {e}"),
+            });
+        }
+    }
+
+    // derive the logical batch
+    let mut rng = Rng::new(seed.wrapping_mul(ORACLE_STREAM) ^ 0xBA7C4);
+    let entities: Vec<NodeId> = g.entity_nodes().collect();
+    let pick_instance = |rng: &mut Rng, db: &Database| {
+        let node = entities[rng.below(entities.len() as u64) as usize];
+        let count = db.ordinal_count(node);
+        (node, rng.below(count.max(1) as u64) as u32)
+    };
+    let (writes, first_deletes, rest_deletes) = match dbs.first() {
+        None => (Vec::new(), BTreeSet::new(), BTreeSet::new()),
+        Some((_, db0)) => {
+            let mut writes = Vec::new();
+            for _ in 0..(2 + rng.below(4)) {
+                let (node, ordinal) = pick_instance(&mut rng, db0);
+                // entity attrs are [id, label, size]; write the non-key ones
+                let (attr, value) = if rng.below(2) == 0 {
+                    (1, Value::Text(format!("w{}", rng.below(1000))))
+                } else {
+                    (2, Value::Int(rng.range_i64(-500, 1500)))
+                };
+                writes.push((node, ordinal, attr, value));
+            }
+            let mut first = BTreeSet::new();
+            let mut rest = BTreeSet::new();
+            let n_deletes = 2 + rng.below(3);
+            for i in 0..n_deletes {
+                let inst = pick_instance(&mut rng, db0);
+                if i < n_deletes / 2 + 1 {
+                    first.insert(inst);
+                } else {
+                    rest.insert(inst);
+                }
+            }
+            (writes, first, rest)
+        }
+    };
+    // each cumulative delete set must be delete-closed, or the mid-batch
+    // state itself would be strategy-dependent
+    let closed_first = delete_closure(g, &dbs, &first_deletes);
+    let all_seeds: BTreeSet<(NodeId, u32)> = first_deletes.union(&rest_deletes).copied().collect();
+    let closed_all = delete_closure(g, &dbs, &all_seeds);
+    let doomed_rest: Vec<(NodeId, u32)> = closed_all.difference(&closed_first).copied().collect();
+    let live_writes: Vec<_> =
+        writes.iter().filter(|(n, o, _, _)| !closed_all.contains(&(*n, *o))).cloned().collect();
+    let mid = writes.len() / 2;
+    let half1 = LogicalBatch {
+        writes: live_writes.iter().take(mid).cloned().collect(),
+        deletes: closed_first.iter().copied().collect(),
+    };
+    let half2 = LogicalBatch {
+        writes: live_writes.iter().skip(mid).cloned().collect(),
+        deletes: doomed_rest,
+    };
+
+    // pre-batch serial answers + one snapshot per strategy
+    let queries = &setup.queries;
+    let pre: Vec<Vec<Result<QueryResult, String>>> =
+        dbs.iter().map(|(_, db)| batch_answers(db, g, queries)).collect();
+    let snapshots: Vec<_> = dbs.iter().map(|(_, db)| db.snapshot()).collect();
+
+    for (phase, batch) in [("mid-batch", &half1), ("post-batch", &half2)] {
+        let mut reference: Option<(String, Vec<Result<QueryResult, String>>)> = None;
+        for (i, (s, db)) in dbs.iter_mut().enumerate() {
+            let resolved = batch.resolve(db);
+            if let Err(e) = resolved.apply(db, g) {
+                divergences.push(Divergence {
+                    seed,
+                    query: format!("<batch@{phase}>"),
+                    strategy: s.label().into(),
+                    detail: format!("batch rejected: {e}"),
+                });
+                continue;
+            }
+            if let Err(e) = db.check_integrity() {
+                divergences.push(Divergence {
+                    seed,
+                    query: format!("<batch@{phase}>"),
+                    strategy: s.label().into(),
+                    detail: format!("integrity after commit: {e}"),
+                });
+            }
+            // the pre-batch snapshot must be immune to both commits
+            let snap_answers: Vec<Result<QueryResult, String>> = queries
+                .iter()
+                .map(|q| {
+                    compile(g, &snapshots[i].schema, q)
+                        .and_then(|plan| execute_snapshot(&snapshots[i], g, &plan))
+                        .map_err(|e| e.to_string())
+                })
+                .collect();
+            compare_answers(
+                seed,
+                &format!("snapshot-{phase}"),
+                s.label(),
+                "pre-batch serial",
+                true,
+                queries,
+                &snap_answers,
+                &pre[i],
+                &mut divergences,
+            );
+            // all strategies must agree on the committed state
+            let now = batch_answers(db, g, queries);
+            // the stale-index differential: reference kernels see the
+            // same post-delete world as the index-backed fast paths
+            db.set_reference_kernels(true);
+            let ref_now = batch_answers(db, g, queries);
+            db.set_reference_kernels(false);
+            compare_answers(
+                seed,
+                &format!("kernels-{phase}"),
+                s.label(),
+                "reference kernels",
+                true,
+                queries,
+                &now,
+                &ref_now,
+                &mut divergences,
+            );
+            match &reference {
+                None => reference = Some((s.label().into(), now)),
+                Some((ref_label, ref_answers)) => compare_answers(
+                    seed,
+                    phase,
+                    s.label(),
+                    ref_label,
+                    false,
+                    queries,
+                    &now,
+                    ref_answers,
+                    &mut divergences,
+                ),
+            }
+        }
+    }
+
+    SeedReport { seed, feasible: setup.feasible, queries_run: setup.queries.len(), divergences }
+}
+
+/// Run `count` batch-replay seeds starting at `start` on up to `threads`
+/// workers. Deterministic for any worker count, like [`run_seeds`].
+pub fn run_batch_seeds(start: u64, count: u64, cfg: &OracleConfig, threads: usize) -> OracleReport {
+    let cfg = cfg.clone();
+    let reports = par_map(count as usize, threads, move |i| run_batch_seed(start + i as u64, &cfg));
+    OracleReport { reports }
 }
 
 /// Entity / relationship node kinds exercised by the generator — used by
