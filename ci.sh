@@ -44,6 +44,20 @@ cargo run -q --release -p colorist-bench --bin colorist-perfgate -- \
     --validate-trace results/trace_batch_ci.json
 rm -f results/trace_batch_ci.json
 
+echo "==> independence oracle (128 seeds: B002-B004 effect analysis, traced)"
+# Certifies one random batch pair per seed under all seven strategies
+# (B003), commits certified-independent pairs in both orders asserting
+# byte-identical final databases, shadow-tracked footprint containment
+# (B002), snapshot-safety of read-disjoint plans (B004), and
+# scheduler/serial agreement; grades certified-conflicting pairs for
+# genuine dynamic witnesses. The trace carries the new `effect` spans,
+# shape-validated against the perfgate vocabulary.
+cargo run -q --release -p colorist-workload --bin colorist-oracle -- \
+    --independence-seeds 128 --trace results/trace_independence_ci.json
+cargo run -q --release -p colorist-bench --bin colorist-perfgate -- \
+    --validate-trace results/trace_independence_ci.json
+rm -f results/trace_independence_ci.json
+
 echo "==> delete/batch torture (release): snapshot isolation under concurrent commit"
 # tests/deletes.rs: delete-then-query differentials across kernel
 # dispatches, DEEP/UNDR copy-delete regression, and concurrent snapshot

@@ -100,7 +100,7 @@ const OP_FIELDS: [&str; 17] = [
 /// Counter keys a span of a known category may carry in its `args` (beside
 /// the structural `id`/`parent` links). Spans of categories not listed here
 /// (`compile`, `suite`, …) emit no counters today and are unconstrained.
-const SPAN_COUNTERS: [(&str, &[&str]); 5] = [
+const SPAN_COUNTERS: [(&str, &[&str]); 6] = [
     (
         "op",
         &[
@@ -133,6 +133,7 @@ const SPAN_COUNTERS: [(&str, &[&str]); 5] = [
     ("materialize", &["elements", "colors"]),
     ("batch", &["batch_ops"]),
     ("snapshot", &["snapshot_reads"]),
+    ("effect", &["effect_keys"]),
 ];
 
 fn require_u64(doc: &Json, key: &str, what: &str) -> Result<u64, String> {

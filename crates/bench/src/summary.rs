@@ -32,8 +32,11 @@ use std::time::Duration;
 /// `batch_ops`/`snapshot_reads` counters (emitted by
 /// `UpdateBatch::apply` and `execute_snapshot`), which
 /// `colorist-perfgate --validate-trace` now whitelists; the summary
-/// fields themselves are unchanged.
-pub const SCHEMA_VERSION: u64 = 5;
+/// fields themselves are unchanged; 6 — the trace vocabulary gains the
+/// `effect` span category with its `effect_keys` counter (emitted by the
+/// static batch effect analysis inside `UpdateBatch::apply`); the summary
+/// fields themselves are again unchanged.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// The git revision to stamp into the document: `COLORIST_GIT_REV` if set,
 /// else `git rev-parse --short=12 HEAD`, else `"unknown"` (e.g. when built

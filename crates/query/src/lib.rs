@@ -50,6 +50,6 @@ pub use pattern::{
 };
 pub use plan::{Charge, CostEst, KernelChoice, Op, Plan, VDir};
 pub use update::{execute_update, UpdateOutcome};
-pub use verify::{explain_abstract, verify_plan, PlanDiag};
+pub use verify::{explain_abstract, plan_read_footprint, verify_plan, PlanDiag};
 
 pub use colorist_store::Metrics;

@@ -27,6 +27,7 @@ use colorist_er::{EdgeId, ErGraph, NodeId};
 use colorist_mct::{ColorId, PlacementId};
 
 use crate::database::{Database, ElementId, OccId};
+use crate::effect::{self, shadow, EffectAnalysis, FootprintSummary, TouchedSet};
 use crate::value::Value;
 
 /// Where a newly inserted element (or a new occurrence of an existing one)
@@ -201,6 +202,10 @@ pub struct BatchReceipt {
     pub occurrences_removed: u64,
     /// The database epoch after the commit.
     pub epoch: u64,
+    /// Key counts per derived structure from the batch's static effect
+    /// footprint (computed by [`crate::effect::analyze_batch`] before the
+    /// commit; deterministic for a given batch and pre-state).
+    pub footprint: FootprintSummary,
 }
 
 /// A validated-then-atomic collection of update operations.
@@ -376,9 +381,54 @@ impl UpdateBatch {
     ///
     /// [`Snapshot`]: crate::database::Snapshot
     pub fn apply(&self, db: &mut Database, graph: &ErGraph) -> Result<BatchReceipt, BatchError> {
+        let (receipt, analysis, touched) = self.apply_inner(db, graph, cfg!(debug_assertions))?;
+        if let Some(touched) = touched {
+            // B002 — footprint soundness, asserted on every debug-build
+            // commit: what the shadow tracker saw the mutators touch must
+            // be contained in the static footprint
+            if let Err(msg) = analysis.footprint.covers(&touched) {
+                debug_assert!(false, "{msg}");
+            }
+        }
+        Ok(receipt)
+    }
+
+    /// [`UpdateBatch::apply`] with the B002 instrumentation forced on in
+    /// **any** build: the shadow tracker records every key the commit's
+    /// mutators actually touch, and the caller receives the effect
+    /// analysis and the touched set to check
+    /// [`Footprint::covers`](crate::effect::Footprint::covers) itself —
+    /// the oracle's `--independence-seeds` sweep runs this in release.
+    pub fn apply_verified(
+        &self,
+        db: &mut Database,
+        graph: &ErGraph,
+    ) -> Result<(BatchReceipt, EffectAnalysis, TouchedSet), BatchError> {
+        let (receipt, analysis, touched) = self.apply_inner(db, graph, true)?;
+        Ok((receipt, analysis, touched.unwrap_or_default()))
+    }
+
+    fn apply_inner(
+        &self,
+        db: &mut Database,
+        graph: &ErGraph,
+        track: bool,
+    ) -> Result<(BatchReceipt, EffectAnalysis, Option<TouchedSet>), BatchError> {
         let mut span = colorist_trace::span("batch", "apply");
         span.counter("batch_ops", self.ops.len() as u64);
         self.validate(db, graph)?;
+
+        // static effect analysis against the pre-batch state — always
+        // computed, so the receipt's footprint summary is deterministic
+        let analysis = {
+            let mut espan = colorist_trace::span("effect", "analyze");
+            let analysis = effect::analyze_batch(self, db, graph);
+            espan.counter("effect_keys", analysis.footprint.summary().effect_keys());
+            analysis
+        };
+        if track {
+            shadow::start();
+        }
 
         // all mutations land on the staged clone; the live database only
         // advances when the whole batch has gone through (the clone is
@@ -390,6 +440,7 @@ impl UpdateBatch {
             duplicate_writes: 0,
             occurrences_removed: 0,
             epoch: 0,
+            footprint: analysis.footprint.summary(),
         };
 
         // copies per canonical element, for duplicate maintenance
@@ -471,12 +522,13 @@ impl UpdateBatch {
             }
         }
 
+        let touched = track.then(shadow::stop);
         debug_assert_eq!(staged.check_integrity(), Ok(()));
         receipt.epoch = staged.epoch();
         // the commit point: readers that cloned the Arcs earlier keep the
         // pre-batch version, everyone after sees the whole batch
         *db = staged;
-        Ok(receipt)
+        Ok((receipt, analysis, touched))
     }
 
     /// Resolve `e` to its live canonical instance.

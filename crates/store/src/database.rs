@@ -15,6 +15,7 @@
 //! `a.start < d.start && d.end <= a.end` — the primitive behind structural
 //! joins.
 
+use crate::effect::shadow;
 use crate::index::{IndexEntry, ValueIndex};
 use crate::statistics::{Cardinality, CmpKind, Statistics};
 use crate::value::{Interner, Value, ValueKey};
@@ -84,7 +85,7 @@ impl fmt::Display for ElementId {
 }
 
 /// A stored element.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Element {
     /// The ER node type.
     pub node: NodeId,
@@ -105,7 +106,7 @@ impl Element {
 }
 
 /// One position in a color's tree.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Occurrence {
     /// The stored element at this position.
     pub element: ElementId,
@@ -122,7 +123,7 @@ pub struct Occurrence {
 }
 
 /// One color's labelled tree.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ColorTree {
     /// Occurrences in document (DFS/start) order.
     occs: Vec<Occurrence>,
@@ -282,13 +283,19 @@ impl Database {
     /// raw mutable element access, so the index cannot go stale.
     pub fn write_attr(&mut self, e: ElementId, attr: usize, v: Value) {
         if let Value::Text(s) = &v {
+            if self.interner.get(s).is_none() {
+                shadow::new_symbol(s);
+            }
             Arc::make_mut(&mut self.interner).intern(s);
         }
+        shadow::write(e, attr);
         let new_key = self.interner.key(&v);
         let el = &mut Arc::make_mut(&mut self.elements)[e.idx()];
         let old = std::mem::replace(&mut el.attrs[attr], v);
         let (node, is_canonical) = (el.node, el.canonical == e);
         if is_canonical {
+            shadow::posting(node, attr, e);
+            shadow::stat_column(node, attr);
             // stored values are always interned, but stay total if not
             if let Some(old_key) = self.interner.try_key(&old) {
                 Arc::make_mut(&mut self.value_index).reindex(node, attr, e, old_key, new_key);
@@ -505,6 +512,7 @@ impl Database {
     /// Record a new relationship instance's link (insert maintenance).
     /// `rel_ordinal` must be the next dense ordinal for the edge.
     pub fn push_link(&mut self, edge: colorist_er::EdgeId, rel_ordinal: u32, participant: u32) {
+        shadow::link(edge, rel_ordinal);
         let links = Arc::make_mut(&mut self.links);
         let rev_links = Arc::make_mut(&mut self.rev_links);
         if links.len() <= edge.idx() {
@@ -529,6 +537,7 @@ impl Database {
             .and_then(|l| l.get_mut(rel_ordinal as usize))
         {
             *v = u32::MAX;
+            shadow::link(edge, rel_ordinal);
         }
         self.epoch += 1;
     }
@@ -563,6 +572,8 @@ impl Database {
     /// (Linear; the engine relabels eagerly after each update batch, which
     /// is charged to update cost like TIMBER's index maintenance.)
     pub fn relabel_color(&mut self, c: ColorId) {
+        shadow::color(c);
+        shadow::placement_stats();
         {
             let colors = Arc::make_mut(&mut self.colors);
             let tree = &mut colors[c.idx()];
@@ -584,6 +595,13 @@ impl Database {
     /// two diverge once anything has been deleted.
     pub fn insert_element(&mut self, node: NodeId, attrs: Vec<Value>) -> ElementId {
         {
+            for v in &attrs {
+                if let Value::Text(s) = v {
+                    if self.interner.get(s).is_none() {
+                        shadow::new_symbol(s);
+                    }
+                }
+            }
             let interner = Arc::make_mut(&mut self.interner);
             for v in &attrs {
                 if let Value::Text(s) = v {
@@ -593,9 +611,15 @@ impl Database {
         }
         let id = ElementId(self.elements.len() as u32);
         let ordinal = self.by_ordinal[node.idx()].len() as u32;
+        shadow::alloc(id);
+        shadow::ordinal(node, ordinal);
+        shadow::extent(node);
+        shadow::stat_node(node);
         {
             let index = Arc::make_mut(&mut self.value_index);
             for (a, v) in attrs.iter().enumerate() {
+                shadow::posting(node, a, id);
+                shadow::stat_column(node, a);
                 index.insert(IndexEntry {
                     node,
                     attr: a as u32,
@@ -631,6 +655,7 @@ impl Database {
         debug_assert!(self.is_live(canon), "insert_copy of a deleted instance");
         let src = self.element(canon).clone();
         let id = ElementId(self.elements.len() as u32);
+        shadow::alloc(id);
         Arc::make_mut(&mut self.elements).push(Element { canonical: canon, ..src });
         self.epoch += 1;
         id
@@ -645,6 +670,8 @@ impl Database {
         placement: PlacementId,
         parent: Option<OccId>,
     ) -> OccId {
+        shadow::color(c);
+        shadow::occ_element(self.element(element).canonical);
         let tree = &mut Arc::make_mut(&mut self.colors)[c.idx()];
         let id = OccId(tree.occs.len() as u32);
         tree.occs.push(Occurrence { element, placement, parent, start: 0, end: 0, level: 0 });
@@ -657,6 +684,7 @@ impl Database {
     /// Returns the number removed (descendants of removed occurrences are
     /// removed transitively).
     pub fn remove_occurrences(&mut self, c: ColorId, remove: &[OccId]) -> usize {
+        shadow::color(c);
         self.epoch += 1;
         let tree = &mut Arc::make_mut(&mut self.colors)[c.idx()];
         let n = tree.occs.len();
@@ -735,6 +763,10 @@ impl Database {
         };
         if self.canonical_by_ordinal(node, ordinal) == Some(canon) {
             // first delete of this instance: retract the derived structures
+            shadow::deleted(canon);
+            shadow::ordinal(node, ordinal);
+            shadow::extent(node);
+            shadow::stat_node(node);
             Arc::make_mut(&mut self.by_ordinal)[node.idx()][ordinal as usize] = TOMBSTONE;
             let extent = &mut Arc::make_mut(&mut self.extents)[node.idx()];
             if let Ok(pos) = extent.binary_search(&canon) {
@@ -744,6 +776,8 @@ impl Database {
             {
                 let index = Arc::make_mut(&mut self.value_index);
                 for a in 0..arity {
+                    shadow::posting(node, a, canon);
+                    shadow::stat_column(node, a);
                     // stored values are always interned, but stay total
                     if let Some(key) = self.interner.try_key(&self.elements[canon.idx()].attrs[a]) {
                         index.remove(IndexEntry { node, attr: a as u32, key, element: canon });
@@ -852,6 +886,53 @@ impl Database {
             if !self.is_live(en.element) {
                 return fail(format!("value index posts deleted element {}", en.element));
             }
+        }
+        Ok(())
+    }
+
+    /// Overwrite the epoch counter. Crate-internal: the commit scheduler
+    /// normalizes a group-committed class to one epoch bump.
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Whether the link table holds a cell for `(edge, rel_ordinal)` —
+    /// live **or** already killed. The static effect analysis needs this
+    /// distinction ([`Database::link`] conflates dead and absent):
+    /// [`Database::kill_link`] touches a dead cell but not an absent one.
+    pub(crate) fn link_slot_exists(&self, edge: colorist_er::EdgeId, rel_ordinal: u32) -> bool {
+        self.links.get(edge.idx()).is_some_and(|l| (rel_ordinal as usize) < l.len())
+    }
+
+    /// Deep structural equality of two databases over the same schema:
+    /// elements, color trees, extents, ordinal index, logical-occurrence
+    /// maps, link tables, symbol table, value index, statistics catalog,
+    /// dispatch mode — and, when `include_epoch`, the version counter.
+    /// Returns the first mismatching structure by name. This is the
+    /// oracle's "byte-identical final state" assertion behind the B003
+    /// commutativity certificates (the schema itself is not compared; both
+    /// sides of a commutativity check are derived from one database).
+    pub fn same_state(&self, other: &Database, include_epoch: bool) -> Result<(), String> {
+        let check = |ok: bool, what: &str| {
+            if ok {
+                Ok(())
+            } else {
+                Err(format!("databases differ in {what}"))
+            }
+        };
+        check(self.elements == other.elements, "elements")?;
+        check(self.colors == other.colors, "color trees")?;
+        check(self.extents == other.extents, "extents")?;
+        check(self.by_ordinal == other.by_ordinal, "ordinal index")?;
+        check(self.logical_occs == other.logical_occs, "logical occurrences")?;
+        check(self.links == other.links, "link tables")?;
+        check(self.rev_links == other.rev_links, "reverse link tables")?;
+        check(self.interner == other.interner, "symbol table")?;
+        check(self.value_index == other.value_index, "value index")?;
+        check(self.statistics == other.statistics, "statistics catalog")?;
+        check(self.dispatch == other.dispatch, "kernel dispatch")?;
+        if include_epoch {
+            check(self.epoch == other.epoch, "epoch")?;
         }
         Ok(())
     }
@@ -1302,6 +1383,51 @@ mod tests {
         // and the live database moved on
         assert_eq!(db.extent(b).len(), 1);
         assert_eq!(db.element(eb0).attrs[1], Value::Text("changed".into()));
+    }
+
+    #[test]
+    fn integrity_audit_names_each_structure() {
+        // negative paths for each audited structure: break exactly one and
+        // assert the S008 report names it, not merely that *something* fails
+        let (g, s) = tiny();
+        let db = build(&g, &s);
+        assert_eq!(db.check_integrity(), Ok(()));
+        let b = g.node_by_name("b").unwrap();
+        // 1. extent slot: scrambled order
+        {
+            let mut broken = db.clone();
+            Arc::make_mut(&mut broken.extents)[b.idx()].reverse();
+            let err = broken.check_integrity().unwrap_err();
+            assert!(err.contains("extent of node"), "{err}");
+        }
+        // 2. ordinal tombstone with a surviving extent entry
+        {
+            let mut broken = db.clone();
+            Arc::make_mut(&mut broken.by_ordinal)[b.idx()][0] = TOMBSTONE;
+            let err = broken.check_integrity().unwrap_err();
+            assert!(err.contains("ordinal 0 does not resolve"), "{err}");
+        }
+        // 3. a retracted value-index posting
+        {
+            let mut broken = db.clone();
+            let eb0 = broken.extent(b)[0];
+            let key = broken.join_key(&Value::Int(0));
+            Arc::make_mut(&mut broken.value_index).remove(IndexEntry {
+                node: b,
+                attr: 0,
+                key,
+                element: eb0,
+            });
+            let err = broken.check_integrity().unwrap_err();
+            assert!(err.contains("value index holds"), "{err}");
+        }
+        // 4. a drifted statistics row
+        {
+            let mut broken = db.clone();
+            Arc::make_mut(&mut broken.statistics).note_delete(b);
+            let err = broken.check_integrity().unwrap_err();
+            assert!(err.contains("statistics extent_rows"), "{err}");
+        }
     }
 
     #[test]

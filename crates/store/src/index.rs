@@ -54,7 +54,7 @@ pub struct IndexEntry {
 /// write paths; a maintenance write costs one binary search plus an `O(n)`
 /// vector shift, which updates already dwarf with their eager per-color
 /// relabel (TIMBER charges index maintenance to update cost the same way).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ValueIndex {
     entries: Vec<IndexEntry>,
 }

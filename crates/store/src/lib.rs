@@ -30,12 +30,19 @@
 //!   cardinality/selectivity estimation and the cost-model kernel dispatch;
 //! * [`batch`] — atomic update batches: cross-op validation up front, one
 //!   copy-on-write commit point, so readers holding a
-//!   [`database::Snapshot`] never observe a half-applied batch.
+//!   [`database::Snapshot`] never observe a half-applied batch;
+//! * [`effect`] — static batch effect analysis (the B001–B004 diagnostic
+//!   family): per-batch effect footprints computed without executing,
+//!   shadow-tracker soundness auditing, pairwise commutativity
+//!   certificates, snapshot-safety checks against plan read footprints,
+//!   and the independence-scheduled [`effect::CommitScheduler`] that
+//!   group-commits mutually independent batches under one epoch bump.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod database;
+pub mod effect;
 pub mod index;
 pub mod join;
 pub mod metrics;
@@ -48,6 +55,10 @@ pub use batch::{BatchError, BatchLink, BatchOp, BatchPosition, BatchReceipt, Upd
 pub use database::{
     ColorTree, Database, DatabaseBuilder, Element, ElementId, KernelDispatch, OccId, Occurrence,
     Snapshot,
+};
+pub use effect::{
+    analyze_batch, certify, BatchDiag, Certificate, CommitPlan, CommitScheduler, EffectAnalysis,
+    EffectKey, Footprint, FootprintSummary, GroupReceipt, ReadFootprint, TouchedSet,
 };
 pub use index::{IndexEntry, ValueIndex};
 pub use join::{

@@ -1,6 +1,12 @@
 //! Statistics catalog — the estimation substrate of the cost-based planner
 //! (DESIGN.md §11).
 //!
+//! Not to be confused with [`crate::stats`]: **this** module is the
+//! optimizer's catalog, maintained incrementally at the mutation choke
+//! points and consulted at plan time, while `stats` is the one-shot
+//! Table-1 *storage accounting* (elements, attributes, content nodes,
+//! data bytes) computed for reporting only.
+//!
 //! Three families of summaries, all deterministic functions of the stored
 //! data:
 //!

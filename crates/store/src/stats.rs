@@ -1,5 +1,11 @@
 //! Storage statistics — the top half of Table 1.
 //!
+//! Not to be confused with [`crate::statistics`]: **this** module is the
+//! paper-facing *storage accounting* (element/attribute/content-node/byte
+//! counts reported per schema in Table 1), while `statistics` is the
+//! *optimizer's catalog* (histograms, distinct counts, extent
+//! cardinalities) feeding cardinality estimation and kernel dispatch.
+//!
 //! Node decomposition (documented substitution for TIMBER's internal node
 //! accounting):
 //!

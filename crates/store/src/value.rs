@@ -86,7 +86,7 @@ pub enum ValueKey {
 /// Text symbol table. Every text attribute value stored in a database is
 /// interned here (at build time and on every write), so join keys for text
 /// are plain `u32` symbols.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Interner {
     map: HashMap<String, u32>,
     strings: Vec<String>,

@@ -4,6 +4,7 @@
 //! ```text
 //! colorist-lint                       # catalog collection × 7 strategies
 //! colorist-lint --seed N [--queries K] [--scale B]
+//! colorist-lint --batch N [--queries K] [--scale B]
 //! ```
 //!
 //! Default mode designs all seven strategies for every diagram of the
@@ -11,18 +12,22 @@
 //! property checkers (`S007`), compiles the diagram's workload against
 //! every schema, and verifies every compiled plan (`P0xx`). `--seed` does
 //! the same over the randomly generated diagram and workload of one
-//! oracle seed. Exit code 0 means zero diagnostics.
+//! oracle seed. `--batch` statically effect-analyzes one independence
+//! seed's random batch pair under every strategy (`B0xx`): per-batch
+//! footprint summaries and B001 conflict localizations, the pairwise B003
+//! certificate, and per-plan B004 invalidation verdicts. Exit code 0
+//! means zero diagnostics.
 
 use colorist_core::{design, properties, Strategy};
 use colorist_er::{catalog, EligibleAssociations, ErGraph};
 use colorist_query::{compile, verify_plan, Pattern};
-use colorist_workload::oracle::{compile_seed, OracleConfig};
+use colorist_workload::oracle::{batch_effect_text, compile_seed, OracleConfig};
 use colorist_workload::{derby, tpcw, xmark};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: colorist-lint [--seed N] [--queries K] [--scale B]\n\
+        "usage: colorist-lint [--seed N | --batch N] [--queries K] [--scale B]\n\
          \x20 default: lint the full catalog under all seven strategies"
     );
     std::process::exit(2);
@@ -126,8 +131,19 @@ fn run_seed_mode(seed: u64, cfg: &OracleConfig) -> usize {
     diags
 }
 
+fn run_batch_mode(seed: u64, cfg: &OracleConfig) -> usize {
+    let (text, diags) = batch_effect_text(seed, cfg);
+    print!("{text}");
+    println!(
+        "seed {seed}: effect-analyzed 2 batches x {} strategies: {diags} diagnostic(s)",
+        Strategy::ALL.len()
+    );
+    diags
+}
+
 fn main() -> ExitCode {
     let mut seed: Option<u64> = None;
+    let mut batch: Option<u64> = None;
     let mut cfg = OracleConfig::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -139,6 +155,7 @@ fn main() -> ExitCode {
         };
         match flag.as_str() {
             "--seed" => seed = Some(val("--seed")),
+            "--batch" => batch = Some(val("--batch")),
             "--queries" => cfg.queries = val("--queries").max(1) as usize,
             "--scale" => cfg.scale = val("--scale").max(2) as u32,
             "--help" | "-h" => usage(),
@@ -148,9 +165,10 @@ fn main() -> ExitCode {
             }
         }
     }
-    let diags = match seed {
-        Some(s) => run_seed_mode(s, &cfg),
-        None => run_catalog(),
+    let diags = match (batch, seed) {
+        (Some(b), _) => run_batch_mode(b, &cfg),
+        (None, Some(s)) => run_seed_mode(s, &cfg),
+        (None, None) => run_catalog(),
     };
     if diags == 0 {
         ExitCode::SUCCESS

@@ -3,6 +3,7 @@
 //! ```text
 //! colorist-oracle [--seeds N] [--start S] [--scale B] [--queries K] [--threads T]
 //! colorist-oracle --batch-seeds N [--start S] [--scale B] [--queries K] [--threads T]
+//! colorist-oracle --independence-seeds N [--start S] [--scale B] [--queries K] [--threads T]
 //! colorist-oracle --replay SEED [--scale B] [--queries K]
 //! colorist-oracle --minimize SEED [--scale B] [--queries K]
 //! ```
@@ -17,17 +18,26 @@
 //! commits it half at a time under all seven strategies, and asserts
 //! answer equivalence mid-batch and post-batch, snapshot immunity, and
 //! indexed-vs-reference kernel agreement after the deletes.
+//! `--independence-seeds` sweeps the *effect-analysis* oracle: every seed
+//! derives one random pair of batches, certifies them pairwise (B003),
+//! commits certified-independent pairs in both orders (asserting
+//! byte-identical final databases, B002 footprint containment, B004
+//! snapshot-safety of disjoint plans, and scheduler/serial agreement),
+//! and grades certified-conflicting pairs for genuine dynamic witnesses.
 //!
 //! `--trace out.json` records a hierarchical span trace of the run (every
 //! design, materialization and query, on every worker thread) in
 //! chrome-trace format — open it in `chrome://tracing` or Perfetto.
 
-use colorist_workload::oracle::{minimize, replay_text, run_batch_seeds, run_seeds, OracleConfig};
+use colorist_workload::oracle::{
+    minimize, replay_text, run_batch_seeds, run_independence_seeds, run_seeds, OracleConfig,
+};
 use std::process::ExitCode;
 
 struct Args {
     seeds: u64,
     batch_seeds: Option<u64>,
+    independence_seeds: Option<u64>,
     start: u64,
     threads: usize,
     replay: Option<u64>,
@@ -38,8 +48,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: colorist-oracle [--seeds N | --batch-seeds N] [--start S] [--scale B] \
-         [--queries K] [--threads T] [--trace OUT.json]\n\
+        "usage: colorist-oracle [--seeds N | --batch-seeds N | --independence-seeds N] \
+         [--start S] [--scale B] [--queries K] [--threads T] [--trace OUT.json]\n\
          \x20      colorist-oracle --replay SEED | --minimize SEED"
     );
     std::process::exit(2);
@@ -49,6 +59,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         seeds: 64,
         batch_seeds: None,
+        independence_seeds: None,
         start: 0,
         threads: colorist_workload::suite_threads(),
         replay: None,
@@ -67,6 +78,7 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--seeds" => args.seeds = val("--seeds"),
             "--batch-seeds" => args.batch_seeds = Some(val("--batch-seeds")),
+            "--independence-seeds" => args.independence_seeds = Some(val("--independence-seeds")),
             "--start" => args.start = val("--start"),
             "--scale" => args.cfg.scale = val("--scale").max(2) as u32,
             "--queries" => args.cfg.queries = val("--queries").max(1) as usize,
@@ -130,6 +142,12 @@ fn run(args: &Args) -> ExitCode {
                 ExitCode::SUCCESS
             }
         };
+    }
+
+    if let Some(n) = args.independence_seeds {
+        let report = run_independence_seeds(args.start, n, &args.cfg, args.threads);
+        print!("{report}");
+        return if report.divergences().is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
     if let Some(n) = args.batch_seeds {

@@ -46,11 +46,14 @@ use colorist_er::{
     Participation,
 };
 use colorist_mct::{ColorId, MctSchema};
+use colorist_query::plan_read_footprint;
 use colorist_query::{
     compile, execute, execute_snapshot, optimize, verify_plan, CmpOp, Pattern, PatternBuilder,
     Plan, QueryResult,
 };
-use colorist_store::{Database, UpdateBatch, Value};
+use colorist_store::{
+    analyze_batch, certify, Certificate, CommitScheduler, Database, UpdateBatch, Value,
+};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -1112,6 +1115,397 @@ pub fn run_batch_seeds(start: u64, count: u64, cfg: &OracleConfig, threads: usiz
     OracleReport { reports }
 }
 
+/// The outcome of one independence seed: one random pair of logical
+/// batches, certified (B003) and replayed under every strategy.
+#[derive(Debug, Clone)]
+pub struct IndependenceSeedReport {
+    /// The seed replayed by [`run_independence_seed`].
+    pub seed: u64,
+    /// Strategies whose batch pair certified independent.
+    pub independent: usize,
+    /// Strategies whose batch pair certified conflicting.
+    pub conflicting: usize,
+    /// Conflicting certificates whose witness key was dynamically
+    /// touched by both batches, or whose commit order observably
+    /// mattered — the numerator of the precision ratio.
+    pub genuine: usize,
+    /// All divergences observed (empty on a clean seed).
+    pub divergences: Vec<Divergence>,
+}
+
+/// Aggregate over an independence seed range.
+#[derive(Debug, Clone)]
+pub struct IndependenceReport {
+    /// Per-seed outcomes, in seed order.
+    pub reports: Vec<IndependenceSeedReport>,
+}
+
+impl IndependenceReport {
+    /// All divergences across the range, in seed order.
+    pub fn divergences(&self) -> Vec<&Divergence> {
+        self.reports.iter().flat_map(|r| r.divergences.iter()).collect()
+    }
+
+    /// Pairs certified independent across all seeds and strategies.
+    pub fn independent(&self) -> usize {
+        self.reports.iter().map(|r| r.independent).sum()
+    }
+
+    /// Pairs certified conflicting across all seeds and strategies.
+    pub fn conflicting(&self) -> usize {
+        self.reports.iter().map(|r| r.conflicting).sum()
+    }
+
+    /// Conflicting pairs whose conflict was dynamically genuine.
+    pub fn genuine(&self) -> usize {
+        self.reports.iter().map(|r| r.genuine).sum()
+    }
+}
+
+impl fmt::Display for IndependenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let divs = self.divergences();
+        let conflicting = self.conflicting();
+        writeln!(
+            f,
+            "independence: {} seeds x {} strategies, {} pairs independent (committed both \
+             orders), {} conflicting ({}/{conflicting} genuine), {} divergence(s)",
+            self.reports.len(),
+            Strategy::ALL.len(),
+            self.independent(),
+            conflicting,
+            self.genuine(),
+            divs.len()
+        )?;
+        for d in divs {
+            writeln!(f, "  DIVERGENCE {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Derive one independence seed's pair of logical batches: each batch
+/// writes the integer measure of a few random instances and dooms at
+/// most one (delete-closed) instance. Writes are integer-valued on
+/// purpose — text writes would intern fresh symbols and certify nearly
+/// every pair conflicting on the symbol table.
+fn independence_pair(
+    rng: &mut Rng,
+    g: &ErGraph,
+    dbs: &[(Strategy, Database)],
+) -> (LogicalBatch, LogicalBatch) {
+    let entities: Vec<NodeId> = g.entity_nodes().collect();
+    let db0 = &dbs[0].1;
+    let batch = |rng: &mut Rng| {
+        let mut targets = BTreeSet::new();
+        for _ in 0..(1 + rng.below(3)) {
+            let node = entities[rng.below(entities.len() as u64) as usize];
+            let count = db0.ordinal_count(node);
+            targets.insert((node, rng.below(count.max(1) as u64) as u32));
+        }
+        let writes: Vec<_> = targets
+            .iter()
+            .map(|&(n, o)| (n, o, 2usize, Value::Int(rng.range_i64(-500, 1500))))
+            .collect();
+        let mut doom_seeds = BTreeSet::new();
+        if rng.below(2) == 1 {
+            let node = entities[rng.below(entities.len() as u64) as usize];
+            let count = db0.ordinal_count(node);
+            doom_seeds.insert((node, rng.below(count.max(1) as u64) as u32));
+        }
+        let doomed = delete_closure(g, dbs, &doom_seeds);
+        LogicalBatch {
+            // a batch may not write what it deletes itself (validation
+            // would reject it); writing what the *other* batch deletes
+            // is exactly the conflict case the certificates must catch
+            writes: writes.into_iter().filter(|(n, o, _, _)| !doomed.contains(&(*n, *o))).collect(),
+            deletes: doomed.into_iter().collect(),
+        }
+    };
+    let a = batch(rng);
+    let b = batch(rng);
+    (a, b)
+}
+
+/// Replay one random batch pair under all seven strategies and hold the
+/// B002–B004 machinery to its contract:
+///
+/// * both batches are statically analyzed against the pre-state and
+///   certified pairwise ([`certify`], B003);
+/// * a pair certified **independent** commits in both orders (every
+///   apply shadow-tracked, so B002 containment is checked in release
+///   builds too) and the two final databases must be byte-identical —
+///   extents, trees, indexes, statistics, **and epoch**; the
+///   index-accelerated and reference kernels must then agree on the
+///   whole workload; every pre-state plan whose read footprint
+///   ([`plan_read_footprint`]) is disjoint from both write footprints
+///   must return the pre-state answers on the committed database
+///   (B004); and the [`CommitScheduler`] must group the pair into two
+///   singleton classes whose commit lands on the same state as the
+///   serial order;
+/// * a pair certified **conflicting** is applied each-alone and in both
+///   orders to grade the certificate's precision: the conflict is
+///   *genuine* when both executions touch the witness key, an order
+///   rejects a batch, or the two orders end in different states.
+pub fn run_independence_seed(seed: u64, cfg: &OracleConfig) -> IndependenceSeedReport {
+    let setup = setup_seed(seed, cfg);
+    let g = &setup.graph;
+    let mut divergences = Vec::new();
+    let dbs = build_databases(&setup, seed, cfg, &mut divergences);
+    let (mut independent, mut conflicting, mut genuine) = (0usize, 0usize, 0usize);
+    if dbs.is_empty() {
+        return IndependenceSeedReport { seed, independent, conflicting, genuine, divergences };
+    }
+
+    let mut rng = Rng::new(seed.wrapping_mul(ORACLE_STREAM) ^ 0x1DE9E2);
+    let (la, lb) = independence_pair(&mut rng, g, &dbs);
+    let queries = &setup.queries;
+
+    for (s, db) in &dbs {
+        let ba = la.resolve(db);
+        let bb = lb.resolve(db);
+        let ea = analyze_batch(&ba, db, g);
+        let eb = analyze_batch(&bb, db, g);
+        let mk = |phase: &str, detail: String| Divergence {
+            seed,
+            query: format!("<independence@{phase}>"),
+            strategy: s.label().into(),
+            detail,
+        };
+        // apply one batch on a clone with the shadow tracker on; B002
+        // containment failures become divergences even in release builds
+        let apply_checked = |target: &mut Database,
+                             batch: &UpdateBatch,
+                             which: &str,
+                             divs: &mut Vec<Divergence>|
+         -> Result<colorist_store::TouchedSet, String> {
+            match batch.apply_verified(target, g) {
+                Ok((_, analysis, touched)) => {
+                    if let Err(msg) = analysis.footprint.covers(&touched) {
+                        divs.push(mk("B002", format!("batch {which}: {msg}")));
+                    }
+                    Ok(touched)
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        };
+        match certify(&ea.footprint, &eb.footprint) {
+            Certificate::Independent => {
+                independent += 1;
+                let mut db_ab = db.clone();
+                let mut db_ba = db.clone();
+                let mut failed = false;
+                for (target, order) in [(&mut db_ab, ["A", "B"]), (&mut db_ba, ["B", "A"])] {
+                    for which in order {
+                        let batch = if which == "A" { &ba } else { &bb };
+                        if let Err(e) = apply_checked(target, batch, which, &mut divergences) {
+                            divergences.push(mk(
+                                "B003",
+                                format!(
+                                    "certified independent, but batch {which} was rejected: {e}"
+                                ),
+                            ));
+                            failed = true;
+                        }
+                    }
+                }
+                if failed {
+                    continue;
+                }
+                // commutativity: both orders must land on the same bytes
+                if let Err(msg) = db_ab.same_state(&db_ba, true) {
+                    divergences.push(mk("B003", format!("certified independent, but {msg}")));
+                }
+                // both kernel families must agree on the committed state
+                let now = batch_answers(&db_ab, g, queries);
+                db_ab.set_reference_kernels(true);
+                let ref_now = batch_answers(&db_ab, g, queries);
+                db_ab.set_reference_kernels(false);
+                compare_answers(
+                    seed,
+                    "independence-kernels",
+                    s.label(),
+                    "reference kernels",
+                    true,
+                    queries,
+                    &now,
+                    &ref_now,
+                    &mut divergences,
+                );
+                // B004: plans reading nothing either batch wrote answer
+                // identically before and after the commit
+                for q in queries {
+                    let Ok(plan) = compile(g, &db.schema, q) else { continue };
+                    let reads = plan_read_footprint(g, &db.schema, &plan);
+                    if ea.footprint.invalidates(&reads).is_some()
+                        || eb.footprint.invalidates(&reads).is_some()
+                    {
+                        continue;
+                    }
+                    let pre = execute(db, g, &plan).map_err(|e| e.to_string());
+                    let post = execute(&db_ab, g, &plan).map_err(|e| e.to_string());
+                    let ok = match (&pre, &post) {
+                        (Ok(a), Ok(b)) => {
+                            a.elements == b.elements
+                                && a.results == b.results
+                                && a.distinct == b.distinct
+                        }
+                        (Err(a), Err(b)) => a == b,
+                        _ => false,
+                    };
+                    if !ok {
+                        divergences.push(Divergence {
+                            seed,
+                            query: q.name.clone(),
+                            strategy: s.label().into(),
+                            detail: "B004 violated: both write footprints are disjoint from the \
+                                     plan's read footprint, but the committed state changed its \
+                                     answer"
+                                .into(),
+                        });
+                    }
+                }
+                // the scheduler must see two singleton classes and land
+                // on the serial state (epochs differ: one bump per class
+                // vs per-phase bumps inside a serial apply)
+                let mut sched = CommitScheduler::new();
+                sched.stage(ba.clone());
+                sched.stage(bb.clone());
+                let mut db_sched = db.clone();
+                match sched.commit(&mut db_sched, g) {
+                    Ok(groups) => {
+                        if groups.len() != 2 {
+                            divergences.push(mk(
+                                "scheduler",
+                                format!(
+                                    "independent pair group-committed as {} class(es), expected 2",
+                                    groups.len()
+                                ),
+                            ));
+                        }
+                        if let Err(msg) = db_sched.same_state(&db_ab, false) {
+                            divergences.push(mk(
+                                "scheduler",
+                                format!("group commit diverges from serial: {msg}"),
+                            ));
+                        }
+                    }
+                    Err((i, e)) => divergences
+                        .push(mk("scheduler", format!("group commit rejected stage {i}: {e}"))),
+                }
+            }
+            Certificate::Conflicting { witness, .. } => {
+                conflicting += 1;
+                // each batch alone, from the pre-state: does the dynamic
+                // execution actually touch the witness key on both sides?
+                let mut alone_a = db.clone();
+                let mut alone_b = db.clone();
+                let ta = apply_checked(&mut alone_a, &ba, "A", &mut divergences);
+                let tb = apply_checked(&mut alone_b, &bb, "B", &mut divergences);
+                let witness_hit = match (&ta, &tb) {
+                    (Ok(ta), Ok(tb)) => ta.contains(&witness) && tb.contains(&witness),
+                    _ => false,
+                };
+                // both orders: does the order observably matter?
+                let mut db_ab = db.clone();
+                let mut db_ba = db.clone();
+                let ab = ba.apply(&mut db_ab, g).and_then(|_| bb.apply(&mut db_ab, g));
+                let ba_order = bb.apply(&mut db_ba, g).and_then(|_| ba.apply(&mut db_ba, g));
+                let order_effect = match (&ab, &ba_order) {
+                    (Ok(_), Ok(_)) => db_ab.same_state(&db_ba, true).is_err(),
+                    _ => true,
+                };
+                if witness_hit || order_effect {
+                    genuine += 1;
+                }
+            }
+        }
+    }
+
+    IndependenceSeedReport { seed, independent, conflicting, genuine, divergences }
+}
+
+/// The per-strategy effect-analysis view of one independence seed's
+/// batch pair — what `colorist-lint --batch` prints. Returns the report
+/// text and the number of diagnostics in it (design failures plus B001
+/// conflict localizations; footprint summaries, B003 certificates, and
+/// B004 invalidation verdicts are informational).
+pub fn batch_effect_text(seed: u64, cfg: &OracleConfig) -> (String, usize) {
+    use fmt::Write as _;
+    let setup = setup_seed(seed, cfg);
+    let g = &setup.graph;
+    let mut divergences = Vec::new();
+    let dbs = build_databases(&setup, seed, cfg, &mut divergences);
+    let mut out = String::new();
+    let mut diags = divergences.len();
+    for d in &divergences {
+        let _ = writeln!(out, "{d}");
+    }
+    if dbs.is_empty() {
+        return (out, diags);
+    }
+    let mut rng = Rng::new(seed.wrapping_mul(ORACLE_STREAM) ^ 0x1DE9E2);
+    let (la, lb) = independence_pair(&mut rng, g, &dbs);
+    for (s, db) in &dbs {
+        let ba = la.resolve(db);
+        let bb = lb.resolve(db);
+        let ea = analyze_batch(&ba, db, g);
+        let eb = analyze_batch(&bb, db, g);
+        for (which, batch, analysis) in [("A", &ba, &ea), ("B", &bb, &eb)] {
+            let _ = writeln!(
+                out,
+                "seed {seed} [{}] batch {which}: {} op(s), footprint {}",
+                s.label(),
+                batch.len(),
+                analysis.footprint.summary()
+            );
+            for d in &analysis.diags {
+                let _ = writeln!(out, "seed {seed} [{}] batch {which}: {d}", s.label());
+                diags += 1;
+            }
+        }
+        let _ =
+            writeln!(out, "seed {seed} [{}] {}", s.label(), certify(&ea.footprint, &eb.footprint));
+        let (mut immune, mut total) = (0usize, 0usize);
+        for q in &setup.queries {
+            let Ok(plan) = compile(g, &db.schema, q) else { continue };
+            total += 1;
+            let reads = plan_read_footprint(g, &db.schema, &plan);
+            match ea.footprint.invalidates(&reads).or_else(|| eb.footprint.invalidates(&reads)) {
+                None => immune += 1,
+                Some(k) => {
+                    let _ = writeln!(
+                        out,
+                        "seed {seed} [{}] {}: B004: the pair invalidates the plan's reads on {k}",
+                        s.label(),
+                        q.name
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "seed {seed} [{}] B004: {immune}/{total} workload plans immune to the pair",
+            s.label()
+        );
+    }
+    (out, diags)
+}
+
+/// Run `count` independence seeds starting at `start` on up to
+/// `threads` workers. Deterministic for any worker count.
+pub fn run_independence_seeds(
+    start: u64,
+    count: u64,
+    cfg: &OracleConfig,
+    threads: usize,
+) -> IndependenceReport {
+    let cfg = cfg.clone();
+    let reports =
+        par_map(count as usize, threads, move |i| run_independence_seed(start + i as u64, &cfg));
+    IndependenceReport { reports }
+}
+
 /// Entity / relationship node kinds exercised by the generator — used by
 /// the binary's summary line.
 pub fn diagram_shape(g: &ErGraph) -> (usize, usize) {
@@ -1163,6 +1557,18 @@ mod tests {
         }
         assert!(feasible > 0, "Theorem 4.1-feasible diagrams must occur");
         assert!(infeasible > 0, "infeasible diagrams must occur");
+    }
+
+    #[test]
+    fn independence_seeds_certify_and_commute() {
+        let cfg = OracleConfig { scale: 8, queries: 3, ..OracleConfig::default() };
+        let rep = run_independence_seeds(0, 8, &cfg, 2);
+        assert!(rep.divergences().is_empty(), "{rep}");
+        assert!(rep.independent() + rep.conflicting() > 0, "{rep}");
+        let serial = run_independence_seeds(0, 8, &cfg, 1);
+        assert_eq!(rep.independent(), serial.independent());
+        assert_eq!(rep.conflicting(), serial.conflicting());
+        assert_eq!(rep.genuine(), serial.genuine());
     }
 
     #[test]

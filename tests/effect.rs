@@ -1,0 +1,163 @@
+//! Cross-crate integration tests for the PR-8 static batch effect
+//! analysis: B003 commutativity certificates must predict dynamic
+//! commutation on real tpcw materializations under every strategy, B004
+//! read-footprint disjointness must predict answer stability of compiled
+//! plans across commits, and the independence-scheduled
+//! [`CommitScheduler`](colorist::store::CommitScheduler) must partition
+//! staged batches into classes that land on the serially-committed state
+//! with one epoch bump per class.
+
+use colorist::core::{design, Strategy};
+use colorist::datagen::{generate, materialize, ScaleProfile};
+use colorist::er::{catalog, ErGraph, NodeId};
+use colorist::query::{compile, execute, plan_read_footprint, PatternBuilder};
+use colorist::store::{
+    analyze_batch, certify, CommitScheduler, Database, ElementId, UpdateBatch, Value,
+};
+
+fn build(strategy: Strategy) -> (ErGraph, Database) {
+    let g = ErGraph::from_diagram(&catalog::tpcw()).expect("tpcw builds");
+    let schema = design(&g, strategy).expect("tpcw designs");
+    let db = materialize(&g, &schema, &generate(&g, &ScaleProfile::uniform(&g, 8), 11));
+    (g, db)
+}
+
+fn by_name(g: &ErGraph, name: &str) -> NodeId {
+    g.node_ids().find(|&n| g.node(n).name == name).expect("node exists")
+}
+
+fn instance(db: &Database, node: NodeId, ordinal: u32) -> ElementId {
+    db.canonical_by_ordinal(node, ordinal).expect("instance exists")
+}
+
+/// Write-only batches on disjoint entities certify independent on every
+/// strategy, and actually commute: both commit orders produce
+/// byte-identical databases — extents, trees, indexes, statistics, and
+/// epoch.
+#[test]
+fn disjoint_writes_certify_and_commute_on_every_strategy() {
+    for s in Strategy::ALL {
+        let (g, db) = build(s);
+        let customer = instance(&db, by_name(&g, "customer"), 0);
+        let item = instance(&db, by_name(&g, "item"), 0);
+        let mut a = UpdateBatch::new();
+        a.write_attr(customer, 1, Value::Int(41));
+        let mut b = UpdateBatch::new();
+        b.write_attr(item, 2, Value::Int(42));
+        let fa = analyze_batch(&a, &db, &g).footprint;
+        let fb = analyze_batch(&b, &db, &g).footprint;
+        let cert = certify(&fa, &fb);
+        assert!(cert.is_independent(), "{s}: {cert}");
+        let mut ab = db.clone();
+        a.apply(&mut ab, &g).expect("A then B applies");
+        b.apply(&mut ab, &g).expect("A then B applies");
+        let mut ba = db.clone();
+        b.apply(&mut ba, &g).expect("B then A applies");
+        a.apply(&mut ba, &g).expect("B then A applies");
+        ab.same_state(&ba, true).unwrap_or_else(|m| panic!("{s}: {m}"));
+    }
+}
+
+/// Two writes to the same attribute cell certify conflicting with the
+/// written cell as witness, on every strategy.
+#[test]
+fn same_cell_writes_certify_conflicting() {
+    for s in Strategy::ALL {
+        let (g, db) = build(s);
+        let customer = instance(&db, by_name(&g, "customer"), 0);
+        let mut a = UpdateBatch::new();
+        a.write_attr(customer, 1, Value::Int(1));
+        let mut b = UpdateBatch::new();
+        b.write_attr(customer, 1, Value::Int(2));
+        let fa = analyze_batch(&a, &db, &g).footprint;
+        let fb = analyze_batch(&b, &db, &g).footprint;
+        let cert = certify(&fa, &fb);
+        assert!(!cert.is_independent(), "{s}: same-cell writes must conflict");
+    }
+}
+
+/// B004 end to end: a compiled plan whose read footprint is disjoint
+/// from a batch's write footprint answers identically before and after
+/// the commit; a batch that deletes from the plan's scanned node is
+/// flagged as invalidating.
+#[test]
+fn read_footprint_disjointness_predicts_answer_stability() {
+    for s in Strategy::ALL {
+        let (g, db) = build(s);
+        let q = PatternBuilder::new(&g, "items")
+            .node("item")
+            .pred_eq("id", Value::Int(3))
+            .output(0)
+            .build()
+            .expect("item selection builds");
+        let plan = compile(&g, &db.schema, &q).expect("item selection compiles");
+        let reads = plan_read_footprint(&g, &db.schema, &plan);
+
+        // a write to an item attribute the plan never reads is invisible
+        let mut write = UpdateBatch::new();
+        write.write_attr(instance(&db, by_name(&g, "item"), 1), 2, Value::Int(9));
+        let fw = analyze_batch(&write, &db, &g).footprint;
+        assert_eq!(fw.invalidates(&reads), None, "{s}");
+        let pre = execute(&db, &g, &plan).expect("pre-commit run");
+        let mut committed = db.clone();
+        write.apply(&mut committed, &g).expect("write batch applies");
+        let post = execute(&committed, &g, &plan).expect("post-commit run");
+        assert_eq!(pre.elements, post.elements, "{s}");
+        assert_eq!((pre.results, pre.distinct), (post.results, post.distinct), "{s}");
+
+        // deleting an item retracts from the scanned extent: flagged
+        let mut del = UpdateBatch::new();
+        del.delete(instance(&db, by_name(&g, "item"), 1));
+        // close over the relationship instances whose links die with it
+        for e in g.edge_ids() {
+            if g.edge(e).participant == by_name(&g, "item") {
+                for ro in db.linked_rels(e, 1) {
+                    del.delete(instance(&db, g.edge(e).rel, ro));
+                }
+            }
+        }
+        let fd = analyze_batch(&del, &db, &g).footprint;
+        assert!(fd.invalidates(&reads).is_some(), "{s}: a delete from the scanned node");
+    }
+}
+
+/// The scheduler partitions three staged batches — two contending for
+/// one cell, one disjoint — into two classes, commits each class under
+/// a single epoch bump, and lands on the same state as committing the
+/// batches serially in stage order.
+#[test]
+fn scheduler_classes_match_serial_state_with_one_bump_per_class() {
+    for s in Strategy::ALL {
+        let (g, db) = build(s);
+        let customer = instance(&db, by_name(&g, "customer"), 0);
+        let item = instance(&db, by_name(&g, "item"), 0);
+        let mut a = UpdateBatch::new();
+        a.write_attr(customer, 1, Value::Int(1));
+        let mut b = UpdateBatch::new();
+        b.write_attr(customer, 1, Value::Int(2));
+        let mut c = UpdateBatch::new();
+        c.write_attr(item, 2, Value::Int(3));
+        let mut sched = CommitScheduler::new();
+        sched.stage(a.clone());
+        sched.stage(b.clone());
+        sched.stage(c.clone());
+        let plan = sched.plan(&db, &g);
+        assert_eq!(plan.classes, vec![vec![0, 1], vec![2]], "{s}");
+
+        let pre_epoch = db.epoch();
+        let mut grouped = db.clone();
+        let receipts = sched.commit(&mut grouped, &g).expect("group commit succeeds");
+        assert_eq!(receipts.len(), 2, "{s}");
+        for (i, r) in receipts.iter().enumerate() {
+            assert_eq!(r.epoch, pre_epoch + 1 + i as u64, "{s}: one bump per class");
+            assert!(r.receipts.iter().all(|br| br.epoch == r.epoch), "{s}");
+        }
+        assert_eq!(grouped.epoch(), pre_epoch + 2, "{s}");
+
+        let mut serial = db.clone();
+        for batch in [&a, &b, &c] {
+            batch.apply(&mut serial, &g).expect("serial applies");
+        }
+        grouped.same_state(&serial, false).unwrap_or_else(|m| panic!("{s}: {m}"));
+    }
+}
