@@ -31,6 +31,15 @@ echo "==> oracle smoke (256 seeds, all seven strategies)"
 # under a minute; exits non-zero on any divergence.
 cargo run -q --release -p colorist-workload --bin colorist-oracle -- --seeds 256
 
+echo "==> paged-backend oracle (64 seeds, in-memory page store)"
+# The same answer-equivalence sweep with every database attached to the
+# paged storage backend (DESIGN.md §14): answers and all pre-existing
+# deterministic counters must stay byte-identical; only the page counters
+# may differ from zero. Uses the in-memory page store so CI leaves no
+# files behind.
+cargo run -q --release -p colorist-workload --bin colorist-oracle -- \
+    --seeds 64 --backend paged-mem
+
 echo "==> batch oracle (128 seeds: atomic batches, snapshot reads, traced)"
 # Replays randomized update batches (attribute writes + delete-closed
 # deletes) under all seven strategies: snapshot answers must match the
@@ -91,5 +100,28 @@ cargo run -q --release -p colorist-bench --bin colorist-perfgate -- \
     --wall-warn-only \
     --q-error-budget 8.0
 rm -f results/bench_summary_ci.json results/trace_ci.json
+
+echo "==> table1 bench, paged backend (scale 300, two pool budgets)"
+# The same suite through the paged storage backend (in-memory page store),
+# once at the default 16 MiB pool and once starved at 64 KiB (8 frames,
+# forcing heavy clock eviction on every query). The page
+# counters (page_reads/page_writes/pool_hits/pool_evictions) are
+# deterministic for a given scale, seed and pool budget, so the perfgate
+# exact-matches them against the committed per-budget baselines — any
+# drift in eviction or fault behavior hard-fails.
+for pool in 16777216 65536; do
+    baseline="results/bench_baseline_paged_${pool}.json"
+    COLORIST_SCALE=300 COLORIST_SEED=42 \
+        COLORIST_SUMMARY="results/bench_summary_paged_ci.json" \
+        cargo run -q --release -p colorist-bench --bin table1 -- \
+        --backend paged-mem --pool-bytes "$pool" >/dev/null
+    test -s results/bench_summary_paged_ci.json
+    cargo run -q --release -p colorist-bench --bin colorist-perfgate -- \
+        --baseline "$baseline" \
+        --current results/bench_summary_paged_ci.json \
+        --wall-warn-only \
+        --q-error-budget 8.0
+    rm -f results/bench_summary_paged_ci.json
+done
 
 echo "==> ci.sh: all checks passed"

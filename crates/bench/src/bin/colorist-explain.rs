@@ -95,7 +95,14 @@ fn main() {
     println!("diagram {diagram}, scale {scale}, seed {seed}");
     for s in strategies {
         let schema = design(&g, s).expect("strategy designs the diagram");
-        let db = (!static_only).then(|| materialize(&g, &schema, &instance));
+        let db = (!static_only).then(|| {
+            let mut db = materialize(&g, &schema, &instance);
+            // COLORIST_BACKEND=paged|paged-mem attaches the paged storage
+            // backend so the per-op pg-r/pg-hit/pg-ev columns and the page
+            // totals are populated
+            colorist_store::attach_from_env(&mut db).expect("storage backend attaches");
+            db
+        });
         for q in &reads {
             // executed plans come from the cost-based optimizer so the
             // estimate-vs-measured drift columns are populated; the

@@ -15,6 +15,8 @@ fn main() {
         scale: colorist_bench::scale(),
         seed: colorist_bench::seed(),
         threads: colorist_workload::suite_threads(),
+        backend: &colorist_bench::backend(),
+        pool_bytes: colorist_bench::pool_bytes(),
         serial_wall: None,
     };
     match colorist_bench::write_bench_summary(&meta, &results) {

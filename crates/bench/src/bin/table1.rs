@@ -5,11 +5,17 @@
 //! whole run (design, materialization, every query on every worker) and
 //! writes it in chrome-trace format — open it in `chrome://tracing` or
 //! Perfetto.
+//!
+//! `--backend paged|paged-mem|mem` selects the storage backend (shorthand
+//! for `COLORIST_BACKEND`), and `--pool-bytes N` sets the buffer-pool byte
+//! budget (`COLORIST_POOL_BYTES`); see DESIGN.md §14.
 
 fn main() {
     let trace_path = {
         let mut args = std::env::args().skip(1);
         let mut path = None;
+        let usage = "usage: table1 [--trace out.json] [--backend mem|paged|paged-mem] \
+                     [--pool-bytes N]";
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--trace" => match args.next() {
@@ -19,8 +25,22 @@ fn main() {
                         std::process::exit(2);
                     }
                 },
+                "--backend" => match args.next() {
+                    Some(b) => std::env::set_var("COLORIST_BACKEND", b),
+                    None => {
+                        eprintln!("--backend requires a value; {usage}");
+                        std::process::exit(2);
+                    }
+                },
+                "--pool-bytes" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                    Some(n) => std::env::set_var("COLORIST_POOL_BYTES", n.to_string()),
+                    None => {
+                        eprintln!("--pool-bytes requires an integer; {usage}");
+                        std::process::exit(2);
+                    }
+                },
                 other => {
-                    eprintln!("unknown argument `{other}`; usage: table1 [--trace out.json]");
+                    eprintln!("unknown argument `{other}`; {usage}");
                     std::process::exit(2);
                 }
             }
@@ -49,6 +69,10 @@ fn main() {
         colorist_bench::scale(),
         colorist_bench::seed()
     );
+    let backend = colorist_bench::backend();
+    if backend != "mem" {
+        println!("storage backend: {backend} (buffer pool {} bytes)", colorist_bench::pool_bytes());
+    }
     println!();
     let row = |label: &str, f: &dyn Fn(&colorist_workload::SuiteResult) -> String| {
         print!("{label:<22}");
@@ -109,6 +133,8 @@ fn main() {
         scale: colorist_bench::scale(),
         seed: colorist_bench::seed(),
         threads,
+        backend: &colorist_bench::backend(),
+        pool_bytes: colorist_bench::pool_bytes(),
         serial_wall,
     };
     match colorist_bench::write_bench_summary(&meta, &results) {

@@ -59,6 +59,21 @@ pub fn seed() -> u64 {
     std::env::var("COLORIST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
 }
 
+/// Storage backend label in effect (`COLORIST_BACKEND`, default `"mem"`).
+pub fn backend() -> String {
+    colorist_store::env_backend()
+}
+
+/// Buffer-pool byte budget for the summary metadata: 0 on the heap
+/// backend, else `COLORIST_POOL_BYTES` (default 16 MiB).
+pub fn pool_bytes() -> u64 {
+    if backend() == "mem" {
+        0
+    } else {
+        colorist_store::env_pool_bytes()
+    }
+}
+
 /// Run the TPC-W workload on all seven schemas.
 pub fn tpcw_suite() -> (ErGraph, Workload, Vec<SuiteResult>) {
     let g = ErGraph::from_diagram(&catalog::tpcw()).expect("tpcw builds");

@@ -3,8 +3,9 @@
 //! Diffs two [`bench_summary.json`](crate::summary) documents — a committed
 //! baseline and the current run — and classifies the differences:
 //!
-//! * **meta mismatches** (schema version, bench name, scale, seed) are
-//!   usage errors — the two documents do not describe comparable runs;
+//! * **meta mismatches** (schema version, bench name, scale, seed, storage
+//!   backend, pool budget) are usage errors — the two documents do not
+//!   describe comparable runs;
 //! * **operation-count drift** (structural/value joins, crossings,
 //!   dup-eliminations, group-bys, scans, probes, bytes, result counts) is a
 //!   **failure** when the current count regresses past the allowed factor,
@@ -77,7 +78,7 @@ impl GateReport {
 /// The deterministic per-query counters the gate compares exactly. The
 /// `heur_*` counters come from the heuristic-planner twin run and are
 /// just as deterministic as the primary ones.
-const OP_FIELDS: [&str; 17] = [
+const OP_FIELDS: [&str; 21] = [
     "logical",
     "physical",
     "structural_joins",
@@ -92,6 +93,10 @@ const OP_FIELDS: [&str; 17] = [
     "bytes_touched",
     "index_lookups",
     "elements_skipped",
+    "page_reads",
+    "page_writes",
+    "pool_hits",
+    "pool_evictions",
     "heur_scanned",
     "heur_probes",
     "heur_bytes",
@@ -100,7 +105,7 @@ const OP_FIELDS: [&str; 17] = [
 /// Counter keys a span of a known category may carry in its `args` (beside
 /// the structural `id`/`parent` links). Spans of categories not listed here
 /// (`compile`, `suite`, …) emit no counters today and are unconstrained.
-const SPAN_COUNTERS: [(&str, &[&str]); 6] = [
+const SPAN_COUNTERS: [(&str, &[&str]); 7] = [
     (
         "op",
         &[
@@ -116,6 +121,10 @@ const SPAN_COUNTERS: [(&str, &[&str]); 6] = [
             "group_bys",
             "index_lookups",
             "elements_skipped",
+            "page_reads",
+            "page_writes",
+            "pool_hits",
+            "pool_evictions",
         ],
     ),
     (
@@ -128,12 +137,17 @@ const SPAN_COUNTERS: [(&str, &[&str]); 6] = [
             "bytes_touched",
             "index_lookups",
             "elements_skipped",
+            "page_reads",
+            "page_writes",
+            "pool_hits",
+            "pool_evictions",
         ],
     ),
     ("materialize", &["elements", "colors"]),
     ("batch", &["batch_ops"]),
     ("snapshot", &["snapshot_reads"]),
     ("effect", &["effect_keys"]),
+    ("storage", &["page_reads", "page_writes", "pool_hits", "pool_evictions"]),
 ];
 
 fn require_u64(doc: &Json, key: &str, what: &str) -> Result<u64, String> {
@@ -187,7 +201,7 @@ pub fn compare(baseline: &Json, current: &Json, cfg: &GateConfig) -> Result<Gate
             ));
         }
     }
-    for key in ["bench", "scale", "seed"] {
+    for key in ["bench", "scale", "seed", "backend", "pool_bytes"] {
         let b = baseline.get(key);
         let c = current.get(key);
         if b != c {
@@ -423,8 +437,15 @@ mod tests {
         let profile = ScaleProfile::tpcw(&g, 20);
         let results = suite::run_suite(&g, &[Strategy::Af, Strategy::Dr], &w, &profile, 7)
             .expect("suite runs");
-        let meta =
-            SummaryMeta { bench: "gate-test", scale: 20, seed: 7, threads: 1, serial_wall: None };
+        let meta = SummaryMeta {
+            bench: "gate-test",
+            scale: 20,
+            seed: 7,
+            threads: 1,
+            backend: "mem",
+            pool_bytes: 0,
+            serial_wall: None,
+        };
         bench_summary_json(&meta, &results)
     }
 

@@ -35,8 +35,14 @@ use std::time::Duration;
 /// fields themselves are unchanged; 6 — the trace vocabulary gains the
 /// `effect` span category with its `effect_keys` counter (emitted by the
 /// static batch effect analysis inside `UpdateBatch::apply`); the summary
-/// fields themselves are again unchanged.
-pub const SCHEMA_VERSION: u64 = 6;
+/// fields themselves are again unchanged; 7 — the pluggable paged storage
+/// backend: run metadata gains `backend` (`"mem"`, `"paged"` or
+/// `"paged-mem"`) and `pool_bytes` (the buffer-pool byte budget, 0 on the
+/// heap backend), every per-query record gains the four deterministic page
+/// counters `page_reads`/`page_writes`/`pool_hits`/`pool_evictions`, and
+/// the trace vocabulary gains the `storage` span category carrying those
+/// counters on op, query, and flush spans.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// The git revision to stamp into the document: `COLORIST_GIT_REV` if set,
 /// else `git rev-parse --short=12 HEAD`, else `"unknown"` (e.g. when built
@@ -70,6 +76,10 @@ pub struct SummaryMeta<'a> {
     pub seed: u64,
     /// Worker count the suite ran with (`COLORIST_THREADS`).
     pub threads: usize,
+    /// Storage backend label in effect (`"mem"`, `"paged"`, `"paged-mem"`).
+    pub backend: &'a str,
+    /// Buffer-pool byte budget (0 on the heap backend).
+    pub pool_bytes: u64,
     /// Wall time of an extra single-worker pass over the same instance,
     /// when one was taken (for the parallel speedup figure).
     pub serial_wall: Option<Duration>,
@@ -106,6 +116,8 @@ pub fn bench_summary_json(meta: &SummaryMeta, results: &[SuiteResult]) -> String
     let _ = writeln!(j, "  \"scale\": {},", meta.scale);
     let _ = writeln!(j, "  \"seed\": {},", meta.seed);
     let _ = writeln!(j, "  \"threads\": {},", meta.threads);
+    let _ = writeln!(j, "  \"backend\": \"{}\",", esc(meta.backend));
+    let _ = writeln!(j, "  \"pool_bytes\": {},", meta.pool_bytes);
     let suite_wall = results.first().map_or(Duration::ZERO, |r| r.suite_wall);
     let _ = writeln!(j, "  \"suite_wall_ms\": {:.3},", ms(suite_wall));
     if let Some(serial) = meta.serial_wall {
@@ -153,6 +165,8 @@ pub fn bench_summary_json(meta: &SummaryMeta, results: &[SuiteResult]) -> String
                  \"icic_maintenance\": {}, \"elements_scanned\": {}, \
                  \"join_probes\": {}, \"bytes_touched\": {}, \
                  \"index_lookups\": {}, \"elements_skipped\": {}, \
+                 \"page_reads\": {}, \"page_writes\": {}, \
+                 \"pool_hits\": {}, \"pool_evictions\": {}, \
                  \"heur_scanned\": {hs}, \"heur_probes\": {hp}, \
                  \"heur_bytes\": {hb}",
                 esc(&q.name),
@@ -171,6 +185,10 @@ pub fn bench_summary_json(meta: &SummaryMeta, results: &[SuiteResult]) -> String
                 m.bytes_touched,
                 m.index_lookups,
                 m.elements_skipped,
+                m.page_reads,
+                m.page_writes,
+                m.pool_hits,
+                m.pool_evictions,
             );
             if let Some(est) = &q.est {
                 let _ = write!(
@@ -231,6 +249,8 @@ mod tests {
             scale: 1,
             seed: 2,
             threads: 3,
+            backend: "mem",
+            pool_bytes: 0,
             serial_wall: Some(Duration::from_millis(10)),
         };
         let j = bench_summary_json(&meta, &[]);
@@ -239,6 +259,8 @@ mod tests {
         assert!(j.contains("\"git_rev\": \""));
         assert!(j.contains("\"bench\": \"t\""));
         assert!(j.contains("\"threads\": 3"));
+        assert!(j.contains("\"backend\": \"mem\""));
+        assert!(j.contains("\"pool_bytes\": 0"));
         assert!(j.contains("\"serial_wall_ms\": 10.000"));
         assert!(j.contains("\"strategies\": ["));
     }

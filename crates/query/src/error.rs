@@ -43,6 +43,10 @@ pub enum QueryError {
         /// Human-readable edge label (`relationship[participant]`).
         edge: String,
     },
+    /// The paged storage backend failed to commit dirty segments after an
+    /// update (an I/O error from the page file). The in-memory database is
+    /// already updated; the backend may be behind by one transaction.
+    Storage(String),
     /// An internal invariant of the compiler or executor failed — a schema
     /// or plan lookup that every verified plan satisfies came up empty.
     /// Carries the static-verifier diagnostic code (`P0xx`, see
@@ -73,6 +77,7 @@ impl fmt::Display for QueryError {
             QueryError::NotIdrefEncoded { edge } => {
                 write!(f, "ER edge `{edge}` is not idref-encoded in the schema")
             }
+            QueryError::Storage(m) => write!(f, "storage backend commit failed: {m}"),
             QueryError::Internal { diag } => {
                 write!(f, "internal invariant violated [{diag}]")
             }

@@ -16,7 +16,7 @@ use colorist_er::{EdgeId, ErEdge, ErGraph, NodeId};
 use colorist_mct::{ColorId, PlacementId};
 use colorist_store::{
     attr_key, kmerge_sorted, structural_semi_join, value_join, AttrRef, ColorTree, Database,
-    ElementId, Metrics, OccId, SemiSide, Snapshot, ValueKey,
+    ElementId, Metrics, OccId, SemiSide, Snapshot, StorageCtx, ValueKey,
 };
 use std::borrow::Cow;
 use std::cmp::Ordering;
@@ -223,6 +223,11 @@ fn run(
         colorist_trace::span("query", format!("execute:{}:{}", plan.name, plan.strategy));
     let start = Instant::now();
     let mut metrics = Metrics::default();
+    // page accounting: a per-query cold buffer pool over the attached
+    // backend's segment directory (a free no-op on the heap backend).
+    // Per-query pools keep the page counters deterministic regardless of
+    // how many suite workers share the database.
+    let mut storage = db.storage_ctx();
     let mut regs: Vec<Option<SetVal>> = vec![None; plan.reg_count];
     // physical tuple count per register: Distinct and GroupBy compress
     // logically but inherit their source's physical count, so the output
@@ -238,7 +243,7 @@ fn run(
         let mut op_span = colorist_trace::span("op", op_kind(op));
 
         let dst = op.dst();
-        let val = eval(db, graph, &mut metrics, &regs, op)?;
+        let val = eval(db, graph, &mut metrics, &mut storage, &regs, op)?;
         if dst >= regs.len() {
             return Err(QueryError::Exec(format!(
                 "destination register r{dst} out of bounds ({} registers)",
@@ -272,6 +277,10 @@ fn run(
                     ("group_bys", delta.group_bys),
                     ("index_lookups", delta.index_lookups),
                     ("elements_skipped", delta.elements_skipped),
+                    ("page_reads", delta.page_reads),
+                    ("page_writes", delta.page_writes),
+                    ("pool_hits", delta.pool_hits),
+                    ("pool_evictions", delta.pool_evictions),
                 ] {
                     if value > 0 {
                         op_span.counter(key, value);
@@ -309,6 +318,10 @@ fn run(
             ("bytes_touched", metrics.bytes_touched),
             ("index_lookups", metrics.index_lookups),
             ("elements_skipped", metrics.elements_skipped),
+            ("page_reads", metrics.page_reads),
+            ("page_writes", metrics.page_writes),
+            ("pool_hits", metrics.pool_hits),
+            ("pool_evictions", metrics.pool_evictions),
         ] {
             query_span.counter(key, value);
         }
@@ -320,6 +333,7 @@ fn eval<'d>(
     db: &'d Database,
     graph: &ErGraph,
     metrics: &mut Metrics,
+    storage: &mut StorageCtx,
     regs: &[Option<SetVal<'d>>],
     op: &Op,
 ) -> Result<SetVal<'d>, QueryError> {
@@ -332,6 +346,7 @@ fn eval<'d>(
                     // the stored document-order list IS the answer: borrow
                     metrics.elements_scanned += all.len() as u64;
                     metrics.bytes_touched += std::mem::size_of_val(all) as u64;
+                    storage.touch_occs(*color, all, metrics);
                     Cow::Borrowed(all)
                 }
                 Some(p) if !db.reference_kernels() => {
@@ -358,12 +373,16 @@ fn eval<'d>(
                         CmpOp::Eq => {
                             metrics.index_lookups += 1;
                             if let Some(k) = db.try_join_key(&p.value) {
-                                elems.extend(
-                                    index.matching(*node, p.attr, k).iter().map(|en| en.element),
-                                );
+                                let slice = index.matching(*node, p.attr, k);
+                                storage.touch_postings(index, slice, metrics);
+                                elems.extend(slice.iter().map(|en| en.element));
                             } // never-interned text matches nothing
                         }
                         CmpOp::Lt | CmpOp::Gt => {
+                            // a range predicate walks the attribute's whole
+                            // posting run (group by group), so it reads
+                            // every posting page of the column
+                            storage.touch_postings(index, index.of_attr(*node, p.attr), metrics);
                             // one key comparison per distinct stored value,
                             // taking whole groups — never per element
                             let want = match p.op {
@@ -386,14 +405,17 @@ fn eval<'d>(
                     metrics.elements_scanned += v.len() as u64;
                     metrics.elements_skipped += (all.len() as u64).saturating_sub(v.len() as u64);
                     metrics.bytes_touched += std::mem::size_of_val(v.as_slice()) as u64;
+                    storage.touch_occs(*color, &v, metrics);
                     Cow::Owned(v)
                 }
                 Some(p) => {
                     // reference path: linear walk of the node's extent
                     metrics.elements_scanned += all.len() as u64;
                     metrics.bytes_touched += std::mem::size_of_val(all) as u64;
+                    storage.touch_occs(*color, all, metrics);
                     let mut v = Vec::new();
                     for &o in all {
+                        storage.touch_element(tree.occ(o).element, metrics);
                         let el = db.element(tree.occ(o).element);
                         let Some(av) = el.attrs.get(p.attr) else {
                             return Err(QueryError::Exec(format!(
@@ -423,6 +445,7 @@ fn eval<'d>(
             // node-normal schemas.
             let src_val = expand_to_logical_occs(db, *color, src_val);
             let tree = color_tree(db, *color, "StructSemi")?;
+            storage.touch_occs(*color, &src_val, metrics);
             let k = via.len() as u16;
             match dir {
                 VDir::Down => {
@@ -440,6 +463,7 @@ fn eval<'d>(
                         // the union materialized: charge the ids it moved
                         metrics.bytes_touched += std::mem::size_of_val(targets.as_ref()) as u64;
                     }
+                    storage.touch_occs(*color, &targets, metrics);
                     let out = structural_semi_join(
                         db,
                         *color,
@@ -453,6 +477,7 @@ fn eval<'d>(
                 }
                 VDir::Up => {
                     // ancestors exactly k above, along the matching chain
+                    storage.touch_occs(*color, tree.of_node(*node), metrics);
                     let valid = valid_desc_placement_set(db, *color, *node, via, &src_val, tree);
                     let desc: Vec<OccId> = src_val
                         .iter()
@@ -479,11 +504,13 @@ fn eval<'d>(
             let idref_idx = db
                 .idref_attr_index(graph, *edge)
                 .ok_or_else(|| QueryError::NotIdrefEncoded { edge: edge_label(graph, *edge) })?;
+            storage.touch_elements(&src_elems, metrics);
             let matched: Vec<ElementId> = if db.reference_kernels() {
                 // reference path: per-op hash join against the full extent
                 if *src_is_rel {
                     // src holds relationship elements; probe participant ids
                     let extent = db.extent(e.participant);
+                    storage.touch_elements(extent, metrics);
                     value_join(
                         db,
                         &src_elems,
@@ -497,6 +524,7 @@ fn eval<'d>(
                     .collect()
                 } else {
                     let extent = db.extent(e.rel);
+                    storage.touch_elements(extent, metrics);
                     value_join(
                         db,
                         extent,
@@ -523,6 +551,7 @@ fn eval<'d>(
                 for &w in src_elems.iter() {
                     if let ValueKey::Num(k) = attr_key(db, w, AttrRef::Attr(idref_idx)) {
                         if let Ok(i) = u32::try_from(k) {
+                            storage.touch_ordinal(e.participant, i, metrics);
                             if let Some(p) = db.canonical_by_ordinal(e.participant, i) {
                                 out.push(p);
                             }
@@ -545,7 +574,9 @@ fn eval<'d>(
                 let mut out = Vec::new();
                 for &x in src_elems.iter() {
                     let key = ValueKey::Num(db.element(x).ordinal as i64);
-                    out.extend(index.matching(e.rel, idref_idx, key).iter().map(|en| en.element));
+                    let slice = index.matching(e.rel, idref_idx, key);
+                    storage.touch_postings(index, slice, metrics);
+                    out.extend(slice.iter().map(|en| en.element));
                 }
                 metrics.elements_scanned += (src_elems.len() + out.len()) as u64;
                 out
@@ -566,12 +597,17 @@ fn eval<'d>(
             metrics.join_probes += src_elems.len() as u64;
             metrics.bytes_touched += (src_elems.len() * std::mem::size_of::<ElementId>()) as u64;
             let e = check_edge(graph, *edge, "LinkSemi")?;
+            storage.touch_elements(&src_elems, metrics);
             let mut out: Vec<ElementId> = if *src_is_rel {
                 src_elems
                     .iter()
                     .filter_map(|&w| {
                         let ro = db.element(w).ordinal;
-                        db.link(*edge, ro).and_then(|po| db.canonical_by_ordinal(e.participant, po))
+                        storage.touch_link(*edge, ro, metrics);
+                        db.link(*edge, ro).and_then(|po| {
+                            storage.touch_ordinal(e.participant, po, metrics);
+                            db.canonical_by_ordinal(e.participant, po)
+                        })
                     })
                     .collect()
             } else {
@@ -581,7 +617,13 @@ fn eval<'d>(
                         let po = db.element(x).ordinal;
                         db.linked_rels(*edge, po)
                             .into_iter()
-                            .filter_map(|ro| db.canonical_by_ordinal(e.rel, ro))
+                            .filter_map(|ro| {
+                                // the filter inside linked_rels re-read the
+                                // link slot of every candidate relationship
+                                storage.touch_link(*edge, ro, metrics);
+                                storage.touch_ordinal(e.rel, ro, metrics);
+                                db.canonical_by_ordinal(e.rel, ro)
+                            })
                             .collect::<Vec<_>>()
                     })
                     .collect()
@@ -597,7 +639,9 @@ fn eval<'d>(
             metrics.elements_scanned += elems.len() as u64;
             metrics.bytes_touched += (elems.len() * std::mem::size_of::<ElementId>()) as u64;
             color_tree(db, *color, "Cross")?;
-            Ok(SetVal::Occs { color: *color, occs: Cow::Owned(elems_to_occs(db, *color, &elems)) })
+            let occs = elems_to_occs(db, *color, &elems);
+            storage.touch_occs(*color, &occs, metrics);
+            Ok(SetVal::Occs { color: *color, occs: Cow::Owned(occs) })
         }
 
         Op::Intersect { a, b, .. } => {
@@ -638,6 +682,7 @@ fn eval<'d>(
         Op::GroupBy { src, attr, .. } => {
             metrics.group_bys += 1;
             let elems = to_elems(db, regs, *src, "GroupBy")?;
+            storage.touch_elements(&elems, metrics);
             metrics.elements_scanned += elems.len() as u64;
             metrics.bytes_touched += (elems.len() * std::mem::size_of::<ValueKey>()) as u64;
             // Copy keys + sort/dedup: no hashing, no per-element String

@@ -211,6 +211,9 @@ pub fn explain_analyze(
             ("bytes", m.bytes_touched),
             ("idx", m.index_lookups),
             ("skipped", m.elements_skipped),
+            ("pg-r", m.page_reads),
+            ("pg-hit", m.pool_hits),
+            ("pg-ev", m.pool_evictions),
         ] {
             if v > 0 {
                 let _ = write!(line, " {key}={v}");
@@ -252,7 +255,8 @@ pub fn explain_analyze(
     let _ = writeln!(
         s,
         "  totals: {} structural, {} value, {} crossings, {} dup-elim, {} group-by; \
-         scanned {} probes {} bytes {} idx {} skipped {}{}",
+         scanned {} probes {} bytes {} idx {} skipped {}; \
+         pages read {} written {} pool-hits {} evictions {}{}",
         t.structural_joins,
         t.value_joins,
         t.color_crossings,
@@ -263,6 +267,10 @@ pub fn explain_analyze(
         t.bytes_touched,
         t.index_lookups,
         t.elements_skipped,
+        t.page_reads,
+        t.page_writes,
+        t.pool_hits,
+        t.pool_evictions,
         if op_counts_match(&sum, t)
             && (
                 sum.elements_scanned,

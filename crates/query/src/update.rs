@@ -97,6 +97,16 @@ pub fn execute_update(
         }
     };
 
+    // 3. commit: write dirty segments through the paged backend (one
+    // transaction) so durability matches the in-memory state. No-op on the
+    // heap backend and when nothing was written.
+    let report = db.flush_storage().map_err(|e| QueryError::Storage(e.to_string()))?;
+    if report.pages_written > 0 {
+        metrics.page_writes += report.pages_written;
+        let mut span = colorist_trace::span("storage", format!("flush:{}", spec.name));
+        span.counter("page_writes", report.pages_written);
+    }
+
     metrics.results = logical;
     metrics.distinct_results = logical;
     metrics.elapsed = started.elapsed();

@@ -159,6 +159,10 @@ pub enum BatchError {
     /// Two ops in the batch contend for the same target (double write of
     /// one attribute, delete of a written instance, …).
     Conflict(String),
+    /// The paged storage backend failed to commit the batch's dirty
+    /// segments (an I/O error). Raised *before* the commit point, so the
+    /// live database and its backend state are untouched.
+    Storage(String),
 }
 
 impl fmt::Display for BatchError {
@@ -181,6 +185,7 @@ impl fmt::Display for BatchError {
             }
             BatchError::BadLink(msg) => write!(f, "bad link: {msg}"),
             BatchError::Conflict(msg) => write!(f, "conflicting ops: {msg}"),
+            BatchError::Storage(msg) => write!(f, "storage backend commit failed: {msg}"),
         }
     }
 }
@@ -202,6 +207,9 @@ pub struct BatchReceipt {
     pub occurrences_removed: u64,
     /// The database epoch after the commit.
     pub epoch: u64,
+    /// Pages written by the paged storage backend's commit transaction
+    /// (0 on the heap backend, and for batches that dirtied nothing).
+    pub pages_written: u64,
     /// Key counts per derived structure from the batch's static effect
     /// footprint (computed by [`crate::effect::analyze_batch`] before the
     /// commit; deterministic for a given batch and pre-state).
@@ -440,6 +448,7 @@ impl UpdateBatch {
             duplicate_writes: 0,
             occurrences_removed: 0,
             epoch: 0,
+            pages_written: 0,
             footprint: analysis.footprint.summary(),
         };
 
@@ -525,6 +534,15 @@ impl UpdateBatch {
         let touched = track.then(shadow::stop);
         debug_assert_eq!(staged.check_integrity(), Ok(()));
         receipt.epoch = staged.epoch();
+        // write the batch's dirty segments through the paged backend as one
+        // transaction *before* publishing the staged state, so a storage
+        // failure leaves the live database (and its backend) untouched
+        let flush = staged.flush_storage().map_err(|e| BatchError::Storage(e.to_string()))?;
+        receipt.pages_written = flush.pages_written;
+        if flush.pages_written > 0 {
+            let mut sspan = colorist_trace::span("storage", "flush:batch");
+            sspan.counter("page_writes", flush.pages_written);
+        }
         // the commit point: readers that cloned the Arcs earlier keep the
         // pre-batch version, everyone after sees the whole batch
         *db = staged;

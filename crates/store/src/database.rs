@@ -18,6 +18,7 @@
 use crate::effect::shadow;
 use crate::index::{IndexEntry, ValueIndex};
 use crate::statistics::{Cardinality, CmpKind, Statistics};
+use crate::storage::{SegId, Storage};
 use crate::value::{Interner, Value, ValueKey};
 use colorist_er::{ErGraph, NodeId};
 use colorist_mct::{ColorId, MctSchema, PlacementId};
@@ -29,7 +30,7 @@ use std::sync::Arc;
 /// Tombstone marker in the ordinal index: this ordinal's instance was
 /// deleted. Ordinals are never reused, so a stale link or idref value can
 /// only resolve to `None`, never to a different element.
-const TOMBSTONE: ElementId = ElementId(u32::MAX);
+pub(crate) const TOMBSTONE: ElementId = ElementId(u32::MAX);
 
 /// How the executor and the join dispatchers pick kernels, and — because
 /// the planner must never vary independently of the kernels in a
@@ -126,15 +127,22 @@ pub struct Occurrence {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ColorTree {
     /// Occurrences in document (DFS/start) order.
-    occs: Vec<Occurrence>,
+    pub(crate) occs: Vec<Occurrence>,
     /// Occurrence ids per placement, in document order.
-    by_placement: HashMap<PlacementId, Vec<OccId>>,
+    pub(crate) by_placement: HashMap<PlacementId, Vec<OccId>>,
     /// Occurrence ids per ER node type (label), in document order — XPath
     /// steps match labels, not placements.
-    by_node: HashMap<NodeId, Vec<OccId>>,
+    pub(crate) by_node: HashMap<NodeId, Vec<OccId>>,
 }
 
 impl ColorTree {
+    /// A tree over already-labelled occurrences, with the derived
+    /// per-placement/per-node indexes left empty (the storage loader fills
+    /// them via [`rebuild_indexes_into`]).
+    pub(crate) fn from_occs(occs: Vec<Occurrence>) -> ColorTree {
+        ColorTree { occs, ..ColorTree::default() }
+    }
+
     /// All occurrences, in document order (sorted by `start`).
     pub fn occs(&self) -> &[Occurrence] {
         &self.occs
@@ -182,51 +190,56 @@ type LogicalOccs = Vec<HashMap<(NodeId, u32), Vec<OccId>>>;
 pub struct Database {
     /// The schema this database conforms to.
     pub schema: MctSchema,
-    elements: Arc<Vec<Element>>,
-    colors: Arc<Vec<ColorTree>>,
+    pub(crate) elements: Arc<Vec<Element>>,
+    pub(crate) colors: Arc<Vec<ColorTree>>,
     /// **Live** canonical elements per ER node type (the extent), in
     /// ascending `ElementId` order (which is also insertion order).
     /// Deletes retract their entry — scans and reference joins walk live
     /// instances only.
-    extents: Arc<Vec<Vec<ElementId>>>,
+    pub(crate) extents: Arc<Vec<Vec<ElementId>>>,
     /// Per ER node type: ordinal → canonical element, the id→element index
     /// behind link/idref resolution. Append-only and dense —
     /// `by_ordinal[n][k]` is the instance with ordinal `k` — it never
     /// shrinks: deletes tombstone the slot (see [`Database::canonical_by_ordinal`])
     /// so ordinals are never reused.
-    by_ordinal: Arc<Vec<Vec<ElementId>>>,
+    pub(crate) by_ordinal: Arc<Vec<Vec<ElementId>>>,
     /// Per color: occurrences of each logical instance `(node, ordinal)`.
-    logical_occs: Arc<LogicalOccs>,
+    pub(crate) logical_occs: Arc<LogicalOccs>,
     /// Per ER edge: participant ordinal per relationship ordinal — the
     /// parent-child adjacency the trees encode, stored explicitly so that
     /// link (parent-child) joins stay exact under any schema and so that
     /// update cascades can follow existing links. `u32::MAX` marks a
     /// deleted link.
-    links: Arc<Vec<Vec<u32>>>,
+    pub(crate) links: Arc<Vec<Vec<u32>>>,
     /// Per ER edge: relationship ordinals per participant ordinal.
-    rev_links: Arc<Vec<Vec<Vec<u32>>>>,
+    pub(crate) rev_links: Arc<Vec<Vec<Vec<u32>>>>,
     /// Text symbol table: every stored text attribute value is interned, so
     /// join keys are `Copy` (see [`crate::value::ValueKey`]).
-    interner: Arc<Interner>,
+    pub(crate) interner: Arc<Interner>,
     /// Sorted `(node, attr, key, element)` postings over canonical
     /// elements — the persistent attribute/id value index (DESIGN.md §10).
     /// Built at `finish`, maintained by [`Database::write_attr`],
     /// [`Database::insert_element`] and
     /// [`Database::remove_element_occurrences`]; invariant under relabels
     /// because it is keyed by element, not occurrence.
-    value_index: Arc<ValueIndex>,
+    pub(crate) value_index: Arc<ValueIndex>,
     /// Statistics catalog: column histograms/distinct counts, extent
     /// cardinalities, per-placement occurrence counts (DESIGN.md §11).
     /// Built at `finish`, maintained by the same choke points as the value
     /// index plus [`Database::relabel_color`].
-    statistics: Arc<Statistics>,
+    pub(crate) statistics: Arc<Statistics>,
     /// Kernel-dispatch and planner mode; see [`KernelDispatch`]. The
     /// differential property tests and the oracle sweep flip this to pin
     /// fast ≡ reference on the same database.
-    dispatch: KernelDispatch,
+    pub(crate) dispatch: KernelDispatch,
     /// Version counter: bumped by every committed mutation (writes,
     /// inserts, deletes, occurrence edits, link edits, relabels).
-    epoch: u64,
+    pub(crate) epoch: u64,
+    /// How this database is backed (DESIGN.md §14): the pure heap by
+    /// default, or attached to a paged [`crate::page::StorageBackend`]
+    /// with a segment directory and dirty-segment tracking. Excluded from
+    /// [`Database::same_state`] — backing is orthogonal to content.
+    pub(crate) storage: Storage,
 }
 
 /// A consistent read view of a [`Database`] at one [`epoch`](Database::epoch).
@@ -285,10 +298,12 @@ impl Database {
         if let Value::Text(s) = &v {
             if self.interner.get(s).is_none() {
                 shadow::new_symbol(s);
+                self.storage.mark(SegId::Symbols);
             }
             Arc::make_mut(&mut self.interner).intern(s);
         }
         shadow::write(e, attr);
+        self.storage.mark(SegId::Elements);
         let new_key = self.interner.key(&v);
         let el = &mut Arc::make_mut(&mut self.elements)[e.idx()];
         let old = std::mem::replace(&mut el.attrs[attr], v);
@@ -296,6 +311,7 @@ impl Database {
         if is_canonical {
             shadow::posting(node, attr, e);
             shadow::stat_column(node, attr);
+            self.storage.mark(SegId::Postings);
             // stored values are always interned, but stay total if not
             if let Some(old_key) = self.interner.try_key(&old) {
                 Arc::make_mut(&mut self.value_index).reindex(node, attr, e, old_key, new_key);
@@ -513,6 +529,8 @@ impl Database {
     /// `rel_ordinal` must be the next dense ordinal for the edge.
     pub fn push_link(&mut self, edge: colorist_er::EdgeId, rel_ordinal: u32, participant: u32) {
         shadow::link(edge, rel_ordinal);
+        self.storage.mark(SegId::Links);
+        self.storage.mark(SegId::RevLinks);
         let links = Arc::make_mut(&mut self.links);
         let rev_links = Arc::make_mut(&mut self.rev_links);
         if links.len() <= edge.idx() {
@@ -538,6 +556,7 @@ impl Database {
         {
             *v = u32::MAX;
             shadow::link(edge, rel_ordinal);
+            self.storage.mark(SegId::Links);
         }
         self.epoch += 1;
     }
@@ -574,6 +593,7 @@ impl Database {
     pub fn relabel_color(&mut self, c: ColorId) {
         shadow::color(c);
         shadow::placement_stats();
+        self.storage.mark(SegId::Tree(c.0));
         {
             let colors = Arc::make_mut(&mut self.colors);
             let tree = &mut colors[c.idx()];
@@ -599,6 +619,7 @@ impl Database {
                 if let Value::Text(s) = v {
                     if self.interner.get(s).is_none() {
                         shadow::new_symbol(s);
+                        self.storage.mark(SegId::Symbols);
                     }
                 }
             }
@@ -615,6 +636,9 @@ impl Database {
         shadow::ordinal(node, ordinal);
         shadow::extent(node);
         shadow::stat_node(node);
+        self.storage.mark(SegId::Elements);
+        self.storage.mark(SegId::Ordinals);
+        self.storage.mark(SegId::Postings);
         {
             let index = Arc::make_mut(&mut self.value_index);
             for (a, v) in attrs.iter().enumerate() {
@@ -656,6 +680,7 @@ impl Database {
         let src = self.element(canon).clone();
         let id = ElementId(self.elements.len() as u32);
         shadow::alloc(id);
+        self.storage.mark(SegId::Elements);
         Arc::make_mut(&mut self.elements).push(Element { canonical: canon, ..src });
         self.epoch += 1;
         id
@@ -672,6 +697,7 @@ impl Database {
     ) -> OccId {
         shadow::color(c);
         shadow::occ_element(self.element(element).canonical);
+        self.storage.mark(SegId::Tree(c.0));
         let tree = &mut Arc::make_mut(&mut self.colors)[c.idx()];
         let id = OccId(tree.occs.len() as u32);
         tree.occs.push(Occurrence { element, placement, parent, start: 0, end: 0, level: 0 });
@@ -685,6 +711,7 @@ impl Database {
     /// removed transitively).
     pub fn remove_occurrences(&mut self, c: ColorId, remove: &[OccId]) -> usize {
         shadow::color(c);
+        self.storage.mark(SegId::Tree(c.0));
         self.epoch += 1;
         let tree = &mut Arc::make_mut(&mut self.colors)[c.idx()];
         let n = tree.occs.len();
@@ -767,6 +794,8 @@ impl Database {
             shadow::ordinal(node, ordinal);
             shadow::extent(node);
             shadow::stat_node(node);
+            self.storage.mark(SegId::Ordinals);
+            self.storage.mark(SegId::Postings);
             Arc::make_mut(&mut self.by_ordinal)[node.idx()][ordinal as usize] = TOMBSTONE;
             let extent = &mut Arc::make_mut(&mut self.extents)[node.idx()];
             if let Ok(pos) = extent.binary_search(&canon) {
@@ -1063,13 +1092,14 @@ impl DatabaseBuilder {
             statistics: Arc::new(statistics),
             dispatch: KernelDispatch::default(),
             epoch: 0,
+            storage: Storage::default(),
         }
     }
 }
 
 /// Occurrence count per schema placement, over every color tree — the raw
 /// material of the catalog's parent-fanout summaries.
-fn placement_occ_counts(schema: &MctSchema, colors: &[ColorTree]) -> Vec<u64> {
+pub(crate) fn placement_occ_counts(schema: &MctSchema, colors: &[ColorTree]) -> Vec<u64> {
     let mut counts = vec![0u64; schema.placements().len()];
     for tree in colors {
         for o in &tree.occs {
@@ -1129,7 +1159,7 @@ fn relabel(occs: &mut Vec<Occurrence>) {
     *occs = ordered;
 }
 
-fn rebuild_indexes_into(
+pub(crate) fn rebuild_indexes_into(
     tree: &mut ColorTree,
     _c: ColorId,
     elements: &[Element],

@@ -60,6 +60,14 @@ pub struct ValueIndex {
 }
 
 impl ValueIndex {
+    /// Rebuild an index from already-sorted postings, as the paged storage
+    /// loader decodes them (the postings segment stores entries in index
+    /// order).
+    pub(crate) fn from_entries(entries: Vec<IndexEntry>) -> ValueIndex {
+        debug_assert!(entries.windows(2).all(|w| w[0] <= w[1]), "postings must arrive sorted");
+        ValueIndex { entries }
+    }
+
     /// Index every attribute of every canonical element. `interner` must
     /// already contain all stored text (it does by the time
     /// `DatabaseBuilder::finish` builds the index).

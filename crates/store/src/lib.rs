@@ -36,7 +36,15 @@
 //!   shadow-tracker soundness auditing, pairwise commutativity
 //!   certificates, snapshot-safety checks against plan read footprints,
 //!   and the independence-scheduled [`effect::CommitScheduler`] that
-//!   group-commits mutually independent batches under one epoch bump.
+//!   group-commits mutually independent batches under one epoch bump;
+//! * [`page`], [`pool`], [`storage`] — the pluggable paged storage layer
+//!   (DESIGN.md §14): the 8 KB-page [`page::StorageBackend`] trait with
+//!   in-memory and on-disk implementations, the clock/second-chance
+//!   [`pool::BufferPool`] with pin/unpin discipline, and the segment
+//!   serialization + dirty-tracking + commit/write-back protocol that
+//!   attaches a [`database::Database`] to a backend
+//!   ([`database::Database::attach_paged`]) and accounts page traffic in
+//!   the `page_reads`/`page_writes`/`pool_hits`/`pool_evictions` counters.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -46,8 +54,11 @@ pub mod effect;
 pub mod index;
 pub mod join;
 pub mod metrics;
+pub mod page;
+pub mod pool;
 pub mod statistics;
 pub mod stats;
+pub mod storage;
 pub mod value;
 pub mod xml;
 
@@ -67,10 +78,13 @@ pub use join::{
     GALLOP_RATIO,
 };
 pub use metrics::Metrics;
+pub use page::{FilePages, MemPages, PageId, StorageBackend, PAGE_SIZE};
+pub use pool::{BufferPool, PoolConfig, DEFAULT_POOL_BYTES};
 pub use statistics::{
     gallop_cost_wins, key_order, Bucket, Cardinality, CmpKind, ColumnStats, Selectivity,
     Statistics, HISTOGRAM_BUCKETS,
 };
 pub use stats::Stats;
+pub use storage::{attach_from_env, env_backend, env_pool_bytes, FlushReport, StorageCtx};
 pub use value::{Interner, Value, ValueKey};
 pub use xml::to_xml;

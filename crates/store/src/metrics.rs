@@ -59,6 +59,25 @@ pub struct Metrics {
     /// binary search. The complement of `elements_scanned` relative to the
     /// reference kernels' full walks; deterministic.
     pub elements_skipped: u64,
+    /// Pages fetched from the storage backend because the buffer pool did
+    /// not hold them (pool misses). Zero on the in-memory heap backend —
+    /// only the paged backend (DESIGN.md §14) maintains a pool. One per
+    /// distinct page faulted in, deterministic for a given plan, database
+    /// and pool budget.
+    pub page_reads: u64,
+    /// Pages written back to the storage backend at a commit point: dirty
+    /// segment pages, the segment directory, and the meta page. Charged to
+    /// the flushing update/batch, zero for pure reads and for the heap
+    /// backend.
+    pub page_writes: u64,
+    /// Page requests answered by the buffer pool without touching the
+    /// backend. `pool_hits / (pool_hits + page_reads)` is the hit rate
+    /// EXPERIMENTS.md's pool-size narrative plots.
+    pub pool_hits: u64,
+    /// Unpinned pages evicted by the clock sweep to make room under the
+    /// pool byte budget. Exact-matched by the perfgate like every other
+    /// deterministic counter.
+    pub pool_evictions: u64,
     /// Tuples produced by the final operator.
     pub results: u64,
     /// Distinct logical results (differs from `results` when a
@@ -117,6 +136,10 @@ impl Metrics {
             bytes_touched: self.bytes_touched.saturating_sub(earlier.bytes_touched),
             index_lookups: self.index_lookups.saturating_sub(earlier.index_lookups),
             elements_skipped: self.elements_skipped.saturating_sub(earlier.elements_skipped),
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            page_writes: self.page_writes.saturating_sub(earlier.page_writes),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_evictions: self.pool_evictions.saturating_sub(earlier.pool_evictions),
             results: self.results.saturating_sub(earlier.results),
             distinct_results: self.distinct_results.saturating_sub(earlier.distinct_results),
             elapsed: self.elapsed.saturating_sub(earlier.elapsed),
@@ -148,6 +171,10 @@ impl AddAssign for Metrics {
         self.bytes_touched += rhs.bytes_touched;
         self.index_lookups += rhs.index_lookups;
         self.elements_skipped += rhs.elements_skipped;
+        self.page_reads += rhs.page_reads;
+        self.page_writes += rhs.page_writes;
+        self.pool_hits += rhs.pool_hits;
+        self.pool_evictions += rhs.pool_evictions;
         self.results += rhs.results;
         self.distinct_results += rhs.distinct_results;
         self.elapsed += rhs.elapsed;

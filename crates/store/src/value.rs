@@ -93,6 +93,13 @@ pub struct Interner {
 }
 
 impl Interner {
+    /// Rebuild a table from its symbol-ordered string list, as the paged
+    /// storage loader decodes it. Symbols keep their stored values.
+    pub(crate) fn from_strings(strings: Vec<String>) -> Interner {
+        let map = strings.iter().enumerate().map(|(i, s)| (s.clone(), i as u32)).collect();
+        Interner { map, strings }
+    }
+
     /// Intern `s`, returning its symbol (stable for the table's lifetime).
     pub fn intern(&mut self, s: &str) -> u32 {
         if let Some(&sym) = self.map.get(s) {

@@ -49,7 +49,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: colorist-oracle [--seeds N | --batch-seeds N | --independence-seeds N] \
-         [--start S] [--scale B] [--queries K] [--threads T] [--trace OUT.json]\n\
+         [--start S] [--scale B] [--queries K] [--threads T] [--trace OUT.json] \
+         [--backend mem|paged|paged-mem] [--pool-bytes N]\n\
          \x20      colorist-oracle --replay SEED | --minimize SEED"
     );
     std::process::exit(2);
@@ -90,6 +91,16 @@ fn parse_args() -> Args {
                     eprintln!("--trace needs an output path");
                     usage()
                 }))
+            }
+            "--backend" => match it.next() {
+                Some(b) => std::env::set_var("COLORIST_BACKEND", b),
+                None => {
+                    eprintln!("--backend needs a value");
+                    usage()
+                }
+            },
+            "--pool-bytes" => {
+                std::env::set_var("COLORIST_POOL_BYTES", val("--pool-bytes").to_string())
             }
             "--help" | "-h" => usage(),
             other => {

@@ -423,7 +423,12 @@ fn build_databases(
                         detail: format!("schema lint: {d}"),
                     });
                 }
-                dbs.push((s, materialize(g, &schema, &inst)));
+                let mut db = materialize(g, &schema, &inst);
+                // `COLORIST_BACKEND` attaches the paged storage backend so
+                // the equivalence sweep also exercises flush/reload-path
+                // accounting under every strategy
+                colorist_store::attach_from_env(&mut db).expect("storage backend attaches");
+                dbs.push((s, db));
             }
             Err(e) => divergences.push(Divergence {
                 seed,

@@ -216,7 +216,11 @@ pub fn run_suite_on_threads(
     let dbs = par_map(strategies.len(), threads, |i| {
         let _span = colorist_trace::span("suite", format!("setup:{}", strategies[i]));
         let schema = design(graph, strategies[i]).expect("strategy designs the diagram");
-        let db = materialize(graph, &schema, instance);
+        let mut db = materialize(graph, &schema, instance);
+        // `COLORIST_BACKEND=paged|paged-mem` attaches the paged storage
+        // backend here, before the twin clone — both plans then read
+        // through (independent, per-query) buffer pools over one backend
+        colorist_store::attach_from_env(&mut db).expect("storage backend attaches");
         let mut heuristic = db.clone();
         heuristic.set_kernel_dispatch(KernelDispatch::Ratio);
         (db, heuristic)
