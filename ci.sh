@@ -53,6 +53,15 @@ cargo run -q --release -p colorist-bench --bin colorist-perfgate -- \
     --validate-trace results/trace_batch_ci.json
 rm -f results/trace_batch_ci.json
 
+echo "==> file-backed batch oracle (32 seeds, FilePages backend)"
+# The randomized delete-closed batch sweep again, but with every database
+# flushed to real temp files through the FilePages backend — catching
+# file-backed flush bugs (torn segment writes, stale directory entries)
+# that the in-memory page store cannot exhibit. Temp files are unlinked
+# on drop, so CI leaves nothing behind.
+cargo run -q --release -p colorist-workload --bin colorist-oracle -- \
+    --batch-seeds 32 --backend paged
+
 echo "==> independence oracle (128 seeds: B002-B004 effect analysis, traced)"
 # Certifies one random batch pair per seed under all seven strategies
 # (B003), commits certified-independent pairs in both orders asserting
@@ -123,5 +132,31 @@ for pool in 16777216 65536; do
         --q-error-budget 8.0
     rm -f results/bench_summary_paged_ci.json
 done
+
+echo "==> server smoke: colorist-scale (scale-300-sized point, traced + gated)"
+# Small concurrent run of the multi-client query service (DESIGN.md §15):
+# 2 workers, 2 client threads, round-structured read-heavy mix at the
+# 10k-element point (the same order of magnitude as the scale-300 table1
+# suite). The emitted trace is shape-validated (the `server` span
+# category with its queue-wait/plan-cache counters), and the scale
+# document is diffed against the committed baseline: identity fields
+# (element counts, request counts, answer checksums, final epochs) and
+# plan-cache counters exactly, throughput/p99 warn-only on shared
+# hardware. Worker counts are pinned because `workers` is comparability
+# metadata — counters are deterministic for ANY worker count (the
+# torture test in tests/server.rs pins that), but two documents must
+# describe the same configuration to be diffable.
+COLORIST_SEED=42 \
+    cargo run -q --release -p colorist-bench --bin colorist-scale -- \
+    --scales 1000,10000 --workers 2 --clients 2 --rounds 2 \
+    --speedup-scale 0 --out results/bench_scale_ci.json \
+    --trace results/trace_scale_ci.json >/dev/null
+cargo run -q --release -p colorist-bench --bin colorist-perfgate -- \
+    --validate-trace results/trace_scale_ci.json
+cargo run -q --release -p colorist-bench --bin colorist-perfgate -- --scale \
+    --baseline results/bench_scale_baseline.json \
+    --current results/bench_scale_ci.json \
+    --wall-warn-only
+rm -f results/bench_scale_ci.json results/trace_scale_ci.json
 
 echo "==> ci.sh: all checks passed"

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! colorist-explain [--diagram tpcw] [--query Q12] [--strategy DR] [--static]
+//! colorist-explain --updates [--diagram tpcw] [--query U2] [--strategy DR]
 //! ```
 //!
 //! Compiles and executes every selected read query of the diagram's
@@ -12,12 +13,25 @@
 //! `COLORIST_SEED` as for every bench binary. `--static` prints the
 //! colored-XPath sketch instead of executing.
 //!
-//! Updates (U1–U3) are mutations, not plans, and are skipped.
+//! `--updates` switches to the workload's updates (U1–U3): modify/delete
+//! specs are located, converted to an [`UpdateBatch`], and applied
+//! atomically, printing the batch receipt — op count, duplicate
+//! writes, occurrences removed, commit epoch, and `pages_written` (the
+//! paged backend's commit-transaction cost) — plus the locate phase's
+//! buffer-pool hit rate. Insert specs go through the inserter (their
+//! position/link resolution is not a batch op) and report the same
+//! storage costs from their metrics. `COLORIST_BACKEND=paged-mem` (or
+//! `paged`) populates the page numbers; the heap backend reports them
+//! as zero.
 
 use colorist_core::{design, Strategy};
 use colorist_datagen::{generate, materialize, ScaleProfile};
 use colorist_er::{catalog, ErGraph};
-use colorist_query::{compile, execute_profiled, explain, explain_analyze, optimize};
+use colorist_query::{
+    compile, execute, execute_profiled, execute_update, explain, explain_analyze, optimize,
+    UpdateAction,
+};
+use colorist_store::UpdateBatch;
 use colorist_workload::{derby, tpcw, xmark};
 
 fn main() {
@@ -25,6 +39,7 @@ fn main() {
     let mut query: Option<String> = None;
     let mut strategy: Option<Strategy> = None;
     let mut static_only = false;
+    let mut updates = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -45,10 +60,11 @@ fn main() {
                 }));
             }
             "--static" => static_only = true,
+            "--updates" => updates = true,
             _ => {
                 eprintln!(
                     "usage: colorist-explain [--diagram NAME] [--query QN] \
-                     [--strategy LABEL] [--static]"
+                     [--strategy LABEL] [--static | --updates]"
                 );
                 std::process::exit(2);
             }
@@ -78,6 +94,12 @@ fn main() {
         Some(s) => vec![s],
         None => Strategy::ALL.to_vec(),
     };
+
+    if updates {
+        explain_updates(&g, &w, &instance, &strategies, query.as_deref(), &diagram, scale, seed);
+        return;
+    }
+
     let reads: Vec<_> = w
         .reads
         .iter()
@@ -130,6 +152,125 @@ fn main() {
                 print!("{}", explain(&g, &plan));
             }
             println!();
+        }
+    }
+}
+
+/// Format a locate/apply phase's buffer-pool hit rate.
+fn pool_rate(m: &colorist_store::Metrics) -> String {
+    let requests = m.pool_hits + m.page_reads;
+    if requests == 0 {
+        "n/a (no page requests)".to_string()
+    } else {
+        format!(
+            "{:.3} ({} hits / {} faults)",
+            m.pool_hits as f64 / requests as f64,
+            m.pool_hits,
+            m.page_reads
+        )
+    }
+}
+
+/// `--updates`: apply each selected update spec on a fresh materialization
+/// and print its storage cost — the batch receipt's `pages_written` for
+/// modify/delete specs, the metrics' page counters for insert specs.
+#[allow(clippy::too_many_arguments)]
+fn explain_updates(
+    g: &ErGraph,
+    w: &colorist_workload::Workload,
+    instance: &colorist_datagen::CanonicalInstance,
+    strategies: &[Strategy],
+    query: Option<&str>,
+    diagram: &str,
+    scale: u32,
+    seed: u64,
+) {
+    let specs: Vec<_> = w
+        .updates
+        .iter()
+        .filter(|u| query.is_none_or(|q| q.eq_ignore_ascii_case(&u.name)))
+        .collect();
+    if specs.is_empty() {
+        eprintln!("colorist-explain: no update matches {query:?} in {diagram}");
+        std::process::exit(2);
+    }
+    println!("diagram {diagram}, scale {scale}, seed {seed} (update batches)");
+    for &s in strategies {
+        let schema = design(g, s).expect("strategy designs the diagram");
+        for u in &specs {
+            // fresh database per spec so every receipt reports the cost of
+            // exactly one batch against the pristine instance
+            let mut db = materialize(g, &schema, instance);
+            colorist_store::attach_from_env(&mut db).expect("storage backend attaches");
+            let fail = |e: &dyn std::fmt::Display| -> ! {
+                eprintln!("colorist-explain: {}/{s}: {e}", u.name);
+                std::process::exit(1);
+            };
+            if let UpdateAction::Insert(_) = &u.action {
+                // inserts resolve positions/links through the inserter, not
+                // the batch layer; their flush cost lands in page_writes
+                let out = match execute_update(&mut db, g, u) {
+                    Ok(o) => o,
+                    Err(e) => fail(&e),
+                };
+                let m = &out.metrics;
+                println!(
+                    "{} [{s}]  insert: {} logical ({} physical), {} duplicate update(s); \
+                     pages written {}; pool hit rate {}",
+                    u.name,
+                    out.logical,
+                    out.physical,
+                    m.duplicate_updates,
+                    m.page_writes,
+                    pool_rate(m),
+                );
+                continue;
+            }
+            let plan = match optimize(&db, g, &u.pattern) {
+                Ok(p) => p,
+                Err(e) => fail(&e),
+            };
+            let located = match execute(&db, g, &plan) {
+                Ok(r) => r,
+                Err(e) => fail(&e),
+            };
+            let mut batch = UpdateBatch::new();
+            let action = match &u.action {
+                UpdateAction::Modify { attr, value } => {
+                    for &t in &located.elements {
+                        batch.write_attr(t, *attr, value.clone());
+                    }
+                    "modify"
+                }
+                UpdateAction::Delete => {
+                    for &t in &located.elements {
+                        batch.delete(t);
+                    }
+                    "delete"
+                }
+                UpdateAction::Insert(_) => unreachable!("handled above"),
+            };
+            let receipt = match batch.apply(&mut db, g) {
+                Ok(r) => r,
+                Err(e) => fail(&e),
+            };
+            println!(
+                "{} [{s}]  {action}: {} target(s) located (scanned {}, probes {}, pool hit rate {})",
+                u.name,
+                located.elements.len(),
+                located.metrics.elements_scanned,
+                located.metrics.join_probes,
+                pool_rate(&located.metrics),
+            );
+            println!(
+                "  batch receipt: {} op(s), {} duplicate write(s), {} occurrence(s) removed, \
+                 epoch {}, pages written {}",
+                receipt.ops,
+                receipt.duplicate_writes,
+                receipt.occurrences_removed,
+                receipt.epoch,
+                receipt.pages_written,
+            );
         }
     }
 }

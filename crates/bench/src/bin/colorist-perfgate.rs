@@ -6,17 +6,22 @@
 //!                   [--max-wall-regress 0.25] [--wall-warn-only] \
 //!                   [--max-op-regress 0.0] [--q-error-budget 8.0]
 //! colorist-perfgate --validate-trace trace.json
+//! colorist-perfgate --scale --baseline results/BENCH_scale.json --current ...
 //! ```
+//!
+//! `--scale` switches the diff to the `BENCH_scale.json` rules
+//! (identity fields exact, plan-cache counters op-gated, throughput/p99
+//! under the wall-clock rules).
 //!
 //! Exit status: `0` pass, `1` regression (or invalid trace), `2` usage
 //! error / non-comparable documents.
 
-use colorist_bench::{compare, validate_trace, GateConfig};
+use colorist_bench::{compare, compare_scale, validate_trace, GateConfig};
 use colorist_trace::Json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: colorist-perfgate --baseline FILE --current FILE \
+        "usage: colorist-perfgate [--scale] --baseline FILE --current FILE \
          [--max-wall-regress F] [--wall-warn-only] [--max-op-regress F] \
          [--q-error-budget F]\n\
          \x20      colorist-perfgate --validate-trace FILE"
@@ -39,6 +44,7 @@ fn main() {
     let mut baseline = None;
     let mut current = None;
     let mut trace = None;
+    let mut scale_doc = false;
     let mut cfg = GateConfig::default();
 
     let mut args = std::env::args().skip(1);
@@ -53,6 +59,7 @@ fn main() {
             "--baseline" => baseline = Some(value("--baseline")),
             "--current" => current = Some(value("--current")),
             "--validate-trace" => trace = Some(value("--validate-trace")),
+            "--scale" => scale_doc = true,
             "--wall-warn-only" => cfg.wall_warn_only = true,
             "--max-wall-regress" | "--max-op-regress" | "--q-error-budget" => {
                 let v: f64 = value(&a).parse().unwrap_or_else(|_| {
@@ -86,7 +93,8 @@ fn main() {
     }
 
     let (Some(bpath), Some(cpath)) = (baseline, current) else { usage() };
-    match compare(&load(&bpath), &load(&cpath), &cfg) {
+    let diff = if scale_doc { compare_scale } else { compare };
+    match diff(&load(&bpath), &load(&cpath), &cfg) {
         Err(e) => {
             eprintln!("perfgate: {e}");
             std::process::exit(2);

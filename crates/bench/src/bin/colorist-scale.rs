@@ -1,0 +1,451 @@
+//! Scale curves for the multi-client query service (DESIGN.md §15.7).
+//!
+//! For each target database size (default 1k/10k/100k/1M stored elements)
+//! and each of the seven strategies, the binary calibrates a TPC-W
+//! customer count to hit the element target, materializes the instance,
+//! starts a [`colorist_server::Server`], and drives a round-structured
+//! read-heavy mix: every round commits a small write batch through
+//! admission batching, re-warms the prepared-plan cache (one serial read
+//! per pattern — exactly the deterministic miss set), then fires the
+//! timed read phase from `--clients` concurrent client threads.
+//!
+//! It publishes per-cell throughput (timed reads only), p50/p99 latency,
+//! the plan-cache counters, and an order-stable FNV checksum over every
+//! read answer into a schema-v8 `BENCH_scale.json` that
+//! `colorist-perfgate --scale` diffs across commits: identity fields
+//! (element counts, request counts, checksums, final epochs) exactly,
+//! timing under the wall-clock rules.
+//!
+//! ```text
+//! colorist-scale [--scales 1000,10000,100000,1000000] [--workers N]
+//!                [--clients 4] [--rounds 4] [--reads 64] [--writes 8]
+//!                [--speedup-scale 100000] [--speedup-workers 8]
+//!                [--out results/BENCH_scale.json] [--trace FILE]
+//! ```
+//!
+//! `--speedup-scale 0` skips the 1-vs-N-worker throughput comparison.
+//! Worker *counters* are deterministic for any worker count; worker
+//! *speedup* is a property of the host's core count (a single-core CI
+//! box reports ≈1× regardless of the code), which is why the `speedup`
+//! section is published but never gated.
+
+use colorist_bench::summary::git_rev;
+use colorist_bench::{backend, pool_bytes, seed, SCHEMA_VERSION};
+use colorist_core::{design, Strategy};
+use colorist_datagen::{generate, materialize, ScaleProfile};
+use colorist_er::{catalog, ErGraph, NodeId};
+use colorist_query::Pattern;
+use colorist_server::{Server, ServerConfig};
+use colorist_store::{Database, UpdateBatch, Value};
+use colorist_workload::tpcw;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+#[derive(Clone)]
+struct Config {
+    scales: Vec<u64>,
+    workers: usize,
+    clients: usize,
+    rounds: u32,
+    reads_per_round: u32,
+    writes_per_round: u32,
+    speedup_scale: u64,
+    speedup_workers: usize,
+    out: String,
+    trace: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            scales: vec![1_000, 10_000, 100_000, 1_000_000],
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            clients: 4,
+            rounds: 4,
+            reads_per_round: 64,
+            writes_per_round: 8,
+            speedup_scale: 100_000,
+            speedup_workers: 8,
+            out: "results/BENCH_scale.json".to_string(),
+            trace: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: colorist-scale [--scales N,N,...] [--workers N] [--clients N] \
+         [--rounds N] [--reads N] [--writes N] [--speedup-scale N] \
+         [--speedup-workers N] [--out FILE] [--trace FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("colorist-scale: {flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        let parse = |flag: &str, v: String| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("colorist-scale: {flag} expects an integer, got {v:?}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--scales" => {
+                let v = value("--scales");
+                cfg.scales = v.split(',').map(|s| parse("--scales", s.to_string())).collect();
+                if cfg.scales.is_empty() {
+                    usage();
+                }
+            }
+            "--workers" => cfg.workers = parse(&a, value(&a.clone())).max(1) as usize,
+            "--clients" => cfg.clients = parse(&a, value(&a.clone())).max(1) as usize,
+            "--rounds" => cfg.rounds = parse(&a, value(&a.clone())).max(1) as u32,
+            "--reads" => cfg.reads_per_round = parse(&a, value(&a.clone())).max(1) as u32,
+            "--writes" => cfg.writes_per_round = parse(&a, value(&a.clone())) as u32,
+            "--speedup-scale" => cfg.speedup_scale = parse(&a, value(&a.clone())),
+            "--speedup-workers" => {
+                cfg.speedup_workers = parse(&a, value(&a.clone())).max(2) as usize
+            }
+            "--out" => cfg.out = value("--out"),
+            "--trace" => cfg.trace = Some(value("--trace")),
+            _ => usage(),
+        }
+    }
+    cfg
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// Elements-per-customer linear fit `elements(c) ≈ a + b·c` from two
+/// small probe materializations, used to pick the customer count whose
+/// database lands nearest the element target.
+struct Fit {
+    a: f64,
+    b: f64,
+}
+
+impl Fit {
+    fn probe(g: &ErGraph, strategy: Strategy, seed: u64) -> Fit {
+        let count = |customers: u32| {
+            let schema = design(g, strategy).expect("catalog designs");
+            let db = materialize(g, &schema, &generate(g, &ScaleProfile::tpcw(g, customers), seed));
+            db.element_count() as f64
+        };
+        let (c1, c2) = (8.0, 24.0);
+        let (e1, e2) = (count(8), count(24));
+        let b = ((e2 - e1) / (c2 - c1)).max(1.0);
+        Fit { a: e1 - b * c1, b }
+    }
+
+    fn customers_for(&self, target: u64) -> u32 {
+        (((target as f64 - self.a) / self.b).round().max(1.0)) as u32
+    }
+}
+
+fn by_name(g: &ErGraph, name: &str) -> NodeId {
+    g.node_ids().find(|&n| g.node(n).name == name).expect("node exists")
+}
+
+/// One (scale, strategy) measurement.
+struct Cell {
+    strategy: &'static str,
+    customers: u32,
+    elements: u64,
+    reads: u64,
+    writes: u64,
+    answers_checksum: u64,
+    final_epoch: u64,
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
+    plan_cache_evictions: u64,
+    queue_wait_ns: u64,
+    throughput_qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    wall_ms: f64,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e6
+}
+
+/// Run the round-structured mix for one materialized database.
+fn run_cell(
+    g: &ErGraph,
+    db: Database,
+    patterns: &[Pattern],
+    strategy: Strategy,
+    customers: u32,
+    cfg: &Config,
+    workers: usize,
+) -> Cell {
+    let elements = db.element_count() as u64;
+    let customer = by_name(g, "customer");
+    // resolve write targets while we still hold the database; ordinals
+    // cycle over the calibrated customer population
+    let targets: Vec<colorist_store::ElementId> = (0..customers)
+        .map(|o| db.canonical_by_ordinal(customer, o).expect("calibrated customer ordinal exists"))
+        .collect();
+    let server = Server::start(db, g, &ServerConfig::default().with_workers(workers));
+    let main = server.client();
+    let mut checksum = FNV_OFFSET;
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut timed = Duration::ZERO;
+    let (mut reads, mut writes) = (0u64, 0u64);
+    let wall_start = Instant::now();
+    for round in 0..cfg.rounds {
+        // write burst: admission-batched, group-committed by the flush
+        let pending: Vec<_> = (0..cfg.writes_per_round)
+            .map(|k| {
+                let ordinal = (round * cfg.writes_per_round + k) % customers;
+                let e = targets[ordinal as usize];
+                let mut b = UpdateBatch::new();
+                b.write_attr(e, 1, Value::Int((round as i64) << 16 | k as i64));
+                main.write(b)
+            })
+            .collect();
+        main.flush().wait().expect("flush commits");
+        for p in pending {
+            p.wait().expect("write commits");
+            writes += 1;
+        }
+        // re-warm: one serial read per pattern. These are exactly the
+        // round's plan-cache misses — the write burst bumped the
+        // statistics epoch, so every cached plan is stale by key.
+        for q in patterns {
+            let r = main.read(q).wait().expect("warm read serves");
+            checksum = digest(checksum, r.results, r.distinct, &r.elements);
+            reads += 1;
+        }
+        // timed phase: `clients` threads, global round-robin split, all
+        // hits (no writes in flight, epoch stable until the next round)
+        let t0 = Instant::now();
+        let mut shards: Vec<Vec<(u32, Duration, u64)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..cfg.clients)
+                .map(|t| {
+                    let c = server.client();
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut i = t as u32;
+                        while i < cfg.reads_per_round {
+                            let q = &patterns[i as usize % patterns.len()];
+                            let begin = Instant::now();
+                            let r = c.read(q).wait().expect("timed read serves");
+                            let lat = begin.elapsed();
+                            out.push((
+                                i,
+                                lat,
+                                digest(FNV_OFFSET, r.results, r.distinct, &r.elements),
+                            ));
+                            i += cfg.clients as u32;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+        timed += t0.elapsed();
+        // fold per-reply digests in global submission-index order so the
+        // checksum is identical for any client/worker count
+        let mut flat: Vec<(u32, Duration, u64)> = shards.drain(..).flatten().collect();
+        flat.sort_unstable_by_key(|&(i, _, _)| i);
+        for (_, lat, d) in flat {
+            checksum = mix(checksum, d);
+            latencies.push(lat);
+            reads += 1;
+        }
+    }
+    let wall = wall_start.elapsed();
+    let m = server.metrics();
+    let final_epoch = server.published_epoch();
+    server.shutdown();
+    latencies.sort_unstable();
+    let timed_reads = cfg.rounds as u64 * cfg.reads_per_round as u64;
+    Cell {
+        strategy: strategy.label(),
+        customers,
+        elements,
+        reads,
+        writes,
+        answers_checksum: checksum,
+        final_epoch,
+        plan_cache_hits: m.plan_cache_hits,
+        plan_cache_misses: m.plan_cache_misses,
+        plan_cache_evictions: m.plan_cache_evictions,
+        queue_wait_ns: m.queue_wait_ns,
+        throughput_qps: timed_reads as f64 / timed.as_secs_f64().max(1e-9),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        wall_ms: wall.as_secs_f64() * 1e3,
+    }
+}
+
+fn digest(h: u64, results: u64, distinct: u64, elements: &[colorist_store::ElementId]) -> u64 {
+    let mut h = mix(mix(h, results), distinct);
+    h = mix(h, elements.len() as u64);
+    for e in elements {
+        h = mix(h, e.0 as u64);
+    }
+    h
+}
+
+/// Build (customers, database) for one strategy at one element target.
+fn build(g: &ErGraph, strategy: Strategy, fit: &Fit, target: u64, seed: u64) -> (u32, Database) {
+    let customers = fit.customers_for(target);
+    let schema = design(g, strategy).expect("catalog designs");
+    let mut db = materialize(g, &schema, &generate(g, &ScaleProfile::tpcw(g, customers), seed));
+    colorist_store::attach_from_env(&mut db).expect("storage backend attaches");
+    (customers, db)
+}
+
+fn main() {
+    let cfg = parse_args();
+    if cfg.trace.is_some() {
+        colorist_trace::collect_start();
+    }
+    let seed = seed();
+    let g = ErGraph::from_diagram(&catalog::tpcw()).expect("tpcw builds");
+    let patterns: Vec<Pattern> = tpcw::workload(&g).reads;
+    eprintln!(
+        "colorist-scale: scales {:?}, {} workers, {} clients, {} rounds x ({} reads + {} writes), seed {seed}, backend {}",
+        cfg.scales,
+        cfg.workers,
+        cfg.clients,
+        cfg.rounds,
+        cfg.reads_per_round,
+        cfg.writes_per_round,
+        backend()
+    );
+
+    let fits: Vec<(Strategy, Fit)> =
+        Strategy::ALL.iter().map(|&s| (s, Fit::probe(&g, s, seed))).collect();
+
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(j, "  \"git_rev\": \"{}\",", git_rev());
+    let _ = writeln!(j, "  \"bench\": \"scale\",");
+    let _ = writeln!(j, "  \"seed\": {seed},");
+    let _ = writeln!(j, "  \"backend\": \"{}\",", backend());
+    let _ = writeln!(j, "  \"pool_bytes\": {},", pool_bytes());
+    let _ = writeln!(j, "  \"workers\": {},", cfg.workers);
+    let _ = writeln!(j, "  \"clients\": {},", cfg.clients);
+    let _ = writeln!(j, "  \"rounds\": {},", cfg.rounds);
+    let _ = writeln!(j, "  \"reads_per_round\": {},", cfg.reads_per_round);
+    let _ = writeln!(j, "  \"writes_per_round\": {},", cfg.writes_per_round);
+    let _ = writeln!(j, "  \"scales\": [");
+    for (si, &target) in cfg.scales.iter().enumerate() {
+        let _ = writeln!(j, "    {{\"target_elements\": {target}, \"strategies\": [");
+        for (ci, (strategy, fit)) in fits.iter().enumerate() {
+            let (customers, db) = build(&g, *strategy, fit, target, seed);
+            let cell = run_cell(&g, db, &patterns, *strategy, customers, &cfg, cfg.workers);
+            eprintln!(
+                "colorist-scale: {target:>8} x {:<7} {:>9} elements  {:>10.1} q/s  p50 {:>8.1} us  p99 {:>8.1} us  hit rate {:.3}",
+                cell.strategy,
+                cell.elements,
+                cell.throughput_qps,
+                cell.p50_us,
+                cell.p99_us,
+                cell.plan_cache_hits as f64
+                    / (cell.plan_cache_hits + cell.plan_cache_misses).max(1) as f64,
+            );
+            let _ = writeln!(
+                j,
+                "      {{\"strategy\": \"{}\", \"customers\": {}, \"elements\": {},\n\
+                 \x20       \"reads\": {}, \"writes\": {}, \"answers_checksum\": {},\n\
+                 \x20       \"final_epoch\": {}, \"plan_cache_hits\": {},\n\
+                 \x20       \"plan_cache_misses\": {}, \"plan_cache_evictions\": {},\n\
+                 \x20       \"queue_wait_ns\": {}, \"throughput_qps\": {:.3},\n\
+                 \x20       \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"wall_ms\": {:.3}}}{}",
+                cell.strategy,
+                cell.customers,
+                cell.elements,
+                cell.reads,
+                cell.writes,
+                cell.answers_checksum,
+                cell.final_epoch,
+                cell.plan_cache_hits,
+                cell.plan_cache_misses,
+                cell.plan_cache_evictions,
+                cell.queue_wait_ns,
+                cell.throughput_qps,
+                cell.p50_us,
+                cell.p99_us,
+                cell.wall_ms,
+                if ci + 1 < fits.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(j, "    ]}}{}", if si + 1 < cfg.scales.len() { "," } else { "" });
+    }
+    let _ = writeln!(j, "  ],");
+
+    // 1-vs-N-worker aggregate throughput on the read-heavy mix. On this
+    // cooperative mix the speedup ceiling is min(workers, cores): a
+    // single-core host honestly reports ≈1x whatever the worker count.
+    if cfg.speedup_scale > 0 {
+        let strategy = Strategy::Dr;
+        let fit = &fits.iter().find(|(s, _)| *s == strategy).expect("DR fitted").1;
+        let qps = |workers: usize| {
+            let (customers, db) = build(&g, strategy, fit, cfg.speedup_scale, seed);
+            run_cell(&g, db, &patterns, strategy, customers, &cfg, workers).throughput_qps
+        };
+        let (one, many) = (qps(1), qps(cfg.speedup_workers));
+        eprintln!(
+            "colorist-scale: speedup at {} elements ({}): 1 worker {one:.1} q/s, {} workers {many:.1} q/s => {:.2}x (ceiling = min(workers, cores) = {})",
+            cfg.speedup_scale,
+            strategy.label(),
+            cfg.speedup_workers,
+            many / one.max(1e-9),
+            cfg.speedup_workers
+                .min(std::thread::available_parallelism().map_or(1, |n| n.get()))
+        );
+        let _ = writeln!(
+            j,
+            "  \"speedup\": {{\"target_elements\": {}, \"strategy\": \"{}\",\n\
+             \x20   \"workers_1_qps\": {one:.3}, \"workers_n_qps\": {many:.3},\n\
+             \x20   \"workers_n\": {}, \"speedup\": {:.3},\n\
+             \x20   \"host_cores\": {}}}",
+            cfg.speedup_scale,
+            strategy.label(),
+            cfg.speedup_workers,
+            many / one.max(1e-9),
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        );
+    } else {
+        let _ = writeln!(j, "  \"speedup\": null");
+    }
+    let _ = writeln!(j, "}}");
+
+    if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&cfg.out, &j).expect("write scale document");
+    println!("colorist-scale: wrote {}", cfg.out);
+
+    if let Some(path) = &cfg.trace {
+        let trace = colorist_trace::collect_stop();
+        std::fs::write(path, colorist_trace::chrome_trace_json(&trace))
+            .expect("write trace document");
+        eprintln!("colorist-scale: trace {} spans -> {path}", trace.spans.len());
+    }
+}

@@ -46,7 +46,7 @@ pub mod micro;
 pub mod perfgate;
 pub mod summary;
 
-pub use perfgate::{compare, validate_trace, GateConfig, GateReport};
+pub use perfgate::{compare, compare_scale, validate_trace, GateConfig, GateReport};
 pub use summary::{bench_summary_json, write_bench_summary, SummaryMeta, SCHEMA_VERSION};
 
 /// TPC-W customers at scale 1.

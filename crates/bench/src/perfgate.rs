@@ -25,7 +25,12 @@
 //!   [`GateConfig::q_error_budget`].
 //!
 //! The module also hosts [`validate_trace`], the shape checker for
-//! chrome-trace documents emitted by `--trace`.
+//! chrome-trace documents emitted by `--trace`, and [`compare_scale`],
+//! the diff for the `BENCH_scale.json` documents emitted by
+//! `colorist-scale` (schema v8): identity fields (element counts,
+//! answer checksums, final epochs) must match exactly, plan-cache
+//! counters follow the op-regress rules, and throughput/p99 latency
+//! follow the wall-clock rules (machine-dependent, downgradeable).
 
 use crate::summary::SCHEMA_VERSION;
 use colorist_trace::Json;
@@ -78,7 +83,7 @@ impl GateReport {
 /// The deterministic per-query counters the gate compares exactly. The
 /// `heur_*` counters come from the heuristic-planner twin run and are
 /// just as deterministic as the primary ones.
-const OP_FIELDS: [&str; 21] = [
+const OP_FIELDS: [&str; 24] = [
     "logical",
     "physical",
     "structural_joins",
@@ -97,15 +102,20 @@ const OP_FIELDS: [&str; 21] = [
     "page_writes",
     "pool_hits",
     "pool_evictions",
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "plan_cache_evictions",
     "heur_scanned",
     "heur_probes",
     "heur_bytes",
 ];
+// `queue_wait_ns` is deliberately NOT an OP_FIELD: it is wall-clock
+// derived (like `elapsed_us`) and never exact-gated.
 
 /// Counter keys a span of a known category may carry in its `args` (beside
 /// the structural `id`/`parent` links). Spans of categories not listed here
 /// (`compile`, `suite`, …) emit no counters today and are unconstrained.
-const SPAN_COUNTERS: [(&str, &[&str]); 7] = [
+const SPAN_COUNTERS: [(&str, &[&str]); 8] = [
     (
         "op",
         &[
@@ -148,6 +158,17 @@ const SPAN_COUNTERS: [(&str, &[&str]); 7] = [
     ("snapshot", &["snapshot_reads"]),
     ("effect", &["effect_keys"]),
     ("storage", &["page_reads", "page_writes", "pool_hits", "pool_evictions"]),
+    (
+        "server",
+        &[
+            "queue_wait_ns",
+            "plan_cache_hits",
+            "plan_cache_misses",
+            "plan_cache_evictions",
+            "admitted",
+            "groups",
+        ],
+    ),
 ];
 
 fn require_u64(doc: &Json, key: &str, what: &str) -> Result<u64, String> {
@@ -279,6 +300,181 @@ pub fn compare(baseline: &Json, current: &Json, cfg: &GateConfig) -> Result<Gate
     // under test)
     for (doc, what) in [(baseline, "baseline"), (current, "current")] {
         optimizer_gate(doc, what, cfg, &mut report)?;
+    }
+    Ok(report)
+}
+
+/// Identity fields of one `(scale, strategy)` cell of a
+/// `BENCH_scale.json` document. These describe *what ran* (instance
+/// size, request mix, answers, commit count), so any difference in
+/// either direction means the runs are not measuring the same thing —
+/// a failure, not a warning.
+const SCALE_IDENTITY_FIELDS: [&str; 6] =
+    ["customers", "elements", "reads", "writes", "answers_checksum", "final_epoch"];
+
+/// Plan-cache counters of one cell: deterministic costs under the
+/// serve-under-lock cache design, gated like [`OP_FIELDS`] (growth past
+/// `max_op_regress` fails, improvement warns).
+const SCALE_CACHE_FIELDS: [&str; 3] =
+    ["plan_cache_hits", "plan_cache_misses", "plan_cache_evictions"];
+
+/// Index a scale document as `target_elements -> strategy -> cell`.
+#[allow(clippy::type_complexity)]
+fn scale_index<'a>(
+    doc: &'a Json,
+    what: &str,
+) -> Result<BTreeMap<u64, BTreeMap<String, &'a Json>>, String> {
+    let mut out = BTreeMap::new();
+    let scales = doc
+        .get("scales")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what}: missing `scales` array"))?;
+    for s in scales {
+        let target = require_u64(s, "target_elements", what)?;
+        let cells = s
+            .get("strategies")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{what}: scale {target} missing `strategies`"))?;
+        let mut by_label = BTreeMap::new();
+        for c in cells {
+            by_label.insert(require_str(c, "strategy", what)?.to_string(), c);
+        }
+        out.insert(target, by_label);
+    }
+    Ok(out)
+}
+
+/// Diff two `BENCH_scale.json` documents (emitted by `colorist-scale`)
+/// under `cfg`.
+///
+/// Identity fields (customers, elements, reads, writes, answers
+/// checksum, final epoch) must match exactly in both directions;
+/// plan-cache counters follow the `max_op_regress` rules;
+/// `throughput_qps` (lower is worse) and `p99_us` (higher is worse)
+/// follow the wall-clock rules and respect [`GateConfig::wall_warn_only`].
+/// The `speedup` section is not diffed — worker scaling is a property of
+/// the host's core count, not of the code under test.
+pub fn compare_scale(
+    baseline: &Json,
+    current: &Json,
+    cfg: &GateConfig,
+) -> Result<GateReport, String> {
+    for (doc, what) in [(baseline, "baseline"), (current, "current")] {
+        let v = require_u64(doc, "schema_version", what)?;
+        if v != SCHEMA_VERSION {
+            return Err(format!(
+                "{what}: schema_version {v} != supported {SCHEMA_VERSION}; \
+                 regenerate the document with this build"
+            ));
+        }
+        let bench = require_str(doc, "bench", what)?;
+        if bench != "scale" {
+            return Err(format!("{what}: bench `{bench}` is not a scale document"));
+        }
+    }
+    let meta_keys =
+        ["seed", "backend", "workers", "clients", "rounds", "reads_per_round", "writes_per_round"];
+    for key in meta_keys {
+        let b = baseline.get(key);
+        let c = current.get(key);
+        if b != c {
+            return Err(format!(
+                "meta mismatch on `{key}`: baseline {b:?} vs current {c:?} — \
+                 the runs are not comparable"
+            ));
+        }
+    }
+
+    let mut report = GateReport::default();
+    let base = scale_index(baseline, "baseline")?;
+    let cur = scale_index(current, "current")?;
+    for (target, cells) in &base {
+        let Some(cur_cells) = cur.get(target) else {
+            report.failures.push(format!("scale {target} disappeared from the current run"));
+            continue;
+        };
+        for label in cells.keys() {
+            if !cur_cells.contains_key(label) {
+                report
+                    .failures
+                    .push(format!("scale {target}/{label} disappeared from the current run"));
+            }
+        }
+    }
+    for (target, cur_cells) in &cur {
+        let Some(base_cells) = base.get(target) else {
+            report.warnings.push(format!("scale {target} is new (not in the baseline)"));
+            continue;
+        };
+        for (label, cc) in cur_cells {
+            let Some(bc) = base_cells.get(label) else {
+                report
+                    .warnings
+                    .push(format!("scale {target}/{label} is new (not in the baseline)"));
+                continue;
+            };
+            let what = format!("scale {target}/{label}");
+            for field in SCALE_IDENTITY_FIELDS {
+                let b = require_u64(bc, field, &format!("baseline {what}"))?;
+                let c = require_u64(cc, field, &format!("current {what}"))?;
+                if b != c {
+                    report.failures.push(format!(
+                        "{what}: identity field {field} changed {b} -> {c} — \
+                         the runs did not execute the same workload"
+                    ));
+                }
+            }
+            for field in SCALE_CACHE_FIELDS {
+                let b = require_u64(bc, field, &format!("baseline {what}"))?;
+                let c = require_u64(cc, field, &format!("current {what}"))?;
+                let allowed = (b as f64 * (1.0 + cfg.max_op_regress)).floor() as u64;
+                // hits shrinking is the regression; misses/evictions growing is
+                if field == "plan_cache_hits" {
+                    if c < b {
+                        report.failures.push(format!("{what}: {field} regressed {b} -> {c}"));
+                    } else if c > b {
+                        report.warnings.push(format!(
+                            "{what}: {field} improved {b} -> {c} — refresh the baseline"
+                        ));
+                    }
+                } else if c > allowed.max(b) {
+                    report.failures.push(format!(
+                        "{what}: {field} regressed {b} -> {c} (allowed <= {})",
+                        allowed.max(b)
+                    ));
+                } else if c < b {
+                    report.warnings.push(format!(
+                        "{what}: {field} improved {b} -> {c} — refresh the baseline"
+                    ));
+                }
+            }
+            // machine-dependent throughput/latency: wall-clock rules
+            let pairs = [("throughput_qps", false), ("p99_us", true)];
+            for (field, higher_is_worse) in pairs {
+                let b = bc.get(field).and_then(Json::as_f64);
+                let c = cc.get(field).and_then(Json::as_f64);
+                let (Some(b), Some(c)) = (b, c) else { continue };
+                if b <= 0.0 {
+                    continue;
+                }
+                let regressed = if higher_is_worse {
+                    c > b * (1.0 + cfg.max_wall_regress)
+                } else {
+                    c < b / (1.0 + cfg.max_wall_regress)
+                };
+                if regressed {
+                    let msg = format!(
+                        "{what}: {field} regressed {b:.1} -> {c:.1} (allowed ±{:.0}%)",
+                        cfg.max_wall_regress * 100.0
+                    );
+                    if cfg.wall_warn_only {
+                        report.warnings.push(format!("{msg} [wall-warn-only]"));
+                    } else {
+                        report.failures.push(msg);
+                    }
+                }
+            }
+        }
     }
     Ok(report)
 }
@@ -593,6 +789,114 @@ mod tests {
             }
         }
         assert!(compare(&old, &base, &GateConfig::default()).is_err());
+    }
+
+    fn small_scale_doc() -> Json {
+        let text = format!(
+            r#"{{"schema_version": {SCHEMA_VERSION}, "bench": "scale", "seed": 42,
+            "backend": "mem", "workers": 2, "clients": 2, "rounds": 4,
+            "reads_per_round": 16, "writes_per_round": 2,
+            "scales": [
+              {{"target_elements": 1000, "strategies": [
+                {{"strategy": "DR", "customers": 70, "elements": 1006,
+                  "reads": 64, "writes": 8, "answers_checksum": 12345,
+                  "final_epoch": 8, "plan_cache_hits": 60,
+                  "plan_cache_misses": 12, "plan_cache_evictions": 0,
+                  "throughput_qps": 1000.0, "p50_us": 10.0, "p99_us": 50.0,
+                  "wall_ms": 6.4}}
+              ]}}
+            ],
+            "speedup": {{"target_elements": 1000, "strategy": "DR",
+              "workers_1_qps": 900.0, "workers_n_qps": 1100.0,
+              "workers_n": 2, "speedup": 1.22}}}}"#
+        );
+        Json::parse(&text).expect("scale doc parses")
+    }
+
+    fn patch_num(j: &mut Json, key: &str, value: f64) {
+        match j {
+            Json::Obj(m) => {
+                for (k, v) in m.iter_mut() {
+                    if k == key {
+                        *v = Json::Num(value);
+                    } else {
+                        patch_num(v, key, value);
+                    }
+                }
+            }
+            Json::Arr(v) => v.iter_mut().for_each(|x| patch_num(x, key, value)),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn scale_gate_passes_identical_and_fails_identity_drift() {
+        let doc = small_scale_doc();
+        let clean = compare_scale(&doc, &doc, &GateConfig::default()).expect("comparable");
+        assert!(clean.pass(), "{:?}", clean.failures);
+        assert!(clean.warnings.is_empty(), "{:?}", clean.warnings);
+
+        // identity fields fail in BOTH directions: a changed answers
+        // checksum means the runs computed different answers
+        let mut cur = doc.clone();
+        patch_num(&mut cur, "answers_checksum", 99999.0);
+        for (b, c) in [(&doc, &cur), (&cur, &doc)] {
+            let report = compare_scale(b, c, &GateConfig::default()).expect("comparable");
+            assert!(
+                report.failures.iter().any(|f| f.contains("answers_checksum")),
+                "{:?}",
+                report.failures
+            );
+        }
+    }
+
+    #[test]
+    fn scale_gate_op_rules_for_cache_and_wall_rules_for_throughput() {
+        let doc = small_scale_doc();
+        // more misses = regression; fewer = warning
+        let mut missy = doc.clone();
+        patch_num(&mut missy, "plan_cache_misses", 40.0);
+        let report = compare_scale(&doc, &missy, &GateConfig::default()).expect("comparable");
+        assert!(
+            report.failures.iter().any(|f| f.contains("plan_cache_misses regressed")),
+            "{:?}",
+            report.failures
+        );
+        let rev = compare_scale(&missy, &doc, &GateConfig::default()).expect("comparable");
+        assert!(rev.pass(), "{:?}", rev.failures);
+        assert!(rev.warnings.iter().any(|w| w.contains("improved")), "{:?}", rev.warnings);
+
+        // fewer hits is the hit-count regression direction
+        let mut cold = doc.clone();
+        patch_num(&mut cold, "plan_cache_hits", 1.0);
+        let report = compare_scale(&doc, &cold, &GateConfig::default()).expect("comparable");
+        assert!(
+            report.failures.iter().any(|f| f.contains("plan_cache_hits regressed")),
+            "{:?}",
+            report.failures
+        );
+
+        // throughput collapse follows the wall rules incl. warn-only
+        let mut slow = doc.clone();
+        patch_num(&mut slow, "throughput_qps", 100.0);
+        let hard = compare_scale(&doc, &slow, &GateConfig::default()).expect("comparable");
+        assert!(!hard.pass());
+        let soft = compare_scale(
+            &doc,
+            &slow,
+            &GateConfig { wall_warn_only: true, ..GateConfig::default() },
+        )
+        .expect("comparable");
+        assert!(soft.pass(), "{:?}", soft.failures);
+        assert!(soft.warnings.iter().any(|w| w.contains("wall-warn-only")), "{:?}", soft.warnings);
+
+        // meta mismatch is a usage error, and a plain bench summary is not
+        // a scale document
+        let mut other = doc.clone();
+        patch_num(&mut other, "workers", 16.0);
+        assert!(compare_scale(&doc, &other, &GateConfig::default()).is_err());
+        let summary = Json::parse(&small_summary()).expect("parses");
+        assert!(compare_scale(&summary, &summary, &GateConfig::default()).is_err());
     }
 
     #[test]

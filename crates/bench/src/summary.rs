@@ -41,8 +41,18 @@ use std::time::Duration;
 /// heap backend), every per-query record gains the four deterministic page
 /// counters `page_reads`/`page_writes`/`pool_hits`/`pool_evictions`, and
 /// the trace vocabulary gains the `storage` span category carrying those
-/// counters on op, query, and flush spans.
-pub const SCHEMA_VERSION: u64 = 7;
+/// counters on op, query, and flush spans; 8 — the multi-client query
+/// service: every per-query record gains the prepared-plan-cache counters
+/// `plan_cache_hits`/`plan_cache_misses`/`plan_cache_evictions`
+/// (deterministic; 0 when the query executed a pre-built plan without
+/// consulting the cache) and the machine-dependent `queue_wait_ns`
+/// (submission-queue wait, 0 outside the server), and the trace
+/// vocabulary gains the `server` span category (read/admit/commit spans
+/// carrying `queue_wait_ns`, the three `plan_cache_*` counters,
+/// `admitted`, and `groups`). `colorist-scale` emits a sibling
+/// `BENCH_scale.json` document (schema documented in EXPERIMENTS.md)
+/// that the perfgate diffs with `--scale`.
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// The git revision to stamp into the document: `COLORIST_GIT_REV` if set,
 /// else `git rev-parse --short=12 HEAD`, else `"unknown"` (e.g. when built
@@ -167,6 +177,8 @@ pub fn bench_summary_json(meta: &SummaryMeta, results: &[SuiteResult]) -> String
                  \"index_lookups\": {}, \"elements_skipped\": {}, \
                  \"page_reads\": {}, \"page_writes\": {}, \
                  \"pool_hits\": {}, \"pool_evictions\": {}, \
+                 \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \
+                 \"plan_cache_evictions\": {}, \"queue_wait_ns\": {}, \
                  \"heur_scanned\": {hs}, \"heur_probes\": {hp}, \
                  \"heur_bytes\": {hb}",
                 esc(&q.name),
@@ -189,6 +201,10 @@ pub fn bench_summary_json(meta: &SummaryMeta, results: &[SuiteResult]) -> String
                 m.page_writes,
                 m.pool_hits,
                 m.pool_evictions,
+                m.plan_cache_hits,
+                m.plan_cache_misses,
+                m.plan_cache_evictions,
+                m.queue_wait_ns,
             );
             if let Some(est) = &q.est {
                 let _ = write!(

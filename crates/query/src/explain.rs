@@ -291,6 +291,26 @@ pub fn explain_analyze(
             "  << DRIFT: per-op deltas do not sum to the totals"
         },
     );
+    // storage + service cost lines (DESIGN.md §14/§15): only printed when
+    // the run touched the respective layer, so heap-backend direct
+    // executions stay byte-identical to the historical output
+    let requests = t.page_reads + t.pool_hits;
+    if requests > 0 {
+        let _ = writeln!(
+            s,
+            "  storage: pool hit rate {:.3} ({} hits / {} faults)",
+            t.pool_hits as f64 / requests as f64,
+            t.pool_hits,
+            t.page_reads,
+        );
+    }
+    if t.plan_cache_hits + t.plan_cache_misses > 0 {
+        let _ = writeln!(
+            s,
+            "  plan cache: {} hit(s), {} miss(es), {} eviction(s); queue wait {}ns",
+            t.plan_cache_hits, t.plan_cache_misses, t.plan_cache_evictions, t.queue_wait_ns,
+        );
+    }
     s
 }
 

@@ -22,6 +22,9 @@
 //! * [`mod@optimize`] — the cost-based optimizer: statistics-driven child
 //!   ordering plus per-operator cost estimates in counter units, checked
 //!   against measurement by `explain_analyze` and the perfgate;
+//! * [`cache`] — the sharded prepared-plan cache: compile + optimize once
+//!   per `(pattern, strategy, statistics epoch)`, hit thereafter; the
+//!   statistics epoch in the key invalidates stale plans (DESIGN.md §15);
 //! * [`update`] — update execution: locate targets, mutate every color
 //!   (ICIC maintenance), propagate to physical copies (duplicate updates),
 //!   cascade inserts through un-normalized placements;
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod compile;
 pub mod error;
 pub mod exec;
@@ -39,6 +43,7 @@ pub mod plan;
 pub mod update;
 pub mod verify;
 
+pub use cache::{optimize_cached, CacheStats, PlanCache};
 pub use compile::{compile, compile_with, ChildOrder};
 pub use error::QueryError;
 pub use exec::{execute, execute_profiled, execute_snapshot, op_kind, OpProfile, QueryResult};

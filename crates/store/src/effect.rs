@@ -1007,6 +1007,23 @@ impl CommitScheduler {
         }
         Ok(groups)
     }
+
+    /// The admission hook for long-lived users (the query service's
+    /// write path, DESIGN.md §15): group-commit everything currently
+    /// staged, then clear the scheduler so the next admission window
+    /// starts empty. Equivalent to [`CommitScheduler::commit`] followed
+    /// by dropping the scheduler, but reuses the allocation. On error
+    /// the staged batches are **kept** (the failing stage index refers
+    /// to them), so the caller can inspect, drop, or re-stage.
+    pub fn drain_commit(
+        &mut self,
+        db: &mut Database,
+        graph: &ErGraph,
+    ) -> Result<Vec<GroupReceipt>, (usize, BatchError)> {
+        let groups = self.commit(db, graph)?;
+        self.batches.clear();
+        Ok(groups)
+    }
 }
 
 #[cfg(test)]

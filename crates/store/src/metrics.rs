@@ -78,6 +78,24 @@ pub struct Metrics {
     /// pool byte budget. Exact-matched by the perfgate like every other
     /// deterministic counter.
     pub pool_evictions: u64,
+    /// Prepared-plan cache hits: the query's plan was served from the
+    /// sharded plan cache (DESIGN.md §15) without recompiling or
+    /// re-optimizing. Deterministic for a given request schedule (a query
+    /// either is or is not the first of its `(pattern, strategy,
+    /// statistics-epoch)` key).
+    pub plan_cache_hits: u64,
+    /// Prepared-plan cache misses: the plan was compiled + optimized and
+    /// inserted. Every request charges exactly one of
+    /// `plan_cache_hits`/`plan_cache_misses` when it goes through the
+    /// cache, and neither when it executes a pre-built plan directly.
+    pub plan_cache_misses: u64,
+    /// Plans evicted from the cache by the per-shard capacity sweep.
+    /// Deterministic for a given request schedule and cache capacity.
+    pub plan_cache_evictions: u64,
+    /// Nanoseconds a server request waited in the submission queue before
+    /// a worker picked it up (DESIGN.md §15). Wall-clock derived, hence
+    /// machine-dependent like `elapsed` — reported, never exact-gated.
+    pub queue_wait_ns: u64,
     /// Tuples produced by the final operator.
     pub results: u64,
     /// Distinct logical results (differs from `results` when a
@@ -140,6 +158,12 @@ impl Metrics {
             page_writes: self.page_writes.saturating_sub(earlier.page_writes),
             pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
             pool_evictions: self.pool_evictions.saturating_sub(earlier.pool_evictions),
+            plan_cache_hits: self.plan_cache_hits.saturating_sub(earlier.plan_cache_hits),
+            plan_cache_misses: self.plan_cache_misses.saturating_sub(earlier.plan_cache_misses),
+            plan_cache_evictions: self
+                .plan_cache_evictions
+                .saturating_sub(earlier.plan_cache_evictions),
+            queue_wait_ns: self.queue_wait_ns.saturating_sub(earlier.queue_wait_ns),
             results: self.results.saturating_sub(earlier.results),
             distinct_results: self.distinct_results.saturating_sub(earlier.distinct_results),
             elapsed: self.elapsed.saturating_sub(earlier.elapsed),
@@ -175,6 +199,10 @@ impl AddAssign for Metrics {
         self.page_writes += rhs.page_writes;
         self.pool_hits += rhs.pool_hits;
         self.pool_evictions += rhs.pool_evictions;
+        self.plan_cache_hits += rhs.plan_cache_hits;
+        self.plan_cache_misses += rhs.plan_cache_misses;
+        self.plan_cache_evictions += rhs.plan_cache_evictions;
+        self.queue_wait_ns += rhs.queue_wait_ns;
         self.results += rhs.results;
         self.distinct_results += rhs.distinct_results;
         self.elapsed += rhs.elapsed;

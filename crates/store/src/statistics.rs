@@ -183,7 +183,7 @@ impl ColumnStats {
 }
 
 /// The per-database statistics catalog.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Statistics {
     /// `[node][attr]` column statistics.
     columns: Vec<Vec<ColumnStats>>,
@@ -191,6 +191,27 @@ pub struct Statistics {
     extent_rows: Vec<u64>,
     /// Occurrences per schema placement (all colors).
     placement_occs: Vec<u64>,
+    /// Maintenance generation: bumped by every catalog mutation
+    /// (`refresh_column`, `note_insert`, `note_delete`,
+    /// `set_placement_occs`). Cached artifacts derived from the catalog —
+    /// the prepared-plan cache keys on it (DESIGN.md §15) — are invalidated
+    /// by comparing epochs, so a stale plan is re-optimized rather than
+    /// served. Not part of the catalog's *content*: equality (and hence
+    /// `Database::same_state`) ignores it, because two maintenance
+    /// histories that converge to the same summaries are the same catalog.
+    epoch: u64,
+}
+
+/// Content equality: the summaries, not the maintenance history. Two
+/// catalogs reached by different numbers of refreshes (e.g. either order
+/// of two commuting batches, or a from-scratch build vs. an incrementally
+/// maintained one) compare equal whenever their summaries agree.
+impl PartialEq for Statistics {
+    fn eq(&self, other: &Self) -> bool {
+        self.columns == other.columns
+            && self.extent_rows == other.extent_rows
+            && self.placement_occs == other.placement_occs
+    }
 }
 
 impl Statistics {
@@ -212,7 +233,15 @@ impl Statistics {
                     .collect()
             })
             .collect();
-        Statistics { columns, extent_rows, placement_occs }
+        Statistics { columns, extent_rows, placement_occs, epoch: 0 }
+    }
+
+    /// The maintenance generation: how many catalog mutations this
+    /// statistics object has absorbed. A fresh [`Statistics::build`] starts
+    /// at 0; every `refresh_column` / `note_insert` / `note_delete` /
+    /// `set_placement_occs` bumps it. Plan caches key on this.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Recompute one column from the index (attribute-write / element-insert
@@ -232,6 +261,7 @@ impl Statistics {
             cols.resize(attr + 1, ColumnStats::default());
         }
         cols[attr] = ColumnStats::build(index.of_attr(node, attr), interner);
+        self.epoch += 1;
     }
 
     /// Record one new canonical instance (element-insert maintenance).
@@ -240,6 +270,7 @@ impl Statistics {
             self.extent_rows.resize(node.idx() + 1, 0);
         }
         self.extent_rows[node.idx()] += 1;
+        self.epoch += 1;
     }
 
     /// Record one deleted canonical instance (element-delete maintenance) —
@@ -248,11 +279,13 @@ impl Statistics {
         if let Some(rows) = self.extent_rows.get_mut(node.idx()) {
             *rows = rows.saturating_sub(1);
         }
+        self.epoch += 1;
     }
 
     /// Replace the per-placement occurrence counts (relabel maintenance).
     pub fn set_placement_occs(&mut self, occs: Vec<u64>) {
         self.placement_occs = occs;
+        self.epoch += 1;
     }
 
     /// Canonical instances of an ER node type.
@@ -435,6 +468,26 @@ mod tests {
         assert!(gallop_cost_wins(19, 160)); // 19·16 ≥ 160 but 19·8 < 160
         assert!(!gallop_cost_wins(0, 0));
         assert!(gallop_cost_wins(0, 1));
+    }
+
+    #[test]
+    fn epoch_counts_mutations_but_not_content() {
+        let mut a = Statistics::default();
+        let mut b = Statistics::default();
+        assert_eq!(a.epoch(), 0);
+        a.note_insert(NodeId(0));
+        a.note_delete(NodeId(0));
+        assert_eq!(a.epoch(), 2);
+        a.set_placement_occs(Vec::new());
+        assert_eq!(a.epoch(), 3);
+        // same content reached through a shorter maintenance history:
+        // equal despite the diverged epochs — same_state must not see them
+        b.note_insert(NodeId(0));
+        b.note_delete(NodeId(0));
+        assert_eq!(b.epoch(), 2);
+        assert_eq!(a, b);
+        // but the epoch alone distinguishes the histories (plan-cache keys)
+        assert_ne!(a.epoch(), b.epoch());
     }
 
     #[test]

@@ -7,6 +7,7 @@ pub use colorist_datagen as datagen;
 pub use colorist_er as er;
 pub use colorist_mct as mct;
 pub use colorist_query as query;
+pub use colorist_server as server;
 pub use colorist_store as store;
 pub use colorist_trace as trace;
 pub use colorist_workload as workload;
