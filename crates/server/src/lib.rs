@@ -346,7 +346,10 @@ impl Server {
 
     /// Flush all pending writes, stop the workers, and return the final
     /// database. Requests still queued after the flush barrier are
-    /// answered with [`ServerError::Stopped`].
+    /// answered with [`ServerError::Stopped`]; writes a worker already
+    /// admitted (racing the stop flag past the barrier) are committed by
+    /// a final drain so no ticket is left unfulfilled and no admitted
+    /// write is silently dropped.
     pub fn shutdown(self) -> Database {
         let _ = self.client().flush().wait();
         {
@@ -357,15 +360,30 @@ impl Server {
         for h in self.workers {
             let _ = h.join();
         }
-        let mut q = self.shared.queue.lock().expect("queue lock");
-        for req in q.requests.drain(..) {
-            match req {
-                Request::Read { ticket, .. } => ticket.fulfill(Err(ServerError::Stopped)),
-                Request::Write { ticket, .. } => ticket.fulfill(Err(ServerError::Stopped)),
-                Request::Flush { ticket, .. } => ticket.fulfill(Err(ServerError::Stopped)),
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            for req in q.requests.drain(..) {
+                match req {
+                    Request::Read { ticket, .. } => ticket.fulfill(Err(ServerError::Stopped)),
+                    Request::Write { ticket, .. } => ticket.fulfill(Err(ServerError::Stopped)),
+                    Request::Flush { ticket, .. } => ticket.fulfill(Err(ServerError::Stopped)),
+                }
             }
         }
-        drop(q);
+        // A write submitted after the internal flush barrier captured its
+        // `upto` but popped and admitted by a worker before it observed
+        // the stop flag sits in the admission buffer below `admit_max`
+        // with nobody left to commit it. Drain and commit the stragglers
+        // (BTreeMap order = admission order) so their clients unblock
+        // with real receipts and the returned database contains every
+        // write that was ever admitted.
+        let stragglers: Vec<PendingWrite> = {
+            let mut adm = self.shared.admission.lock().expect("admission lock");
+            std::mem::take(&mut adm.pending).into_values().collect()
+        };
+        if !stragglers.is_empty() {
+            commit_group(&self.shared, 0, stragglers);
+        }
         // workers joined and queue drained; clients may still hold
         // handles, so clone the authoritative database out instead of
         // unwrapping the Arc
@@ -580,8 +598,15 @@ fn commit_group(shared: &Shared, worker: usize, drained: Vec<PendingWrite>) {
         tickets.push(Some((w.ticket, w.queue_wait_ns)));
     }
     let mut db = shared.db.lock().expect("db lock");
-    match sched.commit(&mut db, &shared.graph) {
+    // Commit against a trial clone and install it only on full success.
+    // `CommitScheduler::commit` installs independence classes one at a
+    // time, so an error on a later class leaves earlier classes applied;
+    // the serial fallback must start from the pre-group state or batches
+    // in already-committed classes would apply twice.
+    let mut trial = db.clone();
+    match sched.commit(&mut trial, &shared.graph) {
         Ok(groups) => {
+            *db = trial;
             publish(shared, &db);
             drop(db);
             span.counter("groups", groups.len() as u64);
@@ -606,11 +631,26 @@ fn commit_group(shared: &Shared, worker: usize, drained: Vec<PendingWrite>) {
         }
         Err(_) => {
             // some batch fails validation *somewhere* in the certified
-            // order: degrade to serial admission-order commits so every
-            // batch gets an individual verdict
+            // order: drop the trial state and degrade to serial
+            // admission-order commits against the untouched database so
+            // every batch gets an individual verdict
+            drop(trial);
+            let mut verdicts = Vec::with_capacity(tickets.len());
             for (i, slot) in tickets.iter_mut().enumerate() {
                 let (ticket, queue_wait_ns) = slot.take().expect("unfulfilled");
-                match sched.batches()[i].apply(&mut db, &shared.graph) {
+                verdicts.push((
+                    ticket,
+                    queue_wait_ns,
+                    sched.batches()[i].apply(&mut db, &shared.graph),
+                ));
+            }
+            // republish before fulfilling, mirroring the Ok arm, so a
+            // client whose write succeeded can never read a snapshot
+            // that predates its own commit
+            publish(shared, &db);
+            drop(db);
+            for (ticket, queue_wait_ns, verdict) in verdicts {
+                match verdict {
                     Ok(receipt) => {
                         let metrics = Metrics {
                             queue_wait_ns,
@@ -632,7 +672,6 @@ fn commit_group(shared: &Shared, worker: usize, drained: Vec<PendingWrite>) {
                     }
                 }
             }
-            publish(shared, &db);
         }
     }
 }
@@ -731,6 +770,99 @@ mod tests {
             final_db.same_state(&serial, false).is_ok(),
             "admission-ordered group commit lands on the serial state"
         );
+    }
+
+    /// Regression: when a later independence class fails validation, the
+    /// scheduler has already committed earlier classes — the serial
+    /// fallback must start from the pre-group state, not re-apply them.
+    /// Deletes are non-idempotent, so a double-apply flips the valid
+    /// batch's verdict to `Deleted` even though its delete committed.
+    #[test]
+    fn failed_batch_in_group_falls_back_without_double_applying() {
+        let (g, mut db) = build(Strategy::Af);
+        let item = by_name(&g, "item");
+        let doomed = db.canonical_by_ordinal(item, 5).expect("instance");
+        {
+            let mut b = UpdateBatch::new();
+            b.delete(doomed);
+            b.apply(&mut db, &g).expect("pre-delete applies");
+        }
+        let victim = db.canonical_by_ordinal(item, 3).expect("instance");
+        // serial reference: only the valid delete lands
+        let mut serial = db.clone();
+        {
+            let mut b = UpdateBatch::new();
+            b.delete(victim);
+            b.apply(&mut serial, &g).expect("serial apply");
+        }
+        let server = Server::start(db, &g, &ServerConfig::default());
+        let c = server.client();
+        // both drain in one commit cycle: the valid delete's class
+        // commits first, then the already-deleted delete (empty
+        // footprint -> its own later class) fails validation
+        let mut ok_batch = UpdateBatch::new();
+        ok_batch.delete(victim);
+        let mut bad_batch = UpdateBatch::new();
+        bad_batch.delete(doomed);
+        let p_ok = c.write(ok_batch);
+        let p_bad = c.write(bad_batch);
+        c.flush().wait().expect("flush runs");
+        assert!(p_ok.wait().is_ok(), "valid batch must commit exactly once");
+        match p_bad.wait() {
+            Err(ServerError::Batch(BatchError::Deleted(e))) => assert_eq!(e, doomed),
+            other => panic!("expected Deleted verdict, got {other:?}"),
+        }
+        let final_db = server.shutdown();
+        assert!(
+            final_db.same_state(&serial, false).is_ok(),
+            "fallback state must equal serial application of the valid batch"
+        );
+    }
+
+    /// Regression: a write racing `shutdown` past the internal flush
+    /// barrier used to be admitted and then stranded — its ticket never
+    /// fulfilled, its data silently absent. Every ticket must now
+    /// resolve, and the returned database must equal the serial
+    /// application of exactly the writes that reported success.
+    #[test]
+    fn shutdown_never_strands_admitted_writes() {
+        let (g, db) = build(Strategy::Dr);
+        let customer = by_name(&g, "customer");
+        for round in 0..8i64 {
+            let targets: Vec<ElementId> =
+                (0..6).map(|i| db.canonical_by_ordinal(customer, i).expect("instance")).collect();
+            let server = Server::start(db.clone(), &g, &ServerConfig::default().with_workers(2));
+            let c = server.client();
+            let writer = {
+                let targets = targets.clone();
+                std::thread::spawn(move || {
+                    targets
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, e)| {
+                            let mut b = UpdateBatch::new();
+                            b.write_attr(e, 1, Value::Int(7_000 + round * 100 + i as i64));
+                            (i, e, c.write(b))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            };
+            let final_db = server.shutdown();
+            let mut reference = db.clone();
+            for (i, e, p) in writer.join().expect("writer thread") {
+                match p.wait() {
+                    Ok(_) => {
+                        let mut b = UpdateBatch::new();
+                        b.write_attr(e, 1, Value::Int(7_000 + round * 100 + i as i64));
+                        b.apply(&mut reference, &g).expect("reference apply");
+                    }
+                    Err(err) => assert_eq!(err, ServerError::Stopped),
+                }
+            }
+            final_db.same_state(&reference, false).unwrap_or_else(|m| {
+                panic!("round {round}: state diverges from acknowledged writes: {m}")
+            });
+        }
     }
 
     #[test]

@@ -40,10 +40,23 @@ pub struct UdsFront {
 
 /// Bind `path` and serve the registered `queries` (looked up by
 /// case-insensitive pattern name) against `server`'s submission queue.
-/// Fails if the socket cannot be bound (stale socket files are removed
-/// first).
+/// Fails if the socket cannot be bound. A stale *socket* file at `path`
+/// is removed first; anything else at the path (a regular file, a
+/// directory, a symlink) is never deleted — the bind fails with
+/// `AlreadyExists` instead.
 pub fn serve(server: &Server, path: &Path, queries: &[Pattern]) -> std::io::Result<UdsFront> {
-    let _ = std::fs::remove_file(path);
+    use std::os::unix::fs::FileTypeExt;
+    match std::fs::symlink_metadata(path) {
+        Ok(meta) if meta.file_type().is_socket() => std::fs::remove_file(path)?,
+        Ok(_) => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("refusing to replace non-socket file at `{}`", path.display()),
+            ))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
     let listener = UnixListener::bind(path)?;
     let stop = Arc::new(AtomicBool::new(false));
     let client = server.client();
@@ -154,6 +167,28 @@ mod tests {
     use colorist_datagen::{generate, materialize, ScaleProfile};
     use colorist_er::{catalog, ErGraph};
     use colorist_query::PatternBuilder;
+
+    /// Regression: `serve` must never delete a non-socket file sitting
+    /// at the requested path — it fails with `AlreadyExists` and leaves
+    /// the file intact.
+    #[test]
+    fn serve_refuses_to_replace_a_non_socket_file() {
+        let g = ErGraph::from_diagram(&catalog::tpcw()).expect("tpcw builds");
+        let schema = design(&g, Strategy::En).expect("tpcw designs");
+        let db = materialize(&g, &schema, &generate(&g, &ScaleProfile::uniform(&g, 4), 11));
+        let server = crate::Server::start(db, &g, &ServerConfig::default());
+        let path =
+            std::env::temp_dir().join(format!("colorist-uds-occupied-{}.txt", std::process::id()));
+        std::fs::write(&path, b"precious").expect("file writes");
+        let err = match serve(&server, &path, &[]) {
+            Err(e) => e,
+            Ok(_) => panic!("bind must refuse an occupied non-socket path"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        assert_eq!(std::fs::read(&path).expect("file survives"), b"precious");
+        std::fs::remove_file(&path).expect("cleanup");
+        server.shutdown();
+    }
 
     /// Drive the wire protocol end-to-end over a real socket: PING,
     /// READ (miss then hit, matching answers), unknown query/command
